@@ -1,0 +1,29 @@
+# Developer entry points.  Everything is plain pytest underneath.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples zoo all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Benchmarks with the per-experiment tables printed (-s).
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+zoo:
+	$(PYTHON) -m repro zoo
+
+all: test bench

@@ -1,0 +1,89 @@
+"""Ablation — what each search-strategy component of the solvability engine buys.
+
+DESIGN.md calls out the decision-map search's strategy choices; this bench
+quantifies them on the two hardest feasible instances:
+
+* approx-agreement K=9 at b=2 (SAT; a long path that punishes bad value
+  ordering), and
+* (3,2)-set consensus at b=1 (UNSAT; must be exhausted).
+
+Node budgets cap the degraded configurations so the bench stays fast; a
+budget hit reports as ``>budget`` rather than hanging.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.solvability import SearchOptions, SolvabilityStatus, solve_task
+from repro.tasks import approximate_agreement_task, set_consensus_task
+
+CONFIGS = [
+    ("full (AC-3 + FC + adjacency)", SearchOptions(True, True, True)),
+    ("no AC-3", SearchOptions(False, True, True)),
+    ("no forward checking", SearchOptions(True, False, True)),
+    ("no adjacency order", SearchOptions(True, True, False)),
+    ("plain backtracking", SearchOptions(False, False, False)),
+]
+
+BUDGET = 300_000
+
+
+def _run(task, max_rounds, options, min_rounds=0):
+    return solve_task(
+        task,
+        max_rounds,
+        min_rounds=min_rounds,
+        node_budget=BUDGET,
+        options=options,
+    )
+
+
+@pytest.mark.parametrize("name,options", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_ablation_sat_instance(benchmark, name, options):
+    task = approximate_agreement_task(2, 9)
+    result = benchmark(_run, task, 2, options)
+    # Every configuration must stay *sound*: SAT answers are validated maps,
+    # budget exhaustion is reported, wrong answers are impossible.
+    assert result.status in (
+        SolvabilityStatus.SOLVABLE,
+        SolvabilityStatus.UNKNOWN,
+    )
+
+
+@pytest.mark.parametrize("name,options", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_ablation_unsat_instance(benchmark, name, options):
+    task = set_consensus_task(3, 2)
+    result = benchmark(_run, task, 1, options, min_rounds=1)
+    assert result.status in (
+        SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND,
+        SolvabilityStatus.UNKNOWN,
+    )
+
+
+def test_ablation_report(benchmark):
+    def report():
+        rows = []
+        for name, options in CONFIGS:
+            sat = _run(approximate_agreement_task(2, 9), 2, options)
+            sat_nodes = sum(l.nodes_explored for l in sat.levels)
+            sat_cell = (
+                str(sat_nodes)
+                if sat.status is SolvabilityStatus.SOLVABLE
+                else f">{BUDGET} (budget)"
+            )
+            unsat = _run(set_consensus_task(3, 2), 1, options, min_rounds=1)
+            unsat_nodes = sum(l.nodes_explored for l in unsat.levels)
+            unsat_cell = (
+                str(unsat_nodes)
+                if unsat.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+                else f">{BUDGET} (budget)"
+            )
+            rows.append((name, sat_cell, unsat_cell))
+        print_table(
+            "Ablation: search nodes per configuration "
+            "(SAT: approx-agree K=9 @ b<=2; UNSAT: set-consensus(3,2) @ b=1)",
+            ["configuration", "SAT nodes", "UNSAT nodes"],
+            rows,
+        )
+
+    run_once(benchmark, report)

@@ -1,0 +1,125 @@
+"""E10 — Section 3.4 both ways: the simulation circle, timed.
+
+registers → IS (levels algorithm), IIS → registers (Figure 2 emulation),
+and one decision map run through both stacks.  The report compares the cost
+of the two IS engines and of the two execution stacks for one protocol.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.emulation import EmulationHarness
+from repro.core.protocol_complex import (
+    levels_is_complex_from_runtime,
+    one_shot_is_complex,
+)
+from repro.core.protocol_synthesis import (
+    synthesize_iis_protocol,
+    synthesize_snapshot_protocol,
+)
+from repro.core.solvability import solve_task
+from repro.runtime.immediate_snapshot import levels_immediate_snapshot
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule, Scheduler
+from repro.tasks import approximate_agreement_task
+
+
+def levels_factories(n):
+    def factory(pid):
+        def protocol():
+            view = yield from levels_immediate_snapshot(pid, f"v{pid}", "is", n)
+            yield Decide(view)
+
+        return protocol()
+
+    return {pid: (lambda p, mk=factory: mk(p)) for pid in range(n)}
+
+
+def oracle_factories(n):
+    from repro.runtime.ops import WriteReadIS
+
+    def factory(pid):
+        def protocol():
+            view = yield WriteReadIS(0, (pid, f"v{pid}"))
+            yield Decide(view)
+
+        return protocol()
+
+    return {pid: (lambda p, mk=factory: mk(p)) for pid in range(n)}
+
+
+@pytest.mark.parametrize("n", [2, 3, 5])
+def test_e10_levels_engine(benchmark, n):
+    def run():
+        s = Scheduler(levels_factories(n), n)
+        return s.run(RoundRobinSchedule())
+
+    result = benchmark(run)
+    assert len(result.decisions) == n
+
+
+@pytest.mark.parametrize("n", [2, 3, 5])
+def test_e10_oracle_engine(benchmark, n):
+    def run():
+        s = Scheduler(oracle_factories(n), n)
+        return s.run(RoundRobinSchedule())
+
+    result = benchmark(run)
+    assert len(result.decisions) == n
+
+
+def test_e10_engines_generate_same_complex(benchmark):
+    inputs = {0: "a", 1: "b"}
+
+    def run():
+        return levels_is_complex_from_runtime(inputs)
+
+    levels_complex = benchmark(run)
+    assert levels_complex == one_shot_is_complex(inputs)
+
+
+def test_e10_full_circle_report(benchmark):
+    def report():
+        """One decision map, two stacks; plus emulation layered over the oracle."""
+        task = approximate_agreement_task(2, 3)
+        result = solve_task(task, max_rounds=2)
+        inputs = {0: 0, 1: 3}
+        iis_steps, levels_steps = [], []
+        for seed in range(20):
+            iis = synthesize_iis_protocol(result)
+            scheduler = Scheduler(iis.factories(inputs), 2)
+            scheduler.run(RandomSchedule(seed))
+            iis_steps.append(scheduler.time)
+            levels = synthesize_snapshot_protocol(result, 2)
+            scheduler = Scheduler(levels.factories(inputs), 2)
+            scheduler.run(RandomSchedule(seed))
+            levels_steps.append(scheduler.time)
+        emulation_steps = []
+        for seed in range(20):
+            harness = EmulationHarness({0: "a", 1: "b"}, result.rounds or 1)
+            trace = harness.run(RandomSchedule(seed))
+            trace.check_legality()
+            emulation_steps.append(trace.total_memories)
+        print_table(
+            "E10 / the simulation circle: one decision map (approx-agreement "
+            "K=3, b=1), steps per stack (20 seeded runs)",
+            ["stack", "mean scheduler steps", "max"],
+            [
+                ("IIS oracle (native model)", f"{statistics.mean(iis_steps):.1f}", max(iis_steps)),
+                (
+                    "registers via levels algorithm [8]",
+                    f"{statistics.mean(levels_steps):.1f}",
+                    max(levels_steps),
+                ),
+                (
+                    "registers via Figure-2 emulation (one-shot memories used)",
+                    f"{statistics.mean(emulation_steps):.1f}",
+                    max(emulation_steps),
+                ),
+            ],
+        )
+    run_once(benchmark, report)
+
+

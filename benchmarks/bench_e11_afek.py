@@ -1,0 +1,80 @@
+"""E11 — Section 3.1's "w.l.o.g." ([1]): snapshots from single-cell reads.
+
+Benchmarks the Afek-et-al embedded-scan snapshot against the primitive
+snapshot object and against the Figure-2 emulation, so the whole tower
+(registers → snapshots → IIS → snapshots) has measured costs.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.emulation import EmulationHarness
+from repro.runtime.afek_snapshot import AfekHarness
+from repro.runtime.full_information import run_k_shot
+from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule
+
+
+@pytest.mark.parametrize("n,k", [(2, 2), (3, 2), (4, 1)])
+def test_e11_afek_harness(benchmark, n, k):
+    inputs = {pid: f"v{pid}" for pid in range(n)}
+
+    def run():
+        trace = AfekHarness(inputs, k).run(RandomSchedule(3))
+        trace.check_legality()
+        return trace
+
+    trace = benchmark(run)
+    assert len(trace.final_states) == n
+
+
+@pytest.mark.parametrize("n,k", [(2, 2), (3, 2)])
+def test_e11_primitive_baseline(benchmark, n, k):
+    inputs = {pid: f"v{pid}" for pid in range(n)}
+    states = benchmark(run_k_shot, inputs, k, RandomSchedule(3))
+    assert len(states) == n
+
+
+def test_e11_cost_report(benchmark):
+    def report():
+        rows = []
+        for n in (2, 3, 4):
+            inputs = {pid: pid for pid in range(n)}
+            afek_steps, primitive_steps, emulated_memories = [], [], []
+            for seed in range(15):
+                from repro.runtime.scheduler import Scheduler
+
+                trace = AfekHarness(inputs, 2).run(RandomSchedule(seed))
+                trace.check_legality()
+                # Scheduler steps: reconstruct from the trace end times.
+                afek_steps.append(
+                    max(s.end_time for s in trace.snapshots)
+                )
+                scheduler_steps = run_k_shot(inputs, 2, RandomSchedule(seed))
+                primitive_steps.append(4 * n)  # k writes + k snapshots each
+                emu = EmulationHarness(inputs, 2).run(RandomSchedule(seed))
+                emu.check_legality()
+                emulated_memories.append(emu.total_memories)
+            rows.append(
+                (
+                    n,
+                    primitive_steps[0],
+                    f"{statistics.mean(afek_steps):.0f}",
+                    f"{statistics.mean(emulated_memories):.1f}",
+                )
+            )
+        print_table(
+            "E11 / [1]: cost of the snapshot tower (k=2 full-information "
+            "rounds; primitive = one scheduler step per op; Afek = single-cell "
+            "reads; emulation = one-shot IIS memories)",
+            [
+                "processes",
+                "primitive steps",
+                "Afek register ops (mean)",
+                "Fig-2 memories (mean)",
+            ],
+            rows,
+        )
+
+    run_once(benchmark, report)

@@ -1,0 +1,79 @@
+"""E12 — two-process NCSAC over graphs: connectivity is the whole story.
+
+For two processes the "no holes" hypothesis of Section 5's NCSAC degenerates
+to connectivity, and the witnessing level tracks the longest needed walk:
+``b = ⌈log₃(walk length)⌉``.  Disconnected graphs fall to the all-rounds
+connectivity certificate.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core import characterize
+from repro.core.characterization import Verdict
+from repro.tasks.graph_agreement import (
+    graph_agreement_task,
+    graphs_for_experiments,
+    path_graph,
+)
+
+FIXTURES = list(graphs_for_experiments())
+
+
+@pytest.mark.parametrize(
+    "name,graph,expected", FIXTURES, ids=[f[0] for f in FIXTURES]
+)
+def test_e12_characterize(benchmark, name, graph, expected):
+    task = graph_agreement_task(graph)
+    result = benchmark(characterize, task, 2, node_budget=2_000_000)
+    if expected is None:
+        assert result.verdict is Verdict.UNSOLVABLE
+    else:
+        assert result.rounds == expected
+
+
+def test_e12_level_vs_diameter_report(benchmark):
+    def report():
+        rows = []
+        for length in (1, 2, 3, 4, 9):
+            task = graph_agreement_task(path_graph(length))
+            result = characterize(task, max_rounds=2, node_budget=2_000_000)
+            rows.append(
+                (
+                    f"path-{length}",
+                    length,
+                    result.rounds,
+                    sum(l.nodes_explored for l in result.solvability.levels),
+                )
+            )
+        print_table(
+            "E12: witnessing level vs path length "
+            "(b = smallest level with 3^b >= needed walk)",
+            ["graph", "diameter", "level b", "search nodes"],
+            rows,
+        )
+
+    run_once(benchmark, report)
+
+
+def test_e12_fixture_table(benchmark):
+    def report():
+        rows = []
+        for name, graph, expected in FIXTURES:
+            task = graph_agreement_task(graph)
+            result = characterize(task, max_rounds=2, node_budget=2_000_000)
+            if result.verdict is Verdict.SOLVABLE:
+                detail = f"b = {result.rounds}"
+            elif result.certificate is not None:
+                detail = f"{result.certificate.kind} certificate"
+            else:
+                detail = "UNSAT up to b=2"
+            rows.append((name, result.verdict.value, detail))
+        print_table(
+            "E12: graph agreement across topologies — cycles ARE solvable "
+            "for two processes (holes bind only from three processes up)",
+            ["graph", "verdict", "detail"],
+            rows,
+        )
+
+    run_once(benchmark, report)

@@ -1,0 +1,94 @@
+"""E13 — the BG-simulation seed: wait-free simulators, resilient executions.
+
+The paper's introduction situates it in the line that became the BG
+simulation ([7, 10]); this bench runs that construction on this library's
+runtime: ``m`` wait-free simulators drive an ``(n+1)``-process k-shot
+full-information snapshot protocol through safe-agreement instances, and
+one simulator crash stalls at most one simulated process.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.bg_simulation import BGSimulation, validate_simulated_run
+from repro.runtime.scheduler import RandomSchedule
+
+
+@pytest.mark.parametrize("m", [1, 2, 3])
+def test_e13_simulation(benchmark, m):
+    def run():
+        simulation = BGSimulation(
+            {0: "a", 1: "b", 2: "c"}, rounds=2, n_simulators=m
+        )
+        run_record, _decisions = simulation.run(RandomSchedule(9))
+        validate_simulated_run(run_record)
+        return run_record
+
+    record = benchmark(run)
+    assert record.finished_processes() == [0, 1, 2]
+
+
+def test_e13_crash_accounting_report(benchmark):
+    def report():
+        rows = []
+        for crashes in (0, 1):
+            finished_counts = []
+            for seed in range(12):
+                simulation = BGSimulation(
+                    {0: "a", 1: "b", 2: "c"},
+                    rounds=2,
+                    n_simulators=2,
+                    giveup_sweeps=30,
+                )
+                run_record, _ = simulation.run(
+                    RandomSchedule(
+                        seed,
+                        crash_pids=list(range(crashes)),
+                        max_crash_delay=40,
+                    ),
+                    max_steps=500_000,
+                )
+                validate_simulated_run(run_record)
+                finished_counts.append(len(run_record.finished_processes()))
+            rows.append(
+                (
+                    crashes,
+                    f"{statistics.mean(finished_counts):.2f}",
+                    min(finished_counts),
+                )
+            )
+        print_table(
+            "E13 / BG simulation: 2 simulators, 3 simulated processes, k=2 — "
+            "one simulator crash stalls at most one simulated process",
+            ["simulator crashes", "mean simulated finishers", "min finishers"],
+            rows,
+        )
+
+    run_once(benchmark, report)
+
+
+def test_e13_cost_report(benchmark):
+    def report():
+        rows = []
+        for m in (1, 2, 3):
+            steps = []
+            for seed in range(10):
+                from repro.runtime.scheduler import Scheduler
+
+                simulation = BGSimulation(
+                    {0: "a", 1: "b", 2: "c"}, rounds=2, n_simulators=m
+                )
+                scheduler = Scheduler(simulation.factories(), m)
+                scheduler.run(RandomSchedule(seed), 500_000)
+                steps.append(scheduler.time)
+            rows.append((m, f"{statistics.mean(steps):.0f}", max(steps)))
+        print_table(
+            "E13: scheduler steps vs number of simulators "
+            "(redundant simulation is the price of crash tolerance)",
+            ["simulators m", "mean steps", "max steps"],
+            rows,
+        )
+
+    run_once(benchmark, report)

@@ -1,0 +1,112 @@
+"""E1 — Lemma 3.2: the one-shot IS protocol complex IS ``SDS(sⁿ)``.
+
+Regenerates the identification three ways (ordered-partition model,
+combinatorial SDS, register-level levels-algorithm runtime) and reports the
+vertex/top-simplex counts (3, 13, 75 top simplices for n = 1, 2, 3 — the
+Fubini numbers), benchmarking each construction.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.protocol_complex import (
+    levels_is_complex_from_runtime,
+    one_shot_is_complex,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.standard_chromatic import fubini, standard_chromatic_subdivision
+from repro.topology.vertex import Vertex
+
+
+def inputs_for(n):
+    return {pid: f"v{pid}" for pid in range(n + 1)}
+
+
+def input_complex(n):
+    from repro.topology.simplex import Simplex
+
+    return SimplicialComplex(
+        [Simplex(Vertex(pid, f"v{pid}") for pid in range(n + 1))]
+    )
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_e1_model_equals_sds(benchmark, n):
+    """Benchmark the model-side construction; assert Lemma 3.2."""
+    model = benchmark(one_shot_is_complex, inputs_for(n))
+    sds = standard_chromatic_subdivision(input_complex(n))
+    assert model == sds.complex
+    assert len(model.maximal_simplices) == fubini(n + 1)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_e1_sds_construction(benchmark, n):
+    """Benchmark the combinatorial SDS construction itself."""
+    sds = benchmark(standard_chromatic_subdivision, input_complex(n))
+    assert len(sds.complex.maximal_simplices) == fubini(n + 1)
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_e1_levels_runtime_equals_sds(benchmark, n):
+    """Benchmark exhaustive enumeration of the levels protocol (registers)."""
+    runtime = benchmark(levels_is_complex_from_runtime, inputs_for(n))
+    sds = standard_chromatic_subdivision(input_complex(n))
+    assert runtime == sds.complex
+
+
+def test_e1_report(benchmark):
+    def report():
+        rows = []
+        for n in (1, 2, 3):
+            sds = standard_chromatic_subdivision(input_complex(n))
+            rows.append(
+                (
+                    n,
+                    fubini(n + 1),
+                    len(sds.complex.maximal_simplices),
+                    len(sds.complex.vertices),
+                    sds.complex.is_pseudomanifold(),
+                )
+            )
+        print_table(
+            "E1 / Lemma 3.2: one-shot IS complex == SDS(s^n)",
+            ["n", "Fubini(n+1)", "top simplices", "vertices", "pseudomanifold"],
+            rows,
+        )
+    run_once(benchmark, report)
+
+
+def test_e1_restriction_report(benchmark):
+    def report():
+        from repro.core.protocol_complex import one_round_snapshot_complex
+
+        rows = []
+        for n in (1, 2):
+            inputs = inputs_for(n)
+            snapshot = one_round_snapshot_complex(inputs)
+            immediate = one_shot_is_complex(inputs)
+            rows.append(
+                (
+                    n,
+                    len(snapshot.maximal_simplices),
+                    len(immediate.maximal_simplices),
+                    snapshot.is_pseudomanifold(),
+                    immediate.is_pseudomanifold(),
+                )
+            )
+        print_table(
+            "E1 / §3.4: immediate snapshot is a strict restriction — the "
+            "manifold structure comes from the restriction",
+            [
+                "n",
+                "snapshot tops",
+                "IS tops",
+                "snapshot pseudomanifold",
+                "IS pseudomanifold",
+            ],
+            rows,
+        )
+
+    run_once(benchmark, report)
+
+

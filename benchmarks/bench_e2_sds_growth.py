@@ -1,0 +1,64 @@
+"""E2 — Lemma 3.3: the b-shot IIS complex is ``SDS^b``; growth table.
+
+The binding cost of the whole characterization machinery is the growth of
+``SDS^b`` (13^b top simplices for three processes) — this benchmark both
+verifies the operational identification and reports the growth curve that
+explains why the solvability engine's levels get expensive.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.protocol_complex import iis_complex_operational
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    fubini,
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex
+
+
+def input_complex(n):
+    return SimplicialComplex(
+        [Simplex(Vertex(pid, f"v{pid}") for pid in range(n + 1))]
+    )
+
+
+@pytest.mark.parametrize("n,b", [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)])
+def test_e2_operational_equals_iterated(benchmark, n, b):
+    inputs = {pid: f"v{pid}" for pid in range(n + 1)}
+    operational = benchmark(iis_complex_operational, inputs, b)
+    sds = iterated_standard_chromatic_subdivision(input_complex(n), b)
+    assert operational == sds.complex
+    assert len(operational.maximal_simplices) == fubini(n + 1) ** b
+
+
+@pytest.mark.parametrize("n,b", [(1, 3), (2, 2), (3, 1)])
+def test_e2_iterated_sds_construction(benchmark, n, b):
+    sds = benchmark(iterated_standard_chromatic_subdivision, input_complex(n), b)
+    assert len(sds.complex.maximal_simplices) == fubini(n + 1) ** b
+
+
+def test_e2_growth_report(benchmark):
+    def report():
+        rows = []
+        for n, b in [(1, 1), (1, 2), (1, 3), (1, 4), (2, 1), (2, 2), (3, 1)]:
+            sds = iterated_standard_chromatic_subdivision(input_complex(n), b)
+            rows.append(
+                (
+                    n,
+                    b,
+                    len(sds.complex.maximal_simplices),
+                    len(sds.complex.vertices),
+                    sds.complex.euler_characteristic(),
+                )
+            )
+        print_table(
+            "E2 / Lemma 3.3: SDS^b growth (tops = Fubini(n+1)^b; χ = 1, a ball)",
+            ["n", "b", "top simplices", "vertices", "Euler χ"],
+            rows,
+        )
+    run_once(benchmark, report)
+
+

@@ -1,0 +1,124 @@
+"""E5 — Proposition 3.1 / Corollary 5.2: the characterization engine.
+
+Regenerates the solvability "table" for the task zoo: verdict, witnessing
+level, search effort — with the engine's SAT answers re-executed in the
+runtime and its UNSAT levels exhausted.  Benchmarks time the full
+characterize() calls.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core import characterize, solve_task
+from repro.core.characterization import Verdict
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    constant_task,
+    identity_task,
+    set_consensus_task,
+)
+
+def _participating_set():
+    from repro.tasks import participating_set_task
+
+    return participating_set_task(3)
+
+
+def _graph_cycle():
+    from repro.tasks import graph_agreement_task
+    from repro.tasks.graph_agreement import cycle_graph
+
+    return graph_agreement_task(cycle_graph(5))
+
+
+ZOO = [
+    ("identity(2)", lambda: identity_task(2), 1, Verdict.SOLVABLE),
+    ("constant(3)", lambda: constant_task(3), 1, Verdict.SOLVABLE),
+    ("consensus(2)", lambda: binary_consensus_task(2), 2, Verdict.UNSOLVABLE),
+    ("consensus(3)", lambda: binary_consensus_task(3), 1, Verdict.UNSOLVABLE),
+    ("set-consensus(3,2)", lambda: set_consensus_task(3, 2), 1, Verdict.UNSOLVABLE),
+    ("set-consensus(3,3)", lambda: set_consensus_task(3, 3), 1, Verdict.SOLVABLE),
+    ("approx-agree(2,K=3)", lambda: approximate_agreement_task(2, 3), 2, Verdict.SOLVABLE),
+    ("approx-agree(2,K=9)", lambda: approximate_agreement_task(2, 9), 2, Verdict.SOLVABLE),
+    ("approx-agree(2,K=27)", lambda: approximate_agreement_task(2, 27), 3, Verdict.SOLVABLE),
+    ("approx-agree(3,K=2)", lambda: approximate_agreement_task(3, 2), 1, Verdict.SOLVABLE),
+    ("participating-set(3)", _participating_set, 1, Verdict.SOLVABLE),
+    ("graph-agree(C5)", _graph_cycle, 1, Verdict.SOLVABLE),
+]
+
+
+@pytest.mark.parametrize("name,make,max_rounds,expected", ZOO, ids=[z[0] for z in ZOO])
+def test_e5_characterize(benchmark, name, make, max_rounds, expected):
+    task = make()
+    result = benchmark(characterize, task, max_rounds)
+    assert result.verdict is expected
+
+
+def test_e5_solvability_table(benchmark):
+    def report():
+        rows = []
+        for name, make, max_rounds, expected in ZOO:
+            task = make()
+            c = characterize(task, max_rounds)
+            assert c.verdict is expected
+            if c.verdict is Verdict.SOLVABLE:
+                detail = f"b = {c.rounds}"
+                nodes = sum(l.nodes_explored for l in c.solvability.levels)
+            elif c.certificate is not None:
+                detail = f"certificate: {c.certificate.kind} (all b)"
+                nodes = 0
+            else:
+                detail = f"UNSAT up to b = {max_rounds}"
+                nodes = sum(l.nodes_explored for l in c.solvability.levels)
+            rows.append((name, c.verdict.value, detail, nodes))
+        print_table(
+            "E5 / Prop 3.1: wait-free solvability of the task zoo",
+            ["task", "verdict", "witness / reason", "search nodes"],
+            rows,
+        )
+
+
+    run_once(benchmark, report)
+
+
+def test_e5_unsat_levels_exhausted(benchmark):
+    def report():
+        """Per-level UNSAT certificates for the impossible tasks (small b)."""
+        rows = []
+        for name, make, max_b in [
+            ("consensus(2)", lambda: binary_consensus_task(2), 3),
+            ("consensus(3)", lambda: binary_consensus_task(3), 1),
+            ("set-consensus(3,2)", lambda: set_consensus_task(3, 2), 1),
+        ]:
+            result = solve_task(make(), max_rounds=max_b)
+            assert all(not l.satisfiable and l.exhausted for l in result.levels)
+            rows.append(
+                (
+                    name,
+                    max_b,
+                    " ".join(str(l.nodes_explored) for l in result.levels),
+                )
+            )
+        print_table(
+            "E5: exhaustive UNSAT per level (nodes per b; b=2+ for set-consensus "
+            "is out of CSP reach — the E6 Sperner certificate covers all b)",
+            ["task", "levels searched", "nodes per level"],
+            rows,
+        )
+
+
+    run_once(benchmark, report)
+
+
+def test_e5_synthesized_protocols_run(benchmark):
+    """SAT answers are real protocols: run the approx-agreement one."""
+    task = approximate_agreement_task(2, 9)
+    c = characterize(task, 2)
+    protocol = c.synthesize_protocol()
+
+    def run():
+        return protocol.run_and_validate(task, {0: 0, 1: 9})
+
+    decisions = benchmark(run)
+    assert abs(decisions[0] - decisions[1]) <= 1

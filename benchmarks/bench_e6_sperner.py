@@ -1,0 +1,81 @@
+"""E6 — the Sperner certificate for set consensus (the elementary route).
+
+Benchmarks the parity verification of Sperner's lemma over ``SDS^b`` and
+``Bsd^k`` (the computational backbone of the all-rounds impossibility of
+``(n+1, n)``-set consensus) and the certificate construction itself.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.impossibility import sperner_certificate
+from repro.tasks import set_consensus_task
+from repro.topology.barycentric import iterated_barycentric_subdivision
+from repro.topology.complex import SimplicialComplex
+from repro.topology.sperner import (
+    first_color_labeling,
+    panchromatic_simplices,
+    sperner_lemma_holds,
+)
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.vertex import vertices_of
+
+
+def sds(n, b):
+    base = SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+    return iterated_standard_chromatic_subdivision(base, b)
+
+
+@pytest.mark.parametrize("n,b", [(1, 3), (2, 1), (2, 2), (3, 1)])
+def test_e6_sperner_parity_on_sds(benchmark, n, b):
+    subdivision = sds(n, b)
+    labeling = first_color_labeling(subdivision)
+    assert benchmark(sperner_lemma_holds, subdivision, labeling)
+
+
+@pytest.mark.parametrize("n,k", [(2, 1), (2, 2)])
+def test_e6_sperner_parity_on_bsd(benchmark, n, k):
+    base = SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+    subdivision = iterated_barycentric_subdivision(base, k)
+    labeling = first_color_labeling(subdivision)
+    assert benchmark(sperner_lemma_holds, subdivision, labeling)
+
+
+@pytest.mark.parametrize("n,k", [(2, 1), (3, 2), (4, 3), (5, 4)])
+def test_e6_certificate_construction(benchmark, n, k):
+    task = set_consensus_task(n, k)
+    certificate = benchmark(sperner_certificate, task)
+    assert certificate is not None and certificate.kind == "sperner"
+
+
+def test_e6_random_labeling_report(benchmark):
+    def report():
+        """Panchromatic counts over random admissible labelings: always odd."""
+        rows = []
+        for n, b, trials in [(2, 1, 200), (2, 2, 50), (3, 1, 50)]:
+            subdivision = sds(n, b)
+            counts = []
+            rng = random.Random(42)
+            for _ in range(trials):
+                labeling = {
+                    v: rng.choice(sorted(subdivision.carrier(v).colors))
+                    for v in subdivision.complex.vertices
+                }
+                count = len(panchromatic_simplices(subdivision, labeling))
+                assert count % 2 == 1  # Sperner's lemma, every single time
+                counts.append(count)
+            rows.append((n, b, trials, min(counts), max(counts), "all odd"))
+        print_table(
+            "E6 / Sperner's lemma on SDS^b: panchromatic-simplex counts over "
+            "random admissible labelings (the engine of the set-consensus "
+            "impossibility)",
+            ["n", "b", "trials", "min count", "max count", "parity"],
+            rows,
+        )
+    run_once(benchmark, report)
+
+

@@ -1,0 +1,112 @@
+"""E9 — renaming: the positive benchmark instance, natively and over IIS.
+
+Measures the rank-based ``(2p − 1)``-renaming protocol on registers and the
+same algorithm run through the Figure 2 emulation (the paper's main theorem
+carrying a real algorithm from one model to the other), and reports the
+name-space usage and rounds-to-decide distributions.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.runtime.scheduler import RandomSchedule, Scheduler
+from repro.tasks.renaming import RenamingProtocol
+
+
+IDS = {
+    2: {0: 17, 1: 4},
+    3: {0: 17, 1: 4, 2: 99},
+    4: {0: 17, 1: 4, 2: 99, 3: 55},
+    5: {0: 17, 1: 4, 2: 99, 3: 55, 4: 23},
+}
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 5])
+def test_e9_native_renaming(benchmark, p):
+    protocol = RenamingProtocol(IDS[p])
+
+    def run():
+        names = protocol.run(RandomSchedule(11))
+        protocol.validate(names, participants=p)
+        return names
+
+    names = benchmark(run)
+    assert max(names.values()) <= 2 * p - 1
+
+
+@pytest.mark.parametrize("p", [2, 3])
+def test_e9_renaming_over_iis(benchmark, p):
+    protocol = RenamingProtocol(IDS[p])
+
+    def run():
+        names = protocol.run(RandomSchedule(11), over_iis=True)
+        protocol.validate(names, participants=p)
+        return names
+
+    names = benchmark(run)
+    assert max(names.values()) <= 2 * p - 1
+
+
+def test_e9_name_usage_report(benchmark):
+    def report():
+        rows = []
+        for p in (2, 3, 4, 5):
+            protocol = RenamingProtocol(IDS[p])
+            max_names, steps = [], []
+            for seed in range(40):
+                scheduler = Scheduler(protocol.factories(), p)
+                result = scheduler.run(RandomSchedule(seed), max_steps=100_000)
+                names = dict(result.decisions)
+                protocol.validate(names, participants=p)
+                max_names.append(max(names.values()))
+                steps.append(result.steps)
+            rows.append(
+                (
+                    p,
+                    2 * p - 1,
+                    max(max_names),
+                    f"{statistics.mean(steps):.1f}",
+                    max(steps),
+                )
+            )
+        print_table(
+            "E9 / renaming: names stay within 2p-1 (40 seeded adversary-free "
+            "random runs per p)",
+            ["p", "2p-1 bound", "max name seen", "mean steps", "max steps"],
+            rows,
+        )
+
+
+    run_once(benchmark, report)
+
+
+def test_e9_native_vs_emulated_report(benchmark):
+    def report():
+        rows = []
+        for p in (2, 3):
+            protocol = RenamingProtocol(IDS[p])
+            native_steps, emulated_steps = [], []
+            for seed in range(15):
+                s1 = Scheduler(protocol.factories(over_iis=False), p)
+                native_steps.append(s1.run(RandomSchedule(seed)).steps)
+                s2 = Scheduler(protocol.factories(over_iis=True), p)
+                emulated_steps.append(s2.run(RandomSchedule(seed), 200_000).steps)
+            rows.append(
+                (
+                    p,
+                    f"{statistics.mean(native_steps):.1f}",
+                    f"{statistics.mean(emulated_steps):.1f}",
+                    f"{statistics.mean(emulated_steps) / statistics.mean(native_steps):.2f}x",
+                )
+            )
+        print_table(
+            "E9: emulation overhead — same algorithm on registers vs over IIS "
+            "(Figure 2), scheduler steps",
+            ["p", "native steps", "emulated steps", "overhead"],
+            rows,
+        )
+    run_once(benchmark, report)
+
+

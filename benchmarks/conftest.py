@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates the measurable content of one paper
+artifact (see DESIGN.md §4 and EXPERIMENTS.md).  The paper is a theory
+extended abstract with no empirical tables, so the "rows" printed here are
+the quantities its lemmas and remarks *imply* — subdivision growth,
+emulation overhead distributions, solvability levels — formatted so a
+reader can line them up against the claims.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run a report body exactly once under the benchmark fixture.
+
+    Report "benchmarks" regenerate a table rather than time a hot loop;
+    a single round keeps ``pytest benchmarks/ --benchmark-only`` fast while
+    still collecting them (tests without the fixture would be skipped).
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render a small fixed-width table to stdout (shown with pytest -s)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(header_line)
+    print("-" * len(header_line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The BG simulation: wait-free simulators, crash-tolerant executions.
+
+The paper's closing claim — "our techniques can be extended to characterize
+models that are more complex than the wait-free" — points at the
+resiliency line built on the BG simulation.  This demo runs it: two
+wait-free simulators jointly execute a 3-process k-shot full-information
+snapshot protocol through safe-agreement instances; even when one simulator
+crashes, at most one simulated process stalls.
+
+Run:  python examples/bg_simulation_demo.py
+"""
+
+from repro.core.bg_simulation import BGSimulation, validate_simulated_run
+from repro.runtime.scheduler import RandomSchedule
+
+
+def show(title, simulation, schedule):
+    run, decisions = simulation.run(schedule, max_steps=500_000)
+    validate_simulated_run(run)
+    print(f"\n--- {title} ---")
+    print(f"  live simulators     : {sorted(decisions)}")
+    finished = run.finished_processes()
+    print(f"  simulated finishers : {finished} "
+          f"({len(finished)}/{len(run.inputs)} completed all {run.rounds} rounds)")
+    for j in sorted(run.inputs):
+        done = run.completed_rounds(j)
+        mark = "✓" if done == run.rounds else f"stalled at round {done}"
+        print(f"    simulated P{j}: {done}/{run.rounds} rounds {mark}")
+    print("  agreed views validate as a legal snapshot-model execution ✓")
+
+
+def main() -> None:
+    inputs = {0: "a", 1: "b", 2: "c"}
+    print("BG simulation: 2 wait-free simulators, 3 simulated processes, k = 2")
+
+    show(
+        "fault-free run",
+        BGSimulation(inputs, rounds=2, n_simulators=2),
+        RandomSchedule(7),
+    )
+
+    show(
+        "simulator 1 crashes mid-run",
+        BGSimulation(inputs, rounds=2, n_simulators=2, giveup_sweeps=30),
+        RandomSchedule(11, crash_pids=[1], max_crash_delay=40),
+    )
+
+    print("\nThe accounting that powers the resiliency reductions: a crashed")
+    print("simulator can take at most ONE safe-agreement unsafe section down")
+    print("with it, so m simulators lose at most m−1 simulated processes —")
+    print("wait-free solvability for the simulators buys t-resilient")
+    print("executions for the simulated system.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Section 5 live: simplicial approximation and simplex agreement.
+
+1. Lemma 5.3 made effective: find k and a carrier-preserving simplicial map
+   SDS^k(s²) → A for a concrete subdivided simplex A.
+2. Corollary 5.4 as a protocol: processes run k IIS rounds and land on a
+   simplex of A inside the face spanned by the participants (NCSASS).
+3. Theorem 5.1 witness: a color- AND carrier-preserving map found by the
+   solvability engine on the CSASS task.
+
+Run:  python examples/convergence_demo.py
+"""
+
+from repro.core.approximation import (
+    carrier_preserving_approximation,
+    iterated_with_embedding,
+)
+from repro.core.convergence import solve_ncsass, theorem_5_1_witness
+from repro.runtime.scheduler import RandomSchedule
+from repro.topology import SimplicialComplex
+from repro.topology.vertex import vertices_of
+
+
+def main() -> None:
+    base = SimplicialComplex.from_vertices(vertices_of(range(3)))
+
+    # The target: A = SDS²(s²), 169 triangles, with the paper's Section 3.6
+    # embedding.
+    target = iterated_with_embedding(base, 2, "sds")
+    print(f"target A = SDS²(s²): {len(target.complex.maximal_simplices)} "
+          f"triangles, mesh {target.mesh():.3f}")
+
+    # --- Lemma 5.3 / Lemma 2.1 ------------------------------------------------
+    # Bsd refines slowly (mesh ratio 2/3 per level in dimension 2), so point
+    # its direction at the one-level target; SDS gets the fine one.
+    coarse = iterated_with_embedding(base, 1, "sds")
+    for source_kind, lemma, tgt in (
+        ("sds", "Lemma 5.3", target),
+        ("bsd", "Lemma 2.1", coarse),
+    ):
+        result = carrier_preserving_approximation(
+            tgt.subdivision, tgt.embedding, source_kind=source_kind, max_k=6
+        )
+        levels = "²" if tgt is target else ""
+        print(f"{lemma}: carrier-preserving simplicial map "
+              f"{source_kind.upper()}^{result.k}(s²) → SDS{levels}(s²) found "
+              f"({len(result.source.complex.vertices)} vertices mapped, "
+              f"validated ✓)")
+
+    # --- Corollary 5.4: the NCSASS protocol ----------------------------------
+    protocol = solve_ncsass(target.subdivision, target.embedding, max_k=5)
+    print(f"\nNCSASS protocol: {protocol.rounds} IIS rounds + the Lemma 5.3 map")
+    for seed in (1, 2, 3):
+        outputs, participants = protocol.run_with_participants(
+            RandomSchedule(seed, block_probability=0.6)
+        )
+        protocol.validate(outputs, participants)
+        where = {pid: f"carrier dim {target.subdivision.carrier(v).dimension}"
+                 for pid, v in outputs.items()}
+        print(f"  seed {seed}: all {len(outputs)} processes converged on a "
+              f"simplex of A ✓ ({where})")
+    outputs, participants = protocol.run_with_participants(
+        RandomSchedule(0, crash_pids=[1, 2], max_crash_delay=0)
+    )
+    protocol.validate(outputs, participants)
+    print(f"  solo run (1 and 2 crashed at start): process 0 output carrier "
+          f"dim {target.subdivision.carrier(outputs[0]).dimension} "
+          f"(pinned to its own corner ✓)")
+
+    # --- Theorem 5.1 ---------------------------------------------------------
+    small_target = iterated_with_embedding(
+        SimplicialComplex.from_vertices(vertices_of(range(2))), 2, "sds"
+    )
+    witness = theorem_5_1_witness(small_target.subdivision, max_rounds=3)
+    print(f"\nTheorem 5.1 on A = SDS²(s¹): color+carrier-preserving map from "
+          f"SDS^{witness.rounds}(s¹), found by the solvability engine on the "
+          f"CSASS task ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's main result, live: Figure 2 emulating Figure 1 (Section 4).
+
+Runs the k-shot atomic-snapshot full-information protocol over iterated
+immediate snapshot memories under several schedules, verifies every
+returned snapshot against the atomic-snapshot legality conditions
+(Proposition 4.1), and shows the non-blocking cost profile the paper's
+closing remark of Section 4 describes.
+
+Run:  python examples/emulation_demo.py
+"""
+
+import statistics
+
+from repro.core.emulation import EmulationHarness
+from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule
+
+
+def show_run(title, harness, schedule) -> None:
+    trace = harness.run(schedule)
+    trace.check_legality()  # Proposition 4.1, machine-checked
+    per_op = [count for _pid, _kind, count in trace.memories_per_op]
+    print(f"\n--- {title} ---")
+    print(f"  processes finished : {sorted(trace.final_states)}")
+    print(f"  one-shot memories  : {trace.total_memories}")
+    print(f"  memories per op    : mean {statistics.mean(per_op):.2f}, "
+          f"max {max(per_op)}")
+    print("  snapshot legality  : ✓ (containment, self-inclusion, freshness)")
+
+
+def main() -> None:
+    inputs = {0: "alpha", 1: "beta", 2: "gamma"}
+    k = 3
+
+    show_run(
+        "round-robin schedule",
+        EmulationHarness(inputs, k),
+        RoundRobinSchedule(),
+    )
+    show_run(
+        "random schedule, heavy concurrency (blocks merged 90% of the time)",
+        EmulationHarness(inputs, k),
+        RandomSchedule(seed=7, block_probability=0.9),
+    )
+    show_run(
+        "random schedule with a crash of process 1",
+        EmulationHarness(inputs, k),
+        RandomSchedule(seed=3, crash_pids=[1]),
+    )
+
+    # Contention profile: the emulation is non-blocking, so an individual
+    # operation's cost grows with the number of concurrent emulators.
+    print("\n--- contention profile (mean memories per emulated op, k=2) ---")
+    for n in (1, 2, 3, 4, 5):
+        samples = []
+        for seed in range(20):
+            harness = EmulationHarness({pid: pid for pid in range(n)}, 2)
+            trace = harness.run(RandomSchedule(seed, block_probability=0.5))
+            trace.check_legality()
+            samples.extend(c for _p, _k, c in trace.memories_per_op)
+        print(f"  {n} processes: {statistics.mean(samples):.2f}")
+    print("\n(solo = exactly 1 memory/op; the paper: the emulation is "
+          "non-blocking, and per-operation cost is unbounded in general)")
+
+
+if __name__ == "__main__":
+    main()

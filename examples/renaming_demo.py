@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Renaming over iterated immediate snapshots — via the paper's emulation.
+
+The rank-based (2p−1)-renaming algorithm needs *persistent* snapshot
+memory: a decided processor's name must stay visible.  The iterated model
+has no persistence (a decided processor vanishes from later memories) — a
+naive IIS port really does hand out duplicate names.  The paper's main
+result is exactly the bridge: Figure 2 builds atomic-snapshot memory on top
+of IIS, so the same algorithm runs there unchanged.
+
+Run:  python examples/renaming_demo.py
+"""
+
+from collections import Counter
+
+from repro.runtime.scheduler import RandomSchedule, Scheduler
+from repro.tasks.renaming import RenamingProtocol
+
+
+def main() -> None:
+    ids = {0: 1700, 1: 42, 2: 9000}
+    p = len(ids)
+    protocol = RenamingProtocol(ids)
+    print(f"{p} processes with original names {sorted(ids.values())}; "
+          f"target space 1..{2 * p - 1}\n")
+
+    print("native atomic-snapshot memory:")
+    for seed in range(5):
+        names = protocol.run(RandomSchedule(seed))
+        protocol.validate(names, participants=p)
+        print(f"  seed {seed}: {dict(sorted(names.items()))} ✓")
+
+    print("\nover iterated immediate snapshots (through the Figure 2 emulation):")
+    for seed in range(5):
+        names = protocol.run(RandomSchedule(seed), over_iis=True)
+        protocol.validate(names, participants=p)
+        print(f"  seed {seed}: {dict(sorted(names.items()))} ✓")
+
+    print("\nwith crashes (survivors still wait-free, names still distinct):")
+    for seed in range(5):
+        scheduler = Scheduler(protocol.factories(), p)
+        result = scheduler.run(RandomSchedule(seed, crash_pids=[0]), 100_000)
+        names = dict(result.decisions)
+        print(f"  seed {seed}: crashed={sorted(result.crashed)} "
+              f"decided={dict(sorted(names.items()))}")
+
+    print("\nname-usage histogram over 200 random schedules (native):")
+    histogram: Counter = Counter()
+    for seed in range(200):
+        names = protocol.run(RandomSchedule(seed))
+        protocol.validate(names, participants=p)
+        histogram.update(names.values())
+    for name in sorted(histogram):
+        print(f"  name {name}: {'#' * (histogram[name] // 8)} {histogram[name]}")
+    print(f"\nall names within 1..{2 * p - 1} ✓  (the 2p−1 bound of [6, 8])")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The full snapshot tower: single-cell reads → snapshots → IIS → snapshots.
+
+Section 3.1's "w.l.o.g." ([1]) plus Section 4's main result, stacked:
+
+  1. the Afek-et-al embedded-scan snapshot builds atomic snapshots from
+     one-register-at-a-time reads (bottom of the tower);
+  2. the Borowsky–Gafni levels algorithm builds one-shot immediate
+     snapshots from atomic snapshots;
+  3. chaining one-shot memories gives the iterated model;
+  4. the Figure 2 emulation builds atomic snapshots back on top of IIS.
+
+Every layer's output is checked against the same legality conditions.
+
+Run:  python examples/snapshot_tower_demo.py
+"""
+
+import statistics
+
+from repro.core.emulation import EmulationHarness
+from repro.runtime.afek_snapshot import AfekHarness
+from repro.runtime.full_information import run_k_shot
+from repro.runtime.immediate_snapshot import (
+    check_immediate_snapshot_axioms,
+    levels_immediate_snapshot,
+)
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import RandomSchedule, Scheduler
+
+
+def main() -> None:
+    inputs = {0: "a", 1: "b", 2: "c"}
+    k = 2
+
+    print("1. atomic snapshots from single-cell reads (Afek et al. [1])")
+    steps = []
+    for seed in range(10):
+        trace = AfekHarness(inputs, k).run(RandomSchedule(seed))
+        trace.check_legality()
+        steps.append(max(s.end_time for s in trace.snapshots))
+    print(f"   10 seeded runs legality-checked ✓ "
+          f"(~{statistics.mean(steps):.0f} register ops per run)")
+
+    print("2. one-shot immediate snapshot from atomic snapshots (levels [8])")
+    for seed in range(10):
+        def factory_for(pid, value):
+            def factory(p):
+                def protocol():
+                    view = yield from levels_immediate_snapshot(p, value, "is", 3)
+                    yield Decide(view)
+
+                return protocol()
+
+            return factory
+
+        scheduler = Scheduler(
+            {pid: factory_for(pid, v) for pid, v in inputs.items()}, 3
+        )
+        result = scheduler.run(RandomSchedule(seed))
+        check_immediate_snapshot_axioms(dict(result.decisions))
+    print("   10 seeded runs satisfy the three IS axioms ✓")
+
+    print("3. the iterated model = chained one-shot memories (by definition)")
+    print("   (its round-b protocol complex is SDS^b — see quickstart.py)")
+
+    print("4. atomic snapshots back on top of IIS (Figure 2, Prop 4.1)")
+    memories = []
+    for seed in range(10):
+        trace = EmulationHarness(inputs, k).run(RandomSchedule(seed))
+        trace.check_legality()
+        memories.append(trace.total_memories)
+    print(f"   10 seeded runs legality-checked ✓ "
+          f"(~{statistics.mean(memories):.1f} one-shot memories per run)")
+
+    print("\nreference: the primitive snapshot object (one scheduler step/op)")
+    states = run_k_shot(inputs, k)
+    print(f"   final full-information states computed for {len(states)} processes ✓")
+    print("\nThe tower closes: both models solve exactly the same wait-free")
+    print("tasks — the characterization of Prop 3.1 applies to both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The characterization engine across the task zoo (Prop 3.1, Cor 5.2).
+
+For each task: try the all-rounds impossibility certificates, then search
+level by level for the decision map SDS^b(I) → O.  SAT answers are compiled
+to protocols and re-executed; the printed table is experiment E5.
+
+Run:  python examples/solvability_zoo.py
+"""
+
+from repro.core import characterize
+from repro.core.characterization import Verdict
+from repro.runtime.scheduler import RandomSchedule
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    constant_task,
+    identity_task,
+    set_consensus_task,
+)
+
+ZOO = [
+    (identity_task(2), 1, {0: 1, 1: 0}),
+    (constant_task(3), 1, {0: 0, 1: 1, 2: 0}),
+    (binary_consensus_task(2), 2, None),
+    (binary_consensus_task(3), 1, None),
+    (set_consensus_task(3, 2), 1, None),
+    (set_consensus_task(3, 3), 1, {0: 0, 1: 1, 2: 2}),
+    (approximate_agreement_task(2, 3), 2, {0: 0, 1: 3}),
+    (approximate_agreement_task(2, 9), 2, {0: 0, 1: 9}),
+    (approximate_agreement_task(2, 27), 3, {0: 0, 1: 27}),
+]
+
+
+def main() -> None:
+    print(f"{'task':38s}  {'verdict':12s}  witness / reason")
+    print("-" * 92)
+    for task, max_rounds, sample_inputs in ZOO:
+        result = characterize(task, max_rounds=max_rounds)
+        if result.verdict is Verdict.SOLVABLE:
+            detail = f"decision map at b = {result.rounds}"
+        elif result.certificate is not None:
+            detail = f"{result.certificate.kind} certificate (all rounds)"
+        else:
+            detail = f"no map up to b = {max_rounds} (exhaustive)"
+        print(f"{task.name:38.38s}  {result.verdict.value:12s}  {detail}")
+
+        if result.verdict is Verdict.SOLVABLE and sample_inputs is not None:
+            protocol = result.synthesize_protocol()
+            for seed in range(5):
+                decisions = protocol.run_and_validate(
+                    task, sample_inputs, RandomSchedule(seed)
+                )
+            print(f"{'':38s}  {'':12s}  ran 5 schedules, e.g. "
+                  f"{sample_inputs} → {decisions} ✓")
+
+    print("\nNotes:")
+    print(" * consensus is refuted for ALL rounds by the connectivity argument")
+    print(" * (3,2)-set consensus by the Sperner argument — the elementary")
+    print("   route the paper's introduction attributes to [7]")
+    print(" * approximate agreement appears exactly at b = ⌈log₃ K⌉, the level")
+    print("   where SDS^b of an edge (a 3^b-edge path) covers the output path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""waitfree-repro: Borowsky & Gafni's characterization of wait-free computation.
+
+A from-scratch reproduction of *"A Simple Algorithmically Reasoned
+Characterization of Wait-free Computations"* (PODC 1997): the SWMR
+atomic-snapshot and (iterated) immediate-snapshot models, their protocol
+complexes, the Figure-2 emulation between the models, the solvability
+characterization `SDS^b(I) → O`, and the Section 5 convergence machinery —
+all executable and machine-checked.
+
+Public surface:
+
+* :mod:`repro.topology` — chromatic complexes, the standard chromatic and
+  barycentric subdivisions, simplicial maps, embeddings, Sperner, homology;
+* :mod:`repro.runtime` — the deterministic asynchronous runtime
+  (scheduler, registers, immediate snapshots, full-information protocols);
+* :mod:`repro.core` — tasks, protocol complexes, the emulation, the
+  characterization engine, impossibility certificates, approximation and
+  convergence;
+* :mod:`repro.tasks` — the task zoo (consensus, set consensus, approximate
+  agreement, renaming, simplex agreement, participating set);
+* :mod:`repro.analysis` — serialization and run statistics.
+
+Quick start::
+
+    from repro.core import characterize
+    from repro.tasks import binary_consensus_task
+
+    verdict = characterize(binary_consensus_task(2))
+    assert verdict.verdict.value == "unsolvable"
+"""
+
+from repro.core import characterize, solve_task, Task
+
+__version__ = "1.0.0"
+
+__all__ = ["characterize", "solve_task", "Task", "__version__"]

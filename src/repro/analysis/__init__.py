@@ -1,0 +1,30 @@
+"""Analysis and interchange utilities.
+
+* :mod:`repro.analysis.export` — serialize complexes, subdivisions and
+  decision maps to JSON (round-trippable) and to OFF/DOT for external
+  viewers;
+* :mod:`repro.analysis.statistics` — summaries of run populations
+  (steps, decisions, memory consumption) used by the benchmarks and
+  examples.
+"""
+
+from repro.analysis.export import (
+    complex_from_json,
+    complex_to_json,
+    complex_to_off,
+    skeleton_to_dot,
+    subdivision_from_json,
+    subdivision_to_json,
+)
+from repro.analysis.statistics import RunStatistics, summarize_runs
+
+__all__ = [
+    "complex_from_json",
+    "complex_to_json",
+    "complex_to_off",
+    "skeleton_to_dot",
+    "subdivision_from_json",
+    "subdivision_to_json",
+    "RunStatistics",
+    "summarize_runs",
+]

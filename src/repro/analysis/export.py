@@ -1,0 +1,200 @@
+"""Serialization of complexes and subdivisions: JSON, OFF, DOT.
+
+The JSON form is exact and round-trippable, including the nested
+full-information payloads of ``SDS^b`` vertices (views of views).  The OFF
+and DOT forms are lossy geometric/graph views for external tools
+(geomview/meshlab, graphviz).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.geometry import Embedding
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex
+
+# -- payload encoding -------------------------------------------------------------
+
+
+def _encode_payload(payload: Hashable) -> Any:
+    if payload is None:
+        return {"t": "none"}
+    if isinstance(payload, bool):
+        return {"t": "bool", "v": payload}
+    if isinstance(payload, int):
+        return {"t": "int", "v": payload}
+    if isinstance(payload, str):
+        return {"t": "str", "v": payload}
+    if isinstance(payload, Vertex):
+        return {"t": "vertex", "v": _encode_vertex(payload)}
+    if isinstance(payload, tuple):
+        return {"t": "tuple", "v": [_encode_payload(item) for item in payload]}
+    if isinstance(payload, frozenset):
+        encoded = [_encode_payload(item) for item in payload]
+        encoded.sort(key=lambda e: json.dumps(e, sort_keys=True))
+        return {"t": "fset", "v": encoded}
+    raise TypeError(f"payload {payload!r} of type {type(payload)} is not serializable")
+
+
+def _decode_payload(encoded: Any) -> Hashable:
+    tag = encoded["t"]
+    if tag == "none":
+        return None
+    if tag in ("bool", "int", "str"):
+        return encoded["v"]
+    if tag == "vertex":
+        return _decode_vertex(encoded["v"])
+    if tag == "tuple":
+        return tuple(_decode_payload(item) for item in encoded["v"])
+    if tag == "fset":
+        return frozenset(_decode_payload(item) for item in encoded["v"])
+    raise ValueError(f"unknown payload tag {tag!r}")
+
+
+def _encode_vertex(vertex: Vertex) -> dict:
+    return {"color": vertex.color, "payload": _encode_payload(vertex.payload)}
+
+
+def _decode_vertex(encoded: dict) -> Vertex:
+    return Vertex(encoded["color"], _decode_payload(encoded["payload"]))
+
+
+# -- complexes ----------------------------------------------------------------------
+
+
+def complex_to_json(complex_: SimplicialComplex) -> str:
+    """Exact JSON form: the list of maximal simplices."""
+    maximal = [
+        [_encode_vertex(v) for v in simplex.sorted_vertices()]
+        for simplex in sorted(complex_.maximal_simplices, key=repr)
+    ]
+    return json.dumps({"format": "repro-complex-v1", "maximal": maximal})
+
+
+def complex_from_json(data: str) -> SimplicialComplex:
+    """Inverse of :func:`complex_to_json`."""
+    document = json.loads(data)
+    if document.get("format") != "repro-complex-v1":
+        raise ValueError("not a repro complex document")
+    return SimplicialComplex(
+        [
+            Simplex(_decode_vertex(v) for v in simplex)
+            for simplex in document["maximal"]
+        ]
+    )
+
+
+def subdivision_to_json(subdivision: Subdivision) -> str:
+    """Exact JSON form of a subdivision including carriers."""
+    carriers = [
+        {
+            "vertex": _encode_vertex(v),
+            "carrier": [_encode_vertex(u) for u in carrier.sorted_vertices()],
+        }
+        for v, carrier in sorted(
+            subdivision.carriers().items(), key=lambda kv: repr(kv[0])
+        )
+    ]
+    return json.dumps(
+        {
+            "format": "repro-subdivision-v1",
+            "base": json.loads(complex_to_json(subdivision.base)),
+            "complex": json.loads(complex_to_json(subdivision.complex)),
+            "carriers": carriers,
+        }
+    )
+
+
+def subdivision_from_json(data: str) -> Subdivision:
+    """Inverse of :func:`subdivision_to_json`."""
+    document = json.loads(data)
+    if document.get("format") != "repro-subdivision-v1":
+        raise ValueError("not a repro subdivision document")
+    base = complex_from_json(json.dumps(document["base"]))
+    complex_ = complex_from_json(json.dumps(document["complex"]))
+    carriers = {
+        _decode_vertex(entry["vertex"]): Simplex(
+            _decode_vertex(u) for u in entry["carrier"]
+        )
+        for entry in document["carriers"]
+    }
+    return Subdivision(base, complex_, carriers)
+
+
+# -- lossy views ----------------------------------------------------------------------
+
+
+def complex_to_off(complex_: SimplicialComplex, embedding: Embedding) -> str:
+    """Geomview OFF export of a complex of dimension <= 2.
+
+    Ambient dimensions above 3 are reduced to the first three principal
+    components, which keeps standard-simplex embeddings readable.
+    """
+    if complex_.dimension > 2:
+        raise ValueError("OFF export supports complexes of dimension <= 2")
+    vertices = sorted(complex_.vertices, key=Vertex.sort_key)
+    index = {v: i for i, v in enumerate(vertices)}
+    points = np.array([embedding.position(v) for v in vertices])
+    if points.shape[1] > 3:
+        centered = points - points.mean(axis=0)
+        _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+        points = centered @ vt[:3].T
+    elif points.shape[1] < 3:
+        points = np.hstack(
+            [points, np.zeros((points.shape[0], 3 - points.shape[1]))]
+        )
+    faces = [
+        simplex
+        for simplex in complex_.maximal_simplices
+        if simplex.dimension == 2
+    ]
+    edges = [
+        simplex
+        for simplex in complex_.maximal_simplices
+        if simplex.dimension == 1
+    ]
+    lines = ["OFF", f"{len(vertices)} {len(faces) + len(edges)} 0"]
+    for point in points:
+        lines.append(" ".join(f"{coordinate:.6f}" for coordinate in point))
+    for face in faces:
+        ids = [index[v] for v in face.sorted_vertices()]
+        lines.append("3 " + " ".join(map(str, ids)))
+    for edge in edges:
+        ids = [index[v] for v in edge.sorted_vertices()]
+        lines.append("2 " + " ".join(map(str, ids)))
+    return "\n".join(lines) + "\n"
+
+
+def skeleton_to_dot(complex_: SimplicialComplex, name: str = "skeleton") -> str:
+    """GraphViz DOT of the 1-skeleton, node-colored by vertex color."""
+    palette = [
+        "lightblue",
+        "lightsalmon",
+        "palegreen",
+        "plum",
+        "khaki",
+        "lightgray",
+    ]
+    vertices = sorted(complex_.vertices, key=Vertex.sort_key)
+    index = {v: i for i, v in enumerate(vertices)}
+    lines = [f"graph {name} {{", "  node [style=filled];"]
+    for vertex in vertices:
+        fill = palette[vertex.color % len(palette)]
+        lines.append(
+            f'  v{index[vertex]} [label="{vertex.color}" fillcolor="{fill}"];'
+        )
+    seen = set()
+    for edge in complex_.simplices(1):
+        u, w = edge.sorted_vertices()
+        key = (index[u], index[w])
+        if key not in seen:
+            seen.add(key)
+            lines.append(f"  v{key[0]} -- v{key[1]};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,68 @@
+"""Human-readable narration of executions.
+
+Turns a recorded event trace (``Scheduler(record_events=True)``) into a
+step-by-step transcript — which process did what, which concurrency classes
+committed together, who crashed, who decided — so a reader can *see* an
+asynchronous execution instead of reconstructing it from tuples.  Used by
+the CLI's ``--trace`` flags and handy in failing-test forensics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.runtime.scheduler import (
+    BlockAction,
+    CrashAction,
+    Event,
+    RunResult,
+    StepAction,
+)
+
+
+def narrate_events(events: Iterable[Event]) -> list[str]:
+    """One line per scheduler action."""
+    lines = []
+    for event in events:
+        action = event.action
+        if isinstance(action, StepAction):
+            lines.append(f"t={event.time:<4d} P{action.pid} performs a register operation")
+        elif isinstance(action, BlockAction):
+            members = ", ".join(f"P{pid}" for pid in action.pids)
+            together = " together" if len(action.pids) > 1 else ""
+            lines.append(
+                f"t={event.time:<4d} concurrency class {{{members}}} "
+                f"WriteReads memory M{action.index}{together}"
+            )
+        elif isinstance(action, CrashAction):
+            lines.append(f"t={event.time:<4d} P{action.pid} crashes (fail-stop)")
+        else:  # pragma: no cover — future action kinds
+            lines.append(f"t={event.time:<4d} {action!r}")
+    return lines
+
+
+def narrate_run(result: RunResult) -> str:
+    """Full transcript: the events, then the outcome."""
+    lines = narrate_events(result.events)
+    lines.append("-" * 44)
+    for pid in sorted(result.decisions):
+        lines.append(f"P{pid} decided: {result.decisions[pid]!r}")
+    for pid in sorted(result.crashed):
+        lines.append(f"P{pid} crashed without deciding")
+    lines.append(f"total scheduler steps: {result.steps}")
+    return "\n".join(lines)
+
+
+def summarize_block_structure(result: RunResult) -> dict[int, list[tuple[int, ...]]]:
+    """The ordered partition committed at each one-shot memory.
+
+    Maps memory index → the sequence of concurrency classes, i.e. exactly
+    the execution in the Section 3.5 sense.
+    """
+    partitions: dict[int, list[tuple[int, ...]]] = {}
+    for event in result.events:
+        if isinstance(event.action, BlockAction):
+            partitions.setdefault(event.action.index, []).append(
+                tuple(event.action.pids)
+            )
+    return partitions

@@ -1,0 +1,80 @@
+"""Run-population statistics used by benchmarks, examples and tests.
+
+Nothing paper-specific here — just honest summaries (mean/median/max,
+decision histograms, wait-freedom accounting) of collections of
+:class:`~repro.runtime.scheduler.RunResult` objects, so experiment code
+does not hand-roll them inconsistently.
+"""
+
+from __future__ import annotations
+
+import statistics as _stats
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.runtime.scheduler import RunResult
+
+
+@dataclass(frozen=True, slots=True)
+class RunStatistics:
+    """Aggregate over a population of runs."""
+
+    runs: int
+    mean_steps: float
+    median_steps: float
+    max_steps: int
+    min_steps: int
+    total_decisions: int
+    total_crashes: int
+    decision_histogram: tuple[tuple[Hashable, int], ...]
+    all_survivors_decided: bool
+
+    def __str__(self) -> str:
+        return (
+            f"{self.runs} runs | steps mean {self.mean_steps:.1f} "
+            f"median {self.median_steps:.0f} max {self.max_steps} | "
+            f"{self.total_decisions} decisions, {self.total_crashes} crashes | "
+            f"wait-free: {self.all_survivors_decided}"
+        )
+
+
+def summarize_runs(
+    results: Iterable[RunResult], n_processes: int | None = None
+) -> RunStatistics:
+    """Summarize a population of completed runs.
+
+    ``all_survivors_decided`` is the wait-freedom ledger: in every run,
+    every process either decided or crashed (requires ``n_processes`` to
+    distinguish "never scheduled" from "survivor without a decision"; when
+    omitted, the check is per-run participants only).
+    """
+    materialized = list(results)
+    if not materialized:
+        raise ValueError("no runs to summarize")
+    steps = [run.steps for run in materialized]
+    histogram: Counter = Counter()
+    survivors_ok = True
+    total_decisions = 0
+    total_crashes = 0
+    for run in materialized:
+        total_decisions += len(run.decisions)
+        total_crashes += len(run.crashed)
+        histogram.update(run.decisions.values())
+        expected = n_processes if n_processes is not None else len(run.participating)
+        if len(run.decisions) + len(run.crashed) < expected:
+            survivors_ok = False
+    ordered_histogram = tuple(
+        sorted(histogram.items(), key=lambda kv: (repr(kv[0])))
+    )
+    return RunStatistics(
+        runs=len(materialized),
+        mean_steps=_stats.mean(steps),
+        median_steps=_stats.median(steps),
+        max_steps=max(steps),
+        min_steps=min(steps),
+        total_decisions=total_decisions,
+        total_crashes=total_crashes,
+        decision_histogram=ordered_histogram,
+        all_survivors_decided=survivors_ok,
+    )

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the examples so a user can poke the library without
+writing code:
+
+* ``zoo``      — the solvability table over the task zoo (experiment E5);
+* ``sds``      — build ``SDS^b(sⁿ)``, print structure, optionally export;
+* ``emulate``  — run the Figure 2 emulation and report the legality check;
+* ``rename``   — run (2p−1)-renaming, natively or over the emulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.core import characterize
+    from repro.core.characterization import Verdict
+    from repro.tasks import (
+        approximate_agreement_task,
+        binary_consensus_task,
+        constant_task,
+        graph_agreement_task,
+        identity_task,
+        participating_set_task,
+        set_consensus_task,
+    )
+    from repro.tasks.graph_agreement import cycle_graph, path_graph
+
+    zoo = [
+        (identity_task(2), 1),
+        (constant_task(3), 1),
+        (binary_consensus_task(2), args.max_rounds),
+        (set_consensus_task(3, 2), 1),
+        (set_consensus_task(3, 3), 1),
+        (approximate_agreement_task(2, 3), 2),
+        (approximate_agreement_task(2, 9), 2),
+        (approximate_agreement_task(3, 2), 1),
+        (participating_set_task(3), 1),
+        (graph_agreement_task(path_graph(3)), 1),
+        (graph_agreement_task(cycle_graph(5)), 1),
+    ]
+    print(f"{'task':42s}  {'verdict':12s}  detail")
+    print("-" * 80)
+    for task, max_rounds in zoo:
+        result = characterize(task, max_rounds=max_rounds)
+        if result.verdict is Verdict.SOLVABLE:
+            detail = f"decision map at b = {result.rounds}"
+        elif result.certificate is not None:
+            detail = f"{result.certificate.kind} certificate (all rounds)"
+        else:
+            detail = f"no map up to b = {max_rounds}"
+        print(f"{task.name:42.42s}  {result.verdict.value:12s}  {detail}")
+    return 0
+
+
+def _cmd_sds(args: argparse.Namespace) -> int:
+    from repro.analysis.export import complex_to_json, complex_to_off, skeleton_to_dot
+    from repro.topology import (
+        SimplicialComplex,
+        iterated_standard_chromatic_subdivision,
+    )
+    from repro.topology.holes import betti_numbers_mod2
+    from repro.topology.vertex import vertices_of
+
+    base = SimplicialComplex.from_vertices(vertices_of(range(args.n + 1)))
+    sds = iterated_standard_chromatic_subdivision(base, args.rounds)
+    sds.validate(chromatic=True)
+    complex_ = sds.complex
+    print(f"SDS^{args.rounds}(s^{args.n}):")
+    print(f"  f-vector          : {complex_.f_vector()}")
+    print(f"  Euler characteristic: {complex_.euler_characteristic()}")
+    print(f"  chromatic / pure  : {complex_.is_chromatic()} / {complex_.is_pure()}")
+    print(f"  pseudomanifold    : {complex_.is_pseudomanifold()}")
+    print(f"  Betti (mod 2)     : {betti_numbers_mod2(complex_)}")
+    if args.out:
+        if args.format == "json":
+            payload = complex_to_json(complex_)
+        elif args.format == "dot":
+            payload = skeleton_to_dot(complex_)
+        else:
+            from repro.core.approximation import iterated_with_embedding
+
+            built = iterated_with_embedding(base, args.rounds, "sds")
+            payload = complex_to_off(complex_, built.embedding)
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        print(f"  wrote {args.format} to {args.out}")
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    import statistics
+
+    from repro.core.emulation import EmulationHarness
+    from repro.runtime.adversary import MaxContentionSchedule, StarvationSchedule
+    from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule
+
+    inputs = {pid: f"v{pid}" for pid in range(args.processes)}
+    if args.schedule == "round-robin":
+        schedule = RoundRobinSchedule()
+    elif args.schedule == "random":
+        schedule = RandomSchedule(args.seed, block_probability=args.block_probability)
+    elif args.schedule == "starve":
+        schedule = StarvationSchedule(victim=0)
+    else:
+        schedule = MaxContentionSchedule()
+    harness = EmulationHarness(inputs, args.k)
+    trace = harness.run(schedule)
+    trace.check_legality()
+    per_op = [count for _pid, _kind, count in trace.memories_per_op]
+    print(f"emulated {args.k}-shot protocol, {args.processes} processes, "
+          f"schedule={args.schedule}")
+    print(f"  snapshot legality (Prop 4.1): PASS")
+    print(f"  one-shot memories used      : {trace.total_memories}")
+    print(f"  memories per op             : mean {statistics.mean(per_op):.2f}, "
+          f"max {max(per_op)}")
+    return 0
+
+
+def _cmd_converge(args: argparse.Namespace) -> int:
+    from repro.core.approximation import iterated_with_embedding
+    from repro.core.convergence import solve_csass, solve_ncsass
+    from repro.runtime.scheduler import RandomSchedule
+    from repro.topology import SimplicialComplex
+    from repro.topology.vertex import vertices_of
+
+    base = SimplicialComplex.from_vertices(vertices_of(range(args.n + 1)))
+    target = iterated_with_embedding(base, args.m, "sds")
+    if args.chromatic:
+        protocol = solve_csass(target.subdivision, max_rounds=args.m + 1)
+        outputs = protocol.run(RandomSchedule(args.seed))
+        protocol.validate(outputs)
+        kind = "chromatic simplex agreement (Theorem 5.1)"
+    else:
+        protocol = solve_ncsass(target.subdivision, target.embedding, max_k=args.m + 2)
+        outputs = protocol.run(RandomSchedule(args.seed))
+        protocol.validate(outputs)
+        kind = "non-chromatic simplex agreement (Corollary 5.4)"
+    print(f"{kind} over SDS^{args.m}(s^{args.n}), k = {protocol.rounds} IIS rounds")
+    for pid in sorted(outputs):
+        vertex = outputs[pid]
+        carrier = target.subdivision.carrier(vertex)
+        print(f"  process {pid} → vertex of color {vertex.color}, "
+              f"carrier dim {carrier.dimension}")
+    print("  outputs form a simplex of A inside the participants' face ✓")
+    return 0
+
+
+def _cmd_narrate(args: argparse.Namespace) -> int:
+    from repro.analysis.narrate import narrate_run, summarize_block_structure
+    from repro.runtime.iterated import iis_full_information
+    from repro.runtime.ops import Decide
+    from repro.runtime.scheduler import RandomSchedule, Scheduler
+
+    def factory_for(pid):
+        def factory(p):
+            def protocol():
+                view = yield from iis_full_information(p, f"v{p}", args.rounds)
+                yield Decide(view)
+
+            return protocol()
+
+        return factory
+
+    factories = {pid: factory_for(pid) for pid in range(args.processes)}
+    scheduler = Scheduler(factories, args.processes, record_events=True)
+    result = scheduler.run(
+        RandomSchedule(args.seed, block_probability=args.block_probability)
+    )
+    print(f"IIS full-information protocol, {args.processes} processes, "
+          f"{args.rounds} rounds, seed {args.seed}\n")
+    print(narrate_run(result))
+    print("\nordered partitions per memory (the §3.5 execution):")
+    for index, blocks in sorted(summarize_block_structure(result).items()):
+        rendered = " < ".join("{" + ",".join(map(str, b)) + "}" for b in blocks)
+        print(f"  M{index}: {rendered}")
+    return 0
+
+
+def _cmd_rename(args: argparse.Namespace) -> int:
+    from repro.runtime.scheduler import RandomSchedule
+    from repro.tasks.renaming import RenamingProtocol
+
+    ids = {pid: (pid + 1) * 17 % 101 for pid in range(args.processes)}
+    protocol = RenamingProtocol(ids)
+    names = protocol.run(RandomSchedule(args.seed), over_iis=args.over_iis)
+    protocol.validate(names, participants=args.processes)
+    model = "IIS (via the Figure 2 emulation)" if args.over_iis else "registers"
+    print(f"renaming over {model}: originals {ids} → names {names}")
+    print(f"  distinct, within 1..{2 * args.processes - 1} ✓")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Borowsky-Gafni wait-free characterization, executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    zoo = sub.add_parser("zoo", help="solvability table over the task zoo")
+    zoo.add_argument("--max-rounds", type=int, default=2)
+    zoo.set_defaults(func=_cmd_zoo)
+
+    sds = sub.add_parser("sds", help="build and inspect SDS^b(s^n)")
+    sds.add_argument("-n", type=int, default=2, help="dimension (processes - 1)")
+    sds.add_argument("-b", "--rounds", type=int, default=1)
+    sds.add_argument("--out", help="write an export to this path")
+    sds.add_argument("--format", choices=("json", "off", "dot"), default="json")
+    sds.set_defaults(func=_cmd_sds)
+
+    emulate = sub.add_parser("emulate", help="run the Figure 2 emulation")
+    emulate.add_argument("-p", "--processes", type=int, default=3)
+    emulate.add_argument("-k", type=int, default=2, help="snapshot rounds")
+    emulate.add_argument(
+        "--schedule",
+        choices=("round-robin", "random", "starve", "contend"),
+        default="random",
+    )
+    emulate.add_argument("--seed", type=int, default=0)
+    emulate.add_argument("--block-probability", type=float, default=0.5)
+    emulate.set_defaults(func=_cmd_emulate)
+
+    converge = sub.add_parser(
+        "converge", help="simplex agreement on SDS^m(s^n) (Theorem 5.1 / Cor 5.4)"
+    )
+    converge.add_argument("-n", type=int, default=2, help="dimension")
+    converge.add_argument("-m", type=int, default=1, help="target subdivision level")
+    converge.add_argument("--seed", type=int, default=0)
+    converge.add_argument(
+        "--chromatic",
+        action="store_true",
+        help="chromatic agreement (Theorem 5.1) instead of NCSASS",
+    )
+    converge.set_defaults(func=_cmd_converge)
+
+    narrate = sub.add_parser(
+        "narrate", help="narrate one IIS execution step by step"
+    )
+    narrate.add_argument("-p", "--processes", type=int, default=3)
+    narrate.add_argument("-b", "--rounds", type=int, default=2)
+    narrate.add_argument("--seed", type=int, default=0)
+    narrate.add_argument("--block-probability", type=float, default=0.6)
+    narrate.set_defaults(func=_cmd_narrate)
+
+    rename = sub.add_parser("rename", help="run (2p-1)-renaming")
+    rename.add_argument("-p", "--processes", type=int, default=3)
+    rename.add_argument("--seed", type=int, default=0)
+    rename.add_argument(
+        "--over-iis",
+        action="store_true",
+        help="run over iterated immediate snapshots via the emulation",
+    )
+    rename.set_defaults(func=_cmd_rename)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

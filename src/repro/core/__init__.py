@@ -1,0 +1,39 @@
+"""The paper's primary contribution: models, emulation, characterization.
+
+* :mod:`repro.core.task` — tasks as triples ``(I, O, Δ)`` (Section 3.2);
+* :mod:`repro.core.protocol_complex` — protocol complexes of the
+  full-information protocols, built operationally (Sections 3.1/3.5/3.6);
+* :mod:`repro.core.emulation` — Figure 2, the emulation of the atomic
+  snapshot model in the iterated immediate snapshot model (Section 4);
+* :mod:`repro.core.solvability` — the effective side of Proposition 3.1:
+  search for the color/carrier/Δ-respecting simplicial map;
+* :mod:`repro.core.protocol_synthesis` — decision maps compiled back into
+  runnable IIS protocols;
+* :mod:`repro.core.impossibility` — all-rounds impossibility certificates
+  (connectivity, Sperner);
+* :mod:`repro.core.approximation` — effective simplicial approximation
+  (Lemmas 2.1 and 5.3);
+* :mod:`repro.core.convergence` — Section 5's simplex agreement machinery
+  (Theorem 5.1, Corollaries 5.2/5.4);
+* :mod:`repro.core.koenig` — Lemma 3.1, bound extraction by execution-tree
+  search.
+"""
+
+from repro.core.task import Task, relabel_task
+from repro.core.solvability import (
+    SearchOptions,
+    SolvabilityResult,
+    SolvabilityStatus,
+    solve_task,
+)
+from repro.core.characterization import characterize
+
+__all__ = [
+    "Task",
+    "relabel_task",
+    "SearchOptions",
+    "SolvabilityResult",
+    "SolvabilityStatus",
+    "solve_task",
+    "characterize",
+]

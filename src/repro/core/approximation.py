@@ -1,0 +1,262 @@
+"""Effective simplicial approximation (Lemma 2.1 and Lemma 5.3).
+
+The paper replaces the geometric arguments of [12] with two ingredients:
+the simplicial approximation theorem (for ``Bsd^k``) and the canonical
+carrier-preserving map ``SDS → Bsd``.  This module makes both *effective*
+on concrete subdivisions:
+
+* :func:`carrier_preserving_approximation` — given a target subdivision
+  ``A(sⁿ)`` with an embedding, it increases ``k`` until a carrier-preserving
+  simplicial map from ``Bsd^k(sⁿ)`` (Lemma 2.1) or ``SDS^k(sⁿ)``
+  (Lemma 5.3) to ``A`` exists.  The construction is the textbook star
+  criterion, applied with closed stars: assign to each source vertex ``v`` a
+  target vertex ``w`` contained in *every* top simplex of ``A`` that meets
+  the closed star of ``v`` — then for any source simplex, an interior point
+  witnesses that all its images lie in one top simplex of ``A``, so the map
+  is simplicial.  Candidates are additionally filtered by carrier
+  containment.  The produced map is machine-validated combinatorially; the
+  geometry only *proposes*.
+
+* :func:`sds_to_bsd_iterated` — the composite carrier-preserving map
+  ``SDS^k(sⁿ) → Bsd^k(sⁿ)`` obtained functorially (``Bsd`` of a simplicial
+  map is simplicial), the other half of the paper's Lemma 5.3 proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.barycentric import (
+    barycenter_vertex,
+    barycentric_subdivision,
+    face_of_barycenter,
+    sds_to_bsd_map,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.geometry import (
+    Embedding,
+    embed_bsd_level,
+    embed_sds_level,
+    mesh,
+    point_in_simplex,
+    standard_simplex_embedding,
+)
+from repro.topology.maps import SimplicialMap
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import standard_chromatic_subdivision
+from repro.topology.subdivision import Subdivision, trivial_subdivision
+from repro.topology.vertex import Vertex
+
+
+@dataclass(slots=True)
+class EmbeddedSubdivision:
+    """A subdivision bundled with embeddings of base and subdivided complex."""
+
+    subdivision: Subdivision
+    base_embedding: Embedding
+    embedding: Embedding
+
+    @property
+    def complex(self) -> SimplicialComplex:
+        return self.subdivision.complex
+
+    def mesh(self) -> float:
+        return mesh(self.subdivision.complex, self.embedding)
+
+
+def iterated_with_embedding(
+    base: SimplicialComplex, rounds: int, kind: str
+) -> EmbeddedSubdivision:
+    """Build ``SDS^rounds`` or ``Bsd^rounds`` with its natural embedding."""
+    if kind not in ("sds", "bsd"):
+        raise ValueError("kind must be 'sds' or 'bsd'")
+    base_embedding = standard_simplex_embedding(base)
+    result = trivial_subdivision(base)
+    embedding = base_embedding
+    for _ in range(rounds):
+        if kind == "sds":
+            level = standard_chromatic_subdivision(result.complex)
+            embedding = embed_sds_level(level, embedding)
+        else:
+            level = barycentric_subdivision(result.complex)
+            embedding = embed_bsd_level(level, embedding)
+        result = result.then(level)
+    return EmbeddedSubdivision(result, base_embedding, embedding)
+
+
+@dataclass(slots=True)
+class ApproximationResult:
+    """A witness for Lemma 2.1 / 5.3 on a concrete target subdivision."""
+
+    k: int
+    source: EmbeddedSubdivision
+    target: Subdivision
+    simplicial_map: SimplicialMap
+    attempts: int  # levels tried, including failures
+
+
+def carrier_preserving_approximation(
+    target: Subdivision,
+    target_embedding: Embedding,
+    *,
+    source_kind: str = "sds",
+    max_k: int = 6,
+    start_k: int = 1,
+) -> ApproximationResult:
+    """Find ``k`` and a carrier-preserving simplicial map ``source^k → A``.
+
+    Raises ``ValueError`` when no map is found up to ``max_k`` — for a
+    genuine subdivision target this means ``max_k`` was too small (the
+    theorems guarantee existence for large ``k``).
+    """
+    base = target.base
+    attempts = 0
+    for k in range(start_k, max_k + 1):
+        attempts += 1
+        source = iterated_with_embedding(base, k, source_kind)
+        mapping = _star_assignment(source, target, target_embedding)
+        if mapping is None:
+            continue
+        candidate = SimplicialMap(source.complex, target.complex, mapping)
+        if not candidate.is_simplicial():
+            continue
+        if not candidate.is_carrier_preserving(
+            source.subdivision.carrier, target.carrier
+        ):
+            continue
+        return ApproximationResult(k, source, target, candidate, attempts)
+    raise ValueError(
+        f"no carrier-preserving map from {source_kind}^k up to k={max_k}; "
+        "increase max_k (the theorem guarantees existence eventually)"
+    )
+
+
+def _star_assignment(
+    source: EmbeddedSubdivision,
+    target: Subdivision,
+    target_embedding: Embedding,
+    node_budget: int = 500_000,
+) -> dict[Vertex, Vertex] | None:
+    """Support-simplex domains plus a small exact search.
+
+    The open-star criterion forces ``φ(v)`` to lie in the *support* of
+    ``v``'s position — the unique smallest target simplex containing the
+    point (the intersection of all top simplices containing it).  Those
+    supports give per-vertex domains of size at most ``n + 1``; an exact
+    backtracking search then looks for a choice making every source simplex
+    map to a target simplex.  The caller re-validates the result, so this
+    routine only has to *propose* soundly; returning ``None`` sends the
+    caller to a finer level ``k``.
+    """
+    target_tops = sorted(target.complex.maximal_simplices, key=repr)
+    target_points = {top: target_embedding.positions_of(top) for top in target_tops}
+
+    domains: dict[Vertex, list[Vertex]] = {}
+    for vertex in sorted(source.complex.vertices, key=Vertex.sort_key):
+        position = source.embedding.position(vertex)
+        containing = [
+            top
+            for top in target_tops
+            if point_in_simplex(position, target_points[top], tol=1e-9)
+        ]
+        if not containing:
+            return None  # numerically outside everything: hopeless at this k
+        support: set[Vertex] = set(containing[0].vertices)
+        for top in containing[1:]:
+            support &= top.vertices
+        source_carrier = source.subdivision.carrier(vertex)
+        admissible = [
+            w for w in support if target.carrier(w).is_face_of(source_carrier)
+        ]
+        if not admissible:
+            return None
+        admissible.sort(
+            key=lambda w: (
+                float(np.linalg.norm(target_embedding.position(w) - position)),
+                w.sort_key(),
+            )
+        )
+        domains[vertex] = admissible
+
+    return _search_simplicial_choice(
+        source.complex, target.complex, domains, node_budget
+    )
+
+
+def _search_simplicial_choice(
+    source_complex: SimplicialComplex,
+    target_complex: SimplicialComplex,
+    domains: dict[Vertex, list[Vertex]],
+    node_budget: int,
+) -> dict[Vertex, Vertex] | None:
+    """Backtracking: pick one domain value per vertex so simplices map to simplices."""
+    incident: dict[Vertex, list[Simplex]] = {v: [] for v in domains}
+    for top in source_complex.maximal_simplices:
+        for vertex in top:
+            incident[vertex].append(top)
+    order = sorted(domains, key=lambda v: (len(domains[v]), v.sort_key()))
+    assignment: dict[Vertex, Vertex] = {}
+    nodes = 0
+
+    def consistent(vertex: Vertex) -> bool:
+        for top in incident[vertex]:
+            assigned = [assignment[u] for u in top if u in assignment]
+            if len(assigned) >= 2 and Simplex(assigned) not in target_complex:
+                return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        nonlocal nodes
+        if index == len(order):
+            return True
+        vertex = order[index]
+        for candidate in domains[vertex]:
+            nodes += 1
+            if nodes > node_budget:
+                return False
+            assignment[vertex] = candidate
+            if consistent(vertex) and backtrack(index + 1):
+                return True
+            del assignment[vertex]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def sds_to_bsd_iterated(base: SimplicialComplex, rounds: int) -> SimplicialMap:
+    """The functorial carrier-preserving map ``SDS^k(K) → Bsd^k(K)``.
+
+    Built level by level: ``SDS^k = SDS(SDS^{k-1}) → Bsd(SDS^{k-1})`` by the
+    canonical map, then ``Bsd`` applied to the previous level's map lands in
+    ``Bsd(Bsd^{k-1}) = Bsd^k``.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    sds_level = standard_chromatic_subdivision(base)
+    bsd_level = barycentric_subdivision(base)
+    current = sds_to_bsd_map(sds_level, bsd_level)
+    sds_iter = sds_level
+    bsd_iter = bsd_level
+    for _ in range(rounds - 1):
+        next_sds = standard_chromatic_subdivision(sds_iter.complex)
+        canonical = sds_to_bsd_map(next_sds, barycentric_subdivision(sds_iter.complex))
+        lifted = bsd_functor_map(current)
+        current = canonical.compose(lifted)
+        sds_iter = sds_iter.then(next_sds)
+        bsd_iter = bsd_iter.then(barycentric_subdivision(bsd_iter.complex))
+    return current
+
+
+def bsd_functor_map(f: SimplicialMap) -> SimplicialMap:
+    """``Bsd`` is functorial: map barycenters of faces to barycenters of images."""
+    source_bsd = barycentric_subdivision(f.source)
+    target_bsd = barycentric_subdivision(f.target)
+    mapping = {}
+    for vertex in source_bsd.complex.vertices:
+        face = face_of_barycenter(vertex)
+        mapping[vertex] = barycenter_vertex(f.image_of(face))
+    return SimplicialMap(source_bsd.complex, target_bsd.complex, mapping)

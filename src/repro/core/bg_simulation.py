@@ -1,0 +1,340 @@
+"""Safe agreement and the BG simulation — the line this paper seeded.
+
+The emulation of Section 4 lets wait-free protocols cross between the
+snapshot and IIS models.  The *BG simulation* (Borowsky–Gafni [7, 10],
+formalized later by Lynch–Rajsbaum) crosses between **failure models**:
+``m`` wait-free simulators jointly execute an ``(n+1)``-process
+full-information snapshot protocol so that at most ``m − 1`` simulated
+processes can be blocked — the reduction behind "t-resilient solvability
+reduces to wait-free solvability", and the reason the paper's wait-free
+characterization radiates outward to resiliency models ([10, 11]).
+
+Two layers, both built on this library's runtime:
+
+* **Safe agreement** (`sa_propose` / `sa_try_read`): agreement with a
+  bounded *unsafe section*.  ``propose`` writes ``(value, level=1)``,
+  snapshots, aborts to level 0 if someone already committed at level 2,
+  else commits at level 2.  ``read`` succeeds once no process is at level
+  1, returning the minimum-pid committed value — at that moment the
+  committed set is final (any later proposer must see an existing 2 and
+  abort).  A simulator crashing *inside* the unsafe section blocks the
+  instance forever; that is the price the simulation accounts for.
+
+* **The simulation** (`BGSimulation`): one safe-agreement instance per
+  (simulated process ``j``, round ``r``) decides ``j``'s round-``r``
+  snapshot.  A simulator posts everything it knows to a shared *board*,
+  takes an atomic snapshot of the board as its proposal, and round-robins
+  over simulated processes, skipping instances blocked in someone else's
+  unsafe section.  Because proposals are atomic snapshots of one
+  monotonically-growing board, all agreed views are totally ordered by
+  containment — the simulated run is a legal snapshot-model execution,
+  which :func:`validate_simulated_run` checks explicitly (comparability,
+  self-inclusion, per-process monotonicity).
+
+Crash accounting, demonstrated in the tests: with one simulator crashed,
+at most one simulated process stalls; the survivors complete every round.
+Termination honesty: a simulator cannot distinguish "blocked forever" from
+"blocked for now", so it gives up on an instance only after a configurable
+number of fruitless sweeps — wait-free in practice for bounded protocols,
+and exactly the caveat the literature handles with more machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Hashable, Mapping
+
+from repro.runtime.ops import Decide, Operation, SnapshotRegion, WriteCell
+from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
+
+# -- safe agreement ---------------------------------------------------------------
+
+
+def sa_region(instance: str) -> str:
+    return f"sa:{instance}"
+
+
+def sa_propose(
+    instance: str, value: Hashable
+) -> Generator[Operation, object, None]:
+    """Propose ``value``; the whole body is the unsafe section."""
+    yield WriteCell(sa_region(instance), (value, 1))
+    cells = yield SnapshotRegion(sa_region(instance))
+    committed = any(cell is not None and cell[1] == 2 for cell in cells)
+    level = 0 if committed else 2
+    yield WriteCell(sa_region(instance), (value, level))
+
+
+def sa_try_read(
+    instance: str,
+) -> Generator[Operation, object, tuple[bool, Hashable]]:
+    """One read attempt: ``(True, value)`` on success, ``(False, None)``
+    while some proposer is in its unsafe section or none committed yet."""
+    cells = yield SnapshotRegion(sa_region(instance))
+    unsafe = any(cell is not None and cell[1] == 1 for cell in cells)
+    if unsafe:
+        return False, None
+    winners = [
+        (pid, cell[0])
+        for pid, cell in enumerate(cells)
+        if cell is not None and cell[1] == 2
+    ]
+    if not winners:
+        return False, None
+    return True, min(winners)[1]
+
+
+# -- the simulation ------------------------------------------------------------------
+
+BOARD_REGION = "bg:board"
+
+# A board entry: per simulated process, the tuple of its known write values
+# (index r-1 = the value written in round r; round-1 writes are the inputs).
+Knowledge = tuple[tuple[Hashable, ...], ...]
+
+
+@dataclass(slots=True)
+class SimulatedRun:
+    """The outcome of one simulation: per simulated process, agreed views."""
+
+    inputs: dict[int, Hashable]
+    rounds: int
+    views: dict[int, list[tuple[Hashable, ...]]] = field(default_factory=dict)
+
+    def completed_rounds(self, j: int) -> int:
+        return len(self.views.get(j, []))
+
+    def finished_processes(self) -> list[int]:
+        return sorted(
+            j for j in self.inputs if self.completed_rounds(j) == self.rounds
+        )
+
+
+class BGSimulation:
+    """``m`` wait-free simulators running an ``(n+1)``-process Figure 1.
+
+    The simulated protocol is the k-shot full-information snapshot protocol
+    (its write values are determined by the agreed snapshots, so agreeing
+    on snapshots is agreeing on the whole run).
+    """
+
+    def __init__(
+        self,
+        simulated_inputs: Mapping[int, Hashable],
+        rounds: int,
+        n_simulators: int,
+        *,
+        giveup_sweeps: int = 60,
+    ):
+        if rounds < 1:
+            raise ValueError("need at least one simulated round")
+        if n_simulators < 1:
+            raise ValueError("need at least one simulator")
+        self.simulated_inputs = dict(simulated_inputs)
+        self.rounds = rounds
+        self.n_simulators = n_simulators
+        self.giveup_sweeps = giveup_sweeps
+        self.n_simulated = max(simulated_inputs) + 1
+
+    # -- per-simulator protocol -----------------------------------------------------
+
+    def _simulator(self, sim_pid: int):
+        inputs = self.simulated_inputs
+        rounds = self.rounds
+        n_simulated = self.n_simulated
+        giveup = self.giveup_sweeps
+
+        def instance_name(j: int, r: int) -> str:
+            return f"{j}@{r}"
+
+        def protocol():
+            # What this simulator knows: agreed views per simulated process.
+            agreed: dict[int, list[tuple[Hashable, ...]]] = {
+                j: [] for j in inputs
+            }
+            proposed: set[str] = set()
+            abandoned: set[str] = set()
+            fruitless_sweeps = 0
+            while True:
+                progress = False
+                all_done = True
+                for j in sorted(inputs):
+                    done = len(agreed[j])
+                    if done >= rounds:
+                        continue
+                    all_done = False
+                    instance = instance_name(j, done + 1)
+                    if instance in abandoned:
+                        continue
+                    if instance not in proposed:
+                        # Post knowledge, snapshot the board, propose.
+                        knowledge = _encode_knowledge(agreed, inputs, n_simulated)
+                        yield WriteCell(BOARD_REGION, knowledge)
+                        board = yield SnapshotRegion(BOARD_REGION)
+                        estimate = _estimate_snapshot(
+                            board, j, done + 1, agreed, inputs, n_simulated
+                        )
+                        yield from sa_propose(instance, estimate)
+                        proposed.add(instance)
+                        progress = True
+                    success, view = yield from sa_try_read(instance)
+                    if success:
+                        agreed[j].append(view)
+                        progress = True
+                if all_done:
+                    break
+                if progress:
+                    fruitless_sweeps = 0
+                else:
+                    fruitless_sweeps += 1
+                    if fruitless_sweeps >= giveup:
+                        # Every remaining instance is blocked in a crashed
+                        # simulator's unsafe section: abandon them.
+                        break
+            yield Decide(
+                {j: tuple(views) for j, views in agreed.items() if views}
+            )
+
+        return protocol
+
+    def factories(self):
+        return {
+            sim: (lambda p, mk=self._simulator(sim): mk())
+            for sim in range(self.n_simulators)
+        }
+
+    def run(
+        self,
+        schedule: Schedule | None = None,
+        max_steps: int = 500_000,
+    ) -> tuple[SimulatedRun, dict[int, object]]:
+        """Run all simulators; merge their agreed views into one run record.
+
+        Returns the merged :class:`SimulatedRun` and the per-simulator raw
+        decisions (simulators that crashed are absent).
+        """
+        scheduler = Scheduler(self.factories(), self.n_simulators)
+        result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+        run = SimulatedRun(dict(self.simulated_inputs), self.rounds)
+        for _sim, decided in sorted(result.decisions.items()):
+            for j, views in decided.items():
+                known = run.views.setdefault(j, [])
+                if len(views) > len(known):
+                    # Safe agreement guarantees prefix-consistency.
+                    for r, view in enumerate(views):
+                        if r < len(known):
+                            if known[r] != view:
+                                raise AssertionError(
+                                    f"simulators disagree on {j}@{r + 1}: "
+                                    f"{known[r]} vs {view}"
+                                )
+                        else:
+                            known.append(view)
+        return run, dict(result.decisions)
+
+
+def _encode_knowledge(
+    agreed: dict[int, list[tuple[Hashable, ...]]],
+    inputs: Mapping[int, Hashable],
+    n_simulated: int,
+) -> Knowledge:
+    """The write values of every simulated process this simulator can derive.
+
+    Round-1 writes are the inputs; the round-``r+1`` write of ``j`` is its
+    agreed round-``r`` view.
+    """
+    per_process: list[tuple[Hashable, ...]] = []
+    for j in range(n_simulated):
+        if j not in inputs:
+            per_process.append(())
+            continue
+        writes: list[Hashable] = [inputs[j]]
+        writes.extend(agreed[j])
+        per_process.append(tuple(writes))
+    return tuple(per_process)
+
+
+def _estimate_snapshot(
+    board: tuple,
+    j: int,
+    round_index: int,
+    agreed: dict[int, list[tuple[Hashable, ...]]],
+    inputs: Mapping[int, Hashable],
+    n_simulated: int,
+) -> tuple[Hashable, ...]:
+    """Propose ``j``'s round-``round_index`` snapshot from the board.
+
+    Per simulated process ``q``: the latest write of ``q`` appearing in any
+    simulator's posted knowledge.  The proposer has just posted its own
+    knowledge — which includes ``j``'s round-``round_index`` write — so the
+    estimate always satisfies self-inclusion.
+    """
+    latest: list[Hashable] = [None] * n_simulated
+    best_round = [0] * n_simulated
+    for cell in board:
+        if cell is None:
+            continue
+        for q, writes in enumerate(cell):
+            if len(writes) > best_round[q]:
+                best_round[q] = len(writes)
+                latest[q] = writes[-1]
+    return tuple(latest)
+
+
+def validate_simulated_run(run: SimulatedRun) -> None:
+    """Check the simulated run is a legal snapshot-model execution.
+
+    * **self-inclusion** — ``j``'s round-``r`` view contains ``j``'s
+      round-``r`` write (derivable: round-1 write = input, round-``r+1``
+      write = round-``r`` view);
+    * **comparability** — all views, across all processes and rounds, are
+      totally ordered by their per-process round vectors;
+    * **per-process monotonicity** — later views dominate earlier ones.
+
+    Together these say the agreed views embed into a single legal history
+    of the SWMR snapshot memory (writes linearized at first appearance).
+    """
+    write_of: dict[tuple[int, int], Hashable] = {}
+    for j, input_value in run.inputs.items():
+        write_of[(j, 1)] = input_value
+        for r, view in enumerate(run.views.get(j, []), start=1):
+            write_of[(j, r + 1)] = view
+
+    def vector_of(view: tuple[Hashable, ...]) -> tuple[int, ...]:
+        vector = []
+        for q, value in enumerate(view):
+            if value is None:
+                vector.append(0)
+                continue
+            rounds = [
+                r for (p, r), w in write_of.items() if p == q and w == value
+            ]
+            if not rounds:
+                raise AssertionError(
+                    f"view contains a value never written by {q}: {value!r}"
+                )
+            vector.append(max(rounds))
+        return tuple(vector)
+
+    all_vectors: list[tuple[int, ...]] = []
+    for j, views in run.views.items():
+        previous: tuple[int, ...] | None = None
+        for r, view in enumerate(views, start=1):
+            vector = vector_of(view)
+            if vector[j] < r:
+                raise AssertionError(
+                    f"self-inclusion violated: {j}@{r} reports own round "
+                    f"{vector[j]}"
+                )
+            if previous is not None and not _leq(previous, vector):
+                raise AssertionError(f"monotonicity violated for {j} at round {r}")
+            previous = vector
+            all_vectors.append(vector)
+    for i, a in enumerate(all_vectors):
+        for b in all_vectors[i + 1 :]:
+            if not (_leq(a, b) or _leq(b, a)):
+                raise AssertionError(f"incomparable simulated views: {a} vs {b}")
+
+
+def _leq(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    return all(x <= y for x, y in zip(a, b))

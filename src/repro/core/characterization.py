@@ -1,0 +1,84 @@
+"""Top-level verdicts: solvable (with protocol), unsolvable (with certificate).
+
+``characterize`` stitches the pieces of the paper together the way its
+theorems do: try the all-rounds impossibility certificates first (they
+settle the question for every ``b`` at once), then run the level-by-level
+decision-map search of Proposition 3.1; a SAT answer is compiled into a
+runnable IIS protocol — and, via the Section 4 emulation being *between*
+the two models, the verdict applies to atomic-snapshot shared memory too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.impossibility import (
+    ImpossibilityCertificate,
+    try_all_impossibility_proofs,
+)
+from repro.core.solvability import (
+    SolvabilityResult,
+    SolvabilityStatus,
+    solve_task,
+)
+from repro.core.task import Task
+
+
+class Verdict(enum.Enum):
+    SOLVABLE = "solvable"
+    UNSOLVABLE = "unsolvable"
+    UNSOLVABLE_UP_TO_BOUND = "unsolvable-up-to-bound"
+    UNKNOWN = "unknown"
+
+
+@dataclass(slots=True)
+class Characterization:
+    task_name: str
+    verdict: Verdict
+    solvability: SolvabilityResult | None
+    certificate: ImpossibilityCertificate | None
+
+    @property
+    def rounds(self) -> int | None:
+        if self.solvability is None:
+            return None
+        return self.solvability.rounds
+
+    def synthesize_protocol(self):
+        """Compile the found decision map into runnable protocol factories."""
+        from repro.core.protocol_synthesis import synthesize_iis_protocol
+
+        if self.verdict is not Verdict.SOLVABLE or self.solvability is None:
+            raise ValueError(f"task {self.task_name!r} was not found solvable")
+        return synthesize_iis_protocol(self.solvability)
+
+    def __repr__(self) -> str:
+        return f"Characterization({self.task_name!r}, {self.verdict.value})"
+
+
+def characterize(
+    task: Task,
+    max_rounds: int = 2,
+    *,
+    node_budget: int = 2_000_000,
+    try_impossibility: bool = True,
+) -> Characterization:
+    """Decide wait-free solvability of ``task`` as far as the theory allows.
+
+    The answer space is honest about [9]'s undecidability: a certificate
+    gives UNSOLVABLE for *all* rounds; exhausted search up to ``max_rounds``
+    gives only UNSOLVABLE_UP_TO_BOUND; a blown node budget gives UNKNOWN.
+    """
+    if try_impossibility:
+        certificate = try_all_impossibility_proofs(task)
+        if certificate is not None:
+            return Characterization(task.name, Verdict.UNSOLVABLE, None, certificate)
+    result = solve_task(task, max_rounds, node_budget=node_budget)
+    if result.status is SolvabilityStatus.SOLVABLE:
+        return Characterization(task.name, Verdict.SOLVABLE, result, None)
+    if result.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND:
+        return Characterization(
+            task.name, Verdict.UNSOLVABLE_UP_TO_BOUND, result, None
+        )
+    return Characterization(task.name, Verdict.UNKNOWN, result, None)

@@ -1,0 +1,234 @@
+"""Section 5: simplex agreement and the proof route of Theorem 5.1.
+
+Two executable faces of the section:
+
+* **NCSASS** (Corollary 5.4) — non-chromatic simplex agreement over a
+  subdivided simplex ``A``.  The algorithm is the paper's own route made
+  concrete: compute a carrier-preserving simplicial map
+  ``φ : SDS^k(sⁿ) → A`` (Lemma 5.3, via :mod:`repro.core.approximation`),
+  run ``k`` full-information IIS rounds, output ``φ(own view)``.  The views
+  of the participants form a simplex of ``SDS^k`` (Lemma 3.3), so the
+  outputs form a simplex of ``A`` whose carrier lies inside the face spanned
+  by the participants' corners.
+
+* **Theorem 5.1** — the *chromatic* statement: for any chromatic
+  subdivision ``A`` there is a color- and carrier-preserving simplicial map
+  ``SDS^k(sⁿ) → A`` for ``k`` large enough.  ``theorem_5_1_witness`` finds
+  such a map by running the solvability engine on the CSASS task built from
+  ``A`` — exhibiting the equivalence the paper exploits: such a map *is* a
+  wait-free protocol for chromatic simplex agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.core.approximation import (
+    ApproximationResult,
+    carrier_preserving_approximation,
+)
+from repro.core.protocol_complex import runtime_view_to_vertex
+from repro.core.solvability import SolvabilityResult, solve_task
+from repro.runtime.ops import Decide, WriteReadIS
+from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
+from repro.topology.geometry import Embedding
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex
+
+
+@dataclass(slots=True)
+class NCSASSProtocol:
+    """Runnable non-chromatic simplex agreement over a subdivided simplex."""
+
+    target: Subdivision
+    approximation: ApproximationResult
+
+    @property
+    def rounds(self) -> int:
+        return self.approximation.k
+
+    def factories(self) -> dict[int, object]:
+        base_top = next(iter(self.target.base.maximal_simplices))
+        corner_by_color = {v.color: v for v in base_top}
+        decision = self.approximation.simplicial_map
+        rounds = self.rounds
+
+        def factory_for(pid: int):
+            corner = corner_by_color[pid]
+
+            def protocol():
+                state: Hashable = corner.payload
+                for round_index in range(rounds):
+                    state = yield WriteReadIS(round_index, state)
+                vertex = runtime_view_to_vertex(pid, state, rounds)
+                yield Decide(decision(vertex))
+
+            return protocol
+
+        return {
+            pid: (lambda p, mk=factory_for(pid): mk())
+            for pid in sorted(corner_by_color)
+        }
+
+    def run(
+        self, schedule: Schedule | None = None, max_steps: int = 100_000
+    ) -> dict[int, Vertex]:
+        outputs, _participants = self.run_with_participants(schedule, max_steps)
+        return outputs
+
+    def run_with_participants(
+        self, schedule: Schedule | None = None, max_steps: int = 100_000
+    ) -> tuple[dict[int, Vertex], frozenset[int]]:
+        """Run once; return outputs and the *participating set*.
+
+        Section 3.3: the participating set is everyone who appears at least
+        once — including processes that crash after taking steps.  A crashed
+        participant may have been observed, so the NCSASS carrier condition
+        is relative to this set, not to the deciders.
+        """
+        scheduler = Scheduler(self.factories(), len(self.target.base.colors))
+        result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+        participants = frozenset(
+            pid
+            for pid, process in scheduler.processes.items()
+            # steps == 1 is just the initial advance to the first yield;
+            # a committed WriteReadIS bumps it further.
+            if process.steps >= 2
+        )
+        return dict(result.decisions), participants | frozenset(result.decisions)
+
+    def validate(
+        self,
+        outputs: Mapping[int, Vertex],
+        participants: frozenset[int] | None = None,
+    ) -> None:
+        """Check the NCSASS specification on a run's outputs.
+
+        The outputs must form a simplex of ``A`` whose carrier is contained
+        in the face spanned by the *participants'* corners (deciders by
+        default).  No color condition: this is the non-chromatic task.
+        """
+        if not outputs:
+            return
+        if participants is None:
+            participants = frozenset(outputs)
+        simplex = Simplex(outputs.values())
+        if simplex not in self.target.complex:
+            raise AssertionError(f"outputs {simplex!r} do not form a simplex of A")
+        carrier = self.target.carrier_of(simplex)
+        base_top = next(iter(self.target.base.maximal_simplices))
+        participants_face = Simplex(
+            v for v in base_top if v.color in participants
+        )
+        if not carrier.is_face_of(participants_face):
+            raise AssertionError(
+                f"carrier {carrier!r} escapes the participants' face "
+                f"{participants_face!r}"
+            )
+
+
+def solve_ncsass(
+    target: Subdivision,
+    target_embedding: Embedding,
+    *,
+    max_k: int = 6,
+) -> NCSASSProtocol:
+    """Corollary 5.4, algorithmically: build the wait-free NCSASS protocol."""
+    approximation = carrier_preserving_approximation(
+        target, target_embedding, source_kind="sds", max_k=max_k
+    )
+    return NCSASSProtocol(target, approximation)
+
+
+def theorem_5_1_witness(
+    target: Subdivision,
+    *,
+    max_rounds: int = 3,
+    node_budget: int = 2_000_000,
+) -> SolvabilityResult:
+    """Find a color- and carrier-preserving map ``SDS^k(sⁿ) → A``.
+
+    Returns the solvability result of the CSASS task for ``A``; when
+    SOLVABLE, ``result.decision_map`` is exactly the map Theorem 5.1
+    asserts to exist, and ``result.rounds`` the witnessing ``k``.
+    """
+    from repro.tasks.simplex_agreement import chromatic_simplex_agreement_task
+
+    task = chromatic_simplex_agreement_task(target)
+    return solve_task(task, max_rounds, node_budget=node_budget)
+
+
+@dataclass(slots=True)
+class CSASSProtocol:
+    """Runnable *chromatic* simplex agreement: Theorem 5.1 as a protocol.
+
+    The theorem's map is a wait-free protocol for the CSASS task, and this
+    wrapper executes it: ``k`` IIS rounds, then the color- and
+    carrier-preserving decision map.  Unlike :class:`NCSASSProtocol`, the
+    outputs must additionally carry the deciders' own colors.
+    """
+
+    target: Subdivision
+    witness: SolvabilityResult
+
+    @property
+    def rounds(self) -> int:
+        return self.witness.rounds or 0
+
+    def _inputs(self) -> dict[int, Hashable]:
+        base_top = next(iter(self.target.base.maximal_simplices))
+        return {v.color: v.payload for v in base_top}
+
+    def run(
+        self, schedule: Schedule | None = None, max_steps: int = 100_000
+    ) -> dict[int, Vertex]:
+        from repro.core.protocol_synthesis import synthesize_iis_protocol
+
+        protocol = synthesize_iis_protocol(self.witness)
+        inputs = self._inputs()
+        raw = protocol.run(inputs, schedule, max_steps)
+        # The synthesized protocol decides output *payloads*; re-wrap them
+        # as the target's vertices (color = pid by color preservation).
+        return {pid: Vertex(pid, payload) for pid, payload in raw.items()}
+
+    def validate(self, outputs: Mapping[int, Vertex]) -> None:
+        """The CSASS specification: colors match, simplex of A, carried by
+        the deciders' face."""
+        if not outputs:
+            return
+        for pid, vertex in outputs.items():
+            if vertex.color != pid:
+                raise AssertionError(
+                    f"process {pid} output color {vertex.color} (not its own)"
+                )
+            if vertex not in self.target.complex.vertices:
+                raise AssertionError(f"{vertex!r} is not a vertex of A")
+        simplex = Simplex(outputs.values())
+        if simplex not in self.target.complex:
+            raise AssertionError(f"outputs {simplex!r} do not form a simplex of A")
+        base_top = next(iter(self.target.base.maximal_simplices))
+        participants_face = Simplex(v for v in base_top if v.color in outputs)
+        if not self.target.carrier_of(simplex).is_face_of(participants_face):
+            raise AssertionError("carrier escapes the deciders' face")
+
+
+def solve_csass(
+    target: Subdivision,
+    *,
+    max_rounds: int = 3,
+    node_budget: int = 2_000_000,
+) -> CSASSProtocol:
+    """Theorem 5.1, end to end: find the map and wrap it as a protocol."""
+    witness = theorem_5_1_witness(
+        target, max_rounds=max_rounds, node_budget=node_budget
+    )
+    from repro.core.solvability import SolvabilityStatus
+
+    if witness.status is not SolvabilityStatus.SOLVABLE:
+        raise ValueError(
+            f"no chromatic map up to k={max_rounds}; Theorem 5.1 guarantees "
+            "one eventually — raise max_rounds"
+        )
+    return CSASSProtocol(target, witness)

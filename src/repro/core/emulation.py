@@ -1,0 +1,255 @@
+"""Figure 2: emulating atomic-snapshot memory over iterated immediate snapshots.
+
+This is the paper's main result (Section 4, Proposition 4.1).  Each emulator
+``P_i^s`` carries a *collection* ``S`` of sets of tuples — the output of the
+last one-shot memory it used.  Tuples are either writes ``(id, seq, val)``
+or read placeholders ``(id, seq, ⊥)``.  To emulate an operation the emulator
+submits ``(∪S) ∪ {tuple}`` to the next one-shot memory, then keeps
+resubmitting ``∪S`` to successive memories until its tuple appears in
+``∩S``; at that point the operation has taken effect:
+
+* for a write — the value is visible to every later operation (Claim 4.1);
+* for a snapshot — the returned vector (per-writer highest sequence number
+  in ``∩S``) is an atomic snapshot (containment of the ``∩S``'s makes the
+  returned snapshots comparable, Proposition 4.1's case analysis).
+
+The emulation is *non-blocking*: an individual operation may consume
+unboundedly many memories while others make progress, which the paper notes
+at the end of Section 4 — experiment E3 measures exactly that distribution.
+The public surface is :class:`IISEmulatedMemory` (generic write/snapshot
+subprotocols usable inside any generator protocol) and
+:class:`EmulationHarness` (runs Figure 1 over the emulation and records a
+checkable trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Hashable, Mapping
+
+from repro.runtime.ops import Decide, Operation, WriteReadIS
+from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
+from repro.runtime.traces import (
+    EmulatedSnapshot,
+    EmulatedWrite,
+    check_snapshot_legality,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WriteTuple:
+    """The paper's ``(p, q, v_q)``: the ``seq``-th write of ``pid``."""
+
+    pid: int
+    seq: int
+    value: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class ReadTuple:
+    """The paper's placeholder ``(p, q, ⊥)`` for the ``seq``-th read of ``pid``."""
+
+    pid: int
+    seq: int
+
+
+EmulationTuple = WriteTuple | ReadTuple
+Collection = frozenset[frozenset[EmulationTuple]]
+
+
+def union_of(collection: Collection) -> frozenset[EmulationTuple]:
+    """``∪S``: all tuples present in any set of the collection."""
+    result: set[EmulationTuple] = set()
+    for entry in collection:
+        result.update(entry)
+    return frozenset(result)
+
+
+def intersection_of(collection: Collection) -> frozenset[EmulationTuple]:
+    """``∩S``: tuples present in every set of the collection."""
+    if not collection:
+        return frozenset()
+    iterator = iter(collection)
+    result = set(next(iterator))
+    for entry in iterator:
+        result &= entry
+    return frozenset(result)
+
+
+def extract_snapshot(
+    visible: frozenset[EmulationTuple], n_processes: int
+) -> tuple[tuple[Hashable, ...], tuple[int, ...]]:
+    """The paper's read rule: per cell, the write tuple with the highest seq.
+
+    Returns ``(values, vector)`` where ``vector[q]`` is the sequence number
+    reflected for writer ``q`` (0 when no write of ``q`` is visible).
+    """
+    values: list[Hashable] = [None] * n_processes
+    vector = [0] * n_processes
+    for entry in visible:
+        if isinstance(entry, WriteTuple) and entry.seq > vector[entry.pid]:
+            vector[entry.pid] = entry.seq
+            values[entry.pid] = entry.value
+    return tuple(values), tuple(vector)
+
+
+class IISEmulatedMemory:
+    """Per-process handle on the emulated atomic-snapshot memory.
+
+    The two methods are *subprotocols*: call them with ``yield from`` inside
+    a generator protocol.  All processes must share one global sequence of
+    one-shot memories, which the scheduler provides; this object only tracks
+    the caller's position ``j`` in that sequence and its current collection.
+    """
+
+    __slots__ = ("pid", "n_processes", "_next_memory", "_collection", "_write_seq", "_read_seq")
+
+    def __init__(self, pid: int, n_processes: int):
+        self.pid = pid
+        self.n_processes = n_processes
+        self._next_memory = 0
+        self._collection: Collection = frozenset()
+        self._write_seq = 0
+        self._read_seq = 0
+
+    @property
+    def memories_used(self) -> int:
+        """How many one-shot memories this emulator has consumed so far."""
+        return self._next_memory
+
+    def write(self, value: Hashable) -> Generator[Operation, object, None]:
+        """Emulate ``Write(C_i, value)`` — Figure 2's Procedure Write."""
+        self._write_seq += 1
+        yield from self._drive(WriteTuple(self.pid, self._write_seq, value))
+
+    def snapshot(
+        self,
+    ) -> Generator[Operation, object, tuple[tuple[Hashable, ...], tuple[int, ...]]]:
+        """Emulate ``SnapshotRead(C_0..C_n)`` — Figure 2's Procedure SnapshotRead.
+
+        Returns ``(values, vector)``; the vector feeds the legality checker.
+        """
+        self._read_seq += 1
+        yield from self._drive(ReadTuple(self.pid, self._read_seq))
+        values, vector = extract_snapshot(
+            intersection_of(self._collection), self.n_processes
+        )
+        return values, vector
+
+    def _drive(self, tag: EmulationTuple) -> Generator[Operation, object, None]:
+        """Submit the tag, then resubmit the union until the tag is in ``∩S``."""
+        submission = union_of(self._collection) | {tag}
+        while True:
+            view = yield WriteReadIS(self._next_memory, submission)
+            self._next_memory += 1
+            self._collection = frozenset(entry for _pid, entry in view)
+            if tag in intersection_of(self._collection):
+                return
+            submission = union_of(self._collection)
+
+
+_NEVER_FINISHED = 10**12  # effectively +inf on the scheduler's clock
+
+
+@dataclass(slots=True)
+class EmulationTrace:
+    """Everything a run of the emulation produced, ready for checking.
+
+    Writes are recorded when they *start* (a crashed emulator's in-flight
+    write may already be visible to others — that is legal and the checker
+    must know the write existed) and closed when they complete; a write
+    that never completes keeps an effectively-infinite end time, excluding
+    it from the "completed before" obligations while still allowing it to
+    be observed.
+    """
+
+    n_processes: int
+    snapshots: list[EmulatedSnapshot] = field(default_factory=list)
+    memories_per_op: list[tuple[int, str, int]] = field(default_factory=list)
+    final_states: dict[int, Hashable] = field(default_factory=dict)
+    total_memories: int = 0
+    _open_writes: dict[tuple[int, int], EmulatedWrite] = field(default_factory=dict)
+    _completed_writes: list[EmulatedWrite] = field(default_factory=list)
+
+    def begin_write(self, pid: int, seq: int, value: Hashable, start: int) -> None:
+        self._open_writes[(pid, seq)] = EmulatedWrite(
+            pid, seq, value, start, _NEVER_FINISHED
+        )
+
+    def end_write(self, pid: int, seq: int, end: int) -> None:
+        provisional = self._open_writes.pop((pid, seq))
+        self._completed_writes.append(
+            EmulatedWrite(pid, seq, provisional.value, provisional.start_time, end)
+        )
+
+    @property
+    def writes(self) -> list[EmulatedWrite]:
+        """All writes: completed, plus started-but-never-finished ones."""
+        return self._completed_writes + list(self._open_writes.values())
+
+    def check_legality(self) -> None:
+        """Assert Proposition 4.1 on this run (raises on violation)."""
+        check_snapshot_legality(self.writes, self.snapshots, self.n_processes)
+
+
+class EmulationHarness:
+    """Runs Figure 1 over Figure 2 and records a checkable trace.
+
+    ``inputs`` maps pids to initial values; each process executes ``k``
+    emulated write/snapshot rounds of the full-information protocol, exactly
+    as in Figure 1, but over the iterated immediate snapshot model.
+    """
+
+    def __init__(self, inputs: Mapping[int, Hashable], k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.inputs = dict(inputs)
+        self.k = k
+        self.n_processes = max(inputs) + 1
+        self.trace = EmulationTrace(self.n_processes)
+        self._clock: Callable[[], int] = lambda: 0
+
+    def _protocol(self, pid: int, input_value: Hashable):
+        memory = IISEmulatedMemory(pid, self.n_processes)
+        trace = self.trace
+        clock = lambda: self._clock()  # late-bound: the scheduler exists by run time
+
+        def protocol():
+            value: Hashable = input_value
+            write_seq = 0
+            for _round in range(self.k):
+                write_seq += 1
+                used_before = memory.memories_used
+                trace.begin_write(pid, write_seq, value, clock())
+                yield from memory.write(value)
+                trace.end_write(pid, write_seq, clock())
+                trace.memories_per_op.append(
+                    (pid, "write", memory.memories_used - used_before)
+                )
+                start = clock()
+                used_before = memory.memories_used
+                values, vector = yield from memory.snapshot()
+                trace.snapshots.append(
+                    EmulatedSnapshot(pid, write_seq, vector, values, start, clock())
+                )
+                trace.memories_per_op.append(
+                    (pid, "snapshot", memory.memories_used - used_before)
+                )
+                value = values
+            yield Decide(value)
+
+        return protocol()
+
+    def run(
+        self, schedule: Schedule | None = None, max_steps: int = 200_000
+    ) -> EmulationTrace:
+        factories = {
+            pid: (lambda p, value=value: self._protocol(p, value))
+            for pid, value in self.inputs.items()
+        }
+        scheduler = Scheduler(factories, self.n_processes)
+        self._clock = lambda: scheduler.time
+        result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+        self.trace.final_states = dict(result.decisions)
+        self.trace.total_memories = scheduler.memory.highest_is_memory_used + 1
+        return self.trace

@@ -1,0 +1,234 @@
+"""Protocol complexes built operationally, and the runtime ↔ topology bridge.
+
+Lemma 3.2 and Lemma 3.3 identify protocol complexes with (iterated)
+standard chromatic subdivisions.  This module builds the protocol complexes
+*from the model side* — by enumerating one-shot immediate snapshot
+executions (ordered partitions) and by collecting actual runtime executions
+— so the identifications become checkable equalities (experiments E1/E2)
+rather than definitional ones.
+
+The bridge convention: a runtime IIS view (a nested frozenset of
+``(pid, state)`` pairs) converts to the SDS vertex payload (a nested
+frozenset of ``Vertex`` objects) by ``Vertex(pid, convert(state))``
+recursively.  Under this conversion, a process's round-``b`` view *is* its
+vertex of ``SDS^b`` of the input complex.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.runtime.immediate_snapshot import ISView
+from repro.runtime.scheduler import enumerate_executions
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import ordered_set_partitions
+from repro.topology.vertex import Vertex
+
+
+def runtime_view_to_vertex(pid: int, state: Hashable, rounds: int) -> Vertex:
+    """Convert a round-``rounds`` runtime view into the matching SDS vertex."""
+    if rounds == 0:
+        return Vertex(pid, state)
+    if not isinstance(state, frozenset):
+        raise ValueError(f"round-{rounds} state {state!r} is not a view")
+    converted = frozenset(
+        runtime_view_to_vertex(other_pid, inner, rounds - 1) for other_pid, inner in state
+    )
+    return Vertex(pid, converted)
+
+
+def vertex_to_runtime_view(vertex: Vertex, rounds: int) -> tuple[int, Hashable]:
+    """Inverse of :func:`runtime_view_to_vertex` (used by protocol synthesis)."""
+    if rounds == 0:
+        return vertex.color, vertex.payload
+    payload = vertex.payload
+    if not isinstance(payload, frozenset):
+        raise ValueError(f"{vertex!r} is not a round-{rounds} SDS vertex")
+    view = frozenset(vertex_to_runtime_view(inner, rounds - 1) for inner in payload)
+    return vertex.color, view
+
+
+def one_shot_is_complex(inputs: Mapping[int, Hashable]) -> SimplicialComplex:
+    """The one-shot immediate snapshot protocol complex over fixed inputs.
+
+    Built from the model's definition: every ordered partition of every
+    non-empty subset of the participants is an execution; the local state of
+    a processor is the set of inputs of the processors in its block's
+    prefix.  Lemma 3.2 says the result equals ``SDS`` of the input simplex
+    (checked by tests, not assumed here).
+    """
+    input_vertices = {pid: Vertex(pid, value) for pid, value in inputs.items()}
+    top_simplices: list[Simplex] = []
+    pids = sorted(inputs)
+    for partition in ordered_set_partitions(pids):
+        seen: set[Vertex] = set()
+        members: list[Vertex] = []
+        for block in partition:
+            seen.update(input_vertices[pid] for pid in block)
+            snapshot = frozenset(seen)
+            members.extend(Vertex(pid, snapshot) for pid in block)
+        top_simplices.append(Simplex(members))
+    return SimplicialComplex(top_simplices)
+
+
+def iis_complex_operational(
+    inputs: Mapping[int, Hashable], rounds: int
+) -> SimplicialComplex:
+    """The b-shot IIS protocol complex, built round by round from the model.
+
+    Round ``r`` simplices arise by running one more one-shot immediate
+    snapshot, with inputs the round-``r-1`` local states, *independently per
+    round-``r-1`` simplex* (Lemma 3.3's inductive structure).
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    current_tops = [Simplex(Vertex(pid, value) for pid, value in inputs.items())]
+    for _round in range(rounds):
+        next_tops: list[Simplex] = []
+        for top in current_tops:
+            vertex_by_pid = {v.color: v for v in top}
+            pids = sorted(vertex_by_pid)
+            for partition in ordered_set_partitions(pids):
+                seen: set[Vertex] = set()
+                members: list[Vertex] = []
+                for block in partition:
+                    seen.update(vertex_by_pid[pid] for pid in block)
+                    snapshot = frozenset(seen)
+                    members.extend(Vertex(pid, snapshot) for pid in block)
+                next_tops.append(Simplex(members))
+        current_tops = next_tops
+    return SimplicialComplex(current_tops)
+
+
+def complex_from_runtime_views(
+    views_per_execution: Iterable[Mapping[int, Hashable]], rounds: int
+) -> SimplicialComplex:
+    """Assemble a protocol complex out of observed runtime executions.
+
+    Each execution contributes the simplex of its processes' final views.
+    Feeding this every execution of :func:`enumerate_executions` rebuilds
+    the full protocol complex from the runtime alone.
+    """
+    tops = []
+    for views in views_per_execution:
+        tops.append(
+            Simplex(
+                runtime_view_to_vertex(pid, state, rounds)
+                for pid, state in views.items()
+            )
+        )
+    return SimplicialComplex(tops)
+
+
+def iis_complex_from_runtime(
+    inputs: Mapping[int, Hashable], rounds: int, max_depth: int = 400
+) -> SimplicialComplex:
+    """Enumerate *all* scheduler interleavings of the IIS full-information
+    protocol and collect the resulting simplices.
+
+    Exponential in processes × rounds; intended for the small instances of
+    experiments E1/E2 (n ≤ 2, rounds ≤ 2).
+    """
+    from repro.runtime.iterated import iis_full_information
+    from repro.runtime.ops import Decide
+
+    def factory_for(pid: int, value: Hashable):
+        def factory(p: int):
+            def protocol():
+                view = yield from iis_full_information(p, value, rounds)
+                yield Decide(view)
+
+            return protocol()
+
+        return factory
+
+    factories = {pid: factory_for(pid, value) for pid, value in inputs.items()}
+    all_views = (
+        dict(result.decisions)
+        for result in enumerate_executions(factories, max(inputs) + 1, max_depth=max_depth)
+    )
+    return complex_from_runtime_views(all_views, rounds)
+
+
+def one_round_snapshot_complex(
+    inputs: Mapping[int, Hashable], max_depth: int = 200
+) -> SimplicialComplex:
+    """The one-round *atomic snapshot* protocol complex, by enumeration.
+
+    Section 3.4: the immediate snapshot model is a **restriction** of the
+    atomic snapshot model — its executions are those where maximal write
+    runs are followed by snapshot runs of the same processors.  This
+    builder enumerates every interleaving of Figure 1 with ``k = 1`` and
+    collects the outcome simplices, so tests can check the inclusion
+    ``SDS(I) ⊆ snapshot complex`` and see that it is strict (the snapshot
+    complex contains non-immediate outcomes and is not even a
+    pseudomanifold for three processes).
+
+    Vertices are ``(pid, frozenset of observed input vertices)`` — the same
+    encoding as the IS complex, so the two are directly comparable.
+    """
+    from repro.runtime.full_information import k_shot_full_information
+    from repro.runtime.ops import Decide
+
+    def factory_for(pid: int, value: Hashable):
+        def factory(p: int):
+            def protocol():
+                view = yield from k_shot_full_information(p, value, 1)
+                yield Decide(view)
+
+            return protocol()
+
+        return factory
+
+    input_vertices = {pid: Vertex(pid, value) for pid, value in inputs.items()}
+    factories = {pid: factory_for(pid, value) for pid, value in inputs.items()}
+    tops = []
+    for result in enumerate_executions(factories, max(inputs) + 1, max_depth=max_depth):
+        members = []
+        for pid, view in result.decisions.items():
+            observed = frozenset(
+                input_vertices[q]
+                for q, cell in enumerate(view)
+                if cell is not None
+            )
+            members.append(Vertex(pid, observed))
+        tops.append(Simplex(members))
+    return SimplicialComplex(tops)
+
+
+def levels_is_complex_from_runtime(
+    inputs: Mapping[int, Hashable], max_depth: int = 400
+) -> SimplicialComplex:
+    """One-shot IS complex generated by the *levels algorithm* on registers.
+
+    Enumerates every interleaving of the Borowsky–Gafni participating-set
+    protocol; by [8] the outcomes are immediate-snapshot outputs, so the
+    complex must be a subcomplex of — and in fact equal to — ``SDS`` of the
+    input simplex (experiment E1/E10 checks both inclusions).
+    """
+    from repro.runtime.immediate_snapshot import levels_immediate_snapshot
+    from repro.runtime.ops import Decide
+
+    n_processes = max(inputs) + 1
+
+    def factory_for(pid: int, value: Hashable):
+        def factory(p: int):
+            def protocol():
+                view = yield from levels_immediate_snapshot(p, value, "is", n_processes)
+                yield Decide(view)
+
+            return protocol()
+
+        return factory
+
+    factories = {pid: factory_for(pid, value) for pid, value in inputs.items()}
+    tops = []
+    for result in enumerate_executions(factories, n_processes, max_depth=max_depth):
+        views: dict[int, ISView] = dict(result.decisions)
+        members = []
+        for pid, view in views.items():
+            snapshot = frozenset(Vertex(q, value) for q, value in view)
+            members.append(Vertex(pid, snapshot))
+        tops.append(Simplex(members))
+    return SimplicialComplex(tops)

@@ -1,0 +1,385 @@
+"""The characterization engine: searching for the decision map.
+
+Proposition 3.1: a bounded task ``T = (I, O, Δ)`` is wait-free solvable in
+the IIS model iff for some ``b`` there is a color-preserving simplicial map
+``µ_b : SDS^b(I) → O`` with ``µ_b(s) ∈ Δ(carrier(s))`` for every simplex
+``s``.  Section 4's emulation extends this verdict to the atomic-snapshot
+model.  The condition is *not* effective in general (solvability is
+undecidable for three or more processors, [9]) — but for a fixed ``b`` it is
+a finite constraint-satisfaction problem, and this module solves it exactly:
+
+* SAT ⇒ the returned map is machine-validated (simplicial, chromatic,
+  Δ-respecting) and :mod:`repro.core.protocol_synthesis` compiles it into a
+  runnable protocol;
+* UNSAT at level ``b`` ⇒ the exhaustive backtracking search is itself the
+  certificate that no round-``b`` protocol exists (the all-``b`` arguments
+  live in :mod:`repro.core.impossibility`).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+from repro.core.task import Task
+from repro.topology.maps import SimplicialMap
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import iterated_standard_chromatic_subdivision
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex
+
+
+@dataclass(frozen=True, slots=True)
+class SearchOptions:
+    """Strategy knobs for the decision-map search (ablation surface).
+
+    Defaults are the production configuration; the ablation benchmark
+    (``benchmarks/bench_ablation_search.py``) quantifies what each one buys.
+
+    * ``arc_consistency`` — AC-3 preprocessing over edge constraints; for
+      path-like instances (two-process tasks) it leaves exactly the
+      feasible values and often refutes UNSAT levels with zero search.
+    * ``forward_checking`` — prune neighbouring domains on each assignment.
+    * ``adjacency_order`` — keep the assignment frontier connected; without
+      it conflicts surface late and the search degenerates.
+    """
+
+    arc_consistency: bool = True
+    forward_checking: bool = True
+    adjacency_order: bool = True
+
+
+class SolvabilityStatus(enum.Enum):
+    """Outcome of the level-by-level decision-map search."""
+
+    SOLVABLE = "solvable"
+    UNSOLVABLE_UP_TO_BOUND = "unsolvable-up-to-bound"
+    UNKNOWN = "unknown"  # search aborted by the node budget
+
+
+@dataclass(frozen=True, slots=True)
+class LevelReport:
+    """What happened at one subdivision level."""
+
+    rounds: int
+    satisfiable: bool
+    nodes_explored: int
+    vertices: int
+    exhausted: bool  # False when the node budget stopped the search
+    elapsed_seconds: float
+
+
+@dataclass(slots=True)
+class SolvabilityResult:
+    task_name: str
+    status: SolvabilityStatus
+    rounds: int | None
+    decision_map: SimplicialMap | None
+    subdivision: Subdivision | None
+    levels: list[LevelReport]
+
+    def __repr__(self) -> str:
+        return (
+            f"SolvabilityResult({self.task_name!r}, {self.status.value}, "
+            f"rounds={self.rounds})"
+        )
+
+
+def solve_task(
+    task: Task,
+    max_rounds: int,
+    *,
+    min_rounds: int = 0,
+    node_budget: int = 2_000_000,
+    options: SearchOptions = SearchOptions(),
+) -> SolvabilityResult:
+    """Search levels ``min_rounds .. max_rounds`` for a decision map."""
+    levels: list[LevelReport] = []
+    budget_hit = False
+    for rounds in range(min_rounds, max_rounds + 1):
+        subdivision = iterated_standard_chromatic_subdivision(
+            task.input_complex, rounds
+        )
+        started = time.perf_counter()
+        mapping, nodes, exhausted = _search_map(subdivision, task, node_budget, options)
+        elapsed = time.perf_counter() - started
+        levels.append(
+            LevelReport(
+                rounds=rounds,
+                satisfiable=mapping is not None,
+                nodes_explored=nodes,
+                vertices=len(subdivision.complex.vertices),
+                exhausted=exhausted,
+                elapsed_seconds=elapsed,
+            )
+        )
+        if mapping is not None:
+            decision_map = SimplicialMap(
+                subdivision.complex, task.output_complex, mapping
+            )
+            validate_decision_map(subdivision, task, decision_map)
+            return SolvabilityResult(
+                task.name,
+                SolvabilityStatus.SOLVABLE,
+                rounds,
+                decision_map,
+                subdivision,
+                levels,
+            )
+        if not exhausted:
+            budget_hit = True
+    status = (
+        SolvabilityStatus.UNKNOWN
+        if budget_hit
+        else SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+    )
+    return SolvabilityResult(task.name, status, None, None, None, levels)
+
+
+def validate_decision_map(
+    subdivision: Subdivision, task: Task, decision_map: SimplicialMap
+) -> None:
+    """Machine-check Proposition 3.1's conditions on a candidate map.
+
+    Simplicial and color-preserving via the map's own validators, then
+    ``µ(s) ∈ Δ(carrier(s))`` for *every* simplex of the subdivision.
+    """
+    decision_map.validate(color_preserving=True)
+    for simplex in subdivision.complex.simplices():
+        carrier = subdivision.carrier_of(simplex)
+        image = decision_map.image_of(simplex)
+        if not task.allows(carrier, image):
+            raise ValueError(
+                f"decision map violates Δ on {simplex!r}: "
+                f"image {image!r} not allowed for carrier {carrier!r}"
+            )
+
+
+def _adjacency_order(
+    vertices: list[Vertex],
+    domains: dict[Vertex, list[Vertex]],
+    incident: dict[Vertex, list[Simplex]],
+) -> list[Vertex]:
+    """Assignment order that keeps the frontier connected.
+
+    Backtracking over a subdivision is tractable only if conflicts surface
+    immediately, which requires each newly assigned vertex to be adjacent to
+    already-assigned ones.  We seed with the most-constrained vertex and
+    greedily grow by (most assigned neighbours, smallest domain) — for
+    path-like complexes this makes the search essentially linear, and it is
+    what lets UNSAT levels be *exhausted* rather than merely sampled.
+    """
+    neighbors: dict[Vertex, set[Vertex]] = {v: set() for v in vertices}
+    for vertex in vertices:
+        for simplex in incident[vertex]:
+            neighbors[vertex].update(u for u in simplex if u != vertex)
+    remaining = set(vertices)
+    order: list[Vertex] = []
+    assigned_neighbor_count: dict[Vertex, int] = {v: 0 for v in vertices}
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda v: (
+                -assigned_neighbor_count[v],
+                len(domains[v]),
+                v.sort_key(),
+            ),
+        )
+        order.append(best)
+        remaining.discard(best)
+        for neighbor in neighbors[best]:
+            if neighbor in remaining:
+                assigned_neighbor_count[neighbor] += 1
+    return order
+
+
+def _search_map(
+    subdivision: Subdivision,
+    task: Task,
+    node_budget: int,
+    options: SearchOptions = SearchOptions(),
+) -> tuple[dict[Vertex, Vertex] | None, int, bool]:
+    """Backtracking search for the decision map.
+
+    Returns ``(mapping or None, nodes explored, search exhausted?)``.
+    Consistency is enforced incrementally: assigning a vertex re-checks every
+    simplex containing it — the assigned portion of each such simplex must
+    be a face of some allowed output tuple for the simplex's carrier.
+    """
+    complex_ = subdivision.complex
+    all_simplices = [s for s in complex_.simplices() if s.dimension >= 1]
+    carrier_cache: dict[Simplex, Simplex] = {
+        s: subdivision.carrier_of(s) for s in all_simplices
+    }
+
+    vertices = sorted(complex_.vertices, key=Vertex.sort_key)
+    domains: dict[Vertex, list[Vertex]] = {}
+    for vertex in vertices:
+        carrier = subdivision.carrier(vertex)
+        domains[vertex] = task.candidate_decisions(carrier, vertex.color)
+        if not domains[vertex]:
+            return None, 0, True
+
+    incident: dict[Vertex, list[Simplex]] = {v: [] for v in vertices}
+    for simplex in all_simplices:
+        for vertex in simplex:
+            incident[vertex].append(simplex)
+
+    edges = [s for s in all_simplices if s.dimension == 1]
+    pair_ok = _edge_consistency(task, carrier_cache, edges)
+    if options.arc_consistency and not _ac3(domains, edges, pair_ok):
+        return None, 0, True  # arc consistency alone refutes the level
+
+    if options.adjacency_order:
+        order = _adjacency_order(vertices, domains, incident)
+    else:
+        order = sorted(vertices, key=lambda v: (len(domains[v]), v.sort_key()))
+
+    edge_neighbors: dict[Vertex, list[tuple[Vertex, Simplex]]] = {
+        v: [] for v in vertices
+    }
+    for edge in edges:
+        u, w = edge.sorted_vertices()
+        edge_neighbors[u].append((w, edge))
+        edge_neighbors[w].append((u, edge))
+
+    assignment: dict[Vertex, Vertex] = {}
+    nodes = 0
+    exhausted = True
+
+    def consistent(vertex: Vertex) -> bool:
+        for simplex in incident[vertex]:
+            assigned = [assignment[u] for u in simplex if u in assignment]
+            if len(assigned) < 2:
+                continue
+            image = Simplex(assigned)
+            if image not in task.output_complex:
+                return False
+            if not task.allows(carrier_cache[simplex], image):
+                return False
+        return True
+
+    def forward_check(vertex: Vertex, trail: list[tuple[Vertex, list[Vertex]]]) -> bool:
+        """Prune unassigned edge-neighbours; record previous domains on the trail."""
+        chosen = assignment[vertex]
+        for neighbor, edge in edge_neighbors[vertex]:
+            if neighbor in assignment:
+                continue
+            allowed = pair_ok[edge]
+            old = domains[neighbor]
+            if vertex == edge.sorted_vertices()[0]:
+                new = [y for y in old if (chosen, y) in allowed]
+            else:
+                new = [y for y in old if (y, chosen) in allowed]
+            if len(new) != len(old):
+                trail.append((neighbor, old))
+                domains[neighbor] = new
+                if not new:
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        nonlocal nodes, exhausted
+        if index == len(order):
+            return True
+        vertex = order[index]
+        for candidate in list(domains[vertex]):
+            nodes += 1
+            if nodes > node_budget:
+                exhausted = False
+                return False
+            assignment[vertex] = candidate
+            trail: list[tuple[Vertex, list[Vertex]]] = []
+            if (
+                consistent(vertex)
+                and (not options.forward_checking or forward_check(vertex, trail))
+                and backtrack(index + 1)
+            ):
+                return True
+            for pruned_vertex, old_domain in trail:
+                domains[pruned_vertex] = old_domain
+            del assignment[vertex]
+            if not exhausted:
+                return False
+        return False
+
+    found = backtrack(0)
+    if found:
+        return dict(assignment), nodes, exhausted
+    return None, nodes, exhausted
+
+
+def _edge_consistency(
+    task: Task,
+    carrier_cache: dict[Simplex, Simplex],
+    edges: list[Simplex],
+) -> dict[Simplex, set[tuple[Vertex, Vertex]]]:
+    """For each subdivision edge, the set of allowed ordered image pairs.
+
+    Pairs are keyed by the edge's sorted vertex order: ``(image of first,
+    image of second)``.  Built lazily per edge from Δ of the edge's carrier.
+    """
+    pair_ok: dict[Simplex, set[tuple[Vertex, Vertex]]] = {}
+    for edge in edges:
+        u, w = edge.sorted_vertices()
+        carrier = carrier_cache[edge]
+        allowed: set[tuple[Vertex, Vertex]] = set()
+        for tuple_ in task.allowed_outputs(carrier):
+            us = [x for x in tuple_ if x.color == u.color]
+            ws = [x for x in tuple_ if x.color == w.color]
+            for x in us:
+                for y in ws:
+                    allowed.add((x, y))
+        pair_ok[edge] = allowed
+    return pair_ok
+
+
+def _ac3(
+    domains: dict[Vertex, list[Vertex]],
+    edges: list[Simplex],
+    pair_ok: dict[Simplex, set[tuple[Vertex, Vertex]]],
+) -> bool:
+    """Arc consistency over the edge constraints; False when a domain empties.
+
+    For subdivisions whose hard constraints are essentially path-like (the
+    two-process case: ``SDS^b`` of an edge is a path), AC-3 leaves exactly
+    the feasible values, making the subsequent search backtrack-free.
+    """
+    arcs: dict[Vertex, list[tuple[Vertex, Simplex, bool]]] = {}
+    for edge in edges:
+        u, w = edge.sorted_vertices()
+        arcs.setdefault(u, []).append((w, edge, True))
+        arcs.setdefault(w, []).append((u, edge, False))
+    queue = list(domains)
+    queued = set(queue)
+    while queue:
+        vertex = queue.pop()
+        queued.discard(vertex)
+        for other, edge, vertex_is_first in arcs.get(vertex, []):
+            allowed = pair_ok[edge]
+            if vertex_is_first:
+                supported = [
+                    x
+                    for x in domains[vertex]
+                    if any((x, y) in allowed for y in domains[other])
+                ]
+            else:
+                supported = [
+                    x
+                    for x in domains[vertex]
+                    if any((y, x) in allowed for y in domains[other])
+                ]
+            if len(supported) != len(domains[vertex]):
+                domains[vertex] = supported
+                if not supported:
+                    return False
+                if vertex not in queued:
+                    queue.append(vertex)
+                    queued.add(vertex)
+                # Neighbours may lose support too.
+                for neighbor, _edge, _dir in arcs.get(vertex, []):
+                    if neighbor not in queued:
+                        queue.append(neighbor)
+                        queued.add(neighbor)
+    return True

@@ -1,0 +1,203 @@
+"""Tasks: input/output complexes and the relation Δ (Section 3.2).
+
+A task over ``n + 1`` processors is a triple ``(Iⁿ, Oⁿ, Δ)``: chromatic
+complexes of input and output vertices ``(P_i, val)``, and a point-to-set
+map associating each input simplex with the output simplices that may result
+when exactly its processors participate.  Our ``Δ`` stores *maximal allowed
+output tuples* per input simplex; an output simplex is allowed when it is a
+face of a stored tuple, which is the downward closure the solvability
+condition of Proposition 3.1 quantifies over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+@dataclass(frozen=True)
+class Task:
+    """A decision task ``(I, O, Δ)``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in reports and benchmarks).
+    input_complex / output_complex:
+        Chromatic complexes whose vertices are ``Vertex(pid, value)``.
+    delta:
+        For each simplex of the input complex, the *non-empty* set of
+        allowed output simplices; each allowed output's colors must equal
+        the input simplex's colors (the paper's ``X(s_i) = X(s_o)``).
+    """
+
+    name: str
+    input_complex: SimplicialComplex
+    output_complex: SimplicialComplex
+    delta: Mapping[Simplex, frozenset[Simplex]] = field(hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.input_complex.is_chromatic():
+            raise ValueError(f"task {self.name}: input complex is not chromatic")
+        if not self.output_complex.is_chromatic():
+            raise ValueError(f"task {self.name}: output complex is not chromatic")
+        for input_simplex in self.input_complex.simplices():
+            allowed = self.delta.get(input_simplex)
+            if not allowed:
+                raise ValueError(
+                    f"task {self.name}: Δ undefined or empty on {input_simplex!r}"
+                )
+            for output_simplex in allowed:
+                if output_simplex not in self.output_complex:
+                    raise ValueError(
+                        f"task {self.name}: Δ({input_simplex!r}) contains "
+                        f"{output_simplex!r} which is not an output simplex"
+                    )
+                if output_simplex.colors != input_simplex.colors:
+                    raise ValueError(
+                        f"task {self.name}: colors of {output_simplex!r} do not "
+                        f"match {input_simplex!r}"
+                    )
+
+    # -- the solvability-facing queries -------------------------------------------
+
+    def allows(self, input_simplex: Simplex, output_simplex: Simplex) -> bool:
+        """Is ``output_simplex`` a face of an allowed tuple for ``input_simplex``?
+
+        This is the condition Proposition 3.1 imposes on a decision map:
+        ``µ(s) ∈ Δ(carrier(s))`` read with downward closure (a simplex deep
+        inside a subdivision has fewer colors than its carrier, so its image
+        is a *face* of a full allowed tuple).
+        """
+        allowed = self.delta.get(input_simplex)
+        if allowed is None:
+            raise KeyError(f"Δ undefined on {input_simplex!r}")
+        return any(output_simplex.is_face_of(tuple_) for tuple_ in allowed)
+
+    def allowed_outputs(self, input_simplex: Simplex) -> frozenset[Simplex]:
+        allowed = self.delta.get(input_simplex)
+        if allowed is None:
+            raise KeyError(f"Δ undefined on {input_simplex!r}")
+        return allowed
+
+    def candidate_decisions(self, input_simplex: Simplex, color: int) -> list[Vertex]:
+        """Output vertices of ``color`` appearing in some allowed tuple."""
+        seen: set[Vertex] = set()
+        for tuple_ in self.allowed_outputs(input_simplex):
+            for vertex in tuple_:
+                if vertex.color == color:
+                    seen.add(vertex)
+        return sorted(seen, key=Vertex.sort_key)
+
+    @property
+    def n_processes(self) -> int:
+        return max(self.input_complex.colors) + 1
+
+    def restrict_to_participants(self, colors) -> "Task":
+        """The subtask seen by a subset of the processors.
+
+        Inputs/outputs/Δ induced on the given colors.  Wait-free
+        solvability is inherited downward: a decision map for the full task
+        restricts to one for the subtask (``SDS^b`` of a subcomplex is a
+        subcomplex of ``SDS^b``), a property the tests check extensionally
+        through the solver.
+        """
+        wanted = frozenset(colors)
+        if not wanted <= self.input_complex.colors:
+            raise ValueError(f"{sorted(wanted)} are not all input colors")
+        input_restricted = self.input_complex.induced_on_colors(wanted)
+        output_restricted = self.output_complex.induced_on_colors(wanted)
+        if input_restricted is None or output_restricted is None:
+            raise ValueError("restriction produced an empty complex")
+        new_delta: dict[Simplex, frozenset[Simplex]] = {}
+        for input_simplex in input_restricted.simplices():
+            allowed: set[Simplex] = set()
+            for tuple_ in self.delta.get(input_simplex, ()):  # same simplex set
+                allowed.add(tuple_)
+            if not allowed:
+                # The input simplex exists only as a face of bigger inputs:
+                # project the bigger inputs' tuples.
+                for big, tuples in self.delta.items():
+                    if input_simplex.is_face_of(big):
+                        for tuple_ in tuples:
+                            projected = tuple_.restrict_to_colors(
+                                input_simplex.colors
+                            )
+                            if projected is not None:
+                                allowed.add(projected)
+            new_delta[input_simplex] = frozenset(allowed)
+        return Task(
+            name=f"{self.name}|{sorted(wanted)}",
+            input_complex=input_restricted,
+            output_complex=output_restricted,
+            delta=new_delta,
+        )
+
+    def validate_outputs(
+        self, inputs: Mapping[int, object], decisions: Mapping[int, object]
+    ) -> bool:
+        """Check a concrete run: did the deciders produce an allowed tuple?
+
+        ``inputs`` maps participating pids to input values, ``decisions``
+        maps *decided* pids to output values (a subset of participants: the
+        paper only requires the partial output tuple to extend to an allowed
+        one).
+        """
+        input_simplex = Simplex(Vertex(pid, value) for pid, value in inputs.items())
+        if input_simplex not in self.input_complex:
+            raise ValueError(f"{input_simplex!r} is not a simplex of the input complex")
+        if not decisions:
+            return True
+        output_simplex = Simplex(
+            Vertex(pid, value) for pid, value in decisions.items()
+        )
+        if output_simplex not in self.output_complex:
+            return False
+        return self.allows(input_simplex, output_simplex)
+
+
+def relabel_task(task: Task, permutation: Mapping[int, int]) -> Task:
+    """The task with processors renamed by ``permutation``.
+
+    Tasks are anonymous up to processor ids, so solvability must be
+    invariant under this action — a property the cross-validation tests
+    exercise against the solver (any asymmetry would expose an id-dependent
+    bug in the SDS construction or the search).
+    """
+    from repro.topology.chromatic import relabel_colors
+
+    def relabel_simplex(simplex: Simplex) -> Simplex:
+        return Simplex(
+            Vertex(permutation.get(v.color, v.color), v.payload) for v in simplex
+        )
+
+    new_delta = {
+        relabel_simplex(input_simplex): frozenset(
+            relabel_simplex(t) for t in tuples
+        )
+        for input_simplex, tuples in task.delta.items()
+    }
+    return Task(
+        name=f"{task.name}·π",
+        input_complex=relabel_colors(task.input_complex, permutation),
+        output_complex=relabel_colors(task.output_complex, permutation),
+        delta=new_delta,
+    )
+
+
+def delta_from_rule(
+    input_complex: SimplicialComplex,
+    rule,
+) -> dict[Simplex, frozenset[Simplex]]:
+    """Build Δ by applying ``rule(input_simplex) -> iterable[Simplex]``.
+
+    A convenience used by every task constructor in :mod:`repro.tasks`.
+    """
+    return {
+        input_simplex: frozenset(rule(input_simplex))
+        for input_simplex in input_complex.simplices()
+    }

@@ -1,0 +1,53 @@
+"""Deterministic asynchronous runtime for shared-memory protocols.
+
+Protocols are Python generators that *yield* operations and receive results;
+a :class:`~repro.runtime.scheduler.Scheduler` serializes operations one at a
+time (so SWMR registers and atomic snapshots are atomic by construction) and
+commits immediate-snapshot blocks (so one-shot immediate snapshot executions
+are exactly the ordered partitions of Section 3.5).
+
+This replaces OS threads deliberately: wait-free correctness quantifies over
+*all* interleavings, and a scheduler that can enumerate, randomize, and
+adversarially bias interleavings exercises strictly more behaviour than the
+GIL-serialized thread schedules a Python testbed could produce (see
+DESIGN.md Section 5, substitution table).
+"""
+
+from repro.runtime.ops import Decide, SnapshotRegion, WriteCell, WriteReadIS
+from repro.runtime.process import Process, ProtocolFactory
+from repro.runtime.scheduler import (
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    SchedulerError,
+    enumerate_executions,
+)
+from repro.runtime.shared_memory import RegisterRegion, SharedMemorySystem
+from repro.runtime.immediate_snapshot import (
+    OneShotISMemory,
+    levels_immediate_snapshot,
+)
+from repro.runtime.adversary import MaxContentionSchedule, StarvationSchedule
+from repro.runtime.afek_snapshot import AfekHarness, AfekSnapshotMemory
+
+__all__ = [
+    "MaxContentionSchedule",
+    "StarvationSchedule",
+    "AfekHarness",
+    "AfekSnapshotMemory",
+    "Decide",
+    "SnapshotRegion",
+    "WriteCell",
+    "WriteReadIS",
+    "Process",
+    "ProtocolFactory",
+    "Scheduler",
+    "SchedulerError",
+    "RandomSchedule",
+    "RoundRobinSchedule",
+    "enumerate_executions",
+    "RegisterRegion",
+    "SharedMemorySystem",
+    "OneShotISMemory",
+    "levels_immediate_snapshot",
+]

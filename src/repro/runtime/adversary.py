@@ -1,0 +1,75 @@
+"""Adversarial schedules: starvation and maximal-contention strategies.
+
+The paper's remark at the end of Section 4 — the emulation is non-blocking
+but an individual operation's step count cannot be bounded — deserves an
+*adversary* that actually exhibits it.  :class:`StarvationSchedule` keeps a
+victim one step behind everyone else for as long as any other process can
+move; :class:`MaxContentionSchedule` merges every co-pending WriteRead into
+one concurrency class, producing the "everyone simultaneous" executions at
+the center of the standard chromatic subdivision.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import WriteReadIS
+from repro.runtime.scheduler import Action, BlockAction, Scheduler, StepAction
+
+
+class StarvationSchedule:
+    """Schedule everyone but the victim whenever possible.
+
+    The victim moves only when it is the sole runnable process.  For
+    bounded protocols every process still finishes (that is Lemma 3.1 /
+    wait-freedom at work); the victim's *per-operation* cost under this
+    schedule is what experiment E3's adversary column measures.
+    """
+
+    def __init__(self, victim: int):
+        self.victim = victim
+        self._cursor = 0
+
+    def choose(self, scheduler: Scheduler) -> Action | None:
+        running = scheduler.running_pids()
+        if not running:
+            return None
+        preferred = [pid for pid in running if pid != self.victim]
+        pool = preferred if preferred else running
+        pid = pool[self._cursor % len(pool)]
+        self._cursor += 1
+        process = scheduler.processes[pid]
+        if isinstance(process.pending, WriteReadIS):
+            return BlockAction(process.pending.index, (pid,))
+        return StepAction(pid)
+
+
+class MaxContentionSchedule:
+    """Always commit the largest possible concurrency class.
+
+    Register operations are drained round-robin until a WriteRead group
+    forms; then the whole group commits as one block.  In the one-shot IS
+    model this drives executions toward the single-block ordered partition.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, scheduler: Scheduler) -> Action | None:
+        groups = scheduler.is_groups()
+        if groups:
+            # Prefer the lowest-index memory with the largest group.
+            index = min(groups, key=lambda i: (-len(groups[i]), i))
+            pids = groups[index]
+            register_pending = scheduler.register_pending()
+            if not register_pending:
+                return BlockAction(index, tuple(pids))
+            # Some processes may still be on their way to this memory; let
+            # them advance first so the block can be maximal.
+            pid = register_pending[self._cursor % len(register_pending)]
+            self._cursor += 1
+            return StepAction(pid)
+        register_pending = scheduler.register_pending()
+        if not register_pending:
+            return None
+        pid = register_pending[self._cursor % len(register_pending)]
+        self._cursor += 1
+        return StepAction(pid)

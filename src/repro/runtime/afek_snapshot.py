@@ -1,0 +1,209 @@
+"""Wait-free atomic snapshots from single-cell reads: Afek et al. [1].
+
+Section 3.1 opens with "read is done via atomic snapshots.  This model is
+considered w.l.o.g. since all standard variations of the shared-memory
+model are equivalent to it [1]".  This module discharges that "w.l.o.g."
+inside the library: it implements the classic embedded-scan construction of
+Afek, Attiya, Dolev, Gafni, Merritt and Shavit on top of the *weaker*
+primitive :class:`~repro.runtime.ops.ReadCell` (one register at a time),
+so the whole tower — registers → snapshots → immediate snapshots → IIS →
+(via Figure 2) snapshots again — is built from single-register operations.
+
+The algorithm (unbounded-sequence-number version):
+
+* ``update(v)``: perform a full ``scan``; write ``(v, seq+1, that scan)``
+  into your own cell — the scan is *embedded* in the write.
+* ``scan()``: repeatedly collect all cells one read at a time.  If two
+  successive collects are identical (same sequence numbers everywhere),
+  the common collect is an atomic snapshot (it existed at every instant
+  between the two collects).  Otherwise some writer moved; the *second*
+  time a given writer is observed to move, its latest embedded scan was
+  taken entirely within our scan interval — borrow it.
+
+Wait-freedom: each of the ``n`` writers can be charged at most two observed
+moves, so a scan finishes within ``n + 2`` collects.
+
+Correctness here is not argued but *checked*: the test-suite runs this
+implementation under exhaustive and randomized schedules and feeds the
+results through the same snapshot-legality checker that judges the Figure 2
+emulation (experiment E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Hashable, Mapping
+
+from repro.runtime.ops import Decide, Operation, ReadCell, WriteCell
+from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
+from repro.runtime.traces import (
+    EmulatedSnapshot,
+    EmulatedWrite,
+    check_snapshot_legality,
+)
+
+AFEK_REGION = "afek-snapshot"
+
+# A scan view: per-process (value, seq) pairs.
+View = tuple[tuple[Hashable, int], ...]
+
+
+def _empty_view(n_processes: int) -> View:
+    return tuple((None, 0) for _ in range(n_processes))
+
+
+def afek_scan(
+    region: str, n_processes: int
+) -> Generator[Operation, object, View]:
+    """The scan operation: double collect with embedded-scan borrowing."""
+    moved: set[int] = set()
+    previous: list | None = None
+    while True:
+        collect = []
+        for cell_index in range(n_processes):
+            cell = yield ReadCell(region, cell_index)
+            collect.append(cell)
+        if previous is not None:
+            changed = [
+                q
+                for q in range(n_processes)
+                if _seq_of(previous[q]) != _seq_of(collect[q])
+            ]
+            if not changed:
+                return tuple(
+                    (_value_of(cell), _seq_of(cell)) for cell in collect
+                )
+            for q in changed:
+                if q in moved:
+                    # Second observed move of q: its latest write's embedded
+                    # scan lies within our interval — borrow it.
+                    return _view_of(collect[q], n_processes)
+                moved.add(q)
+        previous = collect
+
+
+def afek_update(
+    pid: int, region: str, value: Hashable, n_processes: int
+) -> Generator[Operation, object, None]:
+    """The update operation: embedded scan, then a single register write."""
+    view = yield from afek_scan(region, n_processes)
+    own = yield ReadCell(region, pid)
+    sequence = _seq_of(own) + 1
+    yield WriteCell(region, (value, sequence, view))
+
+
+def _seq_of(cell: object) -> int:
+    if cell is None:
+        return 0
+    return cell[1]
+
+
+def _value_of(cell: object) -> Hashable:
+    if cell is None:
+        return None
+    return cell[0]
+
+
+def _view_of(cell: object, n_processes: int) -> View:
+    if cell is None:
+        return _empty_view(n_processes)
+    return cell[2]
+
+
+class AfekSnapshotMemory:
+    """Per-process handle mirroring :class:`IISEmulatedMemory`'s interface.
+
+    ``write`` / ``snapshot`` are subprotocols (use ``yield from``); the
+    snapshot additionally returns the per-writer sequence vector so traces
+    can be legality-checked.
+    """
+
+    __slots__ = ("pid", "n_processes", "region", "_write_seq")
+
+    def __init__(self, pid: int, n_processes: int, region: str = AFEK_REGION):
+        self.pid = pid
+        self.n_processes = n_processes
+        self.region = region
+        self._write_seq = 0
+
+    def write(self, value: Hashable) -> Generator[Operation, object, None]:
+        self._write_seq += 1
+        yield from afek_update(self.pid, self.region, value, self.n_processes)
+
+    def snapshot(
+        self,
+    ) -> Generator[Operation, object, tuple[tuple[Hashable, ...], tuple[int, ...]]]:
+        view = yield from afek_scan(self.region, self.n_processes)
+        values = tuple(value for value, _seq in view)
+        vector = tuple(seq for _value, seq in view)
+        return values, vector
+
+
+@dataclass(slots=True)
+class AfekTrace:
+    """Checkable record of a run over the implemented snapshot object."""
+
+    n_processes: int
+    writes: list[EmulatedWrite] = field(default_factory=list)
+    snapshots: list[EmulatedSnapshot] = field(default_factory=list)
+    final_states: dict[int, Hashable] = field(default_factory=dict)
+    reads_per_op: list[tuple[int, str, int]] = field(default_factory=list)
+
+    def check_legality(self) -> None:
+        check_snapshot_legality(self.writes, self.snapshots, self.n_processes)
+
+
+class AfekHarness:
+    """Figure 1 run over the *implemented* snapshot object, traced.
+
+    The harness shape mirrors :class:`repro.core.emulation.EmulationHarness`
+    so experiment E11 can compare the two constructions like for like.
+    """
+
+    def __init__(self, inputs: Mapping[int, Hashable], k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.inputs = dict(inputs)
+        self.k = k
+        self.n_processes = max(inputs) + 1
+        self.trace = AfekTrace(self.n_processes)
+        self._clock: Callable[[], int] = lambda: 0
+
+    def _protocol(self, pid: int, input_value: Hashable):
+        memory = AfekSnapshotMemory(pid, self.n_processes)
+        trace = self.trace
+        clock = lambda: self._clock()
+
+        def protocol():
+            value: Hashable = input_value
+            for round_index in range(1, self.k + 1):
+                start = clock()
+                yield from memory.write(value)
+                trace.writes.append(
+                    EmulatedWrite(pid, round_index, value, start, clock())
+                )
+                start = clock()
+                values, vector = yield from memory.snapshot()
+                trace.snapshots.append(
+                    EmulatedSnapshot(pid, round_index, vector, values, start, clock())
+                )
+                trace.reads_per_op.append(
+                    (pid, "snapshot", clock() - start)
+                )
+                value = values
+            yield Decide(value)
+
+        return protocol()
+
+    def run(
+        self, schedule: Schedule | None = None, max_steps: int = 400_000
+    ) -> AfekTrace:
+        factories = {
+            pid: (lambda p, value=value: self._protocol(p, value))
+            for pid, value in self.inputs.items()
+        }
+        scheduler = Scheduler(factories, self.n_processes)
+        self._clock = lambda: scheduler.time
+        result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+        self.trace.final_states = dict(result.decisions)
+        return self.trace

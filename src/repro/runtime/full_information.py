@@ -1,0 +1,64 @@
+"""Figure 1: the k-shot atomic-snapshot full-information protocol.
+
+Each processor alternates between writing its cell and snapshotting the
+whole memory; after the first write (its input) every write is the encoding
+of the last snapshot (Section 3.1).  The local state after round ``sq`` is
+that snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Hashable, Mapping
+
+from repro.runtime.ops import Decide, Operation, SnapshotRegion, WriteCell
+from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
+
+FULL_INFO_REGION = "full-information"
+
+
+def k_shot_full_information(
+    pid: int, input_value: Hashable, k: int, region: str = FULL_INFO_REGION
+) -> Generator[Operation, object, Hashable]:
+    """Figure 1 verbatim: ``for sq in 1..k: Write(val); val := Snapshot()``."""
+    value: Hashable = input_value
+    for _sq in range(k):
+        yield WriteCell(region, value)
+        value = yield SnapshotRegion(region)
+    return value
+
+
+def k_shot_decision_protocol(
+    pid: int,
+    input_value: Hashable,
+    k: int,
+    decide: Callable[[int, Hashable], Hashable],
+    region: str = FULL_INFO_REGION,
+) -> Generator[Operation, object, None]:
+    """k full-information rounds, then decide from the final local state."""
+    view = yield from k_shot_full_information(pid, input_value, k, region)
+    yield Decide(decide(pid, view))
+
+
+def run_k_shot(
+    inputs: Mapping[int, Hashable],
+    k: int,
+    schedule: Schedule | None = None,
+    max_steps: int = 100_000,
+) -> dict[int, Hashable]:
+    """Run Figure 1 for all processes; return final local states."""
+
+    def factory_for(pid: int, value: Hashable):
+        def factory(p: int):
+            return _decide_with_view(k_shot_full_information(p, value, k))
+
+        return factory
+
+    factories = {pid: factory_for(pid, value) for pid, value in inputs.items()}
+    scheduler = Scheduler(factories, max(inputs) + 1)
+    result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+    return dict(result.decisions)
+
+
+def _decide_with_view(generator):
+    view = yield from generator
+    yield Decide(view)

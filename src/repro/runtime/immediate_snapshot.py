@@ -1,0 +1,132 @@
+"""One-shot immediate snapshot: block-commit memory and the levels protocol.
+
+Two interchangeable engines implement the object of Section 3.5:
+
+* :class:`OneShotISMemory` — the *model* engine.  The scheduler commits
+  pending ``WriteReadIS`` operations in blocks (concurrency classes); all
+  processes of a block receive the memory contents including the whole
+  block.  Every execution is an ordered partition and every ordered
+  partition is an execution, so the generated behaviours are exactly the
+  one-shot IS executions.
+
+* :func:`levels_immediate_snapshot` — the *algorithmic* engine: the
+  Borowsky–Gafni participating-set protocol ([8], referenced in Section 3.4)
+  run on plain SWMR registers.  A process descends levels, writing its level
+  and snapshotting, and returns when it observes at least ``level``
+  processes at or below its level.  This is the published simulation showing
+  the atomic-snapshot model implements immediate snapshot; tests check both
+  engines produce outputs satisfying the three IS axioms and generate the
+  same protocol complex (experiment E1/E10).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Hashable, Iterable
+
+from repro.runtime.ops import Operation, SnapshotRegion, WriteCell
+
+ISView = frozenset[tuple[int, Hashable]]
+
+
+class OneShotISMemory:
+    """Block-committing one-shot immediate snapshot memory.
+
+    State is the set of ``(pid, value)`` pairs written so far.  Committing a
+    block adds all the block's pairs, then hands the *same* cumulative view
+    to every member.  Axioms of Section 3.5 hold by construction:
+
+    1. self-inclusion — a member's pair is in the view it receives;
+    2. comparability — views are cumulative states, totally ordered;
+    3. knowledge — if ``(j, v_j)`` is visible to ``i`` then ``j`` committed
+       in an earlier-or-equal block, so ``S_j ⊆ S_i``.
+    """
+
+    __slots__ = ("index", "_written", "_participants", "_blocks")
+
+    def __init__(self, index: int):
+        self.index = index
+        self._written: set[tuple[int, Hashable]] = set()
+        self._participants: set[int] = set()
+        self._blocks: list[frozenset[int]] = []
+
+    def commit_block(self, writes: Iterable[tuple[int, Hashable]]) -> ISView:
+        """Apply a concurrency class; return the common view of its members."""
+        block = list(writes)
+        if not block:
+            raise ValueError("cannot commit an empty block")
+        pids = {pid for pid, _ in block}
+        if len(pids) != len(block):
+            raise ValueError("a block may contain each process at most once")
+        already = pids & self._participants
+        if already:
+            raise ValueError(f"one-shot memory {self.index}: pids {already} wrote twice")
+        self._written.update(block)
+        self._participants.update(pids)
+        self._blocks.append(frozenset(pids))
+        return frozenset(self._written)
+
+    @property
+    def participants(self) -> frozenset[int]:
+        return frozenset(self._participants)
+
+    @property
+    def blocks(self) -> tuple[frozenset[int], ...]:
+        """The ordered partition committed so far (for transcripts/tests)."""
+        return tuple(self._blocks)
+
+
+def levels_immediate_snapshot(
+    pid: int, value: Hashable, region: str, n_processes: int
+) -> Generator[Operation, object, ISView]:
+    """The Borowsky–Gafni levels algorithm on SWMR registers.
+
+    The process starts at level ``n_processes + 1`` and repeatedly descends
+    one level, writes ``(level, value)`` to its cell, snapshots, and returns
+    the set of processes it sees at or below its own level once that set has
+    at least ``level`` members.  Wait-free: at most ``n_processes`` descents.
+
+    Returns the immediate-snapshot view as ``frozenset of (pid, value)``.
+    """
+    level = n_processes + 1
+    while True:
+        level -= 1
+        if level <= 0:
+            raise AssertionError("levels algorithm descended below level 1")
+        yield WriteCell(region, (level, value))
+        cells = yield SnapshotRegion(region)
+        below = {
+            (other_pid, other_value)
+            for other_pid, cell in enumerate(cells)
+            if cell is not None
+            for other_level, other_value in (cell,)
+            if other_level <= level
+        }
+        if len(below) >= level:
+            return frozenset(below)
+
+
+def check_immediate_snapshot_axioms(views: dict[int, ISView]) -> None:
+    """Assert the three axioms of Section 3.5 over a set of outputs.
+
+    ``views`` maps each participating pid to its returned view.  Raises
+    ``AssertionError`` naming the violated axiom.
+    """
+    values = {pid: _value_of(pid, view) for pid, view in views.items()}
+    for pid, view in views.items():
+        if (pid, values[pid]) not in view:
+            raise AssertionError(f"self-inclusion violated for pid {pid}: {view}")
+    pids = sorted(views)
+    for i in pids:
+        for j in pids:
+            view_i, view_j = views[i], views[j]
+            if not (view_i <= view_j or view_j <= view_i):
+                raise AssertionError(f"comparability violated between {i} and {j}")
+            if (i, values[i]) in view_j and not views[i] <= view_j:
+                raise AssertionError(f"knowledge violated: {i} visible to {j}")
+
+
+def _value_of(pid: int, view: ISView) -> Hashable:
+    for other_pid, value in view:
+        if other_pid == pid:
+            return value
+    raise AssertionError(f"pid {pid} missing from its own view {view}")

@@ -1,0 +1,79 @@
+"""The operation vocabulary protocols can yield to the scheduler.
+
+Three shared-memory primitives cover both models of the paper:
+
+* :class:`WriteCell` / :class:`SnapshotRegion` — the SWMR atomic-snapshot
+  model of Section 3.1 (each processor writes its own cell, reads all cells
+  in one atomic snapshot);
+* :class:`WriteReadIS` — the condensed write-then-snapshot operation of the
+  (iterated) immediate snapshot model of Sections 3.4–3.5, resolved by the
+  scheduler in *blocks* (concurrency classes);
+* :class:`Decide` — termination with an output value.
+
+Operations are plain frozen dataclasses so that transcripts are hashable,
+comparable and printable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class WriteCell:
+    """Write ``value`` to the calling process's own cell of ``region``.
+
+    Yields back ``None``.
+    """
+
+    region: str
+    value: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotRegion:
+    """Atomically read all cells of ``region``.
+
+    Yields back a tuple of cell values indexed by process id (``None`` for
+    never-written cells).
+    """
+
+    region: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReadCell:
+    """Read a single cell of ``region`` (a plain SWMR register read).
+
+    Yields back that cell's current value.  This is the *weaker* primitive
+    from which :mod:`repro.runtime.afek_snapshot` reconstructs the atomic
+    snapshot operation, discharging the "w.l.o.g." of Section 3.1 ([1]).
+    """
+
+    region: str
+    cell: int
+
+
+@dataclass(frozen=True, slots=True)
+class WriteReadIS:
+    """One-shot immediate-snapshot WriteRead on memory ``index``.
+
+    Yields back a ``frozenset`` of ``(pid, value)`` pairs: the caller's
+    immediate snapshot ``S_i``.  The scheduler commits pending WriteReads on
+    the same memory in blocks; everyone in a block receives the identical
+    snapshot, which is what makes the three axioms of Section 3.5 hold.
+    """
+
+    index: int
+    value: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Decide:
+    """Terminate with ``value`` as the process's decision."""
+
+    value: Hashable
+
+
+Operation = WriteCell | SnapshotRegion | ReadCell | WriteReadIS | Decide

@@ -1,0 +1,88 @@
+"""Processes: protocols as generator coroutines.
+
+A *protocol* is a generator function taking the process id and yielding
+:mod:`~repro.runtime.ops` operations; the scheduler feeds each operation's
+result back into the generator.  Helper subprotocols compose with
+``yield from`` — e.g. the levels-based immediate snapshot of
+:func:`repro.runtime.immediate_snapshot.levels_immediate_snapshot` is used
+that way inside larger protocols.
+
+A protocol may finish in two equivalent ways: yield :class:`Decide`, or
+``return value`` (a plain ``return`` from the generator); both record the
+decision.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Generator, Hashable
+
+from repro.runtime.ops import Decide, Operation
+
+Protocol = Generator[Operation, object, object]
+ProtocolFactory = Callable[[int], Protocol]
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    DECIDED = "decided"
+    CRASHED = "crashed"
+
+
+class Process:
+    """Execution state of one process driving a protocol generator."""
+
+    __slots__ = ("pid", "_generator", "state", "decision", "pending", "steps")
+
+    def __init__(self, pid: int, generator: Protocol):
+        self.pid = pid
+        self._generator = generator
+        self.state = ProcessState.RUNNING
+        self.decision: Hashable = None
+        self.pending: Operation | None = None
+        self.steps = 0
+
+    def start(self) -> None:
+        """Advance to the first yield (or immediate decision)."""
+        self._advance(None)
+
+    def resume(self, result: object) -> None:
+        """Deliver the result of the pending operation and advance."""
+        if self.state is not ProcessState.RUNNING:
+            raise RuntimeError(f"cannot resume process {self.pid} in state {self.state}")
+        self._advance(result)
+
+    def _advance(self, result: object) -> None:
+        self.steps += 1
+        try:
+            operation = self._generator.send(result)
+        except StopIteration as stop:
+            self.state = ProcessState.DECIDED
+            self.decision = stop.value
+            self.pending = None
+            return
+        if isinstance(operation, Decide):
+            self.state = ProcessState.DECIDED
+            self.decision = operation.value
+            self.pending = None
+            self._generator.close()
+            return
+        self.pending = operation
+
+    def crash(self) -> None:
+        """Fail-stop the process; it takes no further steps."""
+        if self.state is ProcessState.RUNNING:
+            self.state = ProcessState.CRASHED
+            self.pending = None
+            self._generator.close()
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    @property
+    def has_decided(self) -> bool:
+        return self.state is ProcessState.DECIDED
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid}, state={self.state.value}, pending={self.pending!r})"

@@ -1,0 +1,346 @@
+"""Serializing scheduler: the source of all asynchrony in the library.
+
+The scheduler owns the processes and the shared memory of one run.  At each
+step it asks its :class:`Schedule` for an action:
+
+* :class:`StepAction` — apply one register operation (write / atomic
+  snapshot) of one process;
+* :class:`BlockAction` — commit a *concurrency class*: a set of processes
+  pending ``WriteReadIS`` on the same one-shot memory writes and reads
+  together (Section 3.4's "maximal run of writes followed by a maximal run
+  of snapshots by the same processors");
+* :class:`CrashAction` — fail-stop a process (it is never scheduled again).
+
+Because register operations are applied one at a time, the SWMR snapshot
+memory is trivially atomic; because blocks are the only way WriteReads
+commit, one-shot IS executions are exactly ordered partitions.
+
+Three ways to drive a run are provided: deterministic round-robin, seeded
+random (with crash injection), and exhaustive *enumeration* of all
+executions by prefix replay — the latter is what lets tests quantify over
+every interleaving of small protocols, which is the whole point of building
+the runtime this way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Hashable, Iterator, Protocol as TypingProtocol, Sequence
+
+from repro.runtime.ops import Decide, ReadCell, SnapshotRegion, WriteCell, WriteReadIS
+from repro.runtime.process import Process, ProcessState, ProtocolFactory
+from repro.runtime.shared_memory import SharedMemorySystem
+
+
+class SchedulerError(RuntimeError):
+    """A run failed: non-termination guard tripped or an illegal action."""
+
+
+@dataclass(frozen=True, slots=True)
+class StepAction:
+    pid: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlockAction:
+    index: int
+    pids: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashAction:
+    pid: int
+
+
+Action = StepAction | BlockAction | CrashAction
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One applied action, for transcripts."""
+
+    time: int
+    action: Action
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of a completed run."""
+
+    decisions: dict[int, Hashable]
+    crashed: frozenset[int]
+    steps: int
+    events: tuple[Event, ...] = field(default=(), repr=False)
+
+    @property
+    def participating(self) -> frozenset[int]:
+        return frozenset(self.decisions) | self.crashed
+
+
+class Schedule(TypingProtocol):
+    """Strategy interface: pick the next action (or ``None`` to halt)."""
+
+    def choose(self, scheduler: "Scheduler") -> Action | None: ...
+
+
+class Scheduler:
+    """Drives a set of protocol generators against one shared memory."""
+
+    def __init__(
+        self,
+        factories: Sequence[ProtocolFactory] | dict[int, ProtocolFactory],
+        n_processes: int | None = None,
+        *,
+        record_events: bool = False,
+    ):
+        if isinstance(factories, dict):
+            factory_map = dict(factories)
+        else:
+            factory_map = dict(enumerate(factories))
+        if not factory_map:
+            raise ValueError("need at least one process")
+        if n_processes is None:
+            n_processes = max(factory_map) + 1
+        self.memory = SharedMemorySystem(n_processes)
+        self.processes: dict[int, Process] = {}
+        for pid, factory in factory_map.items():
+            process = Process(pid, factory(pid))
+            process.start()
+            self.processes[pid] = process
+        self.time = 0
+        self._record = record_events
+        self._events: list[Event] = []
+
+    # -- introspection for schedules ------------------------------------------
+
+    def running_pids(self) -> list[int]:
+        return sorted(p.pid for p in self.processes.values() if p.is_running)
+
+    def register_pending(self) -> list[int]:
+        """Pids whose next operation is a register write/snapshot."""
+        return sorted(
+            p.pid
+            for p in self.processes.values()
+            if p.is_running
+            and isinstance(p.pending, (WriteCell, SnapshotRegion, ReadCell))
+        )
+
+    def is_groups(self) -> dict[int, list[int]]:
+        """Pids pending WriteReadIS, grouped by memory index."""
+        groups: dict[int, list[int]] = {}
+        for process in self.processes.values():
+            if process.is_running and isinstance(process.pending, WriteReadIS):
+                groups.setdefault(process.pending.index, []).append(process.pid)
+        return {index: sorted(pids) for index, pids in groups.items()}
+
+    def all_done(self) -> bool:
+        return not any(p.is_running for p in self.processes.values())
+
+    def enabled_actions(self, *, with_crashes: bool = False) -> list[Action]:
+        """Deterministically ordered list of all currently legal actions."""
+        actions: list[Action] = [StepAction(pid) for pid in self.register_pending()]
+        for index in sorted(self.is_groups()):
+            pids = self.is_groups()[index]
+            for size in range(1, len(pids) + 1):
+                for block in combinations(pids, size):
+                    actions.append(BlockAction(index, block))
+        if with_crashes:
+            actions.extend(CrashAction(pid) for pid in self.running_pids())
+        return actions
+
+    # -- applying actions ---------------------------------------------------------
+
+    def apply(self, action: Action) -> None:
+        self.time += 1
+        if self._record:
+            self._events.append(Event(self.time, action))
+        if isinstance(action, CrashAction):
+            self.processes[action.pid].crash()
+            return
+        if isinstance(action, StepAction):
+            self._apply_step(action.pid)
+            return
+        if isinstance(action, BlockAction):
+            self._apply_block(action)
+            return
+        raise SchedulerError(f"unknown action {action!r}")
+
+    def _apply_step(self, pid: int) -> None:
+        process = self.processes[pid]
+        if not process.is_running:
+            raise SchedulerError(f"process {pid} is not running")
+        operation = process.pending
+        if isinstance(operation, WriteCell):
+            self.memory.region(operation.region).write(pid, operation.value)
+            process.resume(None)
+        elif isinstance(operation, SnapshotRegion):
+            snapshot = self.memory.region(operation.region).snapshot()
+            process.resume(snapshot)
+        elif isinstance(operation, ReadCell):
+            value = self.memory.region(operation.region).read(operation.cell)
+            process.resume(value)
+        elif isinstance(operation, Decide):
+            # Decide is consumed inside Process; reaching here means a stale
+            # pending reference, which is a library bug.
+            raise SchedulerError(f"process {pid} has a stale Decide pending")
+        else:
+            raise SchedulerError(
+                f"process {pid} pending {operation!r} needs a BlockAction, not a step"
+            )
+
+    def _apply_block(self, action: BlockAction) -> None:
+        if not action.pids:
+            raise SchedulerError("empty block")
+        writes = []
+        for pid in action.pids:
+            process = self.processes[pid]
+            operation = process.pending
+            if not (process.is_running and isinstance(operation, WriteReadIS)):
+                raise SchedulerError(f"process {pid} is not pending a WriteReadIS")
+            if operation.index != action.index:
+                raise SchedulerError(
+                    f"process {pid} is pending memory {operation.index}, "
+                    f"block targets {action.index}"
+                )
+            writes.append((pid, operation.value))
+        memory = self.memory.immediate_snapshot_memory(action.index)
+        view = memory.commit_block(writes)
+        for pid in action.pids:
+            self.processes[pid].resume(view)
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self, schedule: "Schedule", max_steps: int = 100_000) -> RunResult:
+        """Drive to completion (all processes decided or crashed)."""
+        while not self.all_done():
+            if self.time >= max_steps:
+                raise SchedulerError(
+                    f"exceeded {max_steps} steps; protocol or schedule is not wait-free"
+                )
+            action = schedule.choose(self)
+            if action is None:
+                raise SchedulerError("schedule halted before all processes finished")
+            self.apply(action)
+        return self.result()
+
+    def result(self) -> RunResult:
+        decisions = {
+            p.pid: p.decision
+            for p in self.processes.values()
+            if p.state is ProcessState.DECIDED
+        }
+        crashed = frozenset(
+            p.pid for p in self.processes.values() if p.state is ProcessState.CRASHED
+        )
+        return RunResult(decisions, crashed, self.time, tuple(self._events))
+
+
+class RoundRobinSchedule:
+    """Fair deterministic schedule; commits IS operations as singleton blocks."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, scheduler: Scheduler) -> Action | None:
+        running = scheduler.running_pids()
+        if not running:
+            return None
+        pid = running[self._cursor % len(running)]
+        self._cursor += 1
+        process = scheduler.processes[pid]
+        if isinstance(process.pending, WriteReadIS):
+            return BlockAction(process.pending.index, (pid,))
+        return StepAction(pid)
+
+
+class RandomSchedule:
+    """Seeded random schedule with optional crash injection.
+
+    ``block_probability`` controls how often co-pending WriteReads are
+    merged into one concurrency class — higher values produce "more
+    simultaneous" immediate-snapshot executions.  ``crash_pids`` processes
+    are crashed after a random number of their own steps.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        block_probability: float = 0.5,
+        crash_pids: Sequence[int] = (),
+        max_crash_delay: int = 20,
+    ):
+        self._rng = random.Random(seed)
+        self._block_probability = block_probability
+        self._crash_at = {
+            pid: self._rng.randint(0, max_crash_delay) for pid in crash_pids
+        }
+
+    def choose(self, scheduler: Scheduler) -> Action | None:
+        for pid, deadline in sorted(self._crash_at.items()):
+            process = scheduler.processes.get(pid)
+            if process is not None and process.is_running and process.steps >= deadline:
+                del self._crash_at[pid]
+                return CrashAction(pid)
+        running = scheduler.running_pids()
+        if not running:
+            return None
+        pid = self._rng.choice(running)
+        process = scheduler.processes[pid]
+        if isinstance(process.pending, WriteReadIS):
+            index = process.pending.index
+            block = [pid]
+            for other in scheduler.is_groups().get(index, []):
+                if other != pid and self._rng.random() < self._block_probability:
+                    block.append(other)
+            return BlockAction(index, tuple(sorted(block)))
+        return StepAction(pid)
+
+
+def enumerate_executions(
+    factories: Sequence[ProtocolFactory] | dict[int, ProtocolFactory],
+    n_processes: int | None = None,
+    *,
+    max_depth: int = 200,
+    max_crashes: int = 0,
+    prune: Callable[[Scheduler], bool] | None = None,
+) -> Iterator[RunResult]:
+    """Exhaustively enumerate executions by depth-first prefix replay.
+
+    Generators cannot be forked, so branching re-executes the action prefix
+    from scratch — quadratic in depth but exact, and cheap at the scales the
+    paper's small instances need (2–4 processes, a few rounds).
+
+    ``max_crashes`` > 0 additionally branches on fail-stopping processes, so
+    wait-freedom can be checked against every crash pattern.  ``prune`` may
+    cut the search below a scheduler state.
+    """
+
+    def replay(prefix: Sequence[Action]) -> Scheduler:
+        scheduler = Scheduler(factories, n_processes, record_events=True)
+        for action in prefix:
+            scheduler.apply(action)
+        return scheduler
+
+    stack: list[tuple[Action, ...]] = [()]
+    while stack:
+        prefix = stack.pop()
+        scheduler = replay(prefix)
+        if scheduler.all_done():
+            yield scheduler.result()
+            continue
+        if len(prefix) >= max_depth:
+            raise SchedulerError(f"execution exceeded max_depth={max_depth}")
+        if prune is not None and prune(scheduler):
+            continue
+        crashes_so_far = sum(1 for a in prefix if isinstance(a, CrashAction))
+        with_crashes = crashes_so_far < max_crashes
+        actions = scheduler.enabled_actions(with_crashes=with_crashes)
+        if not actions:
+            # Only crashed-or-decided processes remain without pending ops.
+            yield scheduler.result()
+            continue
+        for action in reversed(actions):
+            stack.append(prefix + (action,))

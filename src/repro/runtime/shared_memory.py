@@ -1,0 +1,100 @@
+"""SWMR atomic-snapshot shared memory (Section 3.1).
+
+Each :class:`RegisterRegion` is an array of single-writer multi-reader
+cells, one per process, read via atomic snapshots.  Atomicity is guaranteed
+by the scheduler, which applies one operation at a time; the region itself
+only has to record values and per-cell sequence numbers (the sequence
+numbers feed the snapshot-legality checker of :mod:`repro.runtime.traces`).
+
+Regions are created on demand: protocols may use as many named regions as
+they like (the levels-based immediate snapshot allocates one region per
+one-shot memory).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class RegisterRegion:
+    """An array of SWMR cells with write counters."""
+
+    __slots__ = ("name", "size", "_values", "_versions")
+
+    def __init__(self, name: str, size: int):
+        if size <= 0:
+            raise ValueError("a region needs at least one cell")
+        self.name = name
+        self.size = size
+        self._values: list[Hashable] = [None] * size
+        self._versions: list[int] = [0] * size
+
+    def write(self, pid: int, value: Hashable) -> None:
+        """Write the calling process's own cell (single-writer discipline)."""
+        self._check_pid(pid)
+        self._values[pid] = value
+        self._versions[pid] += 1
+
+    def read(self, cell: int) -> Hashable:
+        """Read one cell — the plain register primitive."""
+        self._check_pid(cell)
+        return self._values[cell]
+
+    def snapshot(self) -> tuple[Hashable, ...]:
+        """An atomic snapshot of all cell values."""
+        return tuple(self._values)
+
+    def versioned_snapshot(self) -> tuple[tuple[Hashable, int], ...]:
+        """Snapshot of ``(value, version)`` pairs, for legality checking."""
+        return tuple(zip(self._values, self._versions))
+
+    def version_vector(self) -> tuple[int, ...]:
+        return tuple(self._versions)
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.size:
+            raise ValueError(f"pid {pid} out of range for region {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"RegisterRegion({self.name!r}, size={self.size})"
+
+
+class SharedMemorySystem:
+    """All shared state of one run: named register regions + IS memories."""
+
+    __slots__ = ("n_processes", "_regions", "_is_memories")
+
+    def __init__(self, n_processes: int):
+        if n_processes <= 0:
+            raise ValueError("need at least one process")
+        self.n_processes = n_processes
+        self._regions: dict[str, RegisterRegion] = {}
+        self._is_memories: dict[int, object] = {}
+
+    def region(self, name: str) -> RegisterRegion:
+        """Get (lazily creating) the named region."""
+        existing = self._regions.get(name)
+        if existing is None:
+            existing = RegisterRegion(name, self.n_processes)
+            self._regions[name] = existing
+        return existing
+
+    def immediate_snapshot_memory(self, index: int):
+        """Get (lazily creating) the ``index``-th one-shot IS memory."""
+        from repro.runtime.immediate_snapshot import OneShotISMemory
+
+        existing = self._is_memories.get(index)
+        if existing is None:
+            existing = OneShotISMemory(index)
+            self._is_memories[index] = existing
+        return existing
+
+    @property
+    def highest_is_memory_used(self) -> int:
+        """The largest IS memory index touched so far (-1 if none)."""
+        if not self._is_memories:
+            return -1
+        return max(self._is_memories)
+
+    def region_names(self) -> list[str]:
+        return sorted(self._regions)

@@ -1,0 +1,161 @@
+"""Trace recording and the atomic-snapshot legality checker.
+
+Proposition 4.1 claims the Figure 2 emulation implements the atomic-snapshot
+model.  To *check* that on actual runs, the emulation records, for every
+emulated operation, its real-time interval (scheduler step numbers) plus a
+version vector: for a snapshot, the per-writer sequence numbers it returned;
+for a write, the writer's sequence number.
+
+For single-writer snapshot objects with per-writer sequence numbers,
+linearizability is equivalent to the following checkable conditions (Afek et
+al. [1] style), which :func:`check_snapshot_legality` verifies:
+
+1. **comparability** — all returned snapshot vectors are totally ordered
+   componentwise (snapshots are "related by containment", the property the
+   paper's proof establishes);
+2. **self-inclusion** — a snapshot by ``p`` reflects exactly the writes ``p``
+   itself completed before it;
+3. **real-time write → snapshot** — a write that *finished* before a
+   snapshot *started* is visible in it (Corollary 4.1's freshness);
+4. **no reading from the future** — a snapshot never reports a sequence
+   number of a write that had not *started* before the snapshot finished;
+5. **per-process monotonicity** — later snapshots by the same process see
+   no fewer writes.
+
+Together with serialized single-writer writes, 1–5 imply the existence of a
+linearization of the emulated history, so a passing run is a genuine
+atomic-snapshot execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class EmulatedWrite:
+    """A completed emulated write: ``seq``-th write of ``pid``."""
+
+    pid: int
+    seq: int
+    value: Hashable
+    start_time: int
+    end_time: int
+
+
+@dataclass(frozen=True, slots=True)
+class EmulatedSnapshot:
+    """A completed emulated snapshot with the version vector it returned.
+
+    ``vector[q]`` is the sequence number of the write of process ``q``
+    reflected by the snapshot (0 when ``q``'s cell still looked empty).
+    """
+
+    pid: int
+    seq: int
+    vector: tuple[int, ...]
+    values: tuple[Hashable, ...]
+    start_time: int
+    end_time: int
+
+
+class SnapshotLegalityError(AssertionError):
+    """A trace violates atomic-snapshot semantics; the message says how."""
+
+
+def check_snapshot_legality(
+    writes: Iterable[EmulatedWrite],
+    snapshots: Iterable[EmulatedSnapshot],
+    n_processes: int,
+) -> None:
+    """Verify conditions 1–5 above; raise :class:`SnapshotLegalityError`."""
+    writes = sorted(writes, key=lambda w: (w.pid, w.seq))
+    snapshots = sorted(snapshots, key=lambda s: (s.pid, s.seq))
+    _check_write_wellformedness(writes, n_processes)
+
+    vectors = [s.vector for s in snapshots]
+    for vector in vectors:
+        if len(vector) != n_processes:
+            raise SnapshotLegalityError(
+                f"vector {vector} has wrong arity (expected {n_processes})"
+            )
+
+    # 1. comparability
+    for i, a in enumerate(vectors):
+        for b in vectors[i + 1 :]:
+            if not (_leq(a, b) or _leq(b, a)):
+                raise SnapshotLegalityError(f"incomparable snapshots {a} vs {b}")
+
+    writes_by_pid: dict[int, list[EmulatedWrite]] = {}
+    for write in writes:
+        writes_by_pid.setdefault(write.pid, []).append(write)
+
+    for snapshot in snapshots:
+        # 2. self-inclusion: exactly the writes pid completed before the snapshot.
+        own_completed = [
+            w
+            for w in writes_by_pid.get(snapshot.pid, [])
+            if w.end_time <= snapshot.start_time
+        ]
+        own_seq = max((w.seq for w in own_completed), default=0)
+        if snapshot.vector[snapshot.pid] != own_seq:
+            raise SnapshotLegalityError(
+                f"snapshot {snapshot.pid}#{snapshot.seq} reports own seq "
+                f"{snapshot.vector[snapshot.pid]}, expected {own_seq}"
+            )
+        for q in range(n_processes):
+            q_writes = writes_by_pid.get(q, [])
+            # 3. completed writes are visible.
+            finished_before = max(
+                (w.seq for w in q_writes if w.end_time < snapshot.start_time),
+                default=0,
+            )
+            if snapshot.vector[q] < finished_before:
+                raise SnapshotLegalityError(
+                    f"snapshot {snapshot.pid}#{snapshot.seq} misses write "
+                    f"{q}#{finished_before} that completed before it started"
+                )
+            # 4. no write from the future.
+            started_before = max(
+                (w.seq for w in q_writes if w.start_time < snapshot.end_time),
+                default=0,
+            )
+            if snapshot.vector[q] > started_before:
+                raise SnapshotLegalityError(
+                    f"snapshot {snapshot.pid}#{snapshot.seq} reports write "
+                    f"{q}#{snapshot.vector[q]} which had not started"
+                )
+
+    # 5. per-process monotonicity.
+    by_pid: dict[int, list[EmulatedSnapshot]] = {}
+    for snapshot in snapshots:
+        by_pid.setdefault(snapshot.pid, []).append(snapshot)
+    for pid, sequence in by_pid.items():
+        ordered = sorted(sequence, key=lambda s: s.seq)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if not _leq(earlier.vector, later.vector):
+                raise SnapshotLegalityError(
+                    f"process {pid}: snapshot #{later.seq} saw less than #{earlier.seq}"
+                )
+
+
+def _check_write_wellformedness(writes: list[EmulatedWrite], n_processes: int) -> None:
+    by_pid: dict[int, list[EmulatedWrite]] = {}
+    for write in writes:
+        if not 0 <= write.pid < n_processes:
+            raise SnapshotLegalityError(f"write by out-of-range pid {write.pid}")
+        by_pid.setdefault(write.pid, []).append(write)
+    for pid, sequence in by_pid.items():
+        expected = 1
+        for write in sorted(sequence, key=lambda w: w.seq):
+            if write.seq != expected:
+                raise SnapshotLegalityError(
+                    f"process {pid} writes are not consecutively numbered "
+                    f"(saw #{write.seq}, expected #{expected})"
+                )
+            expected += 1
+
+
+def _leq(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    return all(x <= y for x, y in zip(a, b))

@@ -1,0 +1,31 @@
+"""Task library: the instances the paper's story revolves around.
+
+Consensus and ``(n+1, k)``-set consensus (Section 3.2's running example and
+the impossibility benchmarks of the introduction), approximate agreement
+(the canonical solvable-but-nontrivial task), renaming (the second
+benchmark instance of [6, 8], provided as a runnable protocol), chromatic
+simplex agreement (Section 5's CSASS), and trivial baselines.
+"""
+
+from repro.tasks.consensus import binary_consensus_task, consensus_task
+from repro.tasks.set_consensus import set_consensus_task
+from repro.tasks.approximate_agreement import approximate_agreement_task
+from repro.tasks.trivial import constant_task, identity_task
+from repro.tasks.simplex_agreement import chromatic_simplex_agreement_task
+from repro.tasks.renaming import RenamingProtocol, renaming_task
+from repro.tasks.participating_set import participating_set_task
+from repro.tasks.graph_agreement import graph_agreement_task
+
+__all__ = [
+    "graph_agreement_task",
+    "binary_consensus_task",
+    "consensus_task",
+    "set_consensus_task",
+    "approximate_agreement_task",
+    "constant_task",
+    "identity_task",
+    "chromatic_simplex_agreement_task",
+    "RenamingProtocol",
+    "renaming_task",
+    "participating_set_task",
+]

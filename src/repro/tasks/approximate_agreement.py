@@ -1,0 +1,71 @@
+"""Approximate agreement: the canonical nontrivially-solvable task.
+
+Processors start with values in ``{0, 1}`` and must decide grid points
+``j / resolution`` (encoded as the integer ``j``) that (a) pairwise differ
+by at most one grid step and (b) lie between the minimum and maximum input
+of the participants.  For two processors, ``SDS^b`` of an input edge is a
+path of ``3^b`` edges, so a decision map exists exactly when
+``3^b >= resolution`` — the solvability engine finds it at
+``b = ceil(log3 resolution)``, making this the positive control of
+experiment E5 (Corollary 5.2's "any subdivision" reading: the output path
+is a chromatic subdivision of the input edge).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from math import ceil, log
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def approximate_agreement_task(n_processes: int = 2, resolution: int = 3) -> Task:
+    """ε-agreement with ε = 1/resolution, on the grid ``{0..resolution}``.
+
+    Values are encoded as integers ``j`` standing for ``j / resolution``;
+    inputs ``0`` and ``1`` are encoded as ``0`` and ``resolution``.
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be positive")
+    pids = range(n_processes)
+    low, high = 0, resolution
+    input_tops = [
+        Simplex(Vertex(pid, assignment[pid]) for pid in pids)
+        for assignment in product((low, high), repeat=n_processes)
+    ]
+    input_complex = SimplicialComplex(input_tops)
+    grid = range(resolution + 1)
+    output_tops = [
+        Simplex(Vertex(pid, assignment[pid]) for pid in pids)
+        for assignment in product(grid, repeat=n_processes)
+        if max(assignment) - min(assignment) <= 1
+    ]
+    output_complex = SimplicialComplex(output_tops)
+
+    def rule(input_simplex: Simplex):
+        participants = sorted(input_simplex.colors)
+        input_values = [v.payload for v in input_simplex]
+        lo, hi = min(input_values), max(input_values)
+        for assignment in product(range(lo, hi + 1), repeat=len(participants)):
+            if max(assignment) - min(assignment) > 1:
+                continue
+            yield Simplex(
+                Vertex(pid, value) for pid, value in zip(participants, assignment)
+            )
+
+    return Task(
+        name=f"approximate-agreement(n={n_processes}, resolution={resolution})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )
+
+
+def predicted_rounds(resolution: int) -> int:
+    """The level at which the 2-process decision map must appear: ⌈log₃ K⌉."""
+    if resolution <= 1:
+        return 0
+    return ceil(log(resolution) / log(3) - 1e-12)

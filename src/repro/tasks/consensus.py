@@ -1,0 +1,61 @@
+"""Consensus tasks.
+
+Consensus over ``n + 1`` processors: every participating processor decides
+the same value, and that value must be some participant's input.  The
+impossibility for even one failure is [2] (FLP); in this library the
+all-rounds impossibility certificate is the connectivity argument of
+:func:`repro.core.impossibility.connectivity_certificate`, and the
+level-by-level UNSAT of the solvability engine confirms it for small ``b``
+(experiment E5).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Sequence
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def consensus_task(
+    n_processes: int, values: Sequence[Hashable] = (0, 1)
+) -> Task:
+    """Consensus: agreement on a single input value.
+
+    The input complex has a maximal simplex per full assignment of values to
+    processors; the output complex has one monochromatic simplex per value.
+    """
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    if len(set(values)) < 2:
+        raise ValueError("consensus needs at least two distinct values")
+    pids = range(n_processes)
+    input_tops = [
+        Simplex(Vertex(pid, assignment[pid]) for pid in pids)
+        for assignment in product(values, repeat=n_processes)
+    ]
+    input_complex = SimplicialComplex(input_tops)
+    output_tops = [
+        Simplex(Vertex(pid, value) for pid in pids) for value in values
+    ]
+    output_complex = SimplicialComplex(output_tops)
+
+    def rule(input_simplex: Simplex):
+        participant_values = {v.payload for v in input_simplex}
+        for value in participant_values:
+            yield Simplex(Vertex(color, value) for color in input_simplex.colors)
+
+    return Task(
+        name=f"consensus(n={n_processes}, values={list(values)!r})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )
+
+
+def binary_consensus_task(n_processes: int = 2) -> Task:
+    """The classic binary instance (inputs and outputs in {0, 1})."""
+    return consensus_task(n_processes, (0, 1))

@@ -1,0 +1,173 @@
+"""Graph agreement: two-process NCSAC over arbitrary graphs.
+
+Section 5's NCSAC task asks processors holding vertices of a complex ``C``
+to converge on a simplex of ``C``, with solo executions pinned to their own
+input.  The task statement hypothesizes "no holes of dimension less than
+``n + 1``"; for two processes (``n = 1``) only the dimension-0 part of that
+hypothesis — connectivity — actually binds, and this module *demonstrates*
+it (a finding this library's own development falsified an initial guess
+about, recorded here deliberately):
+
+* on every **connected** graph the solvability engine finds a decision map
+  — including bare cycles: a decision map along the subdivided input edge
+  is just a walk between the two solo decisions, and walks may detour
+  anywhere in a connected graph.  The 1-dimensional hole of a cycle is no
+  obstruction with only two processes; holes start binding at three
+  processes, where fill-ins of loops are required (the recursion in the
+  paper's NCSAC algorithm).
+* the witnessing level grows with graph distance: the subdivided edge at
+  level ``b`` is a path of ``3^b`` edges, which must cover a walk between
+  the farthest solo decisions — so ``b ≈ ⌈log₃ diameter⌉``.
+* on **disconnected** graphs the all-rounds connectivity certificate fires:
+  solo decisions in different components cannot be joined by any simplicial
+  image of the (connected) subdivided input edge.
+
+Experiment E12.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def graph_agreement_task(graph: SimplicialComplex) -> Task:
+    """Two processes agree on a vertex or an edge of ``graph``.
+
+    Inputs: each process holds any vertex of ``graph`` (vertex payloads are
+    used as input values).  Outputs: a pair of graph vertices that are equal
+    or adjacent.  Solo executions decide their own input (the NCSAC
+    condition "if P = {P_i} then w_i = v_i").
+    """
+    if graph.dimension > 1:
+        raise ValueError("graph agreement is defined over 1-dimensional complexes")
+    vertex_names = sorted(
+        (v.payload for v in graph.vertices), key=repr
+    )
+    adjacency = _adjacency(graph)
+    input_tops = [
+        Simplex([Vertex(0, a), Vertex(1, b)])
+        for a in vertex_names
+        for b in vertex_names
+    ]
+    input_complex = SimplicialComplex(input_tops)
+    output_tops = []
+    for a in vertex_names:
+        for b in vertex_names:
+            if a == b or b in adjacency[a]:
+                output_tops.append(Simplex([Vertex(0, a), Vertex(1, b)]))
+    output_complex = SimplicialComplex(output_tops)
+
+    def rule(input_simplex: Simplex):
+        if input_simplex.dimension == 0:
+            # Solo: decide your own input vertex.
+            yield input_simplex
+            return
+        for a in vertex_names:
+            yield Simplex([Vertex(0, a), Vertex(1, a)])
+            for b in adjacency[a]:
+                yield Simplex([Vertex(0, a), Vertex(1, b)])
+
+    return Task(
+        name=f"graph-agreement(|V|={len(vertex_names)}, "
+        f"|E|={graph.face_count(1)})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )
+
+
+def _adjacency(graph: SimplicialComplex) -> dict[Hashable, set[Hashable]]:
+    adjacency: dict[Hashable, set[Hashable]] = {
+        v.payload: set() for v in graph.vertices
+    }
+    for edge in graph.simplices(1):
+        u, w = edge.sorted_vertices()
+        adjacency[u.payload].add(w.payload)
+        adjacency[w.payload].add(u.payload)
+    return adjacency
+
+
+# -- graph builders (test/bench fixtures) --------------------------------------------
+
+
+def path_graph(length: int) -> SimplicialComplex:
+    """A path with ``length`` edges on vertices ``0..length``."""
+    if length < 1:
+        raise ValueError("need at least one edge")
+    return SimplicialComplex(
+        [
+            Simplex([Vertex(0, i), Vertex(0, i + 1)])
+            for i in range(length)
+        ]
+    )
+
+
+def cycle_graph(length: int) -> SimplicialComplex:
+    """A cycle with ``length`` edges (length >= 3)."""
+    if length < 3:
+        raise ValueError("a cycle needs at least three edges")
+    return SimplicialComplex(
+        [
+            Simplex([Vertex(0, i), Vertex(0, (i + 1) % length)])
+            for i in range(length)
+        ]
+    )
+
+
+def star_graph(leaves: int) -> SimplicialComplex:
+    """A star: hub ``"hub"`` joined to ``leaves`` leaves."""
+    if leaves < 1:
+        raise ValueError("need at least one leaf")
+    return SimplicialComplex(
+        [
+            Simplex([Vertex(0, "hub"), Vertex(0, f"leaf{i}")])
+            for i in range(leaves)
+        ]
+    )
+
+
+def wheel_graph(rim: int) -> SimplicialComplex:
+    """A wheel: a ``rim``-cycle plus a hub joined to every rim vertex.
+
+    The 1-hole of the cycle is "filled" through the hub at the graph level;
+    agreement becomes solvable again (the adjacency complex is a cone).
+    """
+    cycle = cycle_graph(rim)
+    spokes = [
+        Simplex([Vertex(0, "hub"), Vertex(0, i)]) for i in range(rim)
+    ]
+    return cycle.union(SimplicialComplex(spokes))
+
+
+def disjoint_edges() -> SimplicialComplex:
+    """Two disconnected edges — the certificate fixture."""
+    return SimplicialComplex(
+        [
+            Simplex([Vertex(0, "a0"), Vertex(0, "a1")]),
+            Simplex([Vertex(0, "b0"), Vertex(0, "b1")]),
+        ]
+    )
+
+
+def graphs_for_experiments() -> Sequence[tuple[str, SimplicialComplex, int | None]]:
+    """(name, graph, expected witnessing level or None=unsolvable) fixtures.
+
+    Levels verified empirically by the solvability engine (see E12): the
+    subdivided edge at level ``b`` is a path of ``3^b`` edges, which must
+    cover the longest needed walk between solo decisions.
+    """
+    return (
+        ("path-2", path_graph(2), 1),
+        ("path-3", path_graph(3), 1),
+        ("path-9", path_graph(9), 2),
+        ("star-4", star_graph(4), 1),
+        ("cycle-4", cycle_graph(4), 1),
+        ("cycle-5", cycle_graph(5), 1),
+        ("wheel-4", wheel_graph(4), 1),
+        ("disjoint", disjoint_edges(), None),
+    )

@@ -1,0 +1,51 @@
+"""The participating-set task: one-shot immediate snapshot as a task.
+
+Each processor inputs its id and outputs a set ``S`` of ids satisfying the
+three axioms of Section 3.5 (self-inclusion, comparability, knowledge).
+This is the task whose protocol complex *is* the standard chromatic
+subdivision (Lemma 3.2), so it is the sharpest possible probe of the
+characterization engine: the solvability search must fail at ``b = 0``
+(the input simplex itself cannot be mapped onto the subdivision) and
+succeed at ``b = 1`` with what is essentially the identity map
+``SDS(I) → O``.
+"""
+
+from __future__ import annotations
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import ordered_set_partitions
+from repro.topology.vertex import Vertex
+
+
+def participating_set_task(n_processes: int) -> Task:
+    """Build the participating-set task over ``n_processes`` processors."""
+    if n_processes < 1:
+        raise ValueError("need at least one process")
+    pids = list(range(n_processes))
+    input_complex = SimplicialComplex([Simplex(Vertex(pid, pid) for pid in pids)])
+
+    def tuples_for(participants: list[int]):
+        """All IS-compatible output tuples over the given participants."""
+        for partition in ordered_set_partitions(participants):
+            seen: set[int] = set()
+            members = []
+            for block in partition:
+                seen.update(block)
+                snapshot = frozenset(seen)
+                members.extend(Vertex(pid, snapshot) for pid in block)
+            yield Simplex(members)
+
+    output_complex = SimplicialComplex(list(tuples_for(pids)))
+
+    def rule(input_simplex: Simplex):
+        participants = sorted(input_simplex.colors)
+        yield from tuples_for(participants)
+
+    return Task(
+        name=f"participating-set(n={n_processes})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )

@@ -1,0 +1,169 @@
+"""Renaming: wait-free ``(2p − 1)``-renaming, natively and over the emulation.
+
+Renaming is the second benchmark instance the paper's introduction names
+(proven impossible with fewer than ``2p − 1`` names via homology in [6]).
+Here we provide the *positive* side: the classic rank-based renaming
+algorithm over atomic-snapshot memory — a processor writes ``(id,
+proposal)``, snapshots, decides when nobody else proposes its name, and
+otherwise re-proposes the ``r``-th free name where ``r`` is the rank of its
+id among the contenders it sees.  A snapshot with ``s`` participants shows
+at most ``s − 1`` foreign proposals, so proposals stay within ``2s − 1 ≤
+2p − 1``.
+
+Safety hinges on *persistence*: a decided processor's cell keeps its name
+visible forever, so nobody can later re-claim it.  That is exactly what the
+one-shot **iterated** immediate snapshot model lacks (a decided processor
+simply stops appearing in later memories — a naive IIS port of this
+algorithm really does hand out duplicate names, as this library's test
+suite demonstrated during development).  The paper's main result is the way
+out: Figure 2's emulation provides atomic-snapshot memory *on top of* IIS,
+and :meth:`RenamingProtocol.factories` with ``over_iis=True`` runs this very
+algorithm through :class:`repro.core.emulation.IISEmulatedMemory` —
+renaming over iterated immediate snapshots via Proposition 4.1 (experiment
+E9).
+
+As a *task* in the ``(I, O, Δ)`` formalism (``renaming_task``), renaming
+with ids as inputs is trivially solvable — decide your own id.  The real
+content of renaming is *index-independence* (the algorithm may use ids only
+in comparisons), a symmetry side-condition the Δ formalism does not
+express; the protocol here is index-independent, the task object is kept
+for completeness and says so in its name.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Mapping, Sequence
+
+from repro.core.task import Task, delta_from_rule
+from repro.runtime.ops import Decide, SnapshotRegion, WriteCell
+from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+RENAMING_REGION = "renaming"
+
+
+class RenamingProtocol:
+    """Wait-free ``(2p − 1)``-renaming on atomic-snapshot memory.
+
+    With ``over_iis=True`` the same algorithm runs over the Figure 2
+    emulation, i.e. in the iterated immediate snapshot model.
+    """
+
+    def __init__(self, ids: Mapping[int, int], max_rounds: int = 256):
+        """``ids`` maps pids to distinct original names (comparable ints)."""
+        if len(set(ids.values())) != len(ids):
+            raise ValueError("original names must be distinct")
+        self.ids = dict(ids)
+        self.max_rounds = max_rounds
+        self.n_processes = max(ids) + 1
+
+    def _protocol(self, pid: int, over_iis: bool):
+        own_id = self.ids[pid]
+        max_rounds = self.max_rounds
+        n_processes = self.n_processes
+
+        def protocol():
+            if over_iis:
+                from repro.core.emulation import IISEmulatedMemory
+
+                memory = IISEmulatedMemory(pid, n_processes)
+            proposal: int | None = None
+            for _round in range(max_rounds):
+                if over_iis:
+                    yield from memory.write((own_id, proposal))
+                    cells, _vector = yield from memory.snapshot()
+                else:
+                    yield WriteCell(RENAMING_REGION, (own_id, proposal))
+                    cells = yield SnapshotRegion(RENAMING_REGION)
+                entries = [cell for cell in cells if cell is not None]
+                foreign_proposals = {
+                    prop
+                    for other_id, prop in entries
+                    if other_id != own_id and prop is not None
+                }
+                if proposal is not None and proposal not in foreign_proposals:
+                    yield Decide(proposal)
+                    return
+                ids_seen = sorted(other_id for other_id, _prop in entries)
+                rank = ids_seen.index(own_id) + 1
+                proposal = _nth_free_name(rank, foreign_proposals)
+            raise AssertionError(
+                f"renaming did not stabilize within {max_rounds} rounds"
+            )
+
+        return protocol
+
+    def factories(self, over_iis: bool = False):
+        return {
+            pid: (lambda p, mk=self._protocol(pid, over_iis): mk())
+            for pid in self.ids
+        }
+
+    def run(
+        self,
+        schedule: Schedule | None = None,
+        max_steps: int = 200_000,
+        over_iis: bool = False,
+    ) -> dict[int, int]:
+        scheduler = Scheduler(self.factories(over_iis), self.n_processes)
+        result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+        return dict(result.decisions)
+
+    def validate(self, names: Mapping[int, int], participants: int | None = None) -> None:
+        """Distinct names within ``1 .. 2p − 1`` for ``p`` participants."""
+        if participants is None:
+            participants = len(names)
+        values = list(names.values())
+        if len(set(values)) != len(values):
+            raise AssertionError(f"duplicate names: {names}")
+        bound = 2 * max(participants, len(self.ids)) - 1
+        for pid, name in names.items():
+            if not 1 <= name <= bound:
+                raise AssertionError(
+                    f"process {pid} got name {name} outside 1..{bound}"
+                )
+
+
+def _nth_free_name(rank: int, taken: set[int]) -> int:
+    """The ``rank``-th positive integer not in ``taken``."""
+    candidate = 0
+    remaining = rank
+    while remaining:
+        candidate += 1
+        if candidate not in taken:
+            remaining -= 1
+    return candidate
+
+
+def renaming_task(n_processes: int, name_space: Sequence[int] | None = None) -> Task:
+    """Renaming as an (I, O, Δ) task — trivially solvable, see module docs."""
+    if name_space is None:
+        name_space = range(1, 2 * n_processes)
+    names = list(name_space)
+    if len(names) < n_processes:
+        raise ValueError("name space too small")
+    pids = range(n_processes)
+    input_complex = SimplicialComplex([Simplex(Vertex(pid, pid) for pid in pids)])
+    output_tops = [
+        Simplex(Vertex(pid, name) for pid, name in zip(pids, chosen))
+        for chosen in permutations(names, n_processes)
+    ]
+    output_complex = SimplicialComplex(output_tops)
+
+    def rule(input_simplex: Simplex):
+        participants = sorted(input_simplex.colors)
+        for chosen in permutations(names, len(participants)):
+            yield Simplex(
+                Vertex(pid, name) for pid, name in zip(participants, chosen)
+            )
+
+    return Task(
+        name=f"renaming(n={n_processes}, names={len(names)}; "
+        "index-independence not encoded)",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )

@@ -1,0 +1,52 @@
+"""The ``(n+1, k)``-set consensus task (Section 3.2's formal example).
+
+Each of the ``n + 1`` processors has its own id as input; every processor
+decides the id of some participant, and at most ``k`` distinct ids may be
+decided overall.  Chaudhuri's conjecture [4] — unsolvable wait-free iff
+``k <= n`` — was proven by [5, 6, 7]; here the ``k = n`` (and below) case is
+certified for all rounds by the Sperner argument
+(:func:`repro.core.impossibility.sperner_certificate`) and confirmed UNSAT
+per-level by the solvability engine, while ``k = n + 1`` is trivially
+solvable at round 0 (experiments E5/E6).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def set_consensus_task(n_processes: int, k: int) -> Task:
+    """``(n_processes, k)``-set consensus with ids as inputs."""
+    if not 1 <= k <= n_processes:
+        raise ValueError("k must be between 1 and the number of processes")
+    pids = range(n_processes)
+    input_complex = SimplicialComplex(
+        [Simplex(Vertex(pid, pid) for pid in pids)]
+    )
+    output_tops = [
+        Simplex(Vertex(pid, decision[pid]) for pid in pids)
+        for decision in product(pids, repeat=n_processes)
+        if len(set(decision)) <= k
+    ]
+    output_complex = SimplicialComplex(output_tops)
+
+    def rule(input_simplex: Simplex):
+        participants = sorted(input_simplex.colors)
+        for decision in product(participants, repeat=len(participants)):
+            if len(set(decision)) > k:
+                continue
+            yield Simplex(
+                Vertex(pid, decided) for pid, decided in zip(participants, decision)
+            )
+
+    return Task(
+        name=f"set-consensus(n={n_processes}, k={k})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )

@@ -1,0 +1,51 @@
+"""Chromatic simplex agreement over a subdivided simplex (Section 5, CSASS).
+
+In this inputless task each processor ``P_i`` is associated with the corner
+of its color in a chromatic subdivided simplex ``A``; the participating
+processors must output vertices of their own colors that form a simplex of
+``A`` carried by the face their corners span.
+
+Packaged as a :class:`~repro.core.task.Task`, the CSASS instance turns
+Theorem 5.1 into a statement the solvability engine can evaluate: a
+color-and-carrier-preserving simplicial map ``SDS^k(sⁿ) → A`` exists for
+some ``k`` — i.e. ``solve_task(csass(A))`` must come back SOLVABLE — for
+*every* chromatic subdivision ``A``.
+"""
+
+from __future__ import annotations
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision
+
+
+def chromatic_simplex_agreement_task(subdivision: Subdivision) -> Task:
+    """Build the CSASS task for a chromatic subdivision of a single simplex.
+
+    The input complex is the subdivided base simplex itself (a processor's
+    "input" is its corner); the output complex is the subdivision; Δ sends
+    each face of the base to the simplices of ``A`` with matching colors
+    whose carrier lies inside that face.
+    """
+    base_tops = list(subdivision.base.maximal_simplices)
+    if len(base_tops) != 1:
+        raise ValueError("CSASS is defined over a subdivision of a single simplex")
+    subdivision.validate(chromatic=True)
+    input_complex = subdivision.base
+    output_complex = subdivision.complex
+
+    def rule(input_simplex: Simplex):
+        wanted_colors = input_simplex.colors
+        for candidate in output_complex.simplices(len(wanted_colors) - 1):
+            if candidate.colors != wanted_colors:
+                continue
+            if subdivision.carrier_of(candidate).is_face_of(input_simplex):
+                yield candidate
+
+    return Task(
+        name=f"csass(dim={input_complex.dimension}, "
+        f"|A|={len(output_complex.maximal_simplices)})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )

@@ -1,0 +1,64 @@
+"""Trivial baseline tasks: solvable with zero communication.
+
+These pin down the solvability engine's floor: the identity task (decide
+your own input) and the constant task (decide a fixed value) must both be
+found solvable at ``b = 0``, i.e. by a decision map on the input complex
+itself.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Sequence
+
+from repro.core.task import Task, delta_from_rule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def identity_task(n_processes: int, values: Sequence[Hashable] = (0, 1)) -> Task:
+    """Decide your own input."""
+    pids = range(n_processes)
+    tops = [
+        Simplex(Vertex(pid, assignment[pid]) for pid in pids)
+        for assignment in product(values, repeat=n_processes)
+    ]
+    complex_ = SimplicialComplex(tops)
+
+    def rule(input_simplex: Simplex):
+        yield input_simplex
+
+    return Task(
+        name=f"identity(n={n_processes})",
+        input_complex=complex_,
+        output_complex=complex_,
+        delta=delta_from_rule(complex_, rule),
+    )
+
+
+def constant_task(
+    n_processes: int,
+    values: Sequence[Hashable] = (0, 1),
+    constant: Hashable = 0,
+) -> Task:
+    """Decide a fixed value regardless of input."""
+    pids = range(n_processes)
+    input_tops = [
+        Simplex(Vertex(pid, assignment[pid]) for pid in pids)
+        for assignment in product(values, repeat=n_processes)
+    ]
+    input_complex = SimplicialComplex(input_tops)
+    output_complex = SimplicialComplex(
+        [Simplex(Vertex(pid, constant) for pid in pids)]
+    )
+
+    def rule(input_simplex: Simplex):
+        yield Simplex(Vertex(color, constant) for color in input_simplex.colors)
+
+    return Task(
+        name=f"constant(n={n_processes}, value={constant!r})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )

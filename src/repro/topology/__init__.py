@@ -1,0 +1,44 @@
+"""Combinatorial-topology substrate for the wait-free characterization.
+
+This subpackage implements, from scratch, every topological notion Section 2
+of the paper relies on: chromatic simplicial complexes, subdivisions with
+carrier maps, the standard chromatic subdivision, barycentric subdivision,
+simplicial maps with color/carrier-preservation checks, geometric embeddings,
+Sperner labelings, and the low-dimensional "no holes" checks.
+
+The guiding representation choice is *combinatorial-first*: complexes are
+stored as sets of maximal simplices over hashable :class:`Vertex` objects,
+and geometry (numpy embeddings) is layered on top only where the paper's
+arguments are genuinely geometric (Section 5).
+"""
+
+from repro.topology.vertex import Vertex
+from repro.topology.simplex import Simplex
+from repro.topology.complex import SimplicialComplex
+from repro.topology.maps import SimplicialMap
+from repro.topology.subdivision import Subdivision
+from repro.topology.standard_chromatic import (
+    standard_chromatic_subdivision,
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.barycentric import (
+    barycentric_subdivision,
+    iterated_barycentric_subdivision,
+)
+from repro.topology.chromatic import relabel_colors
+from repro.topology.isomorphism import are_isomorphic, find_isomorphism
+
+__all__ = [
+    "relabel_colors",
+    "are_isomorphic",
+    "find_isomorphism",
+    "Vertex",
+    "Simplex",
+    "SimplicialComplex",
+    "SimplicialMap",
+    "Subdivision",
+    "standard_chromatic_subdivision",
+    "iterated_standard_chromatic_subdivision",
+    "barycentric_subdivision",
+    "iterated_barycentric_subdivision",
+]

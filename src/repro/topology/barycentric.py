@@ -1,0 +1,87 @@
+"""Barycentric subdivision ``Bsd`` and the canonical map from ``SDS``.
+
+Section 2 defines ``Bsd`` recursively by planting a vertex at each
+barycenter; combinatorially, vertices of ``Bsd(K)`` are the simplices of
+``K`` and simplices of ``Bsd(K)`` are chains of faces ordered by inclusion.
+
+We color each barycentric vertex by the *dimension* of the face it
+subdivides, which makes ``Bsd(K)`` a properly colored complex (a classic
+fact) and lets it flow through the same :class:`Subdivision` machinery as
+``SDS``.  Lemma 5.3's first ingredient — the "obvious" carrier-preserving
+simplicial map ``SDS(sⁿ) → Bsd(sⁿ)`` — is :func:`sds_to_bsd_map`: it sends
+the immediate-snapshot vertex ``(c, S)`` to the barycenter of ``S``.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.maps import SimplicialMap
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision, trivial_subdivision
+from repro.topology.vertex import Vertex
+
+
+def barycenter_vertex(face: Simplex) -> Vertex:
+    """The barycentric vertex of a face: colored by the face's dimension."""
+    return Vertex(face.dimension, frozenset(face))
+
+
+def face_of_barycenter(vertex: Vertex) -> Simplex:
+    """Recover the subdivided face from a barycentric vertex."""
+    payload = vertex.payload
+    if not isinstance(payload, frozenset):
+        raise TypeError(f"{vertex!r} is not a barycentric vertex")
+    return Simplex(payload)
+
+
+def barycentric_subdivision(base: SimplicialComplex) -> Subdivision:
+    """``Bsd(K)``: one vertex per face, simplices are inclusion chains."""
+    top_simplices: list[Simplex] = []
+    for maximal in base.maximal_simplices:
+        ordered = maximal.sorted_vertices()
+        for order in permutations(ordered):
+            chain_vertices = []
+            for prefix_len in range(1, len(order) + 1):
+                prefix = Simplex(order[:prefix_len])
+                chain_vertices.append(barycenter_vertex(prefix))
+            top_simplices.append(Simplex(chain_vertices))
+    subdivided = SimplicialComplex(top_simplices)
+    carriers = {v: face_of_barycenter(v) for v in subdivided.vertices}
+    return Subdivision(base, subdivided, carriers)
+
+
+def iterated_barycentric_subdivision(base: SimplicialComplex, rounds: int) -> Subdivision:
+    """``Bsd^k(K)`` with carriers composed down to the original base."""
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    result = trivial_subdivision(base)
+    for _ in range(rounds):
+        result = result.then(barycentric_subdivision(result.complex))
+    return result
+
+
+def sds_to_bsd_map(sds: Subdivision, bsd: Subdivision) -> SimplicialMap:
+    """The canonical carrier-preserving simplicial map ``SDS(K) → Bsd(K)``.
+
+    An SDS vertex ``(c, S)`` maps to the barycenter of ``S``.  Within any
+    SDS simplex the views form an inclusion chain (the immediate-snapshot
+    comparability axiom), so images are chains, i.e. simplices of ``Bsd`` —
+    the map is simplicial.  It is carrier preserving because both vertices
+    have carrier exactly ``S``.  It is *not* color preserving (``Bsd`` is
+    colored by dimension); Lemma 5.3 only needs carriers.
+    """
+    from repro.topology.standard_chromatic import view_of
+
+    if sds.base != bsd.base:
+        raise ValueError("SDS and Bsd must subdivide the same base complex")
+    mapping = {
+        vertex: barycenter_vertex(Simplex(view_of(vertex)))
+        for vertex in sds.complex.vertices
+    }
+    simplicial_map = SimplicialMap(sds.complex, bsd.complex, mapping)
+    simplicial_map.validate(
+        color_preserving=False, carriers=(sds.carrier, bsd.carrier)
+    )
+    return simplicial_map

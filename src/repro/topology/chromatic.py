@@ -1,0 +1,93 @@
+"""Chromatic structure utilities: color classes, relabelings, equivariance.
+
+A coloring is a dimension-preserving simplicial map onto a color simplex
+(Section 2).  Beyond the predicates on :class:`Simplex`/:class:`SimplicialComplex`,
+this module provides the *action of color permutations*: protocols in the
+paper's models are anonymous up to processor ids, so every construction —
+``SDS``, protocol complexes, the IS axioms — must commute with relabeling
+processors.  ``relabel_colors`` implements the action and the test-suite
+pins the equivariance down (a cheap, sharp sanity net over the whole
+topology layer).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def color_classes(complex_: SimplicialComplex) -> dict[int, frozenset[Vertex]]:
+    """Vertices grouped by color."""
+    classes: dict[int, set[Vertex]] = {}
+    for vertex in complex_.vertices:
+        classes.setdefault(vertex.color, set()).add(vertex)
+    return {color: frozenset(members) for color, members in classes.items()}
+
+
+def rainbow_simplices(complex_: SimplicialComplex) -> list[Simplex]:
+    """Top-dimensional simplices whose colors exhaust the complex's colors."""
+    all_colors = complex_.colors
+    return [
+        simplex
+        for simplex in complex_.maximal_simplices
+        if simplex.colors == all_colors
+    ]
+
+
+def _relabel_payload(payload: Hashable, permutation: Mapping[int, int]) -> Hashable:
+    """Recursively relabel colors inside nested view payloads."""
+    if isinstance(payload, Vertex):
+        return _relabel_vertex(payload, permutation)
+    if isinstance(payload, frozenset):
+        return frozenset(_relabel_payload(item, permutation) for item in payload)
+    if isinstance(payload, tuple):
+        return tuple(_relabel_payload(item, permutation) for item in payload)
+    return payload
+
+
+def _relabel_vertex(vertex: Vertex, permutation: Mapping[int, int]) -> Vertex:
+    return Vertex(
+        permutation.get(vertex.color, vertex.color),
+        _relabel_payload(vertex.payload, permutation),
+    )
+
+
+def relabel_colors(
+    complex_: SimplicialComplex, permutation: Mapping[int, int]
+) -> SimplicialComplex:
+    """Apply a color permutation, including inside nested view payloads.
+
+    The permutation must be injective on the colors it moves (we check), so
+    the result is again properly colored when the input is.
+    """
+    moved = {c: permutation[c] for c in complex_.colors if c in permutation}
+    if len(set(moved.values())) != len(moved):
+        raise ValueError(f"color relabeling {permutation!r} is not injective")
+    return SimplicialComplex(
+        Simplex(_relabel_vertex(v, permutation) for v in simplex)
+        for simplex in complex_.maximal_simplices
+    )
+
+
+def is_color_equivariant_construction(
+    construct, base: SimplicialComplex, permutation: Mapping[int, int]
+) -> bool:
+    """Does ``construct`` commute with the color action on ``base``?
+
+    ``construct`` maps a chromatic complex to a chromatic complex (e.g.
+    ``lambda K: standard_chromatic_subdivision(K).complex``).  Returns
+    whether ``construct(π · base) == π · construct(base)``.
+    """
+    lhs = construct(relabel_colors(base, permutation))
+    rhs = relabel_colors(construct(base), permutation)
+    return lhs == rhs
+
+
+def chromatic_map_signature(complex_: SimplicialComplex) -> tuple[tuple[int, int], ...]:
+    """Per-color vertex counts, an isomorphism-invariant fingerprint."""
+    return tuple(
+        sorted((color, len(members)) for color, members in color_classes(complex_).items())
+    )

@@ -1,0 +1,296 @@
+"""Simplicial complexes, stored by their maximal simplices.
+
+A simplicial complex is a set of simplices closed under taking faces
+(Section 2).  We store only the maximal simplices; closure is implicit and
+faces are generated on demand.  All complexes in this library are small
+enough (the binding case is ``SDS^b(s^n)`` for ``n <= 3``, ``b <= 3``) that
+explicit face generation is affordable.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterable, Iterator
+
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+class SimplicialComplex:
+    """An immutable simplicial complex given by maximal simplices.
+
+    Parameters
+    ----------
+    simplices:
+        Any iterable of :class:`Simplex`.  Simplices that are faces of other
+        provided simplices are absorbed; the stored representation is the
+        antichain of maximal simplices.
+    """
+
+    __slots__ = ("_maximal", "_vertices", "_dimension", "_faces_cache")
+
+    def __init__(self, simplices: Iterable[Simplex]):
+        candidates = list(simplices)
+        for candidate in candidates:
+            if not isinstance(candidate, Simplex):
+                raise TypeError(f"expected Simplex, got {candidate!r}")
+        maximal = _maximal_antichain(candidates)
+        if not maximal:
+            raise ValueError("a simplicial complex must contain at least one simplex")
+        self._maximal = frozenset(maximal)
+        self._vertices = frozenset(v for s in maximal for v in s)
+        self._dimension = max(s.dimension for s in maximal)
+        self._faces_cache: dict[int, frozenset[Simplex]] = {}
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_vertices(cls, vertices: Iterable[Vertex]) -> "SimplicialComplex":
+        """The full simplex on the given vertex set (one maximal simplex)."""
+        return cls([Simplex(vertices)])
+
+    @classmethod
+    def simplex_boundary(cls, top: Simplex) -> "SimplicialComplex":
+        """The boundary complex of a simplex: all its proper facets."""
+        if top.dimension == 0:
+            raise ValueError("a 0-simplex has an empty boundary")
+        return cls(top.facets())
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def maximal_simplices(self) -> frozenset[Simplex]:
+        return self._maximal
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        return self._vertices
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def colors(self) -> frozenset[int]:
+        return frozenset(v.color for v in self._vertices)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Vertex):
+            return item in self._vertices
+        if isinstance(item, Simplex):
+            return any(item.is_face_of(maximal) for maximal in self._maximal)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SimplicialComplex):
+            return self._maximal == other._maximal
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._maximal)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimplicialComplex(dim={self._dimension}, "
+            f"vertices={len(self._vertices)}, maximal={len(self._maximal)})"
+        )
+
+    # -- face enumeration ------------------------------------------------------
+
+    def simplices(self, dimension: int | None = None) -> Iterator[Simplex]:
+        """Yield every simplex of the complex (each exactly once).
+
+        With ``dimension`` given, only simplices of that dimension.
+        """
+        if dimension is not None:
+            yield from self._faces_of_dimension(dimension)
+            return
+        for dim in range(self._dimension + 1):
+            yield from self._faces_of_dimension(dim)
+
+    def _faces_of_dimension(self, dimension: int) -> frozenset[Simplex]:
+        if dimension < 0 or dimension > self._dimension:
+            return frozenset()
+        cached = self._faces_cache.get(dimension)
+        if cached is not None:
+            return cached
+        size = dimension + 1
+        found: set[Simplex] = set()
+        for maximal in self._maximal:
+            if len(maximal) < size:
+                continue
+            ordered = maximal.sorted_vertices()
+            for subset in combinations(ordered, size):
+                found.add(Simplex(subset))
+        result = frozenset(found)
+        self._faces_cache[dimension] = result
+        return result
+
+    def face_count(self, dimension: int) -> int:
+        return len(self._faces_of_dimension(dimension))
+
+    def f_vector(self) -> tuple[int, ...]:
+        """Face counts ``(f_0, f_1, ..., f_dim)``."""
+        return tuple(self.face_count(d) for d in range(self._dimension + 1))
+
+    def euler_characteristic(self) -> int:
+        return sum((-1) ** d * count for d, count in enumerate(self.f_vector()))
+
+    # -- structural predicates ---------------------------------------------------
+
+    def is_pure(self) -> bool:
+        """Every maximal simplex has the top dimension (Section 2's purity)."""
+        return all(s.dimension == self._dimension for s in self._maximal)
+
+    def is_chromatic(self) -> bool:
+        """Every simplex is properly colored.
+
+        It suffices to check the maximal simplices: faces of a properly
+        colored simplex are properly colored.
+        """
+        return all(s.is_chromatic for s in self._maximal)
+
+    def is_connected(self) -> bool:
+        """Connectivity of the 1-skeleton (vertices joined by shared simplices)."""
+        if len(self._vertices) <= 1:
+            return True
+        adjacency: dict[Vertex, set[Vertex]] = {v: set() for v in self._vertices}
+        for maximal in self._maximal:
+            members = list(maximal)
+            for u, w in combinations(members, 2):
+                adjacency[u].add(w)
+                adjacency[w].add(u)
+        start = next(iter(self._vertices))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self._vertices)
+
+    def is_pseudomanifold(self) -> bool:
+        """Pure, and every codimension-one face is in at most two top simplices.
+
+        The impossibility arguments in [5, 7] (which the introduction
+        discusses) rely on the protocol complex being a manifold; we expose
+        the check so tests can confirm it for ``SDS^b(s^n)``.
+        """
+        if not self.is_pure():
+            return False
+        if self._dimension == 0:
+            return True
+        incidence = self._facet_incidence()
+        return all(len(tops) <= 2 for tops in incidence.values())
+
+    def _facet_incidence(self) -> dict[Simplex, list[Simplex]]:
+        """Map each codimension-one face to the top simplices containing it."""
+        incidence: dict[Simplex, list[Simplex]] = {}
+        for top in self._maximal:
+            if top.dimension != self._dimension:
+                continue
+            for facet in top.facets():
+                incidence.setdefault(facet, []).append(top)
+        return incidence
+
+    def boundary(self) -> "SimplicialComplex | None":
+        """The boundary subcomplex of a pure pseudomanifold.
+
+        Codimension-one faces lying in exactly one top simplex.  Returns
+        ``None`` when the boundary is empty (e.g. a sphere).
+        """
+        if not self.is_pure():
+            raise ValueError("boundary is only defined for pure complexes")
+        boundary_facets = [
+            facet for facet, tops in self._facet_incidence().items() if len(tops) == 1
+        ]
+        if not boundary_facets:
+            return None
+        return SimplicialComplex(boundary_facets)
+
+    # -- stars, links, subcomplexes -------------------------------------------------
+
+    def star(self, simplex: Simplex) -> "SimplicialComplex":
+        """The subcomplex of all simplices containing ``simplex`` (closed star)."""
+        containing = [m for m in self._maximal if simplex.is_face_of(m)]
+        if not containing:
+            raise ValueError(f"{simplex!r} is not a simplex of this complex")
+        return SimplicialComplex(containing)
+
+    def link(self, simplex: Simplex) -> "SimplicialComplex | None":
+        """The link: faces of the star disjoint from ``simplex``.
+
+        Returns ``None`` when the link is empty (``simplex`` is maximal).
+        """
+        star_tops = [m for m in self._maximal if simplex.is_face_of(m)]
+        if not star_tops:
+            raise ValueError(f"{simplex!r} is not a simplex of this complex")
+        link_simplices = []
+        for top in star_tops:
+            remaining = top.vertices - simplex.vertices
+            if remaining:
+                link_simplices.append(Simplex(remaining))
+        if not link_simplices:
+            return None
+        return SimplicialComplex(link_simplices)
+
+    def skeleton(self, dimension: int) -> "SimplicialComplex":
+        """The ``dimension``-skeleton."""
+        if dimension < 0:
+            raise ValueError("skeleton dimension must be non-negative")
+        if dimension >= self._dimension:
+            return self
+        top_faces: set[Simplex] = set()
+        for maximal in self._maximal:
+            if maximal.dimension <= dimension:
+                top_faces.add(maximal)
+            else:
+                top_faces.update(maximal.faces(dimension))
+        return SimplicialComplex(top_faces)
+
+    def induced_on_colors(self, colors: Iterable[int]) -> "SimplicialComplex | None":
+        """The subcomplex induced by vertices whose color is in ``colors``."""
+        wanted = set(colors)
+        restricted = []
+        for maximal in self._maximal:
+            face = maximal.restrict_to_colors(wanted)
+            if face is not None:
+                restricted.append(face)
+        if not restricted:
+            return None
+        return SimplicialComplex(restricted)
+
+    def filter_maximal(self, predicate: Callable[[Simplex], bool]) -> "SimplicialComplex":
+        """The subcomplex generated by maximal simplices satisfying ``predicate``."""
+        kept = [m for m in self._maximal if predicate(m)]
+        if not kept:
+            raise ValueError("predicate rejected every maximal simplex")
+        return SimplicialComplex(kept)
+
+    def union(self, other: "SimplicialComplex") -> "SimplicialComplex":
+        return SimplicialComplex(list(self._maximal) + list(other._maximal))
+
+
+def _maximal_antichain(simplices: list[Simplex]) -> list[Simplex]:
+    """Drop every simplex that is a proper face of another."""
+    unique = set(simplices)
+    sizes = {len(s) for s in unique}
+    if len(sizes) <= 1:
+        # Uniform dimension (the common case for subdivision complexes, which
+        # may have thousands of top simplices): no containment is possible.
+        return list(unique)
+    # A simplex is dominated iff one of its strict supersets is present.  We
+    # test candidates against larger kept simplices via per-vertex indexing,
+    # which keeps the construction near-linear for realistic inputs.
+    by_vertex: dict[Vertex, set[Simplex]] = {}
+    for candidate in unique:
+        for vertex in candidate:
+            by_vertex.setdefault(vertex, set()).add(candidate)
+    kept: list[Simplex] = []
+    for candidate in sorted(unique, key=len, reverse=True):
+        witnesses = set.intersection(*(by_vertex[v] for v in candidate))
+        if all(len(w) <= len(candidate) for w in witnesses):
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,265 @@
+"""Geometric embeddings of complexes (numpy), used by Section 5.
+
+Most of the library is purely combinatorial; geometry enters exactly where
+it enters the paper: the simplicial approximation theorem (Lemma 2.1/5.3)
+and the embedding of the standard chromatic subdivision (Section 3.6's
+construction: plant ``m_i`` at the midpoint of the segment from the
+barycenter to the barycenter of the face opposite color ``i``).
+
+An :class:`Embedding` assigns a point to every vertex of a complex.  On top
+of it we provide barycentric-coordinate point location, simplex volumes (to
+*verify* that our combinatorial subdivisions really are geometric
+subdivisions), mesh computation, and a linear-programming simplex
+intersection test.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import factorial
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex
+
+_DEFAULT_TOL = 1e-9
+
+
+class Embedding:
+    """An assignment of points (rows of equal length) to vertices."""
+
+    __slots__ = ("_positions", "ambient_dimension")
+
+    def __init__(self, positions: Mapping[Vertex, np.ndarray]):
+        if not positions:
+            raise ValueError("an embedding must place at least one vertex")
+        arrays = {v: np.asarray(p, dtype=float) for v, p in positions.items()}
+        dimensions = {a.shape for a in arrays.values()}
+        if len(dimensions) != 1 or len(next(iter(dimensions))) != 1:
+            raise ValueError("all positions must be 1-D arrays of equal length")
+        self._positions = arrays
+        self.ambient_dimension = next(iter(arrays.values())).shape[0]
+
+    def position(self, vertex: Vertex) -> np.ndarray:
+        return self._positions[vertex]
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._positions
+
+    def positions_of(self, simplex: Simplex) -> np.ndarray:
+        """A ``(k+1, d)`` matrix of the simplex's vertex positions."""
+        return np.array([self._positions[v] for v in simplex.sorted_vertices()])
+
+    def barycenter(self, simplex: Simplex) -> np.ndarray:
+        return self.positions_of(simplex).mean(axis=0)
+
+    def diameter(self, simplex: Simplex) -> float:
+        points = self.positions_of(simplex)
+        if len(points) == 1:
+            return 0.0
+        return max(
+            float(np.linalg.norm(points[i] - points[j]))
+            for i, j in combinations(range(len(points)), 2)
+        )
+
+    def extended(self, more: Mapping[Vertex, np.ndarray]) -> "Embedding":
+        merged = dict(self._positions)
+        merged.update({v: np.asarray(p, dtype=float) for v, p in more.items()})
+        return Embedding(merged)
+
+    def restricted_to(self, vertices: Iterable[Vertex]) -> "Embedding":
+        return Embedding({v: self._positions[v] for v in vertices})
+
+
+def standard_simplex_embedding(base: SimplicialComplex) -> Embedding:
+    """Embed base vertices at the corners of standard simplices.
+
+    Vertices are placed at unit coordinate vectors ``e_0, e_1, ...`` of
+    ``R^m`` (one axis per vertex, in deterministic order), so every base
+    simplex is a face of the standard ``(m-1)``-simplex and is affinely
+    independent by construction.
+    """
+    ordered = sorted(base.vertices, key=Vertex.sort_key)
+    dimension = len(ordered)
+    positions = {}
+    for index, vertex in enumerate(ordered):
+        point = np.zeros(dimension)
+        point[index] = 1.0
+        positions[vertex] = point
+    return Embedding(positions)
+
+
+def embed_sds_level(subdivision: Subdivision, parent: Embedding) -> Embedding:
+    """The paper's Section 3.6 embedding of one SDS level.
+
+    For a vertex ``(c, S)``: if ``S`` is a single base vertex, reuse its
+    position; otherwise place it at the midpoint of the segment joining the
+    barycenter of ``S`` and the barycenter of the face of ``S`` opposite the
+    color-``c`` vertex (the paper's ``m_i`` on the ``(a, b_i)`` interval).
+    """
+    from repro.topology.standard_chromatic import view_of
+
+    positions: dict[Vertex, np.ndarray] = {}
+    for vertex in subdivision.complex.vertices:
+        view = view_of(vertex)
+        points = np.array([parent.position(u) for u in view])
+        if len(view) == 1:
+            positions[vertex] = points[0]
+            continue
+        own = next(u for u in view if u.color == vertex.color)
+        others = np.array([parent.position(u) for u in view if u != own])
+        barycenter_all = points.mean(axis=0)
+        barycenter_opposite = others.mean(axis=0)
+        positions[vertex] = (barycenter_all + barycenter_opposite) / 2.0
+    return Embedding(positions)
+
+
+def embed_bsd_level(subdivision: Subdivision, parent: Embedding) -> Embedding:
+    """Embed one barycentric level: each vertex at its face's barycenter."""
+    from repro.topology.barycentric import face_of_barycenter
+
+    positions: dict[Vertex, np.ndarray] = {}
+    for vertex in subdivision.complex.vertices:
+        face = face_of_barycenter(vertex)
+        points = np.array([parent.position(u) for u in face])
+        positions[vertex] = points.mean(axis=0)
+    return Embedding(positions)
+
+
+def mesh(complex_: SimplicialComplex, embedding: Embedding) -> float:
+    """The mesh: the largest diameter of a maximal simplex."""
+    return max(embedding.diameter(m) for m in complex_.maximal_simplices)
+
+
+def simplex_volume(points: np.ndarray) -> float:
+    """The k-volume of the simplex spanned by the rows of ``points``.
+
+    Uses the Gram-determinant formula, valid for simplices embedded in any
+    ambient dimension.
+    """
+    edges = points[1:] - points[0]
+    if edges.size == 0:
+        return 0.0
+    gram = edges @ edges.T
+    determinant = float(np.linalg.det(gram))
+    if determinant < 0:
+        determinant = 0.0
+    k = len(points) - 1
+    return float(np.sqrt(determinant)) / float(factorial(k))
+
+
+def barycentric_coordinates(
+    point: np.ndarray, simplex_points: np.ndarray, tol: float = _DEFAULT_TOL
+) -> np.ndarray | None:
+    """Barycentric coordinates of ``point`` w.r.t. the rows of ``simplex_points``.
+
+    Returns ``None`` when the point is not in the affine hull (within
+    ``tol``).  Coordinates may be negative; containment is a separate check.
+    """
+    base = simplex_points[0]
+    edges = (simplex_points[1:] - base).T  # (d, k)
+    rhs = np.asarray(point, dtype=float) - base
+    if edges.size == 0:
+        if np.linalg.norm(rhs) > max(tol, 1e-7):
+            return None
+        return np.array([1.0])
+    solution, residual, _rank, _sv = np.linalg.lstsq(edges, rhs, rcond=None)
+    reconstructed = edges @ solution
+    if np.linalg.norm(reconstructed - rhs) > max(tol, 1e-7):
+        return None
+    coordinates = np.concatenate(([1.0 - solution.sum()], solution))
+    return coordinates
+
+
+def point_in_simplex(
+    point: np.ndarray, simplex_points: np.ndarray, tol: float = 1e-9
+) -> bool:
+    coordinates = barycentric_coordinates(point, simplex_points, tol)
+    if coordinates is None:
+        return False
+    return bool((coordinates >= -tol).all())
+
+
+def locate_point(
+    complex_: SimplicialComplex,
+    embedding: Embedding,
+    point: np.ndarray,
+    tol: float = 1e-9,
+) -> list[Simplex]:
+    """All maximal simplices whose convex hull contains ``point``."""
+    hits = []
+    for maximal in complex_.maximal_simplices:
+        if point_in_simplex(point, embedding.positions_of(maximal), tol):
+            hits.append(maximal)
+    return hits
+
+
+def simplices_intersect(
+    points_a: np.ndarray, points_b: np.ndarray, tol: float = 1e-9
+) -> bool:
+    """Do two (closed) simplices share a point?  LP feasibility test.
+
+    Find convex combinations ``λ, μ >= 0, Σλ = Σμ = 1`` with
+    ``A^T λ = B^T μ``; feasibility of this linear program is exactly
+    non-empty intersection of the convex hulls.
+    """
+    count_a, dim = points_a.shape
+    count_b = points_b.shape[0]
+    # Variables: lambda (count_a) then mu (count_b).
+    equality_lhs = np.zeros((dim + 2, count_a + count_b))
+    equality_rhs = np.zeros(dim + 2)
+    equality_lhs[:dim, :count_a] = points_a.T
+    equality_lhs[:dim, count_a:] = -points_b.T
+    equality_lhs[dim, :count_a] = 1.0
+    equality_rhs[dim] = 1.0
+    equality_lhs[dim + 1, count_a:] = 1.0
+    equality_rhs[dim + 1] = 1.0
+    result = linprog(
+        c=np.zeros(count_a + count_b),
+        A_eq=equality_lhs,
+        b_eq=equality_rhs,
+        bounds=[(0, None)] * (count_a + count_b),
+        method="highs",
+    )
+    return bool(result.status == 0)
+
+
+def verify_geometric_subdivision(
+    subdivision: Subdivision,
+    base_embedding: Embedding,
+    sub_embedding: Embedding,
+    tol: float = 1e-7,
+) -> None:
+    """Check that an embedded subdivision really subdivides geometrically.
+
+    For each maximal base simplex: the top simplices of the restriction all
+    have positive volume, their volumes sum to the base simplex's volume
+    (covering without overlap, since everything is contained in the base by
+    the carrier/convexity check below), and every subdivision vertex lies in
+    the convex hull of its carrier.  Raises ``ValueError`` on failure.
+    """
+    for vertex in subdivision.complex.vertices:
+        carrier = subdivision.carrier(vertex)
+        carrier_points = base_embedding.positions_of(carrier)
+        if not point_in_simplex(sub_embedding.position(vertex), carrier_points, tol):
+            raise ValueError(f"vertex {vertex!r} lies outside its carrier {carrier!r}")
+    for base_top in subdivision.base.maximal_simplices:
+        base_volume = simplex_volume(base_embedding.positions_of(base_top))
+        restriction = subdivision.restrict_to_face(base_top)
+        total = 0.0
+        for piece in restriction.maximal_simplices:
+            volume = simplex_volume(sub_embedding.positions_of(piece))
+            if volume <= tol * max(base_volume, 1.0):
+                raise ValueError(f"degenerate subdivision simplex {piece!r}")
+            total += volume
+        if abs(total - base_volume) > tol * max(base_volume, 1.0) * len(
+            restriction.maximal_simplices
+        ):
+            raise ValueError(
+                f"volumes do not cover {base_top!r}: {total} vs {base_volume}"
+            )

@@ -1,0 +1,136 @@
+"""Hole detection: mod-2 simplicial homology for small complexes.
+
+Section 2 of the paper says a complex "has no hole of dimension k" when
+every simplicial image of a ``(k-1)``-sphere has a fill-in, and Lemma 2.2
+asserts subdivided simplices (and the links inside them) have no holes in
+the relevant dimensions.  For the finite, low-dimensional complexes this
+library manipulates, vanishing *reduced mod-2 Betti numbers* is an
+effective, checkable stand-in, and it is what we verify in the tests for
+``SDS^b(sⁿ)``, ``Bsd^k(sⁿ)`` and their links (experiments E1/E2/E7).
+
+The implementation is a from-scratch boundary-matrix rank computation over
+GF(2) — no external homology package is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+def _gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) by Gaussian elimination."""
+    work = matrix.copy() % 2
+    rows, cols = work.shape
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and work[row, col]:
+                work[row] ^= work[pivot_row]
+        pivot_row += 1
+        rank += 1
+        if pivot_row == rows:
+            break
+    return rank
+
+
+def boundary_matrix(
+    complex_: SimplicialComplex, dimension: int
+) -> tuple[np.ndarray, list[Simplex], list[Simplex]]:
+    """The mod-2 boundary map from ``dimension``-chains to ``(dimension-1)``-chains.
+
+    Returns the matrix together with the (deterministically ordered) row and
+    column bases, rows indexed by ``(dimension-1)``-simplices and columns by
+    ``dimension``-simplices.
+    """
+    if dimension < 1:
+        raise ValueError("boundary_matrix needs dimension >= 1")
+    columns = sorted(complex_.simplices(dimension), key=repr)
+    rows = sorted(complex_.simplices(dimension - 1), key=repr)
+    row_index = {simplex: i for i, simplex in enumerate(rows)}
+    matrix = np.zeros((len(rows), len(columns)), dtype=np.uint8)
+    for j, simplex in enumerate(columns):
+        for facet in simplex.facets():
+            matrix[row_index[facet], j] = 1
+    return matrix, rows, columns
+
+
+def betti_numbers_mod2(complex_: SimplicialComplex) -> tuple[int, ...]:
+    """Reduced mod-2 Betti numbers ``(b̃_0, b̃_1, ..., b̃_dim)``.
+
+    ``b̃_k = dim ker ∂_k − rank ∂_{k+1}`` with the convention that
+    ``b̃_0`` counts connected components minus one (reduced homology).
+    """
+    top = complex_.dimension
+    ranks: dict[int, int] = {}
+    for dim in range(1, top + 1):
+        matrix, _rows, _cols = boundary_matrix(complex_, dim)
+        ranks[dim] = _gf2_rank(matrix) if matrix.size else 0
+    ranks[top + 1] = 0
+    betti = []
+    for dim in range(top + 1):
+        chains = complex_.face_count(dim)
+        if dim == 0:
+            kernel = chains - 1  # reduced: augment with the empty simplex
+        else:
+            kernel = chains - ranks[dim]
+        betti.append(kernel - ranks[dim + 1])
+    return tuple(betti)
+
+
+def has_no_holes_up_to(complex_: SimplicialComplex, dimension: int) -> bool:
+    """All reduced mod-2 Betti numbers vanish in dimensions ``<= dimension``."""
+    betti = betti_numbers_mod2(complex_)
+    return all(b == 0 for b in betti[: dimension + 1])
+
+
+def link_hole_report(
+    complex_: SimplicialComplex,
+) -> dict[Simplex, tuple[int, ...]]:
+    """Betti numbers of the link of every vertex (Lemma 2.2's link condition).
+
+    Only vertex links are reported; higher-dimensional faces' links are
+    checked by callers that need them (they tend to be tiny).
+    """
+    report: dict[Simplex, tuple[int, ...]] = {}
+    for vertex in complex_.vertices:
+        singleton = Simplex([vertex])
+        link = complex_.link(singleton)
+        if link is None:
+            report[singleton] = ()
+        else:
+            report[singleton] = betti_numbers_mod2(link)
+    return report
+
+
+def verify_subdivided_simplex_has_no_holes(
+    complex_: SimplicialComplex, base_dimension: int
+) -> None:
+    """Lemma 2.2, first half, checked: no holes in any dimension.
+
+    Raises ``ValueError`` with the offending Betti vector on failure.
+    """
+    betti = betti_numbers_mod2(complex_)
+    if any(betti):
+        raise ValueError(f"subdivided simplex has holes: Betti (mod 2) = {betti}")
+    if complex_.dimension != base_dimension:
+        raise ValueError(
+            f"dimension mismatch: {complex_.dimension} != {base_dimension}"
+        )
+
+
+def vertex_for_report(vertex: Vertex) -> Simplex:
+    """Wrap a vertex as the singleton simplex used as a report key."""
+    return Simplex([vertex])

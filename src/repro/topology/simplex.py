@@ -1,0 +1,156 @@
+"""Simplices: finite sets of vertices.
+
+Following Section 2 of the paper, an ``n``-dimensional simplex is a set of
+``n + 1`` vertices.  ``Simplex`` is a thin immutable wrapper over a frozenset
+of :class:`~repro.topology.vertex.Vertex` that adds the face/dimension/color
+vocabulary the rest of the library speaks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.topology.vertex import Vertex
+
+
+class Simplex:
+    """An immutable simplex (a non-empty finite set of vertices).
+
+    The empty simplex is deliberately excluded: the paper never needs it and
+    allowing it doubles the number of edge cases in every consumer.
+    """
+
+    __slots__ = ("_vertices", "_hash")
+
+    def __init__(self, vertices: Iterable[Vertex]):
+        vertex_set = frozenset(vertices)
+        if not vertex_set:
+            raise ValueError("a simplex must contain at least one vertex")
+        for vertex in vertex_set:
+            if not isinstance(vertex, Vertex):
+                raise TypeError(f"simplex members must be Vertex, got {vertex!r}")
+        self._vertices = vertex_set
+        self._hash = hash(vertex_set)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        return self._vertices
+
+    @property
+    def dimension(self) -> int:
+        """Dimension = number of vertices minus one."""
+        return len(self._vertices) - 1
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._vertices
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Simplex):
+            return self._vertices == other._vertices
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        ordered = sorted(self._vertices, key=Vertex.sort_key)
+        return "{" + ", ".join(repr(v) for v in ordered) + "}"
+
+    # -- face structure ----------------------------------------------------
+
+    def is_face_of(self, other: "Simplex") -> bool:
+        return self._vertices <= other._vertices
+
+    def has_face(self, other: "Simplex") -> bool:
+        return other._vertices <= self._vertices
+
+    def faces(self, dimension: int | None = None) -> Iterator["Simplex"]:
+        """Yield every non-empty face, optionally restricted to a dimension.
+
+        Faces include the simplex itself (a set is a subset of itself).
+        """
+        if dimension is not None:
+            size = dimension + 1
+            if size < 1 or size > len(self._vertices):
+                return
+            for subset in combinations(sorted(self._vertices, key=Vertex.sort_key), size):
+                yield Simplex(subset)
+            return
+        for size in range(1, len(self._vertices) + 1):
+            for subset in combinations(sorted(self._vertices, key=Vertex.sort_key), size):
+                yield Simplex(subset)
+
+    def proper_faces(self) -> Iterator["Simplex"]:
+        """Yield every face except the simplex itself."""
+        for face in self.faces():
+            if face != self:
+                yield face
+
+    def facets(self) -> Iterator["Simplex"]:
+        """Yield the codimension-one faces."""
+        if self.dimension == 0:
+            return
+        yield from self.faces(self.dimension - 1)
+
+    def without(self, vertex: Vertex) -> "Simplex":
+        """The face opposite ``vertex``; the simplex must have dimension >= 1."""
+        if vertex not in self._vertices:
+            raise ValueError(f"{vertex!r} is not a vertex of {self!r}")
+        remaining = self._vertices - {vertex}
+        if not remaining:
+            raise ValueError("cannot remove the only vertex of a 0-simplex")
+        return Simplex(remaining)
+
+    def union(self, other: "Simplex") -> "Simplex":
+        return Simplex(self._vertices | other._vertices)
+
+    def intersection(self, other: "Simplex") -> "Simplex | None":
+        """The common face, or ``None`` when the simplices are disjoint."""
+        common = self._vertices & other._vertices
+        if not common:
+            return None
+        return Simplex(common)
+
+    # -- chromatic structure ------------------------------------------------
+
+    @property
+    def colors(self) -> frozenset[int]:
+        return frozenset(vertex.color for vertex in self._vertices)
+
+    @property
+    def is_chromatic(self) -> bool:
+        """True when all vertices carry distinct colors (a properly colored simplex)."""
+        return len(self.colors) == len(self._vertices)
+
+    def vertex_of_color(self, color: int) -> Vertex:
+        """The unique vertex with the given color (requires a chromatic simplex)."""
+        matches = [vertex for vertex in self._vertices if vertex.color == color]
+        if len(matches) != 1:
+            raise KeyError(f"simplex {self!r} has {len(matches)} vertices of color {color}")
+        return matches[0]
+
+    def restrict_to_colors(self, colors: Iterable[int]) -> "Simplex | None":
+        """The face spanned by the vertices whose color lies in ``colors``."""
+        wanted = set(colors)
+        selected = {vertex for vertex in self._vertices if vertex.color in wanted}
+        if not selected:
+            return None
+        return Simplex(selected)
+
+    def sorted_vertices(self) -> list[Vertex]:
+        """Vertices in the deterministic library-wide order."""
+        return sorted(self._vertices, key=Vertex.sort_key)
+
+
+def simplex(*vertices: Vertex) -> Simplex:
+    """Variadic convenience constructor: ``simplex(u, v, w)``."""
+    return Simplex(vertices)

@@ -1,0 +1,87 @@
+"""Sperner labelings and the counting form of Sperner's lemma.
+
+The introduction of the paper recalls that ``(n+1, n)``-set consensus is
+wait-free unsolvable ([5, 6, 7]); the elementary route to that fact — the
+one matching the paper's "algorithmically reasoned" spirit — is Sperner's
+lemma applied to the decision map on ``SDS^b(sⁿ)``.  This module provides:
+
+* the Sperner-admissibility check for labelings of a subdivision (each
+  vertex must be labeled by a color of its carrier);
+* the panchromatic count and the parity assertion (Sperner's lemma);
+* the bridge used by :mod:`repro.core.impossibility`: a would-be set
+  consensus decision map induces a Sperner labeling, whose guaranteed
+  panchromatic simplex is an execution with ``n + 1`` distinct decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex
+
+Labeling = Mapping[Vertex, int]
+
+
+def is_sperner_labeling(subdivision: Subdivision, labeling: Labeling) -> bool:
+    """Every vertex is labeled with a color appearing in its carrier."""
+    for vertex in subdivision.complex.vertices:
+        if vertex not in labeling:
+            return False
+        if labeling[vertex] not in subdivision.carrier(vertex).colors:
+            return False
+    return True
+
+
+def panchromatic_simplices(
+    subdivision: Subdivision, labeling: Labeling
+) -> list[Simplex]:
+    """Top simplices whose labels exhaust all base colors."""
+    all_colors = subdivision.base.colors
+    hits = []
+    for maximal in subdivision.complex.maximal_simplices:
+        labels = {labeling[v] for v in maximal}
+        if labels == all_colors:
+            hits.append(maximal)
+    return hits
+
+
+def sperner_lemma_holds(subdivision: Subdivision, labeling: Labeling) -> bool:
+    """The counting form of Sperner's lemma: an odd number of panchromatic tops.
+
+    Assumes the base is a single ``n``-simplex (a subdivided simplex); for
+    other bases the parity statement does not apply and we raise.
+    """
+    if len(subdivision.base.maximal_simplices) != 1:
+        raise ValueError("Sperner parity is stated for a subdivided simplex")
+    if not is_sperner_labeling(subdivision, labeling):
+        raise ValueError("labeling is not Sperner-admissible")
+    return len(panchromatic_simplices(subdivision, labeling)) % 2 == 1
+
+
+def labeling_from_decisions(
+    subdivision: Subdivision, decide: Callable[[Vertex], int]
+) -> dict[Vertex, int]:
+    """Build a labeling from a per-vertex decision function."""
+    return {v: decide(v) for v in subdivision.complex.vertices}
+
+
+def first_color_labeling(subdivision: Subdivision) -> dict[Vertex, int]:
+    """A canonical admissible labeling: the smallest color of the carrier.
+
+    Useful as a deterministic test fixture; it is always Sperner-admissible.
+    """
+    return {
+        v: min(subdivision.carrier(v).colors) for v in subdivision.complex.vertices
+    }
+
+
+def own_color_labeling(subdivision: Subdivision) -> dict[Vertex, int]:
+    """Label each vertex with its own color.
+
+    For a *chromatic* subdivision this is Sperner-admissible (a vertex's
+    color belongs to its carrier) and every properly colored top simplex is
+    panchromatic — the degenerate extreme of the lemma.
+    """
+    return {v: v.color for v in subdivision.complex.vertices}

@@ -1,0 +1,152 @@
+"""The standard chromatic subdivision ``SDS`` and its iterates.
+
+Lemma 3.2 of the paper identifies the one-shot immediate-snapshot protocol
+complex with the *standard chromatic subdivision* of the input simplex.  We
+build that object directly from its combinatorial description:
+
+* a vertex of ``SDS(σ)`` is a pair ``(c, S)`` with ``S`` a face of ``σ``
+  containing the vertex of color ``c`` — exactly an immediate-snapshot
+  output ``(P_i, S_i)``;
+* a set of such vertices is a simplex when the ``S``'s satisfy the
+  immediate-snapshot axioms of Section 3.5:
+
+  1. self-inclusion — ``v_c ∈ S`` for the vertex ``(c, S)``;
+  2. comparability — the ``S``'s are totally ordered by inclusion;
+  3. knowledge — ``v_{c'} ∈ S`` implies ``S' ⊆ S``.
+
+The maximal simplices are in bijection with *ordered partitions* (sequences
+of disjoint non-empty "concurrency blocks") of the base simplex's vertices,
+so we generate them directly; there are Fubini(n+1) of them (3, 13, 75, 541
+for n = 1, 2, 3, 4).
+
+Vertices are encoded as ``Vertex(color, frozenset_of_base_vertices)``: the
+payload *is* the snapshot view, which is what makes ``SDS^b`` literally equal
+to the b-shot full-information IIS protocol complex (Lemma 3.3, verified
+against the runtime in experiments E1/E2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex
+
+
+def ordered_set_partitions(items: Sequence) -> Iterator[tuple[frozenset, ...]]:
+    """Yield every ordered partition of ``items`` into non-empty blocks.
+
+    The blocks model the maximal concurrency classes of an immediate-snapshot
+    execution: all processors in a block WriteRead "simultaneously".
+    """
+    items = list(items)
+    if not items:
+        yield ()
+        return
+    first, rest = items[0], items[1:]
+    for sub_partition in ordered_set_partitions(rest):
+        # Insert ``first`` into an existing block, ...
+        for index, block in enumerate(sub_partition):
+            yield sub_partition[:index] + (block | {first},) + sub_partition[index + 1 :]
+        # ... or as a new singleton block in any position.
+        for index in range(len(sub_partition) + 1):
+            yield sub_partition[:index] + (frozenset({first}),) + sub_partition[index:]
+
+
+@lru_cache(maxsize=None)
+def fubini(n: int) -> int:
+    """The number of ordered partitions of an ``n``-element set."""
+    if n == 0:
+        return 1
+    from math import comb
+
+    return sum(comb(n, k) * fubini(n - k) for k in range(1, n + 1))
+
+
+def sds_vertex(color: int, view: frozenset[Vertex]) -> Vertex:
+    """The SDS vertex ``(color, view)``; the payload is the snapshot view."""
+    return Vertex(color, view)
+
+
+def view_of(vertex: Vertex) -> frozenset[Vertex]:
+    """The snapshot view carried by an SDS vertex."""
+    payload = vertex.payload
+    if not isinstance(payload, frozenset):
+        raise TypeError(f"{vertex!r} is not an SDS vertex (payload is not a view)")
+    return payload
+
+
+def sds_simplices_of(simplex: Simplex) -> Iterator[Simplex]:
+    """Yield the maximal simplices of ``SDS(σ)`` for one colored simplex.
+
+    Each ordered partition ``(B_1, ..., B_k)`` of σ's vertices yields the
+    simplex in which every processor in ``B_j`` snapshots ``B_1 ∪ ... ∪ B_j``.
+    """
+    if not simplex.is_chromatic:
+        raise ValueError(f"SDS requires a properly colored simplex, got {simplex!r}")
+    for partition in ordered_set_partitions(simplex.sorted_vertices()):
+        seen: set[Vertex] = set()
+        members: list[Vertex] = []
+        for block in partition:
+            seen.update(block)
+            snapshot = frozenset(seen)
+            members.extend(sds_vertex(v.color, snapshot) for v in block)
+        yield Simplex(members)
+
+
+def standard_chromatic_subdivision(base: SimplicialComplex) -> Subdivision:
+    """``SDS(K)``: subdivide every maximal simplex of a chromatic complex.
+
+    Gluing along shared faces is automatic: a vertex ``(c, S)`` with
+    ``S ⊆ F`` is generated identically from every maximal simplex containing
+    the face ``F``.
+    """
+    if not base.is_chromatic():
+        raise ValueError("SDS is defined for chromatic complexes only")
+    top_simplices: list[Simplex] = []
+    for maximal in base.maximal_simplices:
+        top_simplices.extend(sds_simplices_of(maximal))
+    subdivided = SimplicialComplex(top_simplices)
+    carriers = {v: Simplex(view_of(v)) for v in subdivided.vertices}
+    return Subdivision(base, subdivided, carriers)
+
+
+def iterated_standard_chromatic_subdivision(
+    base: SimplicialComplex, rounds: int
+) -> Subdivision:
+    """``SDS^b(K)`` with carriers composed down to the original base.
+
+    ``rounds = 0`` returns the trivial subdivision.  The vertex payloads are
+    nested views — round-``b`` full-information IIS local states.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    from repro.topology.subdivision import trivial_subdivision
+
+    result = trivial_subdivision(base)
+    for _ in range(rounds):
+        result = result.then(standard_chromatic_subdivision(result.complex))
+    return result
+
+
+def is_simultaneity_class(vertices: Iterator[Vertex] | Simplex) -> bool:
+    """Do the given SDS vertices share one view (one concurrency block)?"""
+    views = {view_of(v) for v in vertices}
+    return len(views) == 1
+
+
+def central_simplex(subdivision: Subdivision) -> Simplex:
+    """The "all simultaneous" top simplex of ``SDS(σ)`` for a single-simplex base.
+
+    In the paper's embedding this is the central simplex on the vertices
+    ``m_i`` (Section 3.6); combinatorially it is the ordered partition with a
+    single block.
+    """
+    base_tops = list(subdivision.base.maximal_simplices)
+    if len(base_tops) != 1:
+        raise ValueError("central simplex is defined for a single-simplex base")
+    full_view = frozenset(base_tops[0])
+    return Simplex(sds_vertex(v.color, full_view) for v in base_tops[0])

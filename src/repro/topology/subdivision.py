@@ -1,0 +1,201 @@
+"""Subdivisions of complexes, tracked by their carrier maps.
+
+Section 2: ``B(A)`` is a subdivision of ``A`` when their geometric
+realizations agree and every simplex of ``B`` sits inside a simplex of
+``A``; ``carrier(s, A)`` is the smallest such simplex.  Combinatorially we
+represent a subdivision as a complex plus a carrier assignment for each
+vertex; for the subdivisions this library builds (standard chromatic and
+barycentric, and their iterates) the carrier of a simplex is the union of
+the carriers of its vertices, which we validate rather than assume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+class Subdivision:
+    """A subdivision ``B(A)``: the subdivided complex plus carrier data.
+
+    Parameters
+    ----------
+    base:
+        The complex being subdivided (``A``).
+    complex:
+        The subdividing complex (``B(A)``).
+    carriers:
+        For each vertex of ``complex``, its carrier — a simplex of ``base``.
+    """
+
+    __slots__ = ("base", "complex", "_carriers")
+
+    def __init__(
+        self,
+        base: SimplicialComplex,
+        complex: SimplicialComplex,
+        carriers: Mapping[Vertex, Simplex],
+    ):
+        missing = complex.vertices - carriers.keys()
+        if missing:
+            raise ValueError(f"{len(missing)} subdivision vertices lack a carrier")
+        for vertex in complex.vertices:
+            carrier = carriers[vertex]
+            if carrier not in base:
+                raise ValueError(f"carrier {carrier!r} of {vertex!r} is not a base simplex")
+        self.base = base
+        self.complex = complex
+        self._carriers = {v: carriers[v] for v in complex.vertices}
+
+    # -- carrier algebra ------------------------------------------------------
+
+    def carrier(self, vertex: Vertex) -> Simplex:
+        return self._carriers[vertex]
+
+    def carrier_of(self, simplex: Simplex) -> Simplex:
+        """Carrier of a simplex: the union of its vertices' carriers.
+
+        Raises ``ValueError`` when the union is not a simplex of the base —
+        that would mean the provided carrier data is not a subdivision at
+        all, so we fail loudly rather than return garbage.
+        """
+        union_vertices: set[Vertex] = set()
+        for vertex in simplex:
+            union_vertices.update(self._carriers[vertex])
+        carrier = Simplex(union_vertices)
+        if carrier not in self.base:
+            raise ValueError(f"carrier union {carrier!r} of {simplex!r} is not a base simplex")
+        return carrier
+
+    def carriers(self) -> dict[Vertex, Simplex]:
+        return dict(self._carriers)
+
+    # -- face restriction (the paper's ``A(s^q)``) -----------------------------
+
+    def restrict_to_face(self, face: Simplex) -> SimplicialComplex:
+        """The subcomplex of simplices whose carrier is a face of ``face``."""
+        if face not in self.base:
+            raise ValueError(f"{face!r} is not a simplex of the base")
+        selected = [
+            m
+            for m in self.complex.maximal_simplices
+            if self.carrier_of(m).is_face_of(face)
+        ]
+        generated: list[Simplex] = list(selected)
+        if not generated:
+            # No maximal simplex is fully carried by the face; collect the
+            # carried faces of maximal simplices instead.
+            for maximal in self.complex.maximal_simplices:
+                carried = [v for v in maximal if self._carriers[v].is_face_of(face)]
+                if carried and self.carrier_of(Simplex(carried)).is_face_of(face):
+                    generated.append(Simplex(carried))
+        if not generated:
+            raise ValueError(f"no simplex is carried by {face!r}")
+        return SimplicialComplex(generated)
+
+    def face_subdivision(self, face: Simplex) -> "Subdivision":
+        """The induced subdivision of a base face (again a ``Subdivision``)."""
+        restricted = self.restrict_to_face(face)
+        base_face = SimplicialComplex([face])
+        return Subdivision(
+            base_face, restricted, {v: self._carriers[v] for v in restricted.vertices}
+        )
+
+    # -- composition ------------------------------------------------------------
+
+    def then(self, finer: "Subdivision") -> "Subdivision":
+        """Compose: ``finer`` subdivides ``self.complex``; result subdivides ``self.base``.
+
+        The carrier of a vertex of the finer subdivision is the carrier (in
+        the original base) of its carrier simplex.
+        """
+        if finer.base != self.complex:
+            raise ValueError("composition mismatch: finer.base must equal self.complex")
+        composed_carriers = {
+            v: self.carrier_of(finer.carrier(v)) for v in finer.complex.vertices
+        }
+        return Subdivision(self.base, finer.complex, composed_carriers)
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self, *, chromatic: bool = False, onto: bool | None = None) -> None:
+        """Check the combinatorial subdivision invariants, raising on failure.
+
+        * every simplex's carrier union is a base simplex (no straddling);
+        * the restriction to each maximal base simplex is pure of the same
+          dimension (the subdivision covers the base);
+        * carriers are *onto*: every base simplex is some vertex's carrier
+          (every open face contains subdivision vertices) — true for SDS and
+          Bsd and their iterates, but not for the trivial subdivision, where
+          only the 0-faces are carriers; by default the check runs exactly
+          when the subdivision is non-trivial, and ``onto`` overrides that;
+        * with ``chromatic=True``: the complex is properly colored and each
+          vertex's color appears in its carrier's colors (a chromatic
+          subdivision in the sense of Herlihy–Shavit).
+        """
+        for maximal in self.complex.maximal_simplices:
+            self.carrier_of(maximal)  # raises if not a base simplex
+        for base_top in self.base.maximal_simplices:
+            restriction = self.restrict_to_face(base_top)
+            if restriction.dimension != base_top.dimension:
+                raise ValueError(
+                    f"restriction to {base_top!r} has dimension "
+                    f"{restriction.dimension} != {base_top.dimension}"
+                )
+            if not restriction.is_pure():
+                raise ValueError(f"restriction to {base_top!r} is not pure")
+        if onto is None:
+            onto = self.complex != self.base
+        if onto:
+            covered = set(self._carriers.values())
+            for base_simplex in self.base.simplices():
+                if base_simplex not in covered:
+                    raise ValueError(
+                        f"no subdivision vertex has carrier {base_simplex!r}"
+                    )
+        if chromatic:
+            if not self.complex.is_chromatic():
+                raise ValueError("subdivision complex is not properly colored")
+            for vertex in self.complex.vertices:
+                if vertex.color not in self._carriers[vertex].colors:
+                    raise ValueError(
+                        f"color {vertex.color} of {vertex!r} missing from its carrier"
+                    )
+
+    def __repr__(self) -> str:
+        return f"Subdivision(base={self.base!r}, complex={self.complex!r})"
+
+
+def trivial_subdivision(base: SimplicialComplex) -> Subdivision:
+    """The identity subdivision: each vertex is its own carrier."""
+    carriers = {v: Simplex([v]) for v in base.vertices}
+    return Subdivision(base, base, carriers)
+
+
+def boundary_restriction(subdivision: Subdivision) -> SimplicialComplex | None:
+    """The subdivided boundary: simplices carried by proper faces of the base tops.
+
+    For a subdivided simplex ``A(s^n)`` this is ``boundary(A(s^n))``, the
+    ``(n-1)``-sphere of Section 2.  Returns ``None`` for a vertex base.
+    """
+    base_tops = list(subdivision.base.maximal_simplices)
+    boundary_faces: list[Simplex] = []
+    for top in base_tops:
+        boundary_faces.extend(top.facets())
+    if not boundary_faces:
+        return None
+    pieces = [subdivision.restrict_to_face(face) for face in set(boundary_faces)]
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.union(piece)
+    return result
+
+
+def carriers_by_union(
+    vertices: Iterable[Vertex], carrier_of_payload: Mapping[Vertex, Simplex]
+) -> dict[Vertex, Simplex]:
+    """Helper: carrier assignment as unions of payload carriers (used by SDS)."""
+    return {v: carrier_of_payload[v] for v in vertices}

@@ -1,0 +1,63 @@
+"""Colored vertices of chromatic simplicial complexes.
+
+A vertex pairs a *color* (a processor id in the paper's reading: Section 3.1
+identifies processor ids with the vertices of the color simplex ``s^n``) with
+an arbitrary hashable *payload* (an input value, a protocol view, a decision
+value, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Vertex:
+    """An immutable colored vertex ``(color, payload)``.
+
+    Parameters
+    ----------
+    color:
+        The processor id.  Colors are small non-negative integers throughout
+        the library, matching the paper's processors ``P_0 .. P_n``.
+    payload:
+        Any hashable value carried by the vertex: an input value for vertices
+        of an input complex ``I^n``, a decision value for an output complex
+        ``O^n``, or a full-information view for a protocol complex.
+    """
+
+    color: int
+    payload: Hashable = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.color, int) or self.color < 0:
+            raise ValueError(f"vertex color must be a non-negative int, got {self.color!r}")
+        # Catch unhashable payloads at construction time rather than at the
+        # first set insertion, where the traceback is much less useful.
+        try:
+            hash(self.payload)
+        except TypeError as exc:
+            raise TypeError(f"vertex payload must be hashable, got {self.payload!r}") from exc
+
+    def with_payload(self, payload: Hashable) -> "Vertex":
+        """Return a vertex with the same color and a new payload."""
+        return Vertex(self.color, payload)
+
+    def sort_key(self) -> tuple[int, str]:
+        """A deterministic total order usable across heterogeneous payloads."""
+        return (self.color, repr(self.payload))
+
+    def __repr__(self) -> str:
+        if self.payload is None:
+            return f"V({self.color})"
+        return f"V({self.color}:{self.payload!r})"
+
+
+def vertices_of(colors: Any, payload: Hashable = None) -> list[Vertex]:
+    """Build one vertex per color, all sharing ``payload``.
+
+    Convenience used by tests and task builders, e.g.
+    ``vertices_of(range(3))`` is the color simplex ``s^2``.
+    """
+    return [Vertex(color, payload) for color in colors]

@@ -1,0 +1,114 @@
+"""JSON round-trips and lossy exports."""
+
+import pytest
+
+from repro.analysis.export import (
+    complex_from_json,
+    complex_to_json,
+    complex_to_off,
+    skeleton_to_dot,
+    subdivision_from_json,
+    subdivision_to_json,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.geometry import embed_sds_level, standard_simplex_embedding
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestJsonRoundtrip:
+    def test_plain_complex(self):
+        c = base(2)
+        assert complex_from_json(complex_to_json(c)) == c
+
+    def test_sds_complex_with_nested_views(self):
+        sds = iterated_standard_chromatic_subdivision(base(2), 2)
+        data = complex_to_json(sds.complex)
+        assert complex_from_json(data) == sds.complex
+
+    def test_mixed_payload_types(self):
+        simplex = Simplex(
+            [
+                Vertex(0, None),
+                Vertex(1, 42),
+                Vertex(2, ("tuple", 7)),
+                Vertex(3, frozenset({Vertex(0, "inner")})),
+                Vertex(4, True),
+            ]
+        )
+        c = SimplicialComplex([simplex])
+        assert complex_from_json(complex_to_json(c)) == c
+
+    def test_subdivision_roundtrip(self):
+        sds = standard_chromatic_subdivision(base(2))
+        restored = subdivision_from_json(subdivision_to_json(sds))
+        assert restored.base == sds.base
+        assert restored.complex == sds.complex
+        assert restored.carriers() == sds.carriers()
+
+    def test_deterministic_output(self):
+        sds = standard_chromatic_subdivision(base(2))
+        assert subdivision_to_json(sds) == subdivision_to_json(sds)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            complex_from_json('{"format": "bogus"}')
+        with pytest.raises(ValueError):
+            subdivision_from_json('{"format": "bogus"}')
+
+    def test_unserializable_payload_rejected(self):
+        c = SimplicialComplex([Simplex([Vertex(0, 3.14)])])
+        with pytest.raises(TypeError):
+            complex_to_json(c)
+
+
+class TestOff:
+    def test_sds_s2(self):
+        sds = standard_chromatic_subdivision(base(2))
+        embedding = embed_sds_level(sds, standard_simplex_embedding(base(2)))
+        off = complex_to_off(sds.complex, embedding)
+        lines = off.strip().splitlines()
+        assert lines[0] == "OFF"
+        counts = lines[1].split()
+        assert int(counts[0]) == 12  # vertices
+        assert int(counts[1]) == 13  # triangles
+
+    def test_one_dimensional_edges(self):
+        c = base(1)
+        off = complex_to_off(c, standard_simplex_embedding(c))
+        assert "2 " in off.splitlines()[-1]
+
+    def test_high_dimension_rejected(self):
+        c = base(3)
+        with pytest.raises(ValueError):
+            complex_to_off(c, standard_simplex_embedding(c))
+
+    def test_high_ambient_dimension_projected(self):
+        """A 2-skeleton living in R^4 goes through the PCA reduction."""
+        c = base(3).skeleton(2)
+        off = complex_to_off(c, standard_simplex_embedding(base(3)))
+        lines = off.strip().splitlines()
+        n_vertices = int(lines[1].split()[0])
+        # Each vertex line must have exactly three coordinates.
+        for line in lines[2 : 2 + n_vertices]:
+            assert len(line.split()) == 3
+
+
+class TestDot:
+    def test_skeleton(self):
+        sds = standard_chromatic_subdivision(base(2))
+        dot = skeleton_to_dot(sds.complex)
+        assert dot.startswith("graph skeleton {")
+        assert dot.count("--") == sds.complex.face_count(1)
+
+    def test_colors_assigned(self):
+        dot = skeleton_to_dot(base(2))
+        assert "lightblue" in dot and "lightsalmon" in dot

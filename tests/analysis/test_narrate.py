@@ -1,0 +1,66 @@
+"""Execution narration tests."""
+
+from repro.analysis.narrate import (
+    narrate_events,
+    narrate_run,
+    summarize_block_structure,
+)
+from repro.runtime.iterated import iis_full_information
+from repro.runtime.ops import Decide, WriteCell
+from repro.runtime.scheduler import (
+    CrashAction,
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+)
+
+
+def iis_factory(pid, rounds=1):
+    def protocol():
+        view = yield from iis_full_information(pid, f"v{pid}", rounds)
+        yield Decide(view)
+
+    return protocol
+
+
+class TestNarration:
+    def test_block_lines(self):
+        s = Scheduler({0: lambda p: iis_factory(0)(), 1: lambda p: iis_factory(1)()}, 2, record_events=True)
+        result = s.run(RoundRobinSchedule())
+        text = narrate_run(result)
+        assert "WriteRead" in text
+        assert "P0 decided" in text and "P1 decided" in text
+        assert "total scheduler steps" in text
+
+    def test_crash_narrated(self):
+        def writer(pid):
+            def protocol():
+                yield WriteCell("r", pid)
+                yield Decide(pid)
+
+            return protocol
+
+        s = Scheduler({0: lambda p: writer(0)(), 1: lambda p: writer(1)()}, 2, record_events=True)
+        s.apply(CrashAction(0))
+        result = s.run(RoundRobinSchedule())
+        text = narrate_run(result)
+        assert "P0 crashes" in text
+        assert "P0 crashed without deciding" in text
+        assert "register operation" in text
+
+    def test_event_count(self):
+        s = Scheduler({0: lambda p: iis_factory(0, rounds=3)()}, 1, record_events=True)
+        result = s.run(RoundRobinSchedule())
+        assert len(narrate_events(result.events)) == result.steps
+
+    def test_block_structure_is_ordered_partition(self):
+        s = Scheduler(
+            {pid: (lambda p, pid=pid: iis_factory(pid)()) for pid in range(3)},
+            3,
+            record_events=True,
+        )
+        result = s.run(RandomSchedule(4, block_probability=0.8))
+        partitions = summarize_block_structure(result)
+        blocks = partitions[0]
+        flattened = [pid for block in blocks for pid in block]
+        assert sorted(flattened) == [0, 1, 2]  # each process exactly once

@@ -1,0 +1,60 @@
+"""Run-population statistics."""
+
+import pytest
+
+from repro.analysis.statistics import summarize_runs
+from repro.runtime.ops import Decide, WriteCell
+from repro.runtime.scheduler import (
+    RandomSchedule,
+    RunResult,
+    Scheduler,
+)
+
+
+def simple_factory(pid):
+    def protocol():
+        yield WriteCell("r", pid)
+        yield Decide(pid * 10)
+
+    return protocol()
+
+
+class TestSummaries:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_synthetic(self):
+        runs = [
+            RunResult({0: "a", 1: "a"}, frozenset(), 4),
+            RunResult({0: "b"}, frozenset({1}), 6),
+        ]
+        stats = summarize_runs(runs, n_processes=2)
+        assert stats.runs == 2
+        assert stats.mean_steps == 5.0
+        assert stats.max_steps == 6 and stats.min_steps == 4
+        assert stats.total_decisions == 3
+        assert stats.total_crashes == 1
+        assert dict(stats.decision_histogram) == {"a": 2, "b": 1}
+        assert stats.all_survivors_decided
+
+    def test_survivor_ledger_catches_missing_decision(self):
+        runs = [RunResult({0: "a"}, frozenset(), 3)]
+        stats = summarize_runs(runs, n_processes=2)
+        assert not stats.all_survivors_decided
+
+    def test_real_runs(self):
+        results = []
+        for seed in range(10):
+            scheduler = Scheduler([simple_factory, simple_factory], 2)
+            results.append(scheduler.run(RandomSchedule(seed)))
+        stats = summarize_runs(results, n_processes=2)
+        assert stats.runs == 10
+        assert stats.total_decisions == 20
+        assert stats.all_survivors_decided
+        assert dict(stats.decision_histogram) == {0: 10, 10: 10}
+
+    def test_str_is_informative(self):
+        runs = [RunResult({0: 1}, frozenset(), 3)]
+        text = str(summarize_runs(runs))
+        assert "1 runs" in text and "wait-free: True" in text

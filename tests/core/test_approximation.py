@@ -1,0 +1,142 @@
+"""E7: effective simplicial approximation (Lemmas 2.1 and 5.3)."""
+
+import pytest
+
+from repro.core.approximation import (
+    carrier_preserving_approximation,
+    bsd_functor_map,
+    iterated_with_embedding,
+    sds_to_bsd_iterated,
+)
+from repro.topology.barycentric import barycentric_subdivision
+from repro.topology.complex import SimplicialComplex
+from repro.topology.geometry import mesh
+from repro.topology.maps import identity_map
+from repro.topology.standard_chromatic import standard_chromatic_subdivision
+from repro.topology.vertex import vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+def embedded_sds(n, rounds):
+    return iterated_with_embedding(base(n), rounds, "sds")
+
+
+class TestIteratedWithEmbedding:
+    @pytest.mark.parametrize("kind", ["sds", "bsd"])
+    def test_builds_valid_geometric_subdivisions(self, kind):
+        from repro.topology.geometry import verify_geometric_subdivision
+
+        built = iterated_with_embedding(base(2), 1, kind)
+        verify_geometric_subdivision(
+            built.subdivision, built.base_embedding, built.embedding
+        )
+
+    def test_mesh_decreases_with_rounds(self):
+        m1 = embedded_sds(2, 1).mesh()
+        m2 = embedded_sds(2, 2).mesh()
+        assert m2 < m1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_with_embedding(base(1), 1, "weird")
+
+
+class TestLemma21:
+    """Bsd^k approximates any (embedded) subdivision, carrier-preservingly."""
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_bsd_to_sds_target(self, n):
+        target = embedded_sds(n, 1)
+        result = carrier_preserving_approximation(
+            target.subdivision, target.embedding, source_kind="bsd", max_k=5
+        )
+        result.simplicial_map.validate(
+            color_preserving=False,
+            carriers=(result.source.subdivision.carrier, target.subdivision.carrier),
+        )
+
+    def test_bsd_to_iterated_sds_target_1d(self):
+        target = embedded_sds(1, 2)
+        result = carrier_preserving_approximation(
+            target.subdivision, target.embedding, source_kind="bsd", max_k=6
+        )
+        assert result.k >= 2  # Bsd halves the mesh; SDS^2(s^1) has mesh 1/9·√2
+
+    def test_failure_reported_when_k_too_small(self):
+        target = embedded_sds(1, 3)  # 27 intervals
+        with pytest.raises(ValueError, match="increase max_k"):
+            carrier_preserving_approximation(
+                target.subdivision, target.embedding, source_kind="bsd", max_k=1
+            )
+
+
+class TestLemma53:
+    """SDS^k approximates any (embedded) subdivision — the paper's version."""
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_sds_to_sds_target_is_identity_level(self, n):
+        target = embedded_sds(n, 1)
+        result = carrier_preserving_approximation(
+            target.subdivision, target.embedding, source_kind="sds", max_k=4
+        )
+        assert result.k == 1  # SDS^1 maps to itself
+
+    def test_sds_to_bsd_target(self):
+        built = iterated_with_embedding(base(2), 1, "bsd")
+        result = carrier_preserving_approximation(
+            built.subdivision, built.embedding, source_kind="sds", max_k=4
+        )
+        result.simplicial_map.validate(
+            color_preserving=False,
+            carriers=(result.source.subdivision.carrier, built.subdivision.carrier),
+        )
+
+    def test_boundary_maps_to_boundary(self):
+        """Carrier preservation keeps the subdivided boundary on the boundary."""
+        target = embedded_sds(2, 1)
+        result = carrier_preserving_approximation(
+            target.subdivision, target.embedding, source_kind="sds", max_k=3
+        )
+        for vertex in result.source.complex.vertices:
+            source_carrier = result.source.subdivision.carrier(vertex)
+            image_carrier = target.subdivision.carrier(
+                result.simplicial_map(vertex)
+            )
+            assert image_carrier.is_face_of(source_carrier)
+
+
+class TestFunctorial:
+    """The SDS^k → Bsd^k composite of Lemma 5.3's proof."""
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (1, 2), (2, 1), (2, 2)])
+    def test_composite_is_simplicial(self, n, k):
+        mapping = sds_to_bsd_iterated(base(n), k)
+        assert mapping.is_simplicial()
+
+    def test_rounds_zero_rejected(self):
+        with pytest.raises(ValueError):
+            sds_to_bsd_iterated(base(1), 0)
+
+    def test_bsd_functor_preserves_identity(self):
+        c = base(2)
+        lifted = bsd_functor_map(identity_map(c))
+        bsd = barycentric_subdivision(c)
+        assert lifted.as_dict() == identity_map(bsd.complex).as_dict()
+
+    def test_bsd_functor_on_collapse(self):
+        # Collapsing SDS(s^1) onto s^1 by color, lifted to barycentric level.
+        from repro.topology.maps import SimplicialMap
+        from repro.topology.simplex import Simplex
+        from repro.topology.vertex import Vertex
+
+        c = base(1)
+        sds = standard_chromatic_subdivision(c)
+        corners = {v.color: v for v in c.vertices}
+        collapse = SimplicialMap(
+            sds.complex, c, {v: corners[v.color] for v in sds.complex.vertices}
+        )
+        lifted = bsd_functor_map(collapse)
+        assert lifted.is_simplicial()

@@ -1,0 +1,213 @@
+"""Safe agreement and the BG simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bg_simulation import (
+    BGSimulation,
+    sa_propose,
+    sa_try_read,
+    validate_simulated_run,
+)
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import (
+    CrashAction,
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    enumerate_executions,
+)
+
+
+def proposer(pid, value, instance="x"):
+    def protocol():
+        yield from sa_propose(instance, value)
+        while True:
+            success, agreed = yield from sa_try_read(instance)
+            if success:
+                yield Decide(agreed)
+                return
+
+    return protocol
+
+
+class TestSafeAgreement:
+    def test_solo(self):
+        s = Scheduler({0: lambda p: proposer(0, "v")()}, 2)
+        result = s.run(RoundRobinSchedule())
+        assert result.decisions[0] == "v"
+
+    def test_agreement_all_interleavings_two_proposers(self):
+        """Enumerate the (bounded) propose phases exhaustively; the read
+        outcome is a pure function of the final region state, so agreement
+        reduces to: a committed minimum exists and is one of the proposals.
+
+        (The read loop itself is blocking, so enumerating it would make the
+        execution tree infinite — the same reason safe agreement is only a
+        building block and not a wait-free object.)"""
+
+        def propose_only(pid, value):
+            def protocol():
+                yield from sa_propose("x", value)
+                yield Decide(None)
+
+            return protocol
+
+        factories = {
+            0: (lambda p: propose_only(0, "a")()),
+            1: (lambda p: propose_only(1, "b")()),
+        }
+        from repro.core.bg_simulation import sa_region
+
+        outcomes = set()
+        stack = [()]
+        while stack:
+            prefix = stack.pop()
+            scheduler = Scheduler(factories, 2)
+            for action in prefix:
+                scheduler.apply(action)
+            if scheduler.all_done():
+                cells = scheduler.memory.region(sa_region("x")).snapshot()
+                assert not any(c is not None and c[1] == 1 for c in cells)
+                winners = [
+                    (pid, c[0])
+                    for pid, c in enumerate(cells)
+                    if c is not None and c[1] == 2
+                ]
+                assert winners, "no committed proposal after all proposers done"
+                outcomes.add(min(winners)[1])
+                continue
+            assert len(prefix) < 20
+            for action in reversed(scheduler.enabled_actions()):
+                stack.append(prefix + (action,))
+        assert outcomes == {"a", "b"}  # both proposers can win
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_agreement_random_three_proposers(self, seed):
+        factories = {
+            pid: (lambda p, pid=pid: proposer(pid, f"v{pid}")())
+            for pid in range(3)
+        }
+        s = Scheduler(factories, 3)
+        result = s.run(RandomSchedule(seed), max_steps=10_000)
+        assert len(set(result.decisions.values())) == 1
+
+    def test_crash_inside_unsafe_section_blocks_readers(self):
+        """The defining hazard: a proposer crashing between its level-1
+        write and its settle leaves readers spinning forever."""
+        factories = {
+            0: (lambda p: proposer(0, "a")()),
+            1: (lambda p: proposer(1, "b")()),
+        }
+        s = Scheduler(factories, 2)
+        # Let proposer 0 write level 1, then crash it.
+        from repro.runtime.scheduler import StepAction
+
+        s.apply(StepAction(0))  # write (a, 1)
+        s.apply(CrashAction(0))
+        from repro.runtime.scheduler import SchedulerError
+
+        with pytest.raises(SchedulerError, match="not wait-free"):
+            s.run(RoundRobinSchedule(), max_steps=500)
+
+    def test_crash_after_settle_does_not_block(self):
+        factories = {
+            0: (lambda p: proposer(0, "a")()),
+            1: (lambda p: proposer(1, "b")()),
+        }
+        s = Scheduler(factories, 2)
+        from repro.runtime.scheduler import StepAction
+
+        s.apply(StepAction(0))  # write (a, 1)
+        s.apply(StepAction(0))  # snapshot
+        s.apply(StepAction(0))  # settle at level 2
+        s.apply(CrashAction(0))
+        result = s.run(RoundRobinSchedule(), max_steps=500)
+        assert result.decisions[1] == "a"  # min-pid committed value
+
+
+class TestBGSimulation:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_full_run_without_crashes(self, m):
+        simulation = BGSimulation({0: "a", 1: "b", 2: "c"}, rounds=2, n_simulators=m)
+        run, decisions = simulation.run()
+        assert run.finished_processes() == [0, 1, 2]
+        validate_simulated_run(run)
+        assert len(decisions) == m
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules(self, seed):
+        simulation = BGSimulation({0: "a", 1: "b", 2: "c"}, rounds=2, n_simulators=2)
+        run, _decisions = simulation.run(RandomSchedule(seed))
+        validate_simulated_run(run)
+        assert run.finished_processes() == [0, 1, 2]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_one_simulator_crash_blocks_at_most_one_simulated(self, seed):
+        """The BG accounting: m simulators, one crash ⇒ at most one
+        simulated process stalls; all others finish every round."""
+        simulation = BGSimulation(
+            {0: "a", 1: "b", 2: "c"}, rounds=2, n_simulators=2, giveup_sweeps=30
+        )
+        run, decisions = simulation.run(
+            RandomSchedule(seed, crash_pids=[1], max_crash_delay=40),
+            max_steps=500_000,
+        )
+        validate_simulated_run(run)
+        assert len(run.finished_processes()) >= 2
+        assert 0 in decisions  # the surviving simulator decided
+
+    def test_simulated_views_grow(self):
+        simulation = BGSimulation({0: "a", 1: "b"}, rounds=3, n_simulators=2)
+        run, _ = simulation.run()
+        validate_simulated_run(run)
+        for j, views in run.views.items():
+            assert len(views) == 3
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            BGSimulation({0: "a"}, rounds=0, n_simulators=1)
+        with pytest.raises(ValueError):
+            BGSimulation({0: "a"}, rounds=1, n_simulators=0)
+
+
+class TestValidator:
+    def test_catches_incomparable_views(self):
+        from repro.core.bg_simulation import SimulatedRun
+
+        run = SimulatedRun({0: "a", 1: "b"}, rounds=1)
+        run.views = {
+            0: [("a", None)],
+            1: [(None, "b")],
+        }
+        with pytest.raises(AssertionError, match="incomparable"):
+            validate_simulated_run(run)
+
+    def test_catches_missing_self(self):
+        from repro.core.bg_simulation import SimulatedRun
+
+        run = SimulatedRun({0: "a", 1: "b"}, rounds=1)
+        run.views = {0: [(None, "b")]}
+        with pytest.raises(AssertionError, match="self-inclusion"):
+            validate_simulated_run(run)
+
+    def test_catches_alien_values(self):
+        from repro.core.bg_simulation import SimulatedRun
+
+        run = SimulatedRun({0: "a", 1: "b"}, rounds=1)
+        run.views = {0: [("a", "never-written")]}
+        with pytest.raises(AssertionError, match="never written"):
+            validate_simulated_run(run)
+
+    def test_accepts_legal_run(self):
+        from repro.core.bg_simulation import SimulatedRun
+
+        run = SimulatedRun({0: "a", 1: "b"}, rounds=1)
+        run.views = {
+            0: [("a", "b")],
+            1: [("a", "b")],
+        }
+        validate_simulated_run(run)

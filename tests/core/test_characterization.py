@@ -1,0 +1,67 @@
+"""Top-level characterize() verdicts across the zoo."""
+
+import pytest
+
+from repro.core import characterize
+from repro.core.characterization import Verdict
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    constant_task,
+    identity_task,
+    set_consensus_task,
+)
+
+
+class TestVerdicts:
+    def test_identity_solvable(self):
+        c = characterize(identity_task(2), max_rounds=1)
+        assert c.verdict is Verdict.SOLVABLE
+        assert c.rounds == 0
+
+    def test_constant_solvable(self):
+        assert characterize(constant_task(2)).verdict is Verdict.SOLVABLE
+
+    def test_consensus_unsolvable_all_rounds(self):
+        c = characterize(binary_consensus_task(2))
+        assert c.verdict is Verdict.UNSOLVABLE
+        assert c.certificate.kind == "connectivity"
+        assert c.solvability is None
+
+    def test_set_consensus_unsolvable_all_rounds(self):
+        c = characterize(set_consensus_task(3, 2))
+        assert c.verdict is Verdict.UNSOLVABLE
+        assert c.certificate.kind == "sperner"
+
+    def test_approx_agreement_solvable_with_protocol(self):
+        task = approximate_agreement_task(2, 3)
+        c = characterize(task, max_rounds=2)
+        assert c.verdict is Verdict.SOLVABLE
+        protocol = c.synthesize_protocol()
+        protocol.run_and_validate(task, {0: 0, 1: 3})
+
+    def test_without_certificates_falls_back_to_search(self):
+        c = characterize(
+            binary_consensus_task(2), max_rounds=1, try_impossibility=False
+        )
+        assert c.verdict is Verdict.UNSOLVABLE_UP_TO_BOUND
+        assert c.certificate is None
+        assert c.solvability is not None
+
+    def test_budget_exhaustion_gives_unknown(self):
+        c = characterize(
+            set_consensus_task(3, 2),
+            max_rounds=2,
+            node_budget=100,
+            try_impossibility=False,
+        )
+        assert c.verdict is Verdict.UNKNOWN
+
+    def test_synthesize_on_unsolvable_rejected(self):
+        c = characterize(binary_consensus_task(2))
+        with pytest.raises(ValueError):
+            c.synthesize_protocol()
+
+    def test_repr(self):
+        c = characterize(identity_task(2))
+        assert "solvable" in repr(c)

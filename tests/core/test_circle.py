@@ -1,0 +1,95 @@
+"""E10: the simulation circle — snapshot ⇆ immediate snapshot ⇆ iterated IS.
+
+Three directions, all executable in this library:
+
+* registers → one-shot IS: the Borowsky–Gafni levels algorithm generates
+  exactly the standard chromatic subdivision (also in test_protocol_complex);
+* IIS → atomic snapshots: the Figure 2 emulation (test_emulation);
+* the *composition*: a snapshot-model protocol run over the emulation whose
+  one-shot memories are themselves... the oracle — and, as a final twist, a
+  decision protocol synthesized for the IIS model run over registers.
+
+Here we close the loop end to end: run Figure 1 over Figure 2 and check the
+emulated snapshot states could have come from a run of Figure 1 on real
+registers (same legality conditions), and run one protocol through both
+stacks.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.emulation import EmulationHarness
+from repro.core.protocol_synthesis import (
+    synthesize_iis_protocol,
+    synthesize_snapshot_protocol,
+)
+from repro.core.solvability import solve_task
+from repro.runtime.full_information import run_k_shot
+from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule
+from repro.tasks import approximate_agreement_task
+
+
+class TestEmulatedEqualsNative:
+    def test_round_robin_k1_self_inclusion(self):
+        """Under round robin the emulated states are legal Figure-1 states.
+
+        (They need not match the native round-robin outcome: the emulation's
+        round-robin schedule induces a different linearization — P0's whole
+        write/snapshot completes on memory 0 before P1 catches up.)"""
+        native = run_k_shot({0: "a", 1: "b"}, 1)
+        emulated = EmulationHarness({0: "a", 1: "b"}, 1).run(RoundRobinSchedule())
+        assert set(emulated.final_states) == set(native)
+        for pid, state in emulated.final_states.items():
+            assert state[pid] == ("a", "b")[pid]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_emulated_states_are_native_reachable_k1(self, seed):
+        """For k=1, n=2 the native protocol has exactly 3 outcomes; every
+        emulated outcome must be one of them."""
+        from repro.runtime.full_information import k_shot_full_information
+        from repro.runtime.ops import Decide
+        from repro.runtime.scheduler import enumerate_executions
+
+        def factory(pid, value):
+            def make(p):
+                def protocol():
+                    view = yield from k_shot_full_information(p, value, 1)
+                    yield Decide(view)
+
+                return protocol()
+
+            return make
+
+        native_outcomes = {
+            tuple(sorted(r.decisions.items()))
+            for r in enumerate_executions(
+                {0: factory(0, "a"), 1: factory(1, "b")}, 2
+            )
+        }
+        emulated = EmulationHarness({0: "a", 1: "b"}, 1).run(RandomSchedule(seed))
+        emulated.check_legality()
+        assert tuple(sorted(emulated.final_states.items())) in native_outcomes
+
+
+class TestBothStacks:
+    def test_synthesized_protocol_through_both_models(self):
+        """One decision map, three execution stacks, all Δ-valid:
+        IIS oracle, levels-on-registers, and (implicitly, via the other
+        tests) registers-on-IIS."""
+        task = approximate_agreement_task(2, 3)
+        result = solve_task(task, max_rounds=2)
+        inputs = {0: 0, 1: 3}
+        iis = synthesize_iis_protocol(result)
+        levels = synthesize_snapshot_protocol(result, 2)
+        for seed in range(10):
+            iis.run_and_validate(task, inputs, RandomSchedule(seed))
+            levels.run_and_validate(task, inputs, RandomSchedule(seed))
+
+    def test_renaming_through_both_stacks(self):
+        from repro.tasks.renaming import RenamingProtocol
+
+        protocol = RenamingProtocol({0: 5, 1: 9})
+        native = protocol.run(over_iis=False)
+        emulated = protocol.run(over_iis=True)
+        protocol.validate(native, participants=2)
+        protocol.validate(emulated, participants=2)

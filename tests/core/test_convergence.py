@@ -1,0 +1,215 @@
+"""E8: simplex agreement (Section 5) — NCSASS protocol and Theorem 5.1."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approximation import iterated_with_embedding
+from repro.core.convergence import solve_ncsass, theorem_5_1_witness
+from repro.core.solvability import SolvabilityStatus
+from repro.runtime.scheduler import RandomSchedule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.subdivision import Subdivision
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+@pytest.fixture(scope="module")
+def ncsass_2d():
+    target = iterated_with_embedding(base(2), 2, "sds")
+    return solve_ncsass(target.subdivision, target.embedding, max_k=4)
+
+
+class TestNCSASS:
+    def test_round_robin_output_valid(self, ncsass_2d):
+        outputs = ncsass_2d.run()
+        ncsass_2d.validate(outputs)
+        assert set(outputs) == {0, 1, 2}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32), st.floats(0, 1))
+    def test_random_schedules_valid(self, ncsass_2d, seed, block_probability):
+        outputs = ncsass_2d.run(
+            RandomSchedule(seed, block_probability=block_probability)
+        )
+        ncsass_2d.validate(outputs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.sets(st.integers(0, 2), min_size=1, max_size=2),
+    )
+    def test_crashed_participants_shrink_the_carrier(
+        self, ncsass_2d, seed, crash
+    ):
+        outputs, participants = ncsass_2d.run_with_participants(
+            RandomSchedule(seed, crash_pids=sorted(crash))
+        )
+        # Section 3.3: crashed processes that took steps still participate,
+        # so the carrier condition is relative to the participating set.
+        ncsass_2d.validate(outputs, participants)
+
+    def test_solo_participant_lands_on_own_corner_face(self, ncsass_2d):
+        outputs, participants = ncsass_2d.run_with_participants(
+            RandomSchedule(0, crash_pids=[1, 2], max_crash_delay=0)
+        )
+        assert set(outputs) == {0}
+        assert participants == frozenset({0})
+        ncsass_2d.validate(outputs, participants)
+        # Solo: the output's carrier must be the lone corner itself.
+        target = ncsass_2d.target
+        assert target.carrier(outputs[0]).dimension == 0
+
+    def test_1d_target(self):
+        target = iterated_with_embedding(base(1), 2, "sds")
+        protocol = solve_ncsass(target.subdivision, target.embedding, max_k=5)
+        outputs = protocol.run()
+        protocol.validate(outputs)
+
+
+class TestTheorem51:
+    def test_standard_target_identity_level(self):
+        target = iterated_with_embedding(base(2), 1, "sds")
+        result = theorem_5_1_witness(target.subdivision, max_rounds=2)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 1
+
+    def test_iterated_1d_target(self):
+        target = iterated_with_embedding(base(1), 2, "sds")
+        result = theorem_5_1_witness(target.subdivision, max_rounds=3)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 2
+
+    def test_iterated_2d_target(self):
+        """169-triangle chromatic target: k=1 refuted by arc consistency
+        alone, k=2 found backtrack-free (one node per vertex)."""
+        target = iterated_with_embedding(base(2), 2, "sds")
+        result = theorem_5_1_witness(target.subdivision, max_rounds=2)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 2
+        assert result.levels[-1].nodes_explored == len(
+            result.subdivision.complex.vertices
+        )
+
+    def test_nonstandard_chromatic_subdivision_of_edge(self):
+        """A 5-edge properly-colored path is a chromatic subdivision of s¹
+        that is NOT any SDS^k (those have 3^k edges) — Theorem 5.1 still
+        finds a color/carrier-preserving map from SDS^2 (9 edges)."""
+        corners = vertices_of(range(2))
+        interior = [Vertex(i % 2, ("p", i)) for i in (1, 0, 1, 0)]
+        chain = [corners[0], interior[1], interior[0], interior[3], interior[2], corners[1]]
+        # Recolor to alternate properly: 0,1,0,1,0,1 along the path.
+        chain = [Vertex(i % 2, ("path", i)) for i in range(6)]
+        chain[0] = corners[0]
+        chain[-1] = corners[1]
+        edges = [Simplex([a, b]) for a, b in zip(chain, chain[1:])]
+        complex_ = SimplicialComplex(edges)
+        edge = Simplex(corners)
+        carriers = {v: edge for v in complex_.vertices}
+        carriers[corners[0]] = Simplex([corners[0]])
+        carriers[corners[1]] = Simplex([corners[1]])
+        target = Subdivision(SimplicialComplex([edge]), complex_, carriers)
+        target.validate(chromatic=True)
+        result = theorem_5_1_witness(target, max_rounds=3)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 2  # 3 edges too few, 9 suffice
+
+    def test_witness_map_is_color_and_carrier_preserving(self):
+        target = iterated_with_embedding(base(1), 1, "sds")
+        result = theorem_5_1_witness(target.subdivision, max_rounds=2)
+        mapping = result.decision_map
+        assert mapping.is_color_preserving()
+        source = iterated_standard_chromatic_subdivision(base(1), result.rounds)
+        for vertex in source.complex.vertices:
+            assert target.subdivision.carrier(mapping(vertex)).is_face_of(
+                source.carrier(vertex)
+            )
+
+
+class TestCSASSProtocol:
+    """Theorem 5.1 executed: chromatic simplex agreement at runtime."""
+
+    @pytest.fixture(scope="class")
+    def csass_2d(self):
+        from repro.core.convergence import solve_csass
+
+        target = iterated_with_embedding(base(2), 1, "sds")
+        return solve_csass(target.subdivision, max_rounds=2)
+
+    def test_round_robin(self, csass_2d):
+        outputs = csass_2d.run()
+        csass_2d.validate(outputs)
+        assert set(outputs) == {0, 1, 2}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules(self, csass_2d, seed):
+        outputs = csass_2d.run(RandomSchedule(seed, block_probability=0.5))
+        csass_2d.validate(outputs)
+
+    def test_outputs_carry_own_colors(self, csass_2d):
+        outputs = csass_2d.run(RandomSchedule(7))
+        for pid, vertex in outputs.items():
+            assert vertex.color == pid
+
+    def test_unreachable_level_raises(self):
+        from repro.core.convergence import solve_csass
+
+        target = iterated_with_embedding(base(1), 2, "sds")
+        with pytest.raises(ValueError, match="raise max_rounds"):
+            solve_csass(target.subdivision, max_rounds=1)
+
+    def test_1d_nonstandard_target(self):
+        from repro.core.convergence import solve_csass
+        from repro.topology.subdivision import Subdivision
+
+        corners = vertices_of(range(2))
+        chain = [Vertex(i % 2, ("path", i)) for i in range(6)]
+        chain[0], chain[-1] = corners[0], corners[1]
+        edges = [Simplex([a, b]) for a, b in zip(chain, chain[1:])]
+        edge = Simplex(corners)
+        carriers = {v: edge for v in set(chain)}
+        carriers[corners[0]] = Simplex([corners[0]])
+        carriers[corners[1]] = Simplex([corners[1]])
+        target = Subdivision(
+            SimplicialComplex([edge]), SimplicialComplex(edges), carriers
+        )
+        protocol = solve_csass(target, max_rounds=3)
+        assert protocol.rounds == 2
+        outputs = protocol.run(RandomSchedule(5))
+        protocol.validate(outputs)
+
+
+class TestTaskBuilder:
+    def test_csass_requires_single_simplex_base(self):
+        from repro.tasks.simplex_agreement import chromatic_simplex_agreement_task
+        from repro.topology.subdivision import trivial_subdivision
+
+        two_edges = SimplicialComplex(
+            [
+                Simplex([Vertex(0), Vertex(1)]),
+                Simplex([Vertex(1), Vertex(2)]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            chromatic_simplex_agreement_task(trivial_subdivision(two_edges))
+
+    def test_csass_task_shape(self):
+        from repro.tasks.simplex_agreement import chromatic_simplex_agreement_task
+        from repro.topology.standard_chromatic import standard_chromatic_subdivision
+
+        sds = standard_chromatic_subdivision(base(2))
+        task = chromatic_simplex_agreement_task(sds)
+        assert task.input_complex == sds.base
+        assert task.output_complex == sds.complex
+        # Solo corner executions must output the corner itself.
+        corner = Simplex([Vertex(0)])
+        candidates = task.candidate_decisions(corner, 0)
+        assert len(candidates) == 1
+        assert sds.carrier(candidates[0]).dimension == 0

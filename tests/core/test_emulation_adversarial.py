@@ -1,0 +1,71 @@
+"""Emulation under adversarial and mixed schedules (E3's hard cases)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.emulation import EmulationHarness
+from repro.runtime.adversary import MaxContentionSchedule, StarvationSchedule
+from repro.runtime.scheduler import RandomSchedule
+
+
+class TestStarvationAdversary:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3), st.integers(1, 3))
+    def test_any_victim_any_k(self, victim, k):
+        inputs = {0: "a", 1: "b", 2: "c", 3: "d"}
+        harness = EmulationHarness(inputs, k)
+        trace = harness.run(StarvationSchedule(victim), max_steps=300_000)
+        trace.check_legality()
+        assert len(trace.final_states) == 4
+
+    def test_victim_sees_everyone(self):
+        """Scheduled last, the victim's final state reflects all writes."""
+        inputs = {0: "a", 1: "b", 2: "c"}
+        harness = EmulationHarness(inputs, 1)
+        trace = harness.run(StarvationSchedule(0))
+        # Victim's snapshot happens after others finished their round.
+        assert None not in trace.final_states[0]
+
+
+class TestMaxContention:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 3))
+    def test_all_sizes(self, n, k):
+        inputs = {pid: pid for pid in range(n)}
+        harness = EmulationHarness(inputs, k)
+        trace = harness.run(MaxContentionSchedule(), max_steps=300_000)
+        trace.check_legality()
+        assert len(trace.final_states) == n
+
+    def test_simultaneity_costs_extra_memories(self):
+        """All-simultaneous blocks force the retry path of Figure 2: a
+        fresh tuple is never in the first block's intersection when a peer
+        writes the same memory, so ops take >= 2 memories."""
+        inputs = {0: "a", 1: "b"}
+        harness = EmulationHarness(inputs, 1)
+        trace = harness.run(MaxContentionSchedule())
+        trace.check_legality()
+        counts = [c for _p, _k, c in trace.memories_per_op]
+        assert max(counts) >= 2
+
+
+class TestScheduleMixes:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.floats(0.0, 1.0),
+        st.integers(1, 2),
+        st.sets(st.integers(0, 2), max_size=1),
+    )
+    def test_random_parameter_sweep(self, seed, block_probability, k, crash):
+        inputs = {0: 0, 1: 1, 2: 2}
+        harness = EmulationHarness(inputs, k)
+        trace = harness.run(
+            RandomSchedule(
+                seed,
+                block_probability=block_probability,
+                crash_pids=sorted(crash),
+            ),
+            max_steps=300_000,
+        )
+        trace.check_legality()
+        assert len(trace.final_states) >= 3 - len(crash)

@@ -1,0 +1,162 @@
+"""Extraction: hand-written protocols become machine-checked simplicial maps."""
+
+import pytest
+
+from repro.core.extraction import ExtractionError, extract_decision_map
+from repro.runtime.iterated import iis_full_information
+from repro.runtime.ops import Decide
+from repro.tasks import (
+    approximate_agreement_task,
+    participating_set_task,
+    set_consensus_task,
+)
+
+
+def fi_protocol_factories(decide):
+    """Factories for a hand-written 1-round full-information protocol.
+
+    ``decide(pid, view)`` maps the round-1 view to a value; the protocol
+    decides the pair (view, value) per the extraction convention.
+    """
+
+    def for_inputs(inputs):
+        def factory_for(pid, value):
+            def factory(p):
+                def protocol():
+                    view = yield from iis_full_information(p, value, 1)
+                    yield Decide((view, decide(p, view)))
+
+                return protocol()
+
+            return factory
+
+        return {pid: factory_for(pid, value) for pid, value in inputs.items()}
+
+    return for_inputs
+
+
+class TestParticipatingSet:
+    def test_hand_written_protocol_extracts(self):
+        """'Output the set of pids you saw' solves participating-set; the
+        extracted map is validated against Δ automatically."""
+        task = participating_set_task(3)
+
+        def decide(pid, view):
+            return frozenset(q for q, _state in view)
+
+        mapping, subdivision = extract_decision_map(
+            fi_protocol_factories(decide), task, rounds=1
+        )
+        assert mapping.is_color_preserving()
+        assert len(mapping.as_dict()) == len(subdivision.complex.vertices)
+
+
+class TestSetConsensus:
+    def test_min_seen_solves_trivial_variant(self):
+        """'Decide the minimum id you saw' solves (3,3)-set consensus."""
+        task = set_consensus_task(3, 3)
+
+        def decide(pid, view):
+            return min(q for q, _state in view)
+
+        mapping, _sub = extract_decision_map(
+            fi_protocol_factories(decide), task, rounds=1
+        )
+        assert mapping.is_simplicial()
+
+    def test_min_seen_fails_hard_variant(self):
+        """The same protocol does NOT solve (3,2)-set consensus at one
+        round: some execution lets 3 distinct minima… no — minima collapse;
+        what fails is Δ on the panchromatic executions where all three
+        processes see only themselves (the all-singleton partition), giving
+        3 distinct decisions."""
+        task = set_consensus_task(3, 2)
+
+        def decide(pid, view):
+            return min(q for q, _state in view)
+
+        with pytest.raises(ValueError):
+            extract_decision_map(fi_protocol_factories(decide), task, rounds=1)
+
+
+class TestWellDefinedness:
+    def test_non_view_function_rejected(self):
+        """A 'protocol' whose decision depends on hidden state (a shared
+        mutable counter) is caught by the well-definedness check."""
+        task = participating_set_task(2)
+        calls = [0]
+
+        def for_inputs(inputs):
+            def factory_for(pid, value):
+                def factory(p):
+                    def protocol():
+                        view = yield from iis_full_information(p, value, 1)
+                        calls[0] += 1
+                        cheat = frozenset(
+                            q for q, _s in view
+                        ) if calls[0] % 3 else frozenset({p})
+                        yield Decide((view, cheat))
+
+                    return protocol()
+
+                return factory
+
+            return {pid: factory_for(pid, value) for pid, value in inputs.items()}
+
+        with pytest.raises(ValueError):
+            extract_decision_map(for_inputs, task, rounds=1)
+
+    def test_missing_view_convention_rejected(self):
+        task = participating_set_task(2)
+
+        def for_inputs(inputs):
+            def factory_for(pid, value):
+                def factory(p):
+                    def protocol():
+                        view = yield from iis_full_information(p, value, 1)
+                        yield Decide(frozenset(q for q, _s in view))  # no pair
+
+                    return protocol()
+
+                return factory
+
+            return {pid: factory_for(pid, value) for pid, value in inputs.items()}
+
+        with pytest.raises(ExtractionError, match="exposing"):
+            extract_decision_map(for_inputs, task, rounds=1)
+
+
+class TestAgainstSynthesis:
+    def test_extraction_of_a_synthesized_protocol_roundtrips(self):
+        """synthesize(solve(T)) then extract gives back a valid map for T."""
+        from repro.core.protocol_synthesis import synthesize_iis_protocol
+        from repro.core.solvability import solve_task
+
+        task = approximate_agreement_task(2, 3)
+        result = solve_task(task, max_rounds=1)
+        synthesized = synthesize_iis_protocol(result)
+        decisions = {
+            vertex: image.payload
+            for vertex, image in result.decision_map.as_dict().items()
+        }
+
+        def for_inputs(inputs):
+            def factory_for(pid, value):
+                def factory(p):
+                    def protocol():
+                        view = yield from iis_full_information(p, value, 1)
+                        from repro.core.protocol_complex import (
+                            runtime_view_to_vertex,
+                        )
+
+                        vertex = runtime_view_to_vertex(p, view, 1)
+                        yield Decide((view, decisions[vertex]))
+
+                    return protocol()
+
+                return factory
+
+            return {pid: factory_for(pid, value) for pid, value in inputs.items()}
+
+        mapping, _sub = extract_decision_map(for_inputs, task, rounds=1)
+        assert mapping.as_dict() == result.decision_map.as_dict()

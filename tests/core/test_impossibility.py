@@ -1,0 +1,134 @@
+"""E5/E6: all-rounds impossibility certificates."""
+
+import pytest
+
+from repro.core.impossibility import (
+    connectivity_certificate,
+    sperner_certificate,
+    try_all_impossibility_proofs,
+)
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    constant_task,
+    identity_task,
+    set_consensus_task,
+)
+
+
+class TestConnectivity:
+    def test_applies_to_binary_consensus(self):
+        cert = connectivity_certificate(binary_consensus_task(2))
+        assert cert is not None
+        assert cert.kind == "connectivity"
+        assert "connected" in cert.explanation
+
+    def test_applies_to_three_process_consensus(self):
+        assert connectivity_certificate(binary_consensus_task(3)) is not None
+
+    def test_applies_to_multivalued_consensus(self):
+        from repro.tasks import consensus_task
+
+        assert connectivity_certificate(consensus_task(2, (0, 1, 2))) is not None
+
+    def test_does_not_apply_to_identity(self):
+        assert connectivity_certificate(identity_task(2)) is None
+
+    def test_does_not_apply_to_constant(self):
+        assert connectivity_certificate(constant_task(2)) is None
+
+    def test_does_not_apply_to_approximate_agreement(self):
+        assert connectivity_certificate(approximate_agreement_task(2, 3)) is None
+
+    def test_does_not_apply_to_set_consensus(self):
+        # Set consensus has a connected output complex: the connectivity
+        # argument is silent; Sperner is needed.
+        assert connectivity_certificate(set_consensus_task(3, 2)) is None
+
+
+class TestSperner:
+    @pytest.mark.parametrize("n,k", [(2, 1), (3, 2), (3, 1), (4, 3)])
+    def test_applies_to_hard_set_consensus(self, n, k):
+        cert = sperner_certificate(set_consensus_task(n, k))
+        assert cert is not None
+        assert cert.kind == "sperner"
+        assert "Sperner" in cert.explanation
+
+    def test_does_not_apply_to_trivial_set_consensus(self):
+        assert sperner_certificate(set_consensus_task(3, 3)) is None
+
+    def test_does_not_apply_to_identity(self):
+        assert sperner_certificate(identity_task(2)) is None
+
+    def test_does_not_apply_to_approximate_agreement(self):
+        # Outputs are grid values, not participant inputs: validity
+        # precondition fails.
+        assert sperner_certificate(approximate_agreement_task(2, 3)) is None
+
+
+class TestDispatch:
+    def test_consensus_gets_connectivity(self):
+        cert = try_all_impossibility_proofs(binary_consensus_task(2))
+        assert cert is not None and cert.kind == "connectivity"
+
+    def test_set_consensus_gets_sperner(self):
+        cert = try_all_impossibility_proofs(set_consensus_task(3, 2))
+        assert cert is not None and cert.kind == "sperner"
+
+    def test_solvable_tasks_get_nothing(self):
+        for task in (
+            identity_task(2),
+            constant_task(2),
+            approximate_agreement_task(2, 3),
+            set_consensus_task(3, 3),
+        ):
+            assert try_all_impossibility_proofs(task) is None, task.name
+
+    def test_facts_recorded(self):
+        cert = try_all_impossibility_proofs(set_consensus_task(3, 2))
+        assert any("Sperner" in fact for fact in cert.checked_facts)
+
+
+class TestConnectivityPremise:
+    """The certificate's cited fact: SDS^b preserves connectedness."""
+
+    @pytest.mark.parametrize("b", [0, 1, 2])
+    def test_sds_of_consensus_inputs_connected(self, b):
+        from repro.topology.standard_chromatic import (
+            iterated_standard_chromatic_subdivision,
+        )
+
+        task = binary_consensus_task(2)
+        assert task.input_complex.is_connected()
+        sds = iterated_standard_chromatic_subdivision(task.input_complex, b)
+        assert sds.complex.is_connected()
+
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_sds_of_three_process_inputs_connected(self, b):
+        from repro.topology.standard_chromatic import (
+            iterated_standard_chromatic_subdivision,
+        )
+
+        task = binary_consensus_task(3)
+        sds = iterated_standard_chromatic_subdivision(task.input_complex, b)
+        assert sds.complex.is_connected()
+
+
+class TestCertificatesAgreeWithSearch:
+    """Certificates must never contradict the exhaustive per-level search."""
+
+    def test_consensus(self):
+        from repro.core.solvability import SolvabilityStatus, solve_task
+
+        cert = try_all_impossibility_proofs(binary_consensus_task(2))
+        search = solve_task(binary_consensus_task(2), max_rounds=2)
+        assert cert is not None
+        assert search.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+
+    def test_set_consensus(self):
+        from repro.core.solvability import SolvabilityStatus, solve_task
+
+        cert = try_all_impossibility_proofs(set_consensus_task(3, 2))
+        search = solve_task(set_consensus_task(3, 2), max_rounds=1)
+        assert cert is not None
+        assert search.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND

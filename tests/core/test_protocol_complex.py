@@ -1,0 +1,183 @@
+"""E1/E2: protocol complexes equal iterated standard chromatic subdivisions.
+
+These are the executable forms of Lemma 3.2 and Lemma 3.3: the protocol
+complex built from the *model* (ordered partitions), from the *runtime*
+(exhaustive scheduler interleavings, both IS engines), and the combinatorial
+``SDS^b`` must all coincide.
+"""
+
+import pytest
+
+from repro.core.protocol_complex import (
+    complex_from_runtime_views,
+    iis_complex_from_runtime,
+    iis_complex_operational,
+    levels_is_complex_from_runtime,
+    one_shot_is_complex,
+    runtime_view_to_vertex,
+    vertex_to_runtime_view,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex
+
+
+def input_complex(inputs):
+    return SimplicialComplex(
+        [Simplex(Vertex(pid, value) for pid, value in inputs.items())]
+    )
+
+
+class TestLemma32:
+    """One-shot IS complex == SDS of the input simplex."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_model_side_equals_sds(self, n):
+        inputs = {pid: f"v{pid}" for pid in range(n + 1)}
+        model = one_shot_is_complex(inputs)
+        sds = standard_chromatic_subdivision(input_complex(inputs))
+        assert model == sds.complex
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_oracle_runtime_equals_sds(self, n):
+        inputs = {pid: f"v{pid}" for pid in range(n + 1)}
+        runtime = iis_complex_from_runtime(inputs, 1)
+        sds = standard_chromatic_subdivision(input_complex(inputs))
+        assert runtime == sds.complex
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_levels_runtime_equals_sds(self, n):
+        """E10's forward direction: the register-based levels protocol
+        generates exactly the standard chromatic subdivision."""
+        inputs = {pid: f"v{pid}" for pid in range(n + 1)}
+        runtime = levels_is_complex_from_runtime(inputs)
+        sds = standard_chromatic_subdivision(input_complex(inputs))
+        assert runtime == sds.complex
+
+    def test_vertex_counts(self):
+        inputs = {0: "a", 1: "b", 2: "c"}
+        model = one_shot_is_complex(inputs)
+        assert len(model.vertices) == 12
+        assert len(model.maximal_simplices) == 13
+
+
+class TestLemma33:
+    """b-shot IIS complex == SDS^b."""
+
+    @pytest.mark.parametrize("n,b", [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)])
+    def test_operational_equals_iterated_sds(self, n, b):
+        inputs = {pid: f"v{pid}" for pid in range(n + 1)}
+        operational = iis_complex_operational(inputs, b)
+        sds = iterated_standard_chromatic_subdivision(input_complex(inputs), b)
+        assert operational == sds.complex
+
+    @pytest.mark.parametrize("b", [1, 2])
+    def test_runtime_enumeration_equals_iterated_sds_two_processes(self, b):
+        inputs = {0: "a", 1: "b"}
+        runtime = iis_complex_from_runtime(inputs, b)
+        sds = iterated_standard_chromatic_subdivision(input_complex(inputs), b)
+        assert runtime == sds.complex
+
+    def test_rounds_zero(self):
+        inputs = {0: "a", 1: "b"}
+        assert iis_complex_operational(inputs, 0) == input_complex(inputs)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            iis_complex_operational({0: "a"}, -1)
+
+
+class TestSnapshotVsImmediate:
+    """§3.4: immediate snapshot is a *strict* restriction of snapshots."""
+
+    def test_is_complex_included_in_snapshot_complex(self):
+        from repro.core.protocol_complex import one_round_snapshot_complex
+
+        inputs = {0: "a", 1: "b", 2: "c"}
+        snapshot_complex = one_round_snapshot_complex(inputs)
+        is_complex = one_shot_is_complex(inputs)
+        for top in is_complex.maximal_simplices:
+            assert top in snapshot_complex
+
+    def test_restriction_is_strict_for_three_processes(self):
+        from repro.core.protocol_complex import one_round_snapshot_complex
+
+        inputs = {0: "a", 1: "b", 2: "c"}
+        snapshot_complex = one_round_snapshot_complex(inputs)
+        is_complex = one_shot_is_complex(inputs)
+        assert len(snapshot_complex.maximal_simplices) == 19
+        assert len(is_complex.maximal_simplices) == 13
+        assert snapshot_complex.vertices == is_complex.vertices
+
+    def test_only_is_executions_give_a_pseudomanifold(self):
+        """The manifold structure [5, 7] rely on comes from the IS
+        restriction — the raw snapshot complex does not have it."""
+        from repro.core.protocol_complex import one_round_snapshot_complex
+
+        inputs = {0: "a", 1: "b", 2: "c"}
+        assert not one_round_snapshot_complex(inputs).is_pseudomanifold()
+        assert one_shot_is_complex(inputs).is_pseudomanifold()
+
+    def test_two_processes_models_coincide(self):
+        """For two processes one round of either model gives the same
+        three outcomes — the gap opens at three processes."""
+        from repro.core.protocol_complex import one_round_snapshot_complex
+
+        inputs = {0: "a", 1: "b"}
+        assert one_round_snapshot_complex(inputs) == one_shot_is_complex(inputs)
+
+
+class TestBridge:
+    """runtime view ↔ SDS vertex conversion is a bijection."""
+
+    def test_round_zero(self):
+        v = runtime_view_to_vertex(0, "input", 0)
+        assert v == Vertex(0, "input")
+        assert vertex_to_runtime_view(v, 0) == (0, "input")
+
+    def test_round_one(self):
+        state = frozenset({(0, "a"), (1, "b")})
+        v = runtime_view_to_vertex(0, state, 1)
+        assert v == Vertex(0, frozenset({Vertex(0, "a"), Vertex(1, "b")}))
+        assert vertex_to_runtime_view(v, 1) == (0, state)
+
+    def test_roundtrip_depth_two(self):
+        inner = frozenset({(1, "b")})
+        state = frozenset({(0, inner), (1, inner)})
+        v = runtime_view_to_vertex(0, state, 2)
+        assert vertex_to_runtime_view(v, 2) == (0, state)
+
+    def test_bad_depth_raises(self):
+        with pytest.raises(ValueError):
+            runtime_view_to_vertex(0, "not-a-view", 1)
+        with pytest.raises(ValueError):
+            vertex_to_runtime_view(Vertex(0, "plain"), 1)
+
+    def test_all_sds_vertices_roundtrip(self):
+        inputs = {0: "a", 1: "b"}
+        sds = iterated_standard_chromatic_subdivision(input_complex(inputs), 2)
+        for vertex in sds.complex.vertices:
+            pid, state = vertex_to_runtime_view(vertex, 2)
+            assert runtime_view_to_vertex(pid, state, 2) == vertex
+
+    def test_complex_from_runtime_views(self):
+        views = [
+            {0: frozenset({(0, "a")}), 1: frozenset({(0, "a"), (1, "b")})},
+        ]
+        complex_ = complex_from_runtime_views(views, 1)
+        assert len(complex_.maximal_simplices) == 1
+
+    def test_different_encodings_isomorphic(self):
+        """IS complexes over different input encodings are isomorphic
+        (color-preserving), though not equal — the structural invariance
+        that lets Lemma 3.2 speak about 'the' subdivision."""
+        from repro.topology.isomorphism import are_isomorphic
+
+        a = one_shot_is_complex({0: "x", 1: "y", 2: "z"})
+        b = one_shot_is_complex({0: 10, 1: 20, 2: 30})
+        assert a != b
+        assert are_isomorphic(a, b)

@@ -1,0 +1,136 @@
+"""Decision maps compiled to runnable protocols — and validated by running.
+
+Closes the Prop 3.1 loop: the map found by the solver is executed in the
+IIS model (oracle blocks) and in the atomic-snapshot model (levels
+algorithm), under round-robin, random, crashy, and *all* schedules for
+small instances; every produced output tuple must satisfy Δ.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol_synthesis import (
+    synthesize_iis_protocol,
+    synthesize_snapshot_protocol,
+)
+from repro.core.solvability import solve_task
+from repro.runtime.scheduler import RandomSchedule, enumerate_executions
+from repro.tasks import (
+    approximate_agreement_task,
+    identity_task,
+    set_consensus_task,
+)
+
+
+@pytest.fixture(scope="module")
+def approx_result():
+    return solve_task(approximate_agreement_task(2, 3), max_rounds=2)
+
+
+@pytest.fixture(scope="module")
+def approx_task():
+    return approximate_agreement_task(2, 3)
+
+
+class TestIISBackend:
+    def test_round_robin(self, approx_result, approx_task):
+        protocol = synthesize_iis_protocol(approx_result)
+        decisions = protocol.run_and_validate(approx_task, {0: 0, 1: 3})
+        assert set(decisions) == {0, 1}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules(self, approx_result, approx_task, seed):
+        protocol = synthesize_iis_protocol(approx_result)
+        protocol.run_and_validate(approx_task, {0: 0, 1: 3}, RandomSchedule(seed))
+
+    @pytest.mark.parametrize("inputs", [{0: 0, 1: 0}, {0: 3, 1: 3}, {0: 3, 1: 0}])
+    def test_all_input_tuples(self, approx_result, approx_task, inputs):
+        protocol = synthesize_iis_protocol(approx_result)
+        protocol.run_and_validate(approx_task, inputs)
+
+    def test_every_interleaving(self, approx_result, approx_task):
+        """Exhaustive: all IIS schedules of the synthesized protocol."""
+        protocol = synthesize_iis_protocol(approx_result)
+        inputs = {0: 0, 1: 3}
+        count = 0
+        for result in enumerate_executions(protocol.factories(inputs), 2):
+            count += 1
+            assert approx_task.validate_outputs(inputs, result.decisions)
+        assert count > 1
+
+    def test_every_interleaving_with_crashes(self, approx_result, approx_task):
+        protocol = synthesize_iis_protocol(approx_result)
+        inputs = {0: 0, 1: 3}
+        for result in enumerate_executions(
+            protocol.factories(inputs), 2, max_crashes=1
+        ):
+            # Survivors still decide and their partial tuple is allowed.
+            assert approx_task.validate_outputs(inputs, result.decisions)
+            assert len(result.decisions) + len(result.crashed) == 2
+
+    def test_identity_runs_at_round_zero(self):
+        result = solve_task(identity_task(2), max_rounds=0)
+        protocol = synthesize_iis_protocol(result)
+        decisions = protocol.run_and_validate(identity_task(2), {0: 1, 1: 0})
+        assert decisions == {0: 1, 1: 0}
+
+    def test_trivial_set_consensus(self):
+        task = set_consensus_task(3, 3)
+        result = solve_task(task, max_rounds=0)
+        protocol = synthesize_iis_protocol(result)
+        decisions = protocol.run_and_validate(task, {0: 0, 1: 1, 2: 2})
+        assert len(set(decisions.values())) <= 3
+
+    def test_three_process_protocol(self):
+        """The 2-dimensional instance end to end: solve, compile, run."""
+        task = approximate_agreement_task(3, 2)
+        result = solve_task(task, max_rounds=1)
+        protocol = synthesize_iis_protocol(result)
+        for seed in range(20):
+            decisions = protocol.run_and_validate(
+                task, {0: 0, 1: 2, 2: 2}, RandomSchedule(seed)
+            )
+            values = list(decisions.values())
+            assert max(values) - min(values) <= 1
+
+    def test_unsolved_result_rejected(self):
+        from repro.core.solvability import solve_task as solve
+
+        unsat = solve(set_consensus_task(3, 2), max_rounds=0)
+        with pytest.raises(ValueError):
+            synthesize_iis_protocol(unsat)
+
+
+class TestLevelsBackend:
+    """The same map over SWMR registers: the Section 3.4 direction."""
+
+    def test_round_robin(self, approx_result, approx_task):
+        protocol = synthesize_snapshot_protocol(approx_result, 2)
+        protocol.run_and_validate(approx_task, {0: 0, 1: 3})
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules(self, approx_result, approx_task, seed):
+        protocol = synthesize_snapshot_protocol(approx_result, 2)
+        protocol.run_and_validate(approx_task, {0: 0, 1: 3}, RandomSchedule(seed))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_crashes(self, approx_result, approx_task, seed):
+        protocol = synthesize_snapshot_protocol(approx_result, 2)
+        decisions = protocol.run(
+            {0: 0, 1: 3}, RandomSchedule(seed, crash_pids=[1])
+        )
+        assert approx_task.validate_outputs({0: 0, 1: 3}, decisions)
+
+    def test_both_backends_valid_under_round_robin(
+        self, approx_result, approx_task
+    ):
+        # Round-robin induces *different* IS partitions in the two engines
+        # (the levels algorithm interleaves register steps), so decisions
+        # need not coincide — but both must satisfy Δ.
+        iis = synthesize_iis_protocol(approx_result).run({0: 0, 1: 3})
+        levels = synthesize_snapshot_protocol(approx_result, 2).run({0: 0, 1: 3})
+        assert approx_task.validate_outputs({0: 0, 1: 3}, iis)
+        assert approx_task.validate_outputs({0: 0, 1: 3}, levels)

@@ -1,0 +1,129 @@
+"""E5: the characterization engine on the task zoo (Prop 3.1, Cor 5.2)."""
+
+import pytest
+
+from repro.core.solvability import (
+    SearchOptions,
+    SolvabilityStatus,
+    solve_task,
+    validate_decision_map,
+)
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    constant_task,
+    identity_task,
+    set_consensus_task,
+)
+from repro.tasks.approximate_agreement import predicted_rounds
+
+
+class TestSolvableTasks:
+    def test_identity_at_round_zero(self):
+        result = solve_task(identity_task(2), max_rounds=1)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 0
+
+    def test_constant_at_round_zero(self):
+        result = solve_task(constant_task(3), max_rounds=1)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 0
+
+    def test_trivial_set_consensus(self):
+        result = solve_task(set_consensus_task(3, 3), max_rounds=1)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 0
+
+    @pytest.mark.parametrize("resolution", [2, 3, 5, 9, 27])
+    def test_approximate_agreement_at_predicted_level(self, resolution):
+        result = solve_task(
+            approximate_agreement_task(2, resolution), max_rounds=4
+        )
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == predicted_rounds(resolution)
+
+    def test_three_process_approximate_agreement(self):
+        """A genuinely 2-dimensional SAT instance: 3-process ε-agreement."""
+        result = solve_task(approximate_agreement_task(3, 2), max_rounds=1)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 1
+
+    def test_three_process_approximate_agreement_finer(self):
+        result = solve_task(approximate_agreement_task(3, 3), max_rounds=2)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 2  # one SDS level shrinks the 2-D range less
+
+    def test_decision_map_is_validated(self):
+        result = solve_task(approximate_agreement_task(2, 3), max_rounds=2)
+        validate_decision_map(
+            result.subdivision, approximate_agreement_task(2, 3), result.decision_map
+        )
+
+    def test_min_rounds_skips_levels(self):
+        result = solve_task(identity_task(2), max_rounds=2, min_rounds=1)
+        assert result.rounds == 1  # identity also solvable at higher levels
+
+
+class TestUnsolvableTasks:
+    def test_consensus_unsat_levels(self):
+        result = solve_task(binary_consensus_task(2), max_rounds=3)
+        assert result.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+        assert [level.satisfiable for level in result.levels] == [False] * 4
+        assert all(level.exhausted for level in result.levels)
+
+    def test_three_process_consensus_unsat(self):
+        result = solve_task(binary_consensus_task(3), max_rounds=1)
+        assert result.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+
+    def test_set_consensus_unsat_level_one(self):
+        result = solve_task(set_consensus_task(3, 2), max_rounds=1)
+        assert result.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+        assert all(level.exhausted for level in result.levels)
+
+    def test_node_budget_produces_unknown(self):
+        result = solve_task(
+            set_consensus_task(3, 2), min_rounds=2, max_rounds=2, node_budget=1000
+        )
+        assert result.status is SolvabilityStatus.UNKNOWN
+        assert not result.levels[-1].exhausted
+
+
+class TestSearchOptions:
+    """Every degraded configuration stays sound (slow, never wrong)."""
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            SearchOptions(False, True, True),
+            SearchOptions(True, False, True),
+            SearchOptions(True, True, False),
+            SearchOptions(False, False, False),
+        ],
+        ids=["no-ac3", "no-fc", "no-adjacency", "plain"],
+    )
+    def test_same_verdicts_on_small_instances(self, options):
+        for task, max_rounds, expect_solvable, expect_level in [
+            (identity_task(2), 1, True, 0),
+            (approximate_agreement_task(2, 3), 1, True, 1),
+            (binary_consensus_task(2), 1, False, None),
+        ]:
+            result = solve_task(
+                task, max_rounds, node_budget=500_000, options=options
+            )
+            if expect_solvable:
+                assert result.status is SolvabilityStatus.SOLVABLE
+                assert result.rounds == expect_level
+            else:
+                assert result.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+
+
+class TestReports:
+    def test_level_reports_complete(self):
+        result = solve_task(approximate_agreement_task(2, 3), max_rounds=3)
+        assert [level.rounds for level in result.levels] == [0, 1]
+        assert result.levels[-1].satisfiable
+        assert result.levels[-1].vertices > 0
+
+    def test_repr(self):
+        result = solve_task(identity_task(2), max_rounds=0)
+        assert "solvable" in repr(result)

@@ -1,0 +1,159 @@
+"""Task formalism tests."""
+
+import pytest
+
+from repro.core.task import Task, delta_from_rule
+from repro.tasks import binary_consensus_task, set_consensus_task
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def simple_task():
+    return binary_consensus_task(2)
+
+
+class TestValidation:
+    def test_consensus_builds(self):
+        task = simple_task()
+        assert task.n_processes == 2
+        assert task.input_complex.dimension == 1
+
+    def test_missing_delta_rejected(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        with pytest.raises(ValueError, match="undefined or empty"):
+            Task("bad", c, c, {})
+
+    def test_color_mismatch_rejected(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        bad_delta = delta_from_rule(
+            c, lambda s: [Simplex([Vertex(0)])]  # wrong colors for edges
+        )
+        with pytest.raises(ValueError, match="colors"):
+            Task("bad", c, c, bad_delta)
+
+    def test_output_outside_complex_rejected(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        rogue = Simplex([Vertex(0, "rogue"), Vertex(1, "rogue")])
+        delta = {s: frozenset({s if s != c else s}) for s in c.simplices()}
+        delta[Simplex(vertices_of(range(2)))] = frozenset({rogue})
+        with pytest.raises(ValueError):
+            Task("bad", c, c, delta)
+
+    def test_non_chromatic_input_rejected(self):
+        bad = SimplicialComplex([Simplex([Vertex(0, "a"), Vertex(0, "b")])])
+        ok = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        with pytest.raises(ValueError, match="input"):
+            Task("bad", bad, ok, {})
+
+
+class TestQueries:
+    def test_allows_full_tuple(self):
+        task = simple_task()
+        inputs = Simplex([Vertex(0, 0), Vertex(1, 1)])
+        agree0 = Simplex([Vertex(0, 0), Vertex(1, 0)])
+        disagree = Simplex([Vertex(0, 0), Vertex(1, 1)])
+        assert task.allows(inputs, agree0)
+        assert not task.allows(inputs, disagree)
+
+    def test_allows_faces(self):
+        task = simple_task()
+        inputs = Simplex([Vertex(0, 0), Vertex(1, 1)])
+        solo_piece = Simplex([Vertex(0, 1)])  # 0 decides 1: face of agree-1
+        assert task.allows(inputs, solo_piece)
+
+    def test_allows_unknown_input_raises(self):
+        task = simple_task()
+        with pytest.raises(KeyError):
+            task.allows(Simplex([Vertex(0, "zzz")]), Simplex([Vertex(0, 0)]))
+
+    def test_candidate_decisions_validity(self):
+        task = simple_task()
+        solo = Simplex([Vertex(0, 1)])
+        candidates = task.candidate_decisions(solo, 0)
+        assert candidates == [Vertex(0, 1)]  # solo must decide own input
+
+    def test_candidate_decisions_mixed(self):
+        task = simple_task()
+        edge = Simplex([Vertex(0, 0), Vertex(1, 1)])
+        assert len(task.candidate_decisions(edge, 0)) == 2
+
+    def test_validate_outputs_accepts_partial(self):
+        task = simple_task()
+        assert task.validate_outputs({0: 0, 1: 1}, {0: 0})
+        assert task.validate_outputs({0: 0, 1: 1}, {})
+
+    def test_validate_outputs_rejects_disagreement(self):
+        task = simple_task()
+        assert not task.validate_outputs({0: 0, 1: 1}, {0: 0, 1: 1})
+
+    def test_validate_outputs_rejects_invalid_value(self):
+        task = simple_task()
+        assert not task.validate_outputs({0: 0, 1: 0}, {0: 1})
+
+    def test_validate_outputs_unknown_inputs_raise(self):
+        task = simple_task()
+        with pytest.raises(ValueError):
+            task.validate_outputs({0: "junk"}, {})
+
+
+class TestRestriction:
+    def test_restrict_consensus_to_one_process(self):
+        task = binary_consensus_task(2).restrict_to_participants([0])
+        assert task.n_processes == 1
+        assert task.input_complex.colors == frozenset({0})
+        # Solo consensus: decide own input.
+        solo = Simplex([Vertex(0, 1)])
+        assert task.candidate_decisions(solo, 0) == [Vertex(0, 1)]
+
+    def test_restrict_set_consensus(self):
+        task = set_consensus_task(3, 2).restrict_to_participants([0, 2])
+        assert task.input_complex.colors == frozenset({0, 2})
+        pair = Simplex([Vertex(0, 0), Vertex(2, 2)])
+        for tuple_ in task.allowed_outputs(pair):
+            assert {v.payload for v in tuple_} <= {0, 2}
+
+    def test_unknown_colors_rejected(self):
+        with pytest.raises(ValueError):
+            binary_consensus_task(2).restrict_to_participants([7])
+
+    def test_solvability_inherited_downward(self):
+        """A solvable task's restriction is solvable (at most same level)."""
+        from repro.core.solvability import SolvabilityStatus, solve_task
+        from repro.tasks import approximate_agreement_task
+
+        full = approximate_agreement_task(3, 2)
+        full_result = solve_task(full, max_rounds=1)
+        assert full_result.status is SolvabilityStatus.SOLVABLE
+        restricted = full.restrict_to_participants([0, 1])
+        result = solve_task(restricted, max_rounds=full_result.rounds)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds <= full_result.rounds
+
+    def test_unsolvable_can_become_solvable_when_restricted(self):
+        """The converse direction fails, as it must: consensus is trivial
+        for one process."""
+        from repro.core.solvability import SolvabilityStatus, solve_task
+
+        solo = binary_consensus_task(2).restrict_to_participants([1])
+        result = solve_task(solo, max_rounds=0)
+        assert result.status is SolvabilityStatus.SOLVABLE
+
+
+class TestSetConsensusDelta:
+    def test_solo_decides_self(self):
+        task = set_consensus_task(3, 2)
+        solo = Simplex([Vertex(1, 1)])
+        assert task.candidate_decisions(solo, 1) == [Vertex(1, 1)]
+
+    def test_full_tuple_distinct_bound(self):
+        task = set_consensus_task(3, 2)
+        top = Simplex([Vertex(0, 0), Vertex(1, 1), Vertex(2, 2)])
+        for tuple_ in task.allowed_outputs(top):
+            assert len({v.payload for v in tuple_}) <= 2
+
+    def test_k_bounds_validated(self):
+        with pytest.raises(ValueError):
+            set_consensus_task(3, 0)
+        with pytest.raises(ValueError):
+            set_consensus_task(3, 4)

@@ -1,0 +1,76 @@
+"""Figure 1 (k-shot atomic snapshot full-information protocol) tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.full_information import (
+    k_shot_decision_protocol,
+    k_shot_full_information,
+    run_k_shot,
+)
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import (
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    enumerate_executions,
+)
+
+
+class TestKShot:
+    def test_one_round_round_robin(self):
+        states = run_k_shot({0: "a", 1: "b"}, 1)
+        # Both writes land before both snapshots under round robin.
+        assert states == {0: ("a", "b"), 1: ("a", "b")}
+
+    def test_full_information_accumulates(self):
+        states = run_k_shot({0: "a", 1: "b"}, 2)
+        # After round 2 the state is a snapshot of round-1 states.
+        assert states[0] == (("a", "b"), ("a", "b"))
+
+    def test_solo_process(self):
+        states = run_k_shot({0: "a"}, 3)
+        assert states[0] == ((("a",),),)
+
+    def test_decision_protocol(self):
+        def decide(pid, view):
+            return sum(1 for cell in view if cell is not None)
+
+        factories = {
+            p: (lambda q, p=p: k_shot_decision_protocol(q, p, 1, decide))
+            for p in range(3)
+        }
+        s = Scheduler(factories, 3)
+        result = s.run(RoundRobinSchedule())
+        assert result.decisions == {0: 3, 1: 3, 2: 3}
+
+    def test_all_interleavings_one_round_two_processes(self):
+        def factory(pid, value):
+            def make(p):
+                def protocol():
+                    view = yield from k_shot_full_information(p, value, 1)
+                    yield Decide(view)
+
+                return protocol()
+
+            return make
+
+        factories = {0: factory(0, "a"), 1: factory(1, "b")}
+        outcomes = set()
+        for result in enumerate_executions(factories, 2):
+            outcomes.add(tuple(sorted(result.decisions.items())))
+            # Self-inclusion: every process sees its own write.
+            for pid, view in result.decisions.items():
+                assert view[pid] == ("a", "b")[pid]
+        # Snapshot-after-write: 6 interleavings, distinct outcomes: each
+        # process either sees the other or not, minus the impossible
+        # "neither sees the other".
+        assert len(outcomes) == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(1, 3))
+    def test_random_schedules_self_inclusion(self, seed, k):
+        states = run_k_shot({0: "a", 1: "b", 2: "c"}, k, RandomSchedule(seed))
+        assert set(states) == {0, 1, 2}
+        for pid, view in states.items():
+            assert view is not None
+            assert len(view) == 3

@@ -1,0 +1,166 @@
+"""Immediate snapshot: both engines satisfy the Section 3.5 axioms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.immediate_snapshot import (
+    OneShotISMemory,
+    check_immediate_snapshot_axioms,
+    levels_immediate_snapshot,
+)
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import (
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    enumerate_executions,
+)
+
+
+def levels_factory(pid, value, n):
+    def factory(p):
+        def protocol():
+            view = yield from levels_immediate_snapshot(p, value, "is", n)
+            yield Decide(view)
+
+        return protocol()
+
+    return factory
+
+
+class TestOracleMemory:
+    def test_single_block(self):
+        m = OneShotISMemory(0)
+        view = m.commit_block([(0, "a"), (1, "b")])
+        assert view == frozenset({(0, "a"), (1, "b")})
+        assert m.participants == frozenset({0, 1})
+        assert m.blocks == (frozenset({0, 1}),)
+
+    def test_cumulative_views(self):
+        m = OneShotISMemory(0)
+        first = m.commit_block([(1, "b")])
+        second = m.commit_block([(0, "a"), (2, "c")])
+        assert first < second
+        assert second == frozenset({(0, "a"), (1, "b"), (2, "c")})
+
+    def test_rewrite_rejected(self):
+        m = OneShotISMemory(0)
+        m.commit_block([(0, "a")])
+        with pytest.raises(ValueError, match="twice"):
+            m.commit_block([(0, "again")])
+
+    def test_duplicate_in_block_rejected(self):
+        m = OneShotISMemory(0)
+        with pytest.raises(ValueError):
+            m.commit_block([(0, "a"), (0, "b")])
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            OneShotISMemory(0).commit_block([])
+
+    def test_axioms_for_every_ordered_partition(self):
+        from repro.topology.standard_chromatic import ordered_set_partitions
+
+        for partition in ordered_set_partitions([0, 1, 2]):
+            m = OneShotISMemory(0)
+            views = {}
+            for block in partition:
+                view = m.commit_block([(pid, f"v{pid}") for pid in sorted(block)])
+                for pid in block:
+                    views[pid] = view
+            check_immediate_snapshot_axioms(views)
+
+
+class TestLevelsAlgorithm:
+    def test_solo_run_sees_self_only(self):
+        s = Scheduler({0: levels_factory(0, "x", 2)}, 2)
+        result = s.run(RoundRobinSchedule())
+        assert result.decisions[0] == frozenset({(0, "x")})
+
+    def test_axioms_all_interleavings_two_processes(self):
+        factories = {p: levels_factory(p, f"v{p}", 2) for p in range(2)}
+        outcomes = set()
+        for result in enumerate_executions(factories, 2):
+            check_immediate_snapshot_axioms(dict(result.decisions))
+            outcomes.add(tuple(sorted(result.decisions.items())))
+        assert len(outcomes) == 3  # the 3 ordered partitions of {0, 1}
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_axioms_random_schedules_three_processes(self, seed):
+        factories = {p: levels_factory(p, f"v{p}", 3) for p in range(3)}
+        s = Scheduler(factories, 3)
+        result = s.run(RandomSchedule(seed))
+        check_immediate_snapshot_axioms(dict(result.decisions))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_axioms_random_schedules_five_processes(self, seed):
+        factories = {p: levels_factory(p, f"v{p}", 5) for p in range(5)}
+        s = Scheduler(factories, 5)
+        result = s.run(RandomSchedule(seed))
+        check_immediate_snapshot_axioms(dict(result.decisions))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.sets(st.integers(0, 2), max_size=2),
+    )
+    def test_crashed_runs_leave_survivors_with_valid_views(self, seed, crash):
+        factories = {p: levels_factory(p, f"v{p}", 3) for p in range(3)}
+        s = Scheduler(factories, 3)
+        result = s.run(RandomSchedule(seed, crash_pids=sorted(crash)))
+        # Axioms restricted to deciders: still must hold among themselves.
+        deciders = dict(result.decisions)
+        if deciders:
+            for pid, view in deciders.items():
+                assert (pid, f"v{pid}") in view
+            values = sorted(deciders.values(), key=len)
+            for a, b in zip(values, values[1:]):
+                assert a <= b
+
+    def test_wait_free_step_bound(self):
+        # The levels algorithm descends at most n levels: with n processes,
+        # each does at most 2n register operations.
+        factories = {p: levels_factory(p, p, 4) for p in range(4)}
+        s = Scheduler(factories, 4)
+        result = s.run(RoundRobinSchedule())
+        assert result.steps <= 4 * (2 * 4) + 4
+
+
+class TestAxiomChecker:
+    def test_detects_missing_self(self):
+        with pytest.raises(AssertionError):
+            check_immediate_snapshot_axioms({0: frozenset({(1, "b")})})
+
+    def test_detects_incomparable(self):
+        views = {
+            0: frozenset({(0, "a")}),
+            1: frozenset({(1, "b")}),
+        }
+        with pytest.raises(AssertionError, match="comparability"):
+            check_immediate_snapshot_axioms(views)
+
+    def test_detects_knowledge_violation(self):
+        legal = {
+            0: frozenset({(0, "a"), (2, "c")}),
+            1: frozenset({(1, "b"), (0, "a"), (2, "c")}),
+            2: frozenset({(2, "c")}),
+        }
+        check_immediate_snapshot_axioms(legal)
+        # Knowledge violation with comparability intact: 1 sees 0, yet
+        # S_0 ⊋ S_1 (0 "knew more" than a processor that observed it).
+        bad = {
+            0: frozenset({(0, "a"), (1, "b"), (2, "c")}),
+            1: frozenset({(0, "a"), (1, "b")}),
+        }
+        with pytest.raises(AssertionError, match="knowledge"):
+            check_immediate_snapshot_axioms(bad)
+
+    def test_accepts_legal_chain(self):
+        views = {
+            0: frozenset({(0, "a")}),
+            1: frozenset({(0, "a"), (1, "b")}),
+            2: frozenset({(0, "a"), (1, "b"), (2, "c")}),
+        }
+        check_immediate_snapshot_axioms(views)

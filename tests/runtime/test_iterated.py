@@ -1,0 +1,88 @@
+"""IIS full-information runtime tests (Lemma 3.3's operational side)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.iterated import (
+    iis_decision_protocol,
+    iis_full_information,
+    participants_of_view,
+    run_iis_full_information,
+    unfold_view,
+)
+from repro.runtime.scheduler import (
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+)
+
+
+class TestFullInformation:
+    def test_zero_rounds_returns_input(self):
+        views = run_iis_full_information({0: "a", 1: "b"}, 0)
+        assert views == {0: "a", 1: "b"}
+
+    def test_one_round_solo_first(self):
+        # Round robin schedules P0 first in every memory: it sees only itself.
+        views = run_iis_full_information({0: "a", 1: "b"}, 1)
+        assert views[0] == frozenset({(0, "a")})
+        assert views[1] == frozenset({(0, "a"), (1, "b")})
+
+    def test_participants_of_view(self):
+        views = run_iis_full_information({0: "a", 1: "b"}, 1)
+        assert participants_of_view(views[1]) == frozenset({0, 1})
+
+    def test_participants_rejects_round_zero_state(self):
+        with pytest.raises(ValueError):
+            participants_of_view("plain-input")
+
+    def test_unfold_recovers_input(self):
+        views = run_iis_full_information({0: "a", 1: "b"}, 3)
+        # P0 runs first every round; its nested view bottoms out at its input.
+        assert unfold_view(views[0], 3) == "a"
+
+    def test_unfold_too_deep_raises(self):
+        views = run_iis_full_information({0: "a"}, 1)
+        with pytest.raises(ValueError):
+            unfold_view(views[0], 5)
+
+    def test_decision_protocol(self):
+        def decide(pid, view):
+            return len(view)
+
+        factories = {
+            p: (lambda q, p=p: iis_decision_protocol(q, f"v{p}", 2, decide))
+            for p in range(2)
+        }
+        s = Scheduler(factories, 2)
+        result = s.run(RoundRobinSchedule())
+        assert result.decisions == {0: 1, 1: 2}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(1, 3))
+    def test_views_nest_consistently(self, seed, rounds):
+        views = run_iis_full_information(
+            {0: "a", 1: "b", 2: "c"}, rounds, RandomSchedule(seed)
+        )
+        for pid, view in views.items():
+            assert isinstance(view, frozenset)
+            assert pid in participants_of_view(view)
+            # Every member is a (pid, round-(r-1) state) pair.
+            for other_pid, inner in view:
+                assert 0 <= other_pid <= 2
+                if rounds > 1:
+                    assert isinstance(inner, frozenset)
+                else:
+                    assert inner in ("a", "b", "c")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_final_round_views_comparable(self, seed):
+        """Final views of one round are IS views: totally ordered by content.
+
+        Comparability only binds *within* a round, so check round 1.
+        """
+        views = run_iis_full_information({0: "a", 1: "b", 2: "c"}, 1, RandomSchedule(seed))
+        ordered = sorted(views.values(), key=len)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a <= b

@@ -1,0 +1,56 @@
+"""Operation vocabulary: hashability, equality, transcript-friendliness."""
+
+from repro.runtime.ops import (
+    Decide,
+    ReadCell,
+    SnapshotRegion,
+    WriteCell,
+    WriteReadIS,
+)
+
+
+class TestEquality:
+    def test_write_cell(self):
+        assert WriteCell("r", 1) == WriteCell("r", 1)
+        assert WriteCell("r", 1) != WriteCell("r", 2)
+        assert WriteCell("r", 1) != WriteCell("other", 1)
+
+    def test_snapshot_region(self):
+        assert SnapshotRegion("r") == SnapshotRegion("r")
+        assert SnapshotRegion("r") != SnapshotRegion("s")
+
+    def test_read_cell(self):
+        assert ReadCell("r", 0) == ReadCell("r", 0)
+        assert ReadCell("r", 0) != ReadCell("r", 1)
+
+    def test_writeread(self):
+        assert WriteReadIS(0, "x") == WriteReadIS(0, "x")
+        assert WriteReadIS(0, "x") != WriteReadIS(1, "x")
+
+    def test_decide(self):
+        assert Decide(None) == Decide(None)
+        assert Decide(1) != Decide(2)
+
+
+class TestHashability:
+    def test_all_ops_usable_in_sets(self):
+        operations = {
+            WriteCell("r", 1),
+            SnapshotRegion("r"),
+            ReadCell("r", 0),
+            WriteReadIS(0, frozenset({(0, "a")})),
+            Decide("value"),
+        }
+        assert len(operations) == 5
+
+    def test_nested_hashable_values(self):
+        view = frozenset({(0, frozenset({(1, "deep")}))})
+        op = WriteReadIS(3, view)
+        assert hash(op) == hash(WriteReadIS(3, view))
+
+
+class TestRepr:
+    def test_reprs_are_informative(self):
+        assert "r" in repr(WriteCell("r", 1))
+        assert "3" in repr(WriteReadIS(3, "x"))
+        assert "cell=2" in repr(ReadCell("r", 2))

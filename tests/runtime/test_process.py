@@ -1,0 +1,103 @@
+"""Process lifecycle tests."""
+
+import pytest
+
+from repro.runtime.ops import Decide, WriteCell
+from repro.runtime.process import Process, ProcessState
+
+
+def make(gen_fn):
+    p = Process(0, gen_fn())
+    p.start()
+    return p
+
+
+class TestLifecycle:
+    def test_decide_via_yield(self):
+        def protocol():
+            yield Decide(42)
+
+        p = make(protocol)
+        assert p.has_decided
+        assert p.decision == 42
+        assert p.pending is None
+
+    def test_decide_via_return(self):
+        def protocol():
+            return 7
+            yield  # pragma: no cover — makes this a generator
+
+        p = make(protocol)
+        assert p.has_decided
+        assert p.decision == 7
+
+    def test_pending_operation(self):
+        def protocol():
+            yield WriteCell("r", 1)
+            yield Decide(None)
+
+        p = make(protocol)
+        assert p.is_running
+        assert p.pending == WriteCell("r", 1)
+        p.resume(None)
+        assert p.has_decided
+
+    def test_resume_delivers_result(self):
+        seen = []
+
+        def protocol():
+            result = yield WriteCell("r", 1)
+            seen.append(result)
+            yield Decide(None)
+
+        p = make(protocol)
+        p.resume("the-result")
+        assert seen == ["the-result"]
+
+    def test_crash(self):
+        def protocol():
+            yield WriteCell("r", 1)
+            yield Decide(None)  # pragma: no cover
+
+        p = make(protocol)
+        p.crash()
+        assert p.state is ProcessState.CRASHED
+        assert p.pending is None
+        with pytest.raises(RuntimeError):
+            p.resume(None)
+
+    def test_crash_after_decide_is_noop(self):
+        def protocol():
+            yield Decide(1)
+
+        p = make(protocol)
+        p.crash()
+        assert p.state is ProcessState.DECIDED
+
+    def test_resume_after_decide_rejected(self):
+        def protocol():
+            yield Decide(1)
+
+        p = make(protocol)
+        with pytest.raises(RuntimeError):
+            p.resume(None)
+
+    def test_steps_counted(self):
+        def protocol():
+            yield WriteCell("r", 1)
+            yield WriteCell("r", 2)
+            yield Decide(None)
+
+        p = make(protocol)
+        p.resume(None)
+        p.resume(None)
+        assert p.steps == 3
+
+    def test_exception_in_protocol_propagates(self):
+        def protocol():
+            yield WriteCell("r", 1)
+            raise RuntimeError("bug in protocol")
+
+        p = make(protocol)
+        with pytest.raises(RuntimeError, match="bug in protocol"):
+            p.resume(None)

@@ -1,0 +1,212 @@
+"""Scheduler semantics: serialization, blocks, crashes, enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.ops import Decide, SnapshotRegion, WriteCell, WriteReadIS
+from repro.runtime.scheduler import (
+    BlockAction,
+    CrashAction,
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    SchedulerError,
+    StepAction,
+    enumerate_executions,
+)
+
+
+def writer_reader(pid):
+    """Write own pid, snapshot, decide the snapshot."""
+
+    def protocol():
+        yield WriteCell("r", pid)
+        snap = yield SnapshotRegion("r")
+        yield Decide(snap)
+
+    return protocol()
+
+
+def is_once(pid):
+    def protocol():
+        view = yield WriteReadIS(0, pid)
+        yield Decide(view)
+
+    return protocol()
+
+
+class TestBasics:
+    def test_round_robin_runs_to_completion(self):
+        s = Scheduler([writer_reader, writer_reader], 2)
+        result = s.run(RoundRobinSchedule())
+        assert set(result.decisions) == {0, 1}
+        # Round robin: both writes land before both snapshots.
+        assert result.decisions[0] == (0, 1)
+        assert result.decisions[1] == (0, 1)
+
+    def test_empty_factories_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler([], 0)
+
+    def test_subset_of_processes(self):
+        s = Scheduler({1: writer_reader}, 3)
+        result = s.run(RoundRobinSchedule())
+        assert result.decisions[1] == (None, 1, None)
+
+    def test_max_steps_guard(self):
+        def spinner(pid):
+            def protocol():
+                while True:
+                    yield WriteCell("r", pid)
+
+            return protocol()
+
+        s = Scheduler([spinner], 1)
+        with pytest.raises(SchedulerError, match="not wait-free"):
+            s.run(RoundRobinSchedule(), max_steps=10)
+
+    def test_apply_step_to_finished_process_rejected(self):
+        s = Scheduler([writer_reader], 1)
+        s.run(RoundRobinSchedule())
+        with pytest.raises(SchedulerError):
+            s.apply(StepAction(0))
+
+    def test_events_recorded_when_requested(self):
+        s = Scheduler([writer_reader], 1, record_events=True)
+        result = s.run(RoundRobinSchedule())
+        assert len(result.events) == result.steps
+
+
+class TestBlocks:
+    def test_block_gives_common_view(self):
+        s = Scheduler([is_once, is_once], 2)
+        s.apply(BlockAction(0, (0, 1)))
+        result = s.result()
+        assert result.decisions[0] == result.decisions[1] == frozenset({(0, 0), (1, 1)})
+
+    def test_sequential_blocks_nest(self):
+        s = Scheduler([is_once, is_once], 2)
+        s.apply(BlockAction(0, (1,)))
+        s.apply(BlockAction(0, (0,)))
+        result = s.result()
+        assert result.decisions[1] == frozenset({(1, 1)})
+        assert result.decisions[0] == frozenset({(0, 0), (1, 1)})
+
+    def test_double_writeread_same_memory_rejected(self):
+        def twice(pid):
+            def protocol():
+                yield WriteReadIS(0, "a")
+                yield WriteReadIS(0, "b")
+                yield Decide(None)
+
+            return protocol()
+
+        s = Scheduler([twice], 1)
+        s.apply(BlockAction(0, (0,)))
+        with pytest.raises(ValueError, match="twice"):
+            s.apply(BlockAction(0, (0,)))
+
+    def test_block_on_wrong_index_rejected(self):
+        s = Scheduler([is_once], 1)
+        with pytest.raises(SchedulerError):
+            s.apply(BlockAction(7, (0,)))
+
+    def test_empty_block_rejected(self):
+        s = Scheduler([is_once], 1)
+        with pytest.raises(SchedulerError):
+            s.apply(BlockAction(0, ()))
+
+    def test_block_with_register_pending_rejected(self):
+        s = Scheduler([writer_reader], 1)
+        with pytest.raises(SchedulerError):
+            s.apply(BlockAction(0, (0,)))
+
+
+class TestCrashes:
+    def test_crash_stops_process(self):
+        s = Scheduler([writer_reader, writer_reader], 2)
+        s.apply(CrashAction(0))
+        result = s.run(RoundRobinSchedule())
+        assert result.crashed == frozenset({0})
+        assert set(result.decisions) == {1}
+        # Process 0 crashed before writing: invisible to process 1.
+        assert result.decisions[1] == (None, 1)
+
+    def test_crash_after_write_still_visible(self):
+        s = Scheduler([writer_reader, writer_reader], 2)
+        s.apply(StepAction(0))  # write of process 0 lands
+        s.apply(CrashAction(0))
+        result = s.run(RoundRobinSchedule())
+        assert result.decisions[1] == (0, 1)
+
+    def test_random_schedule_with_crashes_terminates(self):
+        for seed in range(10):
+            s = Scheduler([writer_reader, writer_reader, writer_reader], 3)
+            result = s.run(RandomSchedule(seed, crash_pids=[2]))
+            assert 1 <= len(result.decisions) <= 3
+
+
+class TestEnumeration:
+    def test_single_process_single_execution(self):
+        results = list(enumerate_executions([writer_reader], 1))
+        assert len(results) == 1
+
+    def test_two_writer_readers_interleavings(self):
+        results = list(enumerate_executions([writer_reader, writer_reader], 2))
+        # 4 operations, two per process: C(4,2) = 6 interleavings.
+        assert len(results) == 6
+        outcomes = {tuple(sorted(r.decisions.items())) for r in results}
+        # Snapshot contents distinguish: both-see-both, one-sees-one, ...
+        assert len(outcomes) >= 3
+
+    def test_is_enumeration_counts_ordered_partitions(self):
+        results = list(enumerate_executions([is_once, is_once, is_once], 3))
+        outcomes = {tuple(sorted(r.decisions.items())) for r in results}
+        assert len(outcomes) == 13  # Fubini(3): Lemma 3.2 at the runtime level
+
+    def test_enumeration_with_crashes(self):
+        results = list(
+            enumerate_executions([is_once, is_once], 2, max_crashes=1)
+        )
+        some_crashed = [r for r in results if r.crashed]
+        assert some_crashed
+        for r in some_crashed:
+            # The survivor decided anyway: wait-freedom.
+            assert len(r.decisions) + len(r.crashed) == 2
+
+    def test_max_depth_guard(self):
+        def chatty(pid):
+            def protocol():
+                for _ in range(50):
+                    yield WriteCell("r", pid)
+                yield Decide(None)
+
+            return protocol()
+
+        with pytest.raises(SchedulerError):
+            list(enumerate_executions([chatty], 1, max_depth=10))
+
+    def test_prune(self):
+        results = list(
+            enumerate_executions(
+                [writer_reader, writer_reader], 2, prune=lambda s: True
+            )
+        )
+        assert results == []  # pruned at the root before any completion
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def run(seed):
+            s = Scheduler([writer_reader, writer_reader, writer_reader], 3)
+            return s.run(RandomSchedule(seed)).decisions
+
+        for seed in range(5):
+            assert run(seed) == run(seed)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_schedules_always_terminate(self, seed):
+        s = Scheduler([writer_reader, writer_reader], 2)
+        result = s.run(RandomSchedule(seed), max_steps=1000)
+        assert set(result.decisions) == {0, 1}

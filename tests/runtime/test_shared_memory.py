@@ -1,0 +1,60 @@
+"""SWMR register region tests."""
+
+import pytest
+
+from repro.runtime.shared_memory import RegisterRegion, SharedMemorySystem
+
+
+class TestRegion:
+    def test_initially_empty(self):
+        r = RegisterRegion("r", 3)
+        assert r.snapshot() == (None, None, None)
+        assert r.version_vector() == (0, 0, 0)
+
+    def test_write_own_cell(self):
+        r = RegisterRegion("r", 2)
+        r.write(1, "x")
+        assert r.snapshot() == (None, "x")
+        assert r.version_vector() == (0, 1)
+
+    def test_overwrite_bumps_version(self):
+        r = RegisterRegion("r", 1)
+        r.write(0, "a")
+        r.write(0, "b")
+        assert r.snapshot() == ("b",)
+        assert r.version_vector() == (2,)
+
+    def test_versioned_snapshot(self):
+        r = RegisterRegion("r", 2)
+        r.write(0, "a")
+        assert r.versioned_snapshot() == (("a", 1), (None, 0))
+
+    def test_out_of_range_pid_rejected(self):
+        r = RegisterRegion("r", 2)
+        with pytest.raises(ValueError):
+            r.write(2, "x")
+        with pytest.raises(ValueError):
+            r.write(-1, "x")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterRegion("r", 0)
+
+
+class TestSystem:
+    def test_regions_created_lazily_and_cached(self):
+        sys = SharedMemorySystem(2)
+        a = sys.region("a")
+        assert sys.region("a") is a
+        assert sys.region_names() == ["a"]
+
+    def test_is_memories_lazily_created(self):
+        sys = SharedMemorySystem(2)
+        assert sys.highest_is_memory_used == -1
+        m = sys.immediate_snapshot_memory(3)
+        assert sys.immediate_snapshot_memory(3) is m
+        assert sys.highest_is_memory_used == 3
+
+    def test_needs_processes(self):
+        with pytest.raises(ValueError):
+            SharedMemorySystem(0)

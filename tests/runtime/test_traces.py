@@ -1,0 +1,83 @@
+"""The snapshot legality checker must accept legal and reject illegal traces."""
+
+import pytest
+
+from repro.runtime.traces import (
+    EmulatedSnapshot,
+    EmulatedWrite,
+    SnapshotLegalityError,
+    check_snapshot_legality,
+)
+
+
+def w(pid, seq, start, end, value="v"):
+    return EmulatedWrite(pid, seq, value, start, end)
+
+
+def s(pid, seq, vector, start, end):
+    values = tuple("x" if n else None for n in vector)
+    return EmulatedSnapshot(pid, seq, vector, values, start, end)
+
+
+class TestAccepts:
+    def test_empty_trace(self):
+        check_snapshot_legality([], [], 2)
+
+    def test_sequential_run(self):
+        writes = [w(0, 1, 0, 1), w(1, 1, 4, 5)]
+        snapshots = [s(0, 1, (1, 0), 2, 3), s(1, 1, (1, 1), 6, 7)]
+        check_snapshot_legality(writes, snapshots, 2)
+
+    def test_concurrent_snapshot_may_or_may_not_see_inflight_write(self):
+        # Write of 1 overlaps snapshot of 0: both outcomes legal.
+        writes = [w(0, 1, 0, 1), w(1, 1, 2, 6)]
+        check_snapshot_legality(writes, [s(0, 1, (1, 0), 3, 5)], 2)
+        check_snapshot_legality(writes, [s(0, 1, (1, 1), 3, 5)], 2)
+
+
+class TestRejects:
+    def test_incomparable_vectors(self):
+        writes = [w(0, 1, 0, 1), w(1, 1, 0, 1)]
+        snapshots = [s(0, 1, (1, 0), 2, 3), s(1, 1, (0, 1), 2, 3)]
+        with pytest.raises(SnapshotLegalityError, match="incomparable"):
+            check_snapshot_legality(writes, snapshots, 2)
+
+    def test_wrong_arity(self):
+        with pytest.raises(SnapshotLegalityError, match="arity"):
+            check_snapshot_legality([], [s(0, 1, (0,), 0, 1)], 2)
+
+    def test_missing_own_write(self):
+        writes = [w(0, 1, 0, 1)]
+        snapshots = [s(0, 1, (0, 0), 2, 3)]  # claims not to see its own write
+        with pytest.raises(SnapshotLegalityError, match="own seq"):
+            check_snapshot_legality(writes, snapshots, 2)
+
+    def test_missed_completed_write(self):
+        writes = [w(0, 1, 0, 1), w(1, 1, 0, 1)]
+        snapshots = [s(0, 1, (1, 0), 5, 6)]  # write of 1 completed at t=1
+        with pytest.raises(SnapshotLegalityError, match="misses"):
+            check_snapshot_legality(writes, snapshots, 2)
+
+    def test_write_from_the_future(self):
+        writes = [w(0, 1, 0, 1), w(1, 1, 10, 11)]
+        snapshots = [s(0, 1, (1, 1), 2, 3)]  # sees a write that starts at t=10
+        with pytest.raises(SnapshotLegalityError, match="not started"):
+            check_snapshot_legality(writes, snapshots, 2)
+
+    def test_non_monotonic_snapshots(self):
+        writes = [w(0, 1, 0, 1), w(0, 2, 4, 5), w(1, 1, 0, 1)]
+        snapshots = [
+            s(0, 1, (1, 1), 2, 3),
+            s(0, 2, (2, 0), 6, 7),  # forgets write 1#1
+        ]
+        with pytest.raises(SnapshotLegalityError):
+            check_snapshot_legality(writes, snapshots, 2)
+
+    def test_gapped_write_sequence(self):
+        writes = [w(0, 2, 0, 1)]  # no seq 1
+        with pytest.raises(SnapshotLegalityError, match="consecutively"):
+            check_snapshot_legality(writes, [], 2)
+
+    def test_out_of_range_writer(self):
+        with pytest.raises(SnapshotLegalityError, match="out-of-range"):
+            check_snapshot_legality([w(5, 1, 0, 1)], [], 2)

@@ -1,0 +1,112 @@
+"""E12: two-process NCSAC over graphs — connectivity is the whole story."""
+
+import pytest
+
+from repro.core import characterize
+from repro.core.characterization import Verdict
+from repro.core.protocol_synthesis import synthesize_iis_protocol
+from repro.core.solvability import SolvabilityStatus, solve_task
+from repro.runtime.scheduler import RandomSchedule
+from repro.tasks.graph_agreement import (
+    cycle_graph,
+    disjoint_edges,
+    graph_agreement_task,
+    graphs_for_experiments,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+class TestBuilders:
+    def test_path(self):
+        g = path_graph(3)
+        assert g.face_count(1) == 3 and len(g.vertices) == 4
+
+    def test_path_needs_edge(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.face_count(1) == 5 and len(g.vertices) == 5
+        assert g.euler_characteristic() == 0
+
+    def test_cycle_minimum(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_and_wheel(self):
+        assert len(star_graph(4).vertices) == 5
+        wheel = wheel_graph(4)
+        assert wheel.face_count(1) == 8  # 4 rim + 4 spokes
+
+    def test_task_rejects_2_complex(self):
+        triangle = SimplicialComplex.from_vertices(
+            [Vertex(0, i) for i in range(3)]
+        )
+        with pytest.raises(ValueError):
+            graph_agreement_task(triangle)
+
+
+class TestTaskSemantics:
+    def test_solo_pins_own_vertex(self):
+        task = graph_agreement_task(path_graph(2))
+        solo = Simplex([Vertex(0, 1)])
+        assert task.candidate_decisions(solo, 0) == [Vertex(0, 1)]
+
+    def test_outputs_adjacent_or_equal(self):
+        task = graph_agreement_task(path_graph(2))
+        for top in task.output_complex.maximal_simplices:
+            a, b = [v.payload for v in top.sorted_vertices()]
+            assert abs(a - b) <= 1
+
+
+class TestSolvability:
+    @pytest.mark.parametrize(
+        "name,graph,expected",
+        graphs_for_experiments(),
+        ids=[g[0] for g in graphs_for_experiments()],
+    )
+    def test_fixture_levels(self, name, graph, expected):
+        result = characterize(
+            graph_agreement_task(graph), max_rounds=2, node_budget=2_000_000
+        )
+        if expected is None:
+            assert result.verdict is Verdict.UNSOLVABLE
+            assert result.certificate.kind == "connectivity"
+        else:
+            assert result.verdict is Verdict.SOLVABLE
+            assert result.rounds == expected
+
+    def test_cycle_is_solvable_for_two_processes(self):
+        """The finding recorded in the module docs: for n=1 the cycle's
+        1-hole is NOT an obstruction — walks detour around it."""
+        result = solve_task(graph_agreement_task(cycle_graph(4)), max_rounds=1)
+        assert result.status is SolvabilityStatus.SOLVABLE
+
+    def test_synthesized_protocol_on_cycle(self):
+        graph = cycle_graph(5)
+        task = graph_agreement_task(graph)
+        result = solve_task(task, max_rounds=1)
+        protocol = synthesize_iis_protocol(result)
+        for seed in range(15):
+            decisions = protocol.run_and_validate(
+                task, {0: 0, 1: 3}, RandomSchedule(seed)
+            )
+            a, b = decisions[0], decisions[1]
+            assert a == b or b in {(a - 1) % 5, (a + 1) % 5}
+
+    def test_synthesized_protocol_on_path(self):
+        graph = path_graph(3)
+        task = graph_agreement_task(graph)
+        result = solve_task(task, max_rounds=1)
+        protocol = synthesize_iis_protocol(result)
+        for seed in range(15):
+            decisions = protocol.run_and_validate(
+                task, {0: 0, 1: 3}, RandomSchedule(seed)
+            )
+            assert abs(decisions[0] - decisions[1]) <= 1

@@ -1,0 +1,68 @@
+"""The participating-set task: one-shot IS as a task (Lemma 3.2's probe)."""
+
+import pytest
+
+from repro.core.protocol_synthesis import synthesize_iis_protocol
+from repro.core.solvability import SolvabilityStatus, solve_task
+from repro.runtime.immediate_snapshot import check_immediate_snapshot_axioms
+from repro.runtime.scheduler import RandomSchedule, enumerate_executions
+from repro.tasks.participating_set import participating_set_task
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import fubini
+from repro.topology.vertex import Vertex
+
+
+class TestTaskShape:
+    def test_output_tops_are_fubini_many(self):
+        task = participating_set_task(3)
+        assert len(task.output_complex.maximal_simplices) == fubini(3)
+
+    def test_solo_must_output_own_singleton(self):
+        task = participating_set_task(3)
+        solo = Simplex([Vertex(1, 1)])
+        candidates = task.candidate_decisions(solo, 1)
+        assert candidates == [Vertex(1, frozenset({1}))]
+
+    def test_needs_at_least_one_process(self):
+        with pytest.raises(ValueError):
+            participating_set_task(0)
+
+
+class TestSolvability:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_unsolvable_at_round_zero(self, n):
+        result = solve_task(participating_set_task(n), max_rounds=0)
+        assert result.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_solvable_at_round_one(self, n):
+        result = solve_task(participating_set_task(n), max_rounds=1)
+        assert result.status is SolvabilityStatus.SOLVABLE
+        assert result.rounds == 1
+
+    def test_synthesized_protocol_outputs_are_is_views(self):
+        n = 3
+        task = participating_set_task(n)
+        result = solve_task(task, max_rounds=1)
+        protocol = synthesize_iis_protocol(result)
+        inputs = {pid: pid for pid in range(n)}
+        for seed in range(20):
+            decisions = protocol.run_and_validate(task, inputs, RandomSchedule(seed))
+            # Decisions are sets of pids satisfying the IS axioms.
+            views = {
+                pid: frozenset((member, member) for member in value)
+                for pid, value in decisions.items()
+            }
+            check_immediate_snapshot_axioms(views)
+
+    def test_every_interleaving_two_processes(self):
+        task = participating_set_task(2)
+        result = solve_task(task, max_rounds=1)
+        protocol = synthesize_iis_protocol(result)
+        inputs = {0: 0, 1: 1}
+        outcomes = set()
+        for run in enumerate_executions(protocol.factories(inputs), 2):
+            assert task.validate_outputs(inputs, run.decisions)
+            outcomes.add(tuple(sorted(run.decisions.items())))
+        # All three ordered partitions of two processes are realizable.
+        assert len(outcomes) == 3

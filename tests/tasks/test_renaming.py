@@ -1,0 +1,167 @@
+"""E9: the (2p−1)-renaming protocol over iterated immediate snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.scheduler import (
+    RandomSchedule,
+    RoundRobinSchedule,
+    Scheduler,
+    enumerate_executions,
+)
+from repro.tasks.renaming import RenamingProtocol, _nth_free_name, renaming_task
+
+
+class TestFreeNameHelper:
+    def test_no_taken(self):
+        assert _nth_free_name(1, set()) == 1
+        assert _nth_free_name(3, set()) == 3
+
+    def test_skips_taken(self):
+        assert _nth_free_name(1, {1, 2}) == 3
+        assert _nth_free_name(2, {1, 3}) == 4
+
+
+class TestProtocol:
+    def test_distinct_ids_required(self):
+        with pytest.raises(ValueError):
+            RenamingProtocol({0: 5, 1: 5})
+
+    def test_solo_gets_name_one(self):
+        protocol = RenamingProtocol({0: 42})
+        names = protocol.run()
+        assert names == {0: 1}
+
+    def test_round_robin_two_processes(self):
+        protocol = RenamingProtocol({0: 10, 1: 20})
+        names = protocol.run()
+        protocol.validate(names)
+
+    def test_all_interleavings_two_processes(self):
+        protocol = RenamingProtocol({0: 10, 1: 20})
+        count = 0
+        for result in enumerate_executions(protocol.factories(), 2, max_depth=80):
+            count += 1
+            names = dict(result.decisions)
+            protocol.validate(names, participants=2)
+            assert set(names.values()) <= {1, 2, 3}  # 2p-1 = 3
+        assert count > 1
+
+    def test_all_interleavings_with_crash(self):
+        protocol = RenamingProtocol({0: 10, 1: 20})
+        for result in enumerate_executions(
+            protocol.factories(), 2, max_depth=80, max_crashes=1
+        ):
+            names = dict(result.decisions)
+            if names:
+                protocol.validate(names, participants=2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules_three_processes(self, seed):
+        protocol = RenamingProtocol({0: 7, 1: 3, 2: 11})
+        scheduler = Scheduler(protocol.factories(), 3)
+        result = scheduler.run(RandomSchedule(seed), max_steps=10_000)
+        names = dict(result.decisions)
+        protocol.validate(names, participants=3)
+        assert max(names.values()) <= 5  # 2·3 − 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules_five_processes(self, seed):
+        ids = {0: 100, 1: 50, 2: 75, 3: 10, 4: 99}
+        protocol = RenamingProtocol(ids)
+        scheduler = Scheduler(protocol.factories(), 5)
+        result = scheduler.run(RandomSchedule(seed), max_steps=50_000)
+        names = dict(result.decisions)
+        protocol.validate(names, participants=5)
+        assert max(names.values()) <= 9  # 2·5 − 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.sets(st.integers(0, 2), max_size=2),
+    )
+    def test_crashy_runs_still_rename_survivors(self, seed, crash):
+        protocol = RenamingProtocol({0: 7, 1: 3, 2: 11})
+        scheduler = Scheduler(protocol.factories(), 3)
+        result = scheduler.run(
+            RandomSchedule(seed, crash_pids=sorted(crash)), max_steps=10_000
+        )
+        names = dict(result.decisions)
+        if names:
+            values = list(names.values())
+            assert len(set(values)) == len(values)
+            assert all(1 <= v <= 5 for v in values)
+
+    def test_name_independence_of_id_magnitudes(self):
+        # Same structure, different id values: same name multiset under the
+        # same deterministic schedule (the algorithm uses ids only via ranks).
+        a = RenamingProtocol({0: 1, 1: 2, 2: 3}).run(RoundRobinSchedule())
+        b = RenamingProtocol({0: 10, 1: 200, 2: 3000}).run(RoundRobinSchedule())
+        assert sorted(a.values()) == sorted(b.values())
+
+
+class TestOverIIS:
+    """E9's headline: renaming over iterated immediate snapshots, by running
+    the register algorithm through the Figure 2 emulation (Prop 4.1)."""
+
+    def test_round_robin(self):
+        protocol = RenamingProtocol({0: 10, 1: 20, 2: 30})
+        names = protocol.run(over_iis=True)
+        protocol.validate(names, participants=3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_schedules(self, seed):
+        protocol = RenamingProtocol({0: 7, 1: 3, 2: 11})
+        scheduler = Scheduler(protocol.factories(over_iis=True), 3)
+        result = scheduler.run(RandomSchedule(seed), max_steps=100_000)
+        names = dict(result.decisions)
+        protocol.validate(names, participants=3)
+        assert max(names.values()) <= 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.sets(st.integers(0, 2), max_size=1),
+    )
+    def test_crashy_schedules(self, seed, crash):
+        protocol = RenamingProtocol({0: 7, 1: 3, 2: 11})
+        scheduler = Scheduler(protocol.factories(over_iis=True), 3)
+        result = scheduler.run(
+            RandomSchedule(seed, crash_pids=sorted(crash)), max_steps=100_000
+        )
+        names = dict(result.decisions)
+        if names:
+            values = list(names.values())
+            assert len(set(values)) == len(values)
+            assert all(1 <= v <= 5 for v in values)
+
+
+class TestTaskObject:
+    def test_builds(self):
+        task = renaming_task(2)
+        assert task.n_processes == 2
+
+    def test_too_small_name_space_rejected(self):
+        with pytest.raises(ValueError):
+            renaming_task(3, name_space=[1, 2])
+
+    def test_distinctness_encoded(self):
+        task = renaming_task(2)
+        from repro.topology.simplex import Simplex
+        from repro.topology.vertex import Vertex
+
+        top = Simplex([Vertex(0, 0), Vertex(1, 1)])
+        for tuple_ in task.allowed_outputs(top):
+            names = [v.payload for v in tuple_]
+            assert len(set(names)) == len(names)
+
+    def test_trivially_solvable_without_symmetry(self):
+        # Documented: the Δ formalism cannot express index-independence, so
+        # the task object is solvable at round 0 (decide a name by pid).
+        from repro.core.solvability import SolvabilityStatus, solve_task
+
+        result = solve_task(renaming_task(2), max_rounds=0)
+        assert result.status is SolvabilityStatus.SOLVABLE

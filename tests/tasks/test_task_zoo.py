@@ -1,0 +1,108 @@
+"""Structural tests for the task-zoo builders."""
+
+import pytest
+
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    consensus_task,
+    constant_task,
+    identity_task,
+    set_consensus_task,
+)
+from repro.tasks.approximate_agreement import predicted_rounds
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+
+class TestConsensusBuilder:
+    def test_binary_two_processes_shape(self):
+        task = binary_consensus_task(2)
+        # Input complex: the 4-cycle of assignments.
+        assert task.input_complex.f_vector() == (4, 4)
+        # Output complex: two disjoint edges.
+        assert task.output_complex.f_vector() == (4, 2)
+        assert not task.output_complex.is_connected()
+
+    def test_input_complex_connected(self):
+        assert binary_consensus_task(2).input_complex.is_connected()
+        assert binary_consensus_task(3).input_complex.is_connected()
+
+    def test_multivalued(self):
+        task = consensus_task(2, ("x", "y", "z"))
+        assert task.input_complex.face_count(1) == 9
+
+    def test_single_value_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_task(2, ("only",))
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_task(0)
+
+    def test_validity_on_mixed_edge(self):
+        task = binary_consensus_task(2)
+        edge = Simplex([Vertex(0, 0), Vertex(1, 1)])
+        allowed = task.allowed_outputs(edge)
+        decided_values = {frozenset(v.payload for v in t) for t in allowed}
+        assert decided_values == {frozenset({0}), frozenset({1})}
+
+
+class TestSetConsensusBuilder:
+    def test_output_complex_is_k_diverse(self):
+        task = set_consensus_task(4, 2)
+        for top in task.output_complex.maximal_simplices:
+            assert len({v.payload for v in top}) <= 2
+
+    def test_input_is_single_simplex(self):
+        task = set_consensus_task(3, 2)
+        assert len(task.input_complex.maximal_simplices) == 1
+
+    def test_faces_inherit_validity(self):
+        task = set_consensus_task(3, 2)
+        face = Simplex([Vertex(0, 0), Vertex(2, 2)])
+        for tuple_ in task.allowed_outputs(face):
+            assert {v.payload for v in tuple_} <= {0, 2}
+
+
+class TestApproximateAgreementBuilder:
+    def test_grid_adjacency(self):
+        task = approximate_agreement_task(2, 4)
+        for top in task.output_complex.maximal_simplices:
+            values = [v.payload for v in top]
+            assert max(values) - min(values) <= 1
+
+    def test_equal_inputs_pin_output(self):
+        task = approximate_agreement_task(2, 4)
+        same = Simplex([Vertex(0, 4), Vertex(1, 4)])
+        allowed = task.allowed_outputs(same)
+        assert allowed == frozenset({same})
+
+    def test_validity_range(self):
+        task = approximate_agreement_task(2, 4)
+        mixed = Simplex([Vertex(0, 0), Vertex(1, 4)])
+        for tuple_ in task.allowed_outputs(mixed):
+            for v in tuple_:
+                assert 0 <= v.payload <= 4
+
+    def test_resolution_must_be_positive(self):
+        with pytest.raises(ValueError):
+            approximate_agreement_task(2, 0)
+
+    @pytest.mark.parametrize(
+        "resolution,expected", [(1, 0), (2, 1), (3, 1), (4, 2), (9, 2), (10, 3), (27, 3)]
+    )
+    def test_predicted_rounds(self, resolution, expected):
+        assert predicted_rounds(resolution) == expected
+
+
+class TestTrivialBuilders:
+    def test_identity_delta_is_identity(self):
+        task = identity_task(2)
+        for input_simplex in task.input_complex.simplices():
+            assert task.allowed_outputs(input_simplex) == frozenset({input_simplex})
+
+    def test_constant_single_output(self):
+        task = constant_task(2, constant="fixed")
+        assert len(task.output_complex.vertices) == 2
+        assert all(v.payload == "fixed" for v in task.output_complex.vertices)

@@ -1,0 +1,81 @@
+"""CLI smoke tests (direct invocation, no subprocess)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_zoo(self, capsys):
+        assert main(["zoo", "--max-rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "unsolvable" in out and "solvable" in out
+        assert "sperner" in out
+
+    def test_sds(self, capsys):
+        assert main(["sds", "-n", "1", "-b", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "f-vector          : (10, 9)" in out
+
+    def test_sds_export_json(self, tmp_path, capsys):
+        target = tmp_path / "complex.json"
+        assert main(["sds", "-n", "1", "-b", "1", "--out", str(target)]) == 0
+        from repro.analysis.export import complex_from_json
+
+        restored = complex_from_json(target.read_text())
+        assert len(restored.maximal_simplices) == 3
+
+    def test_sds_export_off(self, tmp_path):
+        target = tmp_path / "complex.off"
+        assert (
+            main(["sds", "-n", "2", "-b", "1", "--out", str(target), "--format", "off"])
+            == 0
+        )
+        assert target.read_text().startswith("OFF")
+
+    def test_sds_export_dot(self, tmp_path):
+        target = tmp_path / "complex.dot"
+        assert (
+            main(["sds", "-n", "1", "-b", "1", "--out", str(target), "--format", "dot"])
+            == 0
+        )
+        assert target.read_text().startswith("graph")
+
+    @pytest.mark.parametrize(
+        "schedule", ["round-robin", "random", "starve", "contend"]
+    )
+    def test_emulate(self, capsys, schedule):
+        assert main(["emulate", "-p", "2", "-k", "1", "--schedule", schedule]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_rename_native(self, capsys):
+        assert main(["rename", "-p", "2"]) == 0
+        assert "registers" in capsys.readouterr().out
+
+    def test_rename_over_iis(self, capsys):
+        assert main(["rename", "-p", "2", "--over-iis"]) == 0
+        assert "IIS" in capsys.readouterr().out
+
+    def test_narrate(self, capsys):
+        assert main(["narrate", "-p", "2", "-b", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "WriteRead" in out
+        assert "ordered partitions per memory" in out
+
+    def test_converge(self, capsys):
+        assert main(["converge", "-n", "1", "-m", "1"]) == 0
+        assert "simplex of A" in capsys.readouterr().out
+
+    def test_converge_chromatic(self, capsys):
+        assert main(["converge", "-n", "1", "-m", "1", "--chromatic"]) == 0
+        assert "Theorem 5.1" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Public-surface smoke tests: every advertised name imports and exists."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.topology",
+    "repro.runtime",
+    "repro.core",
+    "repro.tasks",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} advertised but missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_shape():
+    """The README quickstart's names exist and do what it says."""
+    from repro import Task, characterize, solve_task
+
+    assert callable(characterize)
+    assert callable(solve_task)
+    assert Task is not None
+
+
+def test_docstrings_everywhere():
+    """Every public module and its public callables carry docstrings."""
+    import inspect
+
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

@@ -1,0 +1,116 @@
+"""Barycentric subdivision and the canonical map from SDS."""
+
+import pytest
+from math import factorial
+
+from repro.topology.barycentric import (
+    barycenter_vertex,
+    barycentric_subdivision,
+    face_of_barycenter,
+    iterated_barycentric_subdivision,
+    sds_to_bsd_map,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.holes import betti_numbers_mod2
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import standard_chromatic_subdivision
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestOneLevel:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_top_count_is_factorial(self, n):
+        bsd = barycentric_subdivision(base(n))
+        assert len(bsd.complex.maximal_simplices) == factorial(n + 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_vertex_count_is_face_count(self, n):
+        bsd = barycentric_subdivision(base(n))
+        assert len(bsd.complex.vertices) == 2 ** (n + 1) - 1
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_valid_subdivision(self, n):
+        barycentric_subdivision(base(n)).validate()
+
+    def test_dimension_coloring_is_proper(self):
+        # The classic fact: Bsd colored by carrier dimension is chromatic.
+        bsd = barycentric_subdivision(base(2))
+        assert bsd.complex.is_chromatic()
+        for vertex in bsd.complex.vertices:
+            assert vertex.color == face_of_barycenter(vertex).dimension
+
+    def test_carriers(self):
+        bsd = barycentric_subdivision(base(2))
+        for vertex in bsd.complex.vertices:
+            assert bsd.carrier(vertex) == face_of_barycenter(vertex)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_no_holes(self, n):
+        bsd = barycentric_subdivision(base(n))
+        assert all(b == 0 for b in betti_numbers_mod2(bsd.complex))
+
+    def test_barycenter_vertex_roundtrip(self):
+        face = Simplex(vertices_of(range(2)))
+        assert face_of_barycenter(barycenter_vertex(face)) == face
+
+    def test_face_of_barycenter_rejects_plain_vertex(self):
+        with pytest.raises(TypeError):
+            face_of_barycenter(Vertex(0, "plain"))
+
+    def test_gluing_two_triangles(self):
+        shared = vertices_of(range(2))
+        t1 = Simplex(shared + [Vertex(2, "L")])
+        t2 = Simplex(shared + [Vertex(2, "R")])
+        bsd = barycentric_subdivision(SimplicialComplex([t1, t2]))
+        bsd.validate()
+        assert len(bsd.complex.maximal_simplices) == 12
+
+
+class TestIterated:
+    def test_counts(self):
+        bsd2 = iterated_barycentric_subdivision(base(1), 2)
+        assert len(bsd2.complex.maximal_simplices) == 4
+
+    def test_round_zero(self):
+        assert iterated_barycentric_subdivision(base(1), 0).complex == base(1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_barycentric_subdivision(base(1), -1)
+
+    def test_iterated_is_subdivision(self):
+        iterated_barycentric_subdivision(base(2), 2).validate()
+
+
+class TestSdsToBsd:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_canonical_map_is_simplicial_and_carrier_preserving(self, n):
+        b = base(n)
+        sds = standard_chromatic_subdivision(b)
+        bsd = barycentric_subdivision(b)
+        mapping = sds_to_bsd_map(sds, bsd)  # validates internally
+        assert mapping.is_simplicial()
+        for vertex in sds.complex.vertices:
+            assert bsd.carrier(mapping(vertex)) == sds.carrier(vertex)
+
+    def test_mismatched_bases_rejected(self):
+        sds = standard_chromatic_subdivision(base(1))
+        bsd = barycentric_subdivision(base(2))
+        with pytest.raises(ValueError):
+            sds_to_bsd_map(sds, bsd)
+
+    def test_blocks_collapse_to_one_barycenter(self):
+        # Vertices of one concurrency block share a view, hence an image.
+        b = base(2)
+        sds = standard_chromatic_subdivision(b)
+        bsd = barycentric_subdivision(b)
+        mapping = sds_to_bsd_map(sds, bsd)
+        from repro.topology.standard_chromatic import central_simplex
+
+        center = central_simplex(sds)
+        images = {mapping(v) for v in center}
+        assert len(images) == 1  # all map to the barycenter of the base

@@ -1,0 +1,130 @@
+"""Color actions and equivariance of the core constructions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.barycentric import barycentric_subdivision
+from repro.topology.chromatic import (
+    chromatic_map_signature,
+    color_classes,
+    is_color_equivariant_construction,
+    rainbow_simplices,
+    relabel_colors,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestBasics:
+    def test_color_classes(self):
+        sds = standard_chromatic_subdivision(base(2))
+        classes = color_classes(sds.complex)
+        assert set(classes) == {0, 1, 2}
+        assert all(len(members) == 4 for members in classes.values())
+
+    def test_rainbow_simplices_of_sds(self):
+        sds = standard_chromatic_subdivision(base(2))
+        # Every top simplex of a chromatic subdivision is rainbow.
+        assert len(rainbow_simplices(sds.complex)) == 13
+
+    def test_rainbow_on_mixed_complex(self):
+        mixed = SimplicialComplex(
+            [Simplex(vertices_of(range(3))), Simplex([Vertex(0, "x")])]
+        )
+        assert len(rainbow_simplices(mixed)) == 1
+
+    def test_signature(self):
+        assert chromatic_map_signature(base(1)) == ((0, 1), (1, 1))
+
+
+class TestRelabeling:
+    def test_simple_swap(self):
+        swapped = relabel_colors(base(1), {0: 1, 1: 0})
+        assert swapped == base(1)  # payloads None: symmetric simplex
+
+    def test_swap_moves_payload_colors(self):
+        c = SimplicialComplex([Simplex([Vertex(0, "a"), Vertex(1, "b")])])
+        swapped = relabel_colors(c, {0: 1, 1: 0})
+        assert Vertex(1, "a") in swapped.vertices
+        assert Vertex(0, "b") in swapped.vertices
+
+    def test_nested_payloads_relabelled(self):
+        inner = frozenset({Vertex(0, "x")})
+        c = SimplicialComplex([Simplex([Vertex(0, inner)])])
+        swapped = relabel_colors(c, {0: 2})
+        vertex = next(iter(swapped.vertices))
+        assert vertex.color == 2
+        assert vertex.payload == frozenset({Vertex(2, "x")})
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError):
+            relabel_colors(base(1), {0: 5, 1: 5})
+
+    def test_identity_permutation(self):
+        sds = standard_chromatic_subdivision(base(2)).complex
+        assert relabel_colors(sds, {}) == sds
+
+
+class TestEquivariance:
+    """The paper's constructions commute with processor relabeling."""
+
+    @pytest.mark.parametrize(
+        "permutation", [{0: 1, 1: 0}, {0: 2, 2: 0}, {0: 1, 1: 2, 2: 0}]
+    )
+    def test_sds_equivariant(self, permutation):
+        assert is_color_equivariant_construction(
+            lambda k: standard_chromatic_subdivision(k).complex,
+            base(2),
+            permutation,
+        )
+
+    def test_iterated_sds_equivariant(self):
+        assert is_color_equivariant_construction(
+            lambda k: iterated_standard_chromatic_subdivision(k, 2).complex,
+            base(1),
+            {0: 1, 1: 0},
+        )
+
+    def test_sds_equivariant_with_payloads(self):
+        inputs = SimplicialComplex(
+            [Simplex([Vertex(0, "a"), Vertex(1, "b"), Vertex(2, "c")])]
+        )
+        assert is_color_equivariant_construction(
+            lambda k: standard_chromatic_subdivision(k).complex,
+            inputs,
+            {0: 2, 2: 1, 1: 0},
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.permutations([0, 1, 2]))
+def test_sds_equivariance_under_all_permutations(perm):
+    permutation = {i: perm[i] for i in range(3)}
+    assert is_color_equivariant_construction(
+        lambda k: standard_chromatic_subdivision(k).complex,
+        base(2),
+        permutation,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.permutations([0, 1]))
+def test_protocol_complex_equivariance(perm):
+    """Relabeling processors before or after running the model agrees."""
+    from repro.core.protocol_complex import one_shot_is_complex
+
+    permutation = {i: perm[i] for i in range(2)}
+    inputs = {0: "a", 1: "b"}
+    relabeled_inputs = {permutation[pid]: val for pid, val in inputs.items()}
+    direct = one_shot_is_complex(relabeled_inputs)
+    relabeled = relabel_colors(one_shot_is_complex(inputs), permutation)
+    assert direct == relabeled

@@ -1,0 +1,237 @@
+"""Unit tests for simplicial complexes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def triangle_complex():
+    return SimplicialComplex.from_vertices(vertices_of(range(3)))
+
+
+def hollow_triangle():
+    return SimplicialComplex.simplex_boundary(Simplex(vertices_of(range(3))))
+
+
+class TestConstruction:
+    def test_from_vertices(self):
+        c = triangle_complex()
+        assert c.dimension == 2
+        assert len(c.vertices) == 3
+        assert len(c.maximal_simplices) == 1
+
+    def test_faces_absorbed(self):
+        tri = Simplex(vertices_of(range(3)))
+        edge = Simplex(vertices_of(range(2)))
+        c = SimplicialComplex([tri, edge])
+        assert c.maximal_simplices == frozenset({tri})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimplicialComplex([])
+
+    def test_non_simplex_rejected(self):
+        with pytest.raises(TypeError):
+            SimplicialComplex([Vertex(0)])  # type: ignore[list-item]
+
+    def test_boundary_constructor(self):
+        c = hollow_triangle()
+        assert c.dimension == 1
+        assert len(c.maximal_simplices) == 3
+
+    def test_boundary_of_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            SimplicialComplex.simplex_boundary(Simplex([Vertex(0)]))
+
+
+class TestQueries:
+    def test_contains_vertex_and_simplex(self):
+        c = triangle_complex()
+        assert Vertex(0) in c
+        assert Simplex(vertices_of(range(2))) in c
+        assert Vertex(7) not in c
+        assert Simplex([Vertex(7)]) not in c
+
+    def test_contains_other_types_false(self):
+        assert "nope" not in triangle_complex()
+
+    def test_simplices_enumeration(self):
+        assert len(list(triangle_complex().simplices())) == 7
+
+    def test_f_vector(self):
+        assert triangle_complex().f_vector() == (3, 3, 1)
+        assert hollow_triangle().f_vector() == (3, 3)
+
+    def test_euler_characteristic(self):
+        assert triangle_complex().euler_characteristic() == 1  # disk
+        assert hollow_triangle().euler_characteristic() == 0  # circle
+
+    def test_face_count_out_of_range(self):
+        assert triangle_complex().face_count(5) == 0
+
+    def test_colors(self):
+        assert triangle_complex().colors == frozenset({0, 1, 2})
+
+    def test_equality_and_hash(self):
+        assert triangle_complex() == triangle_complex()
+        assert hash(triangle_complex()) == hash(triangle_complex())
+        assert triangle_complex() != hollow_triangle()
+
+
+class TestPredicates:
+    def test_purity(self):
+        assert triangle_complex().is_pure()
+        tri = Simplex(vertices_of(range(3)))
+        lone = Simplex([Vertex(9)])
+        assert not SimplicialComplex([tri, lone]).is_pure()
+
+    def test_chromatic(self):
+        assert triangle_complex().is_chromatic()
+        bad = SimplicialComplex([Simplex([Vertex(0, "a"), Vertex(0, "b")])])
+        assert not bad.is_chromatic()
+
+    def test_connectivity(self):
+        assert triangle_complex().is_connected()
+        two_pieces = SimplicialComplex(
+            [Simplex([Vertex(0)]), Simplex([Vertex(1)])]
+        )
+        assert not two_pieces.is_connected()
+
+    def test_single_vertex_connected(self):
+        assert SimplicialComplex([Simplex([Vertex(0)])]).is_connected()
+
+    def test_pseudomanifold(self):
+        assert triangle_complex().is_pseudomanifold()
+        assert hollow_triangle().is_pseudomanifold()
+        # Three triangles sharing one edge: not a pseudomanifold.
+        shared = vertices_of(range(2))
+        tris = [
+            Simplex(shared + [Vertex(3, tag)]) for tag in ("a", "b", "c")
+        ]
+        assert not SimplicialComplex(tris).is_pseudomanifold()
+
+    def test_boundary_of_disk(self):
+        boundary = triangle_complex().boundary()
+        assert boundary == hollow_triangle()
+
+    def test_boundary_of_circle_is_none(self):
+        assert hollow_triangle().boundary() is None
+
+    def test_boundary_requires_purity(self):
+        impure = SimplicialComplex(
+            [Simplex(vertices_of(range(3))), Simplex([Vertex(9)])]
+        )
+        with pytest.raises(ValueError):
+            impure.boundary()
+
+
+class TestStarsLinksSkeletons:
+    def test_star_of_vertex(self):
+        c = hollow_triangle()
+        star = c.star(Simplex([Vertex(0)]))
+        assert len(star.maximal_simplices) == 2
+
+    def test_star_of_missing_raises(self):
+        with pytest.raises(ValueError):
+            triangle_complex().star(Simplex([Vertex(9)]))
+
+    def test_link_of_vertex_in_disk(self):
+        link = triangle_complex().link(Simplex([Vertex(0)]))
+        assert link == SimplicialComplex([Simplex([Vertex(1), Vertex(2)])])
+
+    def test_link_of_maximal_is_none(self):
+        c = triangle_complex()
+        assert c.link(Simplex(vertices_of(range(3)))) is None
+
+    def test_skeleton(self):
+        skel = triangle_complex().skeleton(1)
+        assert skel == hollow_triangle()
+        assert triangle_complex().skeleton(2) == triangle_complex()
+
+    def test_skeleton_zero(self):
+        skel = triangle_complex().skeleton(0)
+        assert skel.dimension == 0
+        assert len(skel.maximal_simplices) == 3
+
+    def test_skeleton_negative_raises(self):
+        with pytest.raises(ValueError):
+            triangle_complex().skeleton(-1)
+
+    def test_induced_on_colors(self):
+        sub = triangle_complex().induced_on_colors([0, 1])
+        assert sub == SimplicialComplex([Simplex(vertices_of(range(2)))])
+
+    def test_induced_on_missing_colors_none(self):
+        assert triangle_complex().induced_on_colors([9]) is None
+
+    def test_filter_maximal(self):
+        c = hollow_triangle()
+        kept = c.filter_maximal(lambda s: Vertex(0) in s)
+        assert len(kept.maximal_simplices) == 2
+
+    def test_filter_rejecting_all_raises(self):
+        with pytest.raises(ValueError):
+            triangle_complex().filter_maximal(lambda s: False)
+
+    def test_union(self):
+        a = SimplicialComplex([Simplex([Vertex(0)])])
+        b = SimplicialComplex([Simplex([Vertex(1)])])
+        assert len(a.union(b).vertices) == 2
+
+
+@st.composite
+def small_complexes(draw):
+    n_vertices = draw(st.integers(min_value=2, max_value=6))
+    vertices = vertices_of(range(n_vertices))
+    n_simplices = draw(st.integers(min_value=1, max_value=5))
+    tops = []
+    for _ in range(n_simplices):
+        members = draw(
+            st.sets(
+                st.sampled_from(vertices), min_size=1, max_size=min(4, n_vertices)
+            )
+        )
+        tops.append(Simplex(members))
+    return SimplicialComplex(tops)
+
+
+@settings(max_examples=60)
+@given(small_complexes())
+def test_maximal_simplices_form_antichain(complex_):
+    tops = list(complex_.maximal_simplices)
+    for i, a in enumerate(tops):
+        for b in tops[i + 1 :]:
+            assert not a.is_face_of(b)
+            assert not b.is_face_of(a)
+
+
+@settings(max_examples=60)
+@given(small_complexes())
+def test_every_enumerated_simplex_is_contained(complex_):
+    for s in complex_.simplices():
+        assert s in complex_
+
+
+@settings(max_examples=60)
+@given(small_complexes())
+def test_euler_characteristic_matches_f_vector(complex_):
+    f = complex_.f_vector()
+    assert complex_.euler_characteristic() == sum(
+        (-1) ** d * c for d, c in enumerate(f)
+    )
+
+
+@settings(max_examples=40)
+@given(small_complexes())
+def test_star_contains_link_joined_with_simplex(complex_):
+    for vertex in complex_.vertices:
+        singleton = Simplex([vertex])
+        star = complex_.star(singleton)
+        link = complex_.link(singleton)
+        if link is None:
+            continue
+        for link_simplex in link.maximal_simplices:
+            assert link_simplex.union(singleton) in star

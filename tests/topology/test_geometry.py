@@ -1,0 +1,218 @@
+"""Geometric layer tests: embeddings, subdivision verification, point location."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.barycentric import barycentric_subdivision
+from repro.topology.complex import SimplicialComplex
+from repro.topology.geometry import (
+    Embedding,
+    barycentric_coordinates,
+    embed_bsd_level,
+    embed_sds_level,
+    locate_point,
+    mesh,
+    point_in_simplex,
+    simplex_volume,
+    simplices_intersect,
+    standard_simplex_embedding,
+    verify_geometric_subdivision,
+)
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import standard_chromatic_subdivision
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestEmbedding:
+    def test_standard_embedding_positions(self):
+        emb = standard_simplex_embedding(base(2))
+        for i, v in enumerate(sorted(base(2).vertices, key=Vertex.sort_key)):
+            point = emb.position(v)
+            assert point[i] == 1.0 and point.sum() == 1.0
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Embedding({Vertex(0): np.array([1.0]), Vertex(1): np.array([1.0, 2.0])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Embedding({})
+
+    def test_barycenter(self):
+        emb = standard_simplex_embedding(base(2))
+        center = emb.barycenter(Simplex(vertices_of(range(3))))
+        assert np.allclose(center, [1 / 3] * 3)
+
+    def test_diameter(self):
+        emb = standard_simplex_embedding(base(1))
+        assert emb.diameter(Simplex(vertices_of(range(2)))) == pytest.approx(np.sqrt(2))
+        assert emb.diameter(Simplex([Vertex(0)])) == 0.0
+
+    def test_extended_and_restricted(self):
+        emb = standard_simplex_embedding(base(1))
+        extra = Vertex(9, "extra")
+        bigger = emb.extended({extra: np.array([0.5, 0.5])})
+        assert extra in bigger
+        smaller = bigger.restricted_to([extra])
+        assert extra in smaller
+        assert Vertex(0) not in smaller
+
+
+class TestVolumesAndCoordinates:
+    def test_unit_triangle_volume(self):
+        points = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        assert simplex_volume(points) == pytest.approx(0.5)
+
+    def test_degenerate_volume_zero(self):
+        points = np.array([[0, 0], [1, 1], [2, 2]], dtype=float)
+        assert simplex_volume(points) == pytest.approx(0.0)
+
+    def test_point_volume_zero(self):
+        assert simplex_volume(np.array([[1.0, 2.0]])) == 0.0
+
+    def test_barycentric_roundtrip(self):
+        points = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        target = np.array([0.25, 0.5])
+        coords = barycentric_coordinates(target, points)
+        assert coords is not None
+        assert np.allclose(coords @ points, target)
+        assert coords.sum() == pytest.approx(1.0)
+
+    def test_point_off_affine_hull_returns_none(self):
+        segment = np.array([[0, 0, 0], [1, 0, 0]], dtype=float)
+        assert barycentric_coordinates(np.array([0.5, 1.0, 0.0]), segment) is None
+
+    def test_zero_dimensional(self):
+        point = np.array([[1.0, 1.0]])
+        assert barycentric_coordinates(np.array([1.0, 1.0]), point) is not None
+        assert barycentric_coordinates(np.array([2.0, 1.0]), point) is None
+
+    def test_point_in_simplex(self):
+        points = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        assert point_in_simplex(np.array([0.2, 0.2]), points)
+        assert point_in_simplex(np.array([0.0, 0.0]), points)  # corner
+        assert not point_in_simplex(np.array([0.8, 0.8]), points)
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = np.array([[0, 0], [2, 0], [0, 2]], dtype=float)
+        b = np.array([[1, 1], [3, 1], [1, 3]], dtype=float)
+        assert simplices_intersect(a, b)
+
+    def test_touching_at_point(self):
+        a = np.array([[0, 0], [1, 0]], dtype=float)
+        b = np.array([[1, 0], [2, 0]], dtype=float)
+        assert simplices_intersect(a, b)
+
+    def test_disjoint(self):
+        a = np.array([[0, 0], [1, 0]], dtype=float)
+        b = np.array([[0, 1], [1, 1]], dtype=float)
+        assert not simplices_intersect(a, b)
+
+
+class TestSubdivisionEmbeddings:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_sds_embedding_is_geometric_subdivision(self, n):
+        b = base(n)
+        sds = standard_chromatic_subdivision(b)
+        emb0 = standard_simplex_embedding(b)
+        emb1 = embed_sds_level(sds, emb0)
+        verify_geometric_subdivision(sds, emb0, emb1)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_bsd_embedding_is_geometric_subdivision(self, n):
+        b = base(n)
+        bsd = barycentric_subdivision(b)
+        emb0 = standard_simplex_embedding(b)
+        emb1 = embed_bsd_level(bsd, emb0)
+        verify_geometric_subdivision(bsd, emb0, emb1)
+
+    def test_iterated_sds_embedding(self):
+        b = base(2)
+        emb = standard_simplex_embedding(b)
+        from repro.topology.subdivision import trivial_subdivision
+
+        sub = trivial_subdivision(b)
+        for _ in range(2):
+            level = standard_chromatic_subdivision(sub.complex)
+            emb_next = embed_sds_level(level, emb)
+            verify_geometric_subdivision(level, emb, emb_next)
+            sub, emb = sub.then(level), emb_next
+
+    def test_mesh_shrinks(self):
+        b = base(2)
+        emb0 = standard_simplex_embedding(b)
+        sds = standard_chromatic_subdivision(b)
+        emb1 = embed_sds_level(sds, emb0)
+        assert mesh(sds.complex, emb1) < mesh(b, emb0)
+        level2 = standard_chromatic_subdivision(sds.complex)
+        emb2 = embed_sds_level(level2, emb1)
+        assert mesh(level2.complex, emb2) < mesh(sds.complex, emb1)
+
+    def test_sds_central_vertices_match_paper_construction(self):
+        # Section 3.6: m_i is the midpoint of (a, b_i) where a is the
+        # barycenter and b_i the barycenter of the face opposite color i.
+        b = base(2)
+        emb0 = standard_simplex_embedding(b)
+        sds = standard_chromatic_subdivision(b)
+        emb1 = embed_sds_level(sds, emb0)
+        all_vertices = frozenset(b.vertices)
+        a = np.array([1 / 3] * 3)
+        for color in range(3):
+            m = emb1.position(Vertex(color, all_vertices))
+            opposite = [v for v in b.vertices if v.color != color]
+            b_i = np.mean([emb0.position(v) for v in opposite], axis=0)
+            assert np.allclose(m, (a + b_i) / 2)
+
+
+class TestLocation:
+    def test_locate_interior_point(self):
+        b = base(2)
+        sds = standard_chromatic_subdivision(b)
+        emb0 = standard_simplex_embedding(b)
+        emb1 = embed_sds_level(sds, emb0)
+        hits = locate_point(sds.complex, emb1, np.array([1 / 3] * 3))
+        assert hits  # the barycenter lies in at least one simplex
+
+    def test_locate_corner(self):
+        b = base(2)
+        sds = standard_chromatic_subdivision(b)
+        emb0 = standard_simplex_embedding(b)
+        emb1 = embed_sds_level(sds, emb0)
+        hits = locate_point(sds.complex, emb1, np.array([1.0, 0.0, 0.0]))
+        assert len(hits) >= 1
+
+    def test_locate_outside(self):
+        b = base(2)
+        emb0 = standard_simplex_embedding(b)
+        hits = locate_point(b, emb0, np.array([2.0, 2.0, 2.0]))
+        assert hits == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1), st.floats(0, 1)), min_size=3, max_size=3
+    ).filter(
+        lambda pts: abs(
+            (pts[1][0] - pts[0][0]) * (pts[2][1] - pts[0][1])
+            - (pts[2][0] - pts[0][0]) * (pts[1][1] - pts[0][1])
+        )
+        > 1e-3
+    ),
+    st.floats(0.01, 0.97),
+    st.floats(0.01, 0.97),
+)
+def test_convex_combination_always_inside(points, u, v):
+    """Any proper convex combination of triangle vertices lies inside it."""
+    array = np.array(points, dtype=float)
+    weights = np.array([u, v * (1 - u), (1 - u) * (1 - v)])
+    weights /= weights.sum()
+    inside = weights @ array
+    assert point_in_simplex(inside, array, tol=1e-7)

@@ -1,0 +1,123 @@
+"""Mod-2 homology tests: spheres have holes, subdivided simplices do not."""
+
+import pytest
+
+from repro.topology.barycentric import barycentric_subdivision
+from repro.topology.complex import SimplicialComplex
+from repro.topology.holes import (
+    betti_numbers_mod2,
+    boundary_matrix,
+    has_no_holes_up_to,
+    link_hole_report,
+    verify_subdivided_simplex_has_no_holes,
+)
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def full(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+def sphere(n):
+    return SimplicialComplex.simplex_boundary(Simplex(vertices_of(range(n + 2))))
+
+
+class TestBetti:
+    def test_point(self):
+        c = SimplicialComplex([Simplex([Vertex(0)])])
+        assert betti_numbers_mod2(c) == (0,)
+
+    def test_two_points(self):
+        c = SimplicialComplex([Simplex([Vertex(0)]), Simplex([Vertex(1)])])
+        assert betti_numbers_mod2(c) == (1,)  # reduced: components - 1
+
+    def test_disk(self):
+        assert betti_numbers_mod2(full(2)) == (0, 0, 0)
+
+    def test_circle(self):
+        assert betti_numbers_mod2(sphere(1)) == (0, 1)
+
+    def test_two_sphere(self):
+        assert betti_numbers_mod2(sphere(2)) == (0, 0, 1)
+
+    def test_wedge_of_two_circles(self):
+        # Two triangles boundaries sharing exactly one vertex.
+        a = [Vertex(0), Vertex(1), Vertex(2)]
+        b = [Vertex(0), Vertex(3, "b"), Vertex(4, "b")]
+        edges = []
+        for tri in (a, b):
+            edges.extend(
+                Simplex(pair) for pair in [tri[:2], tri[1:], [tri[0], tri[2]]]
+            )
+        c = SimplicialComplex(edges)
+        assert betti_numbers_mod2(c) == (0, 2)
+
+    def test_boundary_matrix_shape(self):
+        matrix, rows, cols = boundary_matrix(full(2), 2)
+        assert matrix.shape == (3, 1)
+        assert len(rows) == 3 and len(cols) == 1
+        assert matrix.sum() == 3  # the triangle has three edges
+
+    def test_boundary_matrix_dimension_zero_rejected(self):
+        with pytest.raises(ValueError):
+            boundary_matrix(full(1), 0)
+
+    def test_boundary_squared_is_zero(self):
+        c = full(3)
+        d2, _r2, _c2 = boundary_matrix(c, 2)
+        d3, _r3, _c3 = boundary_matrix(c, 3)
+        assert ((d2 @ d3) % 2 == 0).all()
+
+
+class TestNoHoles:
+    def test_has_no_holes_up_to(self):
+        assert has_no_holes_up_to(full(2), 2)
+        assert not has_no_holes_up_to(sphere(1), 1)
+        assert has_no_holes_up_to(sphere(1), 0)
+
+    def test_verify_subdivided_simplex(self):
+        sds = standard_chromatic_subdivision(full(2))
+        verify_subdivided_simplex_has_no_holes(sds.complex, 2)
+
+    def test_verify_rejects_sphere(self):
+        with pytest.raises(ValueError):
+            verify_subdivided_simplex_has_no_holes(sphere(1), 1)
+
+    def test_verify_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            verify_subdivided_simplex_has_no_holes(full(2), 3)
+
+
+class TestLemma22Links:
+    """Lemma 2.2: links inside a subdivided simplex have no low holes."""
+
+    def test_links_in_sds_s2(self):
+        sds = standard_chromatic_subdivision(full(2))
+        report = link_hole_report(sds.complex)
+        for singleton, betti in report.items():
+            vertex = next(iter(singleton))
+            # For an interior vertex the link is a circle (hole in dim 1 is
+            # allowed: n - (q+1) = 2 - 1 = 1 is the first *excluded* hole
+            # dimension, so only dimension 0 must vanish).
+            if betti:
+                assert betti[0] == 0, f"link of {vertex!r} disconnected"
+
+    def test_links_in_bsd_s2(self):
+        bsd = barycentric_subdivision(full(2))
+        for singleton, betti in link_hole_report(bsd.complex).items():
+            if betti:
+                assert betti[0] == 0
+
+    def test_links_in_sds2_s1(self):
+        sds = iterated_standard_chromatic_subdivision(full(1), 2)
+        for singleton, betti in link_hole_report(sds.complex).items():
+            # 1-dimensional complex: links are points or pairs of points;
+            # interior vertices have 2-point links (betti0 = 1 allowed since
+            # n - (q+1) = 0 means no hole of dimension <= 0 required only
+            # for interior... boundary corners have 1-point links).
+            assert len(betti) <= 1

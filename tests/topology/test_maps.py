@@ -1,0 +1,148 @@
+"""Simplicial map tests."""
+
+import pytest
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.maps import (
+    SimplicialMap,
+    check_map_on_simplices,
+    constant_color_sections,
+    identity_map,
+)
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    standard_chromatic_subdivision,
+    view_of,
+)
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def path_complex(values):
+    """A path 0-1-2-...; vertices alternate colors 0/1, payloads = values."""
+    verts = [Vertex(i % 2, value) for i, value in enumerate(values)]
+    return SimplicialComplex(
+        [Simplex([a, b]) for a, b in zip(verts, verts[1:])]
+    ), verts
+
+
+class TestConstruction:
+    def test_identity(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(3)))
+        m = identity_map(c)
+        assert m.is_simplicial()
+        assert m.is_color_preserving()
+        assert m.is_dimension_preserving()
+
+    def test_partial_mapping_rejected(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        with pytest.raises(ValueError):
+            SimplicialMap(c, c, {Vertex(0): Vertex(0)})
+
+    def test_image_outside_target_rejected(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        with pytest.raises(ValueError):
+            SimplicialMap(c, c, {Vertex(0): Vertex(9), Vertex(1): Vertex(1)})
+
+
+class TestPredicates:
+    def test_non_simplicial_detected(self):
+        source, sv = path_complex("abc")
+        # Map endpoints of the path onto the two ends of a 2-edge path's
+        # extremes — adjacent source vertices land on non-adjacent targets.
+        target, tv = path_complex("xyz")
+        mapping = {sv[0]: tv[0], sv[1]: tv[1], sv[2]: tv[1]}
+        m = SimplicialMap(source, target, mapping)
+        assert m.is_simplicial()
+        bad = SimplicialMap(source, target, {sv[0]: tv[0], sv[1]: tv[2], sv[2]: tv[0]})
+        assert not bad.is_simplicial()
+
+    def test_collapse_is_simplicial_but_not_dimension_preserving(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        target = SimplicialComplex([Simplex([Vertex(0)])])
+        m = SimplicialMap(c, target, {Vertex(0): Vertex(0), Vertex(1): Vertex(0)})
+        assert m.is_simplicial()
+        assert not m.is_dimension_preserving()
+        assert not m.is_color_preserving()
+
+    def test_validate_reports_first_violation(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        target = SimplicialComplex([Simplex([Vertex(0)]), Simplex([Vertex(1)])])
+        m = SimplicialMap(c, target, {Vertex(0): Vertex(0), Vertex(1): Vertex(1)})
+        with pytest.raises(ValueError, match="not simplicial"):
+            m.validate()
+
+    def test_validate_color(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        swap = SimplicialMap(c, c, {Vertex(0): Vertex(1), Vertex(1): Vertex(0)})
+        assert swap.is_simplicial()
+        with pytest.raises(ValueError, match="color"):
+            swap.validate()
+
+    def test_carrier_preserving_default_containment(self):
+        base = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        sds = standard_chromatic_subdivision(base)
+        # Collapse every SDS vertex to the corner of its own color: carrier
+        # of image (a corner) is contained in the vertex's carrier.
+        corners = {v.color: v for v in base.vertices}
+        mapping = {v: corners[v.color] for v in sds.complex.vertices}
+        m = SimplicialMap(sds.complex, base, mapping)
+        trivial_carrier = lambda v: Simplex([v])
+        assert m.is_carrier_preserving(sds.carrier, trivial_carrier)
+        # Strict equality fails: interior vertices have a bigger carrier.
+        assert not m.is_carrier_preserving(sds.carrier, trivial_carrier, strict=True)
+
+
+class TestComposition:
+    def test_compose_applies_in_order(self):
+        c = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        swap = SimplicialMap(c, c, {Vertex(0): Vertex(1), Vertex(1): Vertex(0)})
+        composed = swap.compose(swap)
+        assert composed(Vertex(0)) == Vertex(0)
+
+    def test_compose_mismatch_rejected(self):
+        a = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        b = SimplicialComplex.from_vertices(vertices_of(range(3)))
+        with pytest.raises(ValueError):
+            identity_map(a).compose(identity_map(b))
+
+
+class TestHelpers:
+    def test_constant_color_sections(self):
+        base = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        sds = standard_chromatic_subdivision(base)
+        sections = constant_color_sections(base, sds.complex)
+        assert set(sections) == {0, 1}
+        for color, candidates in sections.items():
+            assert all(v.color == color for v in candidates)
+
+    def test_check_map_on_simplices_partial(self):
+        target, tv = path_complex("xy")
+        source, sv = path_complex("ab")
+        partial = {sv[0]: tv[0]}
+        assert check_map_on_simplices(partial, source.maximal_simplices, target)
+        partial_bad = {sv[0]: tv[0], sv[1]: tv[0]}
+        # Image {x, x} collapses to a vertex — still a simplex: allowed.
+        assert check_map_on_simplices(partial_bad, source.maximal_simplices, target)
+
+
+class TestSDSMaps:
+    def test_carrier_collapse_map_from_sds(self):
+        """The 'decide the maximum color you saw' map is simplicial."""
+        base = SimplicialComplex.from_vertices(vertices_of(range(3)))
+        sds = standard_chromatic_subdivision(base)
+        # Target: output complex where each process names a color it saw.
+        target_tops = []
+        for top in sds.complex.maximal_simplices:
+            target_tops.append(
+                Simplex(
+                    Vertex(v.color, max(u.color for u in view_of(v))) for v in top
+                )
+            )
+        target = SimplicialComplex(target_tops)
+        mapping = {
+            v: Vertex(v.color, max(u.color for u in view_of(v)))
+            for v in sds.complex.vertices
+        }
+        m = SimplicialMap(sds.complex, target, mapping)
+        assert m.is_simplicial()
+        assert m.is_color_preserving()

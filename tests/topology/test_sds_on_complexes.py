@@ -1,0 +1,85 @@
+"""SDS over *complexes* (not just simplices): gluing, property-based.
+
+Lemma 3.3's step from a simplex to a general input complex hinges on
+face-local gluing: shared faces subdivide identically from both sides.
+These tests exercise that on randomly glued chromatic 2-complexes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    fubini,
+    standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex
+
+
+@st.composite
+def glued_chromatic_complexes(draw):
+    """A random pure chromatic 2-complex built from properly colored
+    triangles over small payload pools (sharing arises naturally)."""
+    n_triangles = draw(st.integers(min_value=1, max_value=4))
+    pool_size = draw(st.integers(min_value=1, max_value=2))
+    triangles = []
+    for _ in range(n_triangles):
+        members = [
+            Vertex(color, draw(st.integers(0, pool_size - 1)))
+            for color in range(3)
+        ]
+        triangles.append(Simplex(members))
+    return SimplicialComplex(triangles)
+
+
+@settings(max_examples=40, deadline=None)
+@given(glued_chromatic_complexes())
+def test_sds_validates_on_glued_complexes(complex_):
+    sds = standard_chromatic_subdivision(complex_)
+    sds.validate(chromatic=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(glued_chromatic_complexes())
+def test_top_counts_multiply(complex_):
+    sds = standard_chromatic_subdivision(complex_)
+    expected = fubini(3) * len(
+        [m for m in complex_.maximal_simplices if m.dimension == 2]
+    )
+    assert len(sds.complex.maximal_simplices) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(glued_chromatic_complexes())
+def test_shared_faces_subdivide_once(complex_):
+    """A face shared by several triangles contributes its subdivision
+    vertices exactly once (vertex identity is by value)."""
+    sds = standard_chromatic_subdivision(complex_)
+    # Vertex count = sum over faces of (face size), faces counted once.
+    expected = sum(
+        complex_.face_count(d) * (d + 1) for d in range(complex_.dimension + 1)
+    )
+    assert len(sds.complex.vertices) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(glued_chromatic_complexes())
+def test_connectivity_preserved(complex_):
+    """Subdivision does not change the realization: components match."""
+    sds = standard_chromatic_subdivision(complex_)
+    assert sds.complex.is_connected() == complex_.is_connected()
+
+
+@settings(max_examples=30, deadline=None)
+@given(glued_chromatic_complexes())
+def test_euler_characteristic_preserved(complex_):
+    sds = standard_chromatic_subdivision(complex_)
+    assert sds.complex.euler_characteristic() == complex_.euler_characteristic()
+
+
+@settings(max_examples=25, deadline=None)
+@given(glued_chromatic_complexes())
+def test_carriers_land_in_base(complex_):
+    sds = standard_chromatic_subdivision(complex_)
+    for vertex in sds.complex.vertices:
+        assert sds.carrier(vertex) in complex_

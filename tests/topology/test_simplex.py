@@ -1,0 +1,147 @@
+"""Unit tests for simplices."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.simplex import Simplex, simplex
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def tri():
+    return Simplex(vertices_of(range(3)))
+
+
+class TestConstruction:
+    def test_dimension(self):
+        assert tri().dimension == 2
+
+    def test_vertex_simplex_dimension_zero(self):
+        assert Simplex([Vertex(0)]).dimension == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Simplex([])
+
+    def test_non_vertex_member_rejected(self):
+        with pytest.raises(TypeError):
+            Simplex(["not a vertex"])  # type: ignore[list-item]
+
+    def test_duplicates_collapse(self):
+        assert Simplex([Vertex(0), Vertex(0)]).dimension == 0
+
+    def test_variadic_constructor(self):
+        assert simplex(Vertex(0), Vertex(1)) == Simplex(vertices_of(range(2)))
+
+
+class TestFaces:
+    def test_face_count_includes_self(self):
+        # 2^3 - 1 non-empty subsets
+        assert len(list(tri().faces())) == 7
+
+    def test_faces_of_dimension(self):
+        assert len(list(tri().faces(1))) == 3
+        assert len(list(tri().faces(0))) == 3
+        assert len(list(tri().faces(2))) == 1
+
+    def test_faces_out_of_range_empty(self):
+        assert list(tri().faces(5)) == []
+
+    def test_proper_faces_exclude_self(self):
+        faces = list(tri().proper_faces())
+        assert tri() not in faces
+        assert len(faces) == 6
+
+    def test_facets_are_codimension_one(self):
+        facets = list(tri().facets())
+        assert len(facets) == 3
+        assert all(f.dimension == 1 for f in facets)
+
+    def test_vertex_has_no_facets(self):
+        assert list(Simplex([Vertex(0)]).facets()) == []
+
+    def test_is_face_of(self):
+        edge = Simplex(vertices_of(range(2)))
+        assert edge.is_face_of(tri())
+        assert not tri().is_face_of(edge)
+        assert tri().has_face(edge)
+
+    def test_without(self):
+        result = tri().without(Vertex(0))
+        assert result == Simplex([Vertex(1), Vertex(2)])
+
+    def test_without_absent_vertex_raises(self):
+        with pytest.raises(ValueError):
+            tri().without(Vertex(9))
+
+    def test_without_last_vertex_raises(self):
+        with pytest.raises(ValueError):
+            Simplex([Vertex(0)]).without(Vertex(0))
+
+    def test_union_and_intersection(self):
+        a = Simplex(vertices_of([0, 1]))
+        b = Simplex(vertices_of([1, 2]))
+        assert a.union(b) == tri()
+        assert a.intersection(b) == Simplex([Vertex(1)])
+
+    def test_disjoint_intersection_is_none(self):
+        a = Simplex([Vertex(0)])
+        b = Simplex([Vertex(1)])
+        assert a.intersection(b) is None
+
+
+class TestChromatic:
+    def test_colors(self):
+        assert tri().colors == frozenset({0, 1, 2})
+
+    def test_is_chromatic(self):
+        assert tri().is_chromatic
+        assert not Simplex([Vertex(0, "a"), Vertex(0, "b")]).is_chromatic
+
+    def test_vertex_of_color(self):
+        assert tri().vertex_of_color(1) == Vertex(1)
+
+    def test_vertex_of_color_missing_raises(self):
+        with pytest.raises(KeyError):
+            tri().vertex_of_color(7)
+
+    def test_vertex_of_color_ambiguous_raises(self):
+        s = Simplex([Vertex(0, "a"), Vertex(0, "b")])
+        with pytest.raises(KeyError):
+            s.vertex_of_color(0)
+
+    def test_restrict_to_colors(self):
+        assert tri().restrict_to_colors([0, 2]) == Simplex([Vertex(0), Vertex(2)])
+
+    def test_restrict_to_missing_colors_is_none(self):
+        assert tri().restrict_to_colors([9]) is None
+
+    def test_sorted_vertices_deterministic(self):
+        assert [v.color for v in tri().sorted_vertices()] == [0, 1, 2]
+
+
+@given(st.sets(st.integers(min_value=0, max_value=8), min_size=1, max_size=6))
+def test_face_lattice_properties(colors):
+    s = Simplex(vertices_of(colors))
+    faces = list(s.faces())
+    # Count: 2^(n+1) - 1 non-empty subsets.
+    assert len(faces) == 2 ** len(colors) - 1
+    # Every face is a face of the simplex and of itself.
+    for f in faces:
+        assert f.is_face_of(s)
+        assert f.is_face_of(f)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=6), min_size=1, max_size=5),
+    st.sets(st.integers(min_value=0, max_value=6), min_size=1, max_size=5),
+)
+def test_union_intersection_duality(colors_a, colors_b):
+    a, b = Simplex(vertices_of(colors_a)), Simplex(vertices_of(colors_b))
+    union = a.union(b)
+    assert a.is_face_of(union) and b.is_face_of(union)
+    inter = a.intersection(b)
+    if colors_a & colors_b:
+        assert inter is not None
+        assert inter.is_face_of(a) and inter.is_face_of(b)
+    else:
+        assert inter is None

@@ -1,0 +1,132 @@
+"""Sperner's lemma, verified computationally on SDS^b and Bsd^k."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.barycentric import iterated_barycentric_subdivision
+from repro.topology.complex import SimplicialComplex
+from repro.topology.sperner import (
+    first_color_labeling,
+    is_sperner_labeling,
+    labeling_from_decisions,
+    own_color_labeling,
+    panchromatic_simplices,
+    sperner_lemma_holds,
+)
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.subdivision import trivial_subdivision
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def sds(n, b):
+    base = SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+    return iterated_standard_chromatic_subdivision(base, b)
+
+
+def bsd(n, k):
+    base = SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+    return iterated_barycentric_subdivision(base, k)
+
+
+class TestAdmissibility:
+    def test_first_color_labeling_is_admissible(self):
+        sub = sds(2, 1)
+        assert is_sperner_labeling(sub, first_color_labeling(sub))
+
+    def test_own_color_labeling_is_admissible_for_chromatic(self):
+        sub = sds(2, 2)
+        assert is_sperner_labeling(sub, own_color_labeling(sub))
+
+    def test_missing_vertex_rejected(self):
+        sub = sds(1, 1)
+        assert not is_sperner_labeling(sub, {})
+
+    def test_color_outside_carrier_rejected(self):
+        sub = sds(1, 1)
+        labeling = first_color_labeling(sub)
+        # Force a corner to a foreign color.
+        corner = next(v for v in sub.complex.vertices if sub.carrier(v).dimension == 0)
+        labeling[corner] = 1 - corner.color
+        assert not is_sperner_labeling(sub, labeling)
+
+
+class TestLemma:
+    @pytest.mark.parametrize("n,b", [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (3, 1)])
+    def test_parity_on_sds_first_color(self, n, b):
+        sub = sds(n, b)
+        assert sperner_lemma_holds(sub, first_color_labeling(sub))
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (1, 2), (2, 1), (2, 2)])
+    def test_parity_on_bsd(self, n, k):
+        sub = bsd(n, k)
+        assert sperner_lemma_holds(sub, first_color_labeling(sub))
+
+    @pytest.mark.parametrize("n,b", [(1, 1), (2, 1), (2, 2)])
+    def test_own_color_labeling_all_tops_panchromatic(self, n, b):
+        sub = sds(n, b)
+        labeling = own_color_labeling(sub)
+        assert len(panchromatic_simplices(sub, labeling)) == len(
+            sub.complex.maximal_simplices
+        )
+        assert sperner_lemma_holds(sub, labeling)
+
+    def test_trivial_subdivision(self):
+        base = SimplicialComplex.from_vertices(vertices_of(range(3)))
+        sub = trivial_subdivision(base)
+        assert sperner_lemma_holds(sub, own_color_labeling(sub))
+
+    def test_multi_simplex_base_rejected(self):
+        from repro.topology.simplex import Simplex
+
+        two = SimplicialComplex(
+            [Simplex([Vertex(0), Vertex(1)]), Simplex([Vertex(1), Vertex(2)])]
+        )
+        sub = trivial_subdivision(two)
+        with pytest.raises(ValueError):
+            sperner_lemma_holds(sub, own_color_labeling(sub))
+
+    def test_inadmissible_labeling_rejected(self):
+        sub = sds(1, 1)
+        labeling = {v: 0 for v in sub.complex.vertices}  # corner 1 violates
+        with pytest.raises(ValueError):
+            sperner_lemma_holds(sub, labeling)
+
+    def test_labeling_from_decisions(self):
+        sub = sds(2, 1)
+        labeling = labeling_from_decisions(sub, lambda v: min(sub.carrier(v).colors))
+        assert labeling == first_color_labeling(sub)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=0, max_value=2**40 - 1), st.integers(1, 2))
+def test_random_admissible_labelings_satisfy_parity(seed, b):
+    """Sperner's lemma over *random* admissible labelings of SDS^b(s^2).
+
+    Each vertex independently picks a uniformly random color of its carrier,
+    derived deterministically from the seed — the strongest computational
+    check of the lemma we can run cheaply.
+    """
+    import random
+
+    sub = sds(2, b)
+    rng = random.Random(seed)
+    labeling = {
+        v: rng.choice(sorted(sub.carrier(v).colors)) for v in sub.complex.vertices
+    }
+    assert is_sperner_labeling(sub, labeling)
+    assert sperner_lemma_holds(sub, labeling)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**40 - 1))
+def test_random_labelings_on_bsd(seed):
+    import random
+
+    sub = bsd(2, 1)
+    rng = random.Random(seed)
+    labeling = {
+        v: rng.choice(sorted(sub.carrier(v).colors)) for v in sub.complex.vertices
+    }
+    assert sperner_lemma_holds(sub, labeling)

@@ -1,0 +1,201 @@
+"""Lemma 3.2 / 3.3 structure tests for the standard chromatic subdivision."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.holes import betti_numbers_mod2
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    central_simplex,
+    fubini,
+    is_simultaneity_class,
+    iterated_standard_chromatic_subdivision,
+    ordered_set_partitions,
+    sds_simplices_of,
+    sds_vertex,
+    standard_chromatic_subdivision,
+    view_of,
+)
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base_simplex_complex(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestOrderedPartitions:
+    def test_counts_are_fubini(self):
+        for n in range(5):
+            count = sum(1 for _ in ordered_set_partitions(list(range(n))))
+            assert count == fubini(n)
+
+    def test_fubini_values(self):
+        assert [fubini(n) for n in range(6)] == [1, 1, 3, 13, 75, 541]
+
+    def test_partitions_are_partitions(self):
+        items = [0, 1, 2]
+        for partition in ordered_set_partitions(items):
+            flattened = [x for block in partition for x in block]
+            assert sorted(flattened) == items
+            assert all(block for block in partition)
+
+    def test_empty_items(self):
+        assert list(ordered_set_partitions([])) == [()]
+
+    def test_no_duplicate_partitions(self):
+        partitions = list(ordered_set_partitions([0, 1, 2, 3]))
+        assert len(partitions) == len(set(partitions))
+
+
+class TestOneLevelSDS:
+    @pytest.mark.parametrize("n,expected_tops", [(0, 1), (1, 3), (2, 13), (3, 75)])
+    def test_top_simplex_count(self, n, expected_tops):
+        sds = standard_chromatic_subdivision(base_simplex_complex(n))
+        assert len(sds.complex.maximal_simplices) == expected_tops
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_is_chromatic_subdivision(self, n):
+        sds = standard_chromatic_subdivision(base_simplex_complex(n))
+        sds.validate(chromatic=True)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_purity_and_dimension(self, n):
+        sds = standard_chromatic_subdivision(base_simplex_complex(n))
+        assert sds.complex.is_pure()
+        assert sds.complex.dimension == n
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_pseudomanifold(self, n):
+        sds = standard_chromatic_subdivision(base_simplex_complex(n))
+        assert sds.complex.is_pseudomanifold()
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_no_holes(self, n):
+        # Lemma 2.2: a subdivided simplex has no hole of any dimension.
+        sds = standard_chromatic_subdivision(base_simplex_complex(n))
+        assert all(b == 0 for b in betti_numbers_mod2(sds.complex))
+
+    def test_carrier_is_view(self):
+        # Lemma 3.2: carrier(v, SDS) = P where S_i = P.
+        sds = standard_chromatic_subdivision(base_simplex_complex(2))
+        for vertex in sds.complex.vertices:
+            assert sds.carrier(vertex) == Simplex(view_of(vertex))
+
+    def test_vertex_count_formula(self):
+        # Vertices are pairs (c, S) with c in S: sum over faces of |face|.
+        sds = standard_chromatic_subdivision(base_simplex_complex(2))
+        # Faces of s^2: 3 of size 1, 3 of size 2, 1 of size 3 → 3 + 6 + 3 = 12.
+        assert len(sds.complex.vertices) == 12
+
+    def test_corner_vertices_survive(self):
+        base = base_simplex_complex(2)
+        sds = standard_chromatic_subdivision(base)
+        for corner in base.vertices:
+            expected = sds_vertex(corner.color, frozenset({corner}))
+            assert expected in sds.complex.vertices
+
+    def test_central_simplex_present(self):
+        sds = standard_chromatic_subdivision(base_simplex_complex(2))
+        center = central_simplex(sds)
+        assert center in sds.complex
+        assert is_simultaneity_class(center)
+
+    def test_immediate_snapshot_axioms_hold_on_every_simplex(self):
+        sds = standard_chromatic_subdivision(base_simplex_complex(2))
+        for top in sds.complex.maximal_simplices:
+            views = {v.color: view_of(v) for v in top}
+            # self-inclusion
+            for color, view in views.items():
+                assert any(u.color == color for u in view)
+            # comparability
+            ordered = sorted(views.values(), key=len)
+            for a, b in zip(ordered, ordered[1:]):
+                assert a <= b
+            # knowledge
+            for color, view in views.items():
+                for other in view:
+                    if other.color in views:
+                        assert views[other.color] <= view
+
+    def test_requires_chromatic_base(self):
+        bad = SimplicialComplex([Simplex([Vertex(0, "a"), Vertex(0, "b")])])
+        with pytest.raises(ValueError):
+            standard_chromatic_subdivision(bad)
+
+    def test_sds_simplices_of_rejects_non_chromatic(self):
+        with pytest.raises(ValueError):
+            list(sds_simplices_of(Simplex([Vertex(0, "a"), Vertex(0, "b")])))
+
+
+class TestGluing:
+    def test_shared_face_subdivides_consistently(self):
+        # Two triangles sharing an edge: the shared edge's subdivision
+        # vertices must be identical from both sides.
+        shared = vertices_of(range(2))
+        t1 = Simplex(shared + [Vertex(2, "left")])
+        t2 = Simplex(shared + [Vertex(2, "right")])
+        base = SimplicialComplex([t1, t2])
+        sds = standard_chromatic_subdivision(base)
+        sds.validate(chromatic=True)
+        # 13 top simplices per triangle.
+        assert len(sds.complex.maximal_simplices) == 26
+        # The shared edge has 3 sub-edges, counted once.
+        edge_face = Simplex(shared)
+        restriction = sds.restrict_to_face(edge_face)
+        assert len(restriction.maximal_simplices) == 3
+
+
+class TestIterated:
+    @pytest.mark.parametrize("b", [0, 1, 2, 3])
+    def test_counts_power(self, b):
+        sds = iterated_standard_chromatic_subdivision(base_simplex_complex(1), b)
+        assert len(sds.complex.maximal_simplices) == 3**b
+
+    @pytest.mark.parametrize("b", [1, 2])
+    def test_counts_power_2d(self, b):
+        sds = iterated_standard_chromatic_subdivision(base_simplex_complex(2), b)
+        assert len(sds.complex.maximal_simplices) == 13**b
+
+    def test_round_zero_is_trivial(self):
+        base = base_simplex_complex(2)
+        sds = iterated_standard_chromatic_subdivision(base, 0)
+        assert sds.complex == base
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_standard_chromatic_subdivision(base_simplex_complex(1), -1)
+
+    @pytest.mark.parametrize("b", [1, 2])
+    def test_iterated_still_chromatic_subdivision(self, b):
+        sds = iterated_standard_chromatic_subdivision(base_simplex_complex(2), b)
+        sds.validate(chromatic=True)
+
+    def test_carriers_compose_to_base(self):
+        base = base_simplex_complex(2)
+        sds2 = iterated_standard_chromatic_subdivision(base, 2)
+        for vertex in sds2.complex.vertices:
+            assert sds2.carrier(vertex) in base
+
+    def test_corner_carriers_are_corners(self):
+        base = base_simplex_complex(2)
+        sds2 = iterated_standard_chromatic_subdivision(base, 2)
+        corners = [v for v in sds2.complex.vertices if sds2.carrier(v).dimension == 0]
+        # Each original corner survives through both levels exactly once.
+        assert len(corners) == 3
+
+    @pytest.mark.parametrize("b", [1, 2])
+    def test_no_holes_iterated(self, b):
+        sds = iterated_standard_chromatic_subdivision(base_simplex_complex(2), b)
+        assert all(bn == 0 for bn in betti_numbers_mod2(sds.complex))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=2))
+def test_sds_f_vector_consistency(n, b):
+    if n == 3 and b == 2:
+        b = 1  # keep the property test fast
+    sds = iterated_standard_chromatic_subdivision(base_simplex_complex(n), b)
+    f = sds.complex.f_vector()
+    assert f[-1] == fubini(n + 1) ** b
+    assert sds.complex.euler_characteristic() == 1  # a subdivided simplex is a disk/ball

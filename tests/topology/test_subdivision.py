@@ -1,0 +1,148 @@
+"""Subdivision/carrier algebra tests."""
+
+import pytest
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+)
+from repro.topology.subdivision import (
+    Subdivision,
+    boundary_restriction,
+    trivial_subdivision,
+)
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def base(n):
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestTrivial:
+    def test_identity_carriers(self):
+        sub = trivial_subdivision(base(2))
+        for v in sub.complex.vertices:
+            assert sub.carrier(v) == Simplex([v])
+
+    def test_validates(self):
+        trivial_subdivision(base(2)).validate()
+
+
+class TestConstruction:
+    def test_missing_carrier_rejected(self):
+        b = base(1)
+        with pytest.raises(ValueError):
+            Subdivision(b, b, {})
+
+    def test_carrier_not_in_base_rejected(self):
+        b = base(1)
+        bogus = {v: Simplex([Vertex(9)]) for v in b.vertices}
+        with pytest.raises(ValueError):
+            Subdivision(b, b, bogus)
+
+
+class TestCarrierAlgebra:
+    def test_carrier_of_simplex_is_union(self):
+        sds = standard_chromatic_subdivision(base(2))
+        for top in sds.complex.maximal_simplices:
+            union = set()
+            for v in top:
+                union.update(sds.carrier(v))
+            assert sds.carrier_of(top) == Simplex(union)
+
+    def test_carrier_monotone_under_faces(self):
+        sds = standard_chromatic_subdivision(base(2))
+        for top in sds.complex.maximal_simplices:
+            for face in top.proper_faces():
+                assert sds.carrier_of(face).is_face_of(sds.carrier_of(top))
+
+
+class TestFaceRestriction:
+    def test_restrict_to_edge_of_sds(self):
+        b = base(2)
+        sds = standard_chromatic_subdivision(b)
+        edge = Simplex(vertices_of(range(2)))
+        restriction = sds.restrict_to_face(edge)
+        # SDS of an edge: 3 sub-edges.
+        assert len(restriction.maximal_simplices) == 3
+        assert restriction.dimension == 1
+
+    def test_restrict_to_corner(self):
+        sds = standard_chromatic_subdivision(base(2))
+        corner = Simplex([Vertex(0)])
+        restriction = sds.restrict_to_face(corner)
+        assert restriction.dimension == 0
+
+    def test_restrict_to_missing_face_raises(self):
+        sds = standard_chromatic_subdivision(base(1))
+        with pytest.raises(ValueError):
+            sds.restrict_to_face(Simplex([Vertex(9)]))
+
+    def test_face_subdivision_is_subdivision(self):
+        sds = standard_chromatic_subdivision(base(2))
+        edge = Simplex(vertices_of(range(2)))
+        sub = sds.face_subdivision(edge)
+        sub.validate(chromatic=True)
+
+    def test_boundary_restriction_is_sphere(self):
+        sds = standard_chromatic_subdivision(base(2))
+        boundary = boundary_restriction(sds)
+        assert boundary is not None
+        # Subdivided boundary of s^2: a 9-edge cycle.
+        assert boundary.dimension == 1
+        assert len(boundary.maximal_simplices) == 9
+        assert boundary.euler_characteristic() == 0
+
+    def test_boundary_restriction_of_vertex_base_is_none(self):
+        sub = trivial_subdivision(SimplicialComplex([Simplex([Vertex(0)])]))
+        assert boundary_restriction(sub) is None
+
+
+class TestComposition:
+    def test_then_composes_carriers(self):
+        b = base(2)
+        level1 = standard_chromatic_subdivision(b)
+        level2 = standard_chromatic_subdivision(level1.complex)
+        composed = level1.then(level2)
+        assert composed.base == b
+        composed.validate(chromatic=True)
+        # Must match the iterated constructor exactly.
+        direct = iterated_standard_chromatic_subdivision(b, 2)
+        assert composed.complex == direct.complex
+        assert composed.carriers() == direct.carriers()
+
+    def test_then_mismatch_rejected(self):
+        level1 = standard_chromatic_subdivision(base(1))
+        unrelated = standard_chromatic_subdivision(base(2))
+        with pytest.raises(ValueError):
+            level1.then(unrelated)
+
+
+class TestValidation:
+    def test_validate_catches_non_onto_carriers(self):
+        # A "subdivision" that misses the interior: claim the complex is a
+        # subdivision of a bigger simplex it never covers.
+        b = base(1)
+        edge = Simplex(vertices_of(range(2)))
+        sub_complex = SimplicialComplex([Simplex([Vertex(0)])])
+        sub = Subdivision(b, sub_complex, {Vertex(0): Simplex([Vertex(0)])})
+        with pytest.raises(ValueError):
+            sub.validate()
+
+    def test_validate_chromatic_catches_color_escape(self):
+        # A vertex colored outside its carrier's colors.
+        b = base(1)
+        rogue = Vertex(1, "rogue")
+        complex_ = SimplicialComplex(
+            [Simplex([Vertex(0), rogue]), Simplex([rogue, Vertex(1)])]
+        )
+        carriers = {
+            Vertex(0): Simplex([Vertex(0)]),
+            Vertex(1): Simplex([Vertex(1)]),
+            rogue: Simplex([Vertex(0)]),  # color 1 not in carrier {0}
+        }
+        sub = Subdivision(b, complex_, carriers)
+        with pytest.raises(ValueError):
+            sub.validate(chromatic=True)

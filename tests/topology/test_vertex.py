@@ -1,0 +1,87 @@
+"""Unit tests for colored vertices."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.vertex import Vertex, vertices_of
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = Vertex(2, "input")
+        assert v.color == 2
+        assert v.payload == "input"
+
+    def test_default_payload_is_none(self):
+        assert Vertex(0).payload is None
+
+    def test_negative_color_rejected(self):
+        with pytest.raises(ValueError):
+            Vertex(-1)
+
+    def test_non_int_color_rejected(self):
+        with pytest.raises(ValueError):
+            Vertex("red")  # type: ignore[arg-type]
+
+    def test_unhashable_payload_rejected(self):
+        with pytest.raises(TypeError):
+            Vertex(0, ["list"])  # type: ignore[arg-type]
+
+    def test_bool_is_accepted_as_int_color(self):
+        # bool is a subclass of int; document the (harmless) behaviour.
+        assert Vertex(True).color == 1
+
+
+class TestEquality:
+    def test_equal_by_value(self):
+        assert Vertex(1, "x") == Vertex(1, "x")
+
+    def test_distinct_payloads_differ(self):
+        assert Vertex(1, "x") != Vertex(1, "y")
+
+    def test_distinct_colors_differ(self):
+        assert Vertex(1, "x") != Vertex(2, "x")
+
+    def test_hashable_and_usable_in_sets(self):
+        s = {Vertex(0, "a"), Vertex(0, "a"), Vertex(1, "a")}
+        assert len(s) == 2
+
+    def test_nested_frozenset_payload(self):
+        inner = frozenset({Vertex(0, "a")})
+        v = Vertex(1, inner)
+        assert v == Vertex(1, frozenset({Vertex(0, "a")}))
+
+
+class TestHelpers:
+    def test_with_payload(self):
+        v = Vertex(3, "old").with_payload("new")
+        assert v == Vertex(3, "new")
+
+    def test_sort_key_orders_by_color_first(self):
+        vs = [Vertex(1, "a"), Vertex(0, "z")]
+        assert sorted(vs, key=Vertex.sort_key)[0].color == 0
+
+    def test_vertices_of(self):
+        vs = vertices_of(range(3), payload="p")
+        assert [v.color for v in vs] == [0, 1, 2]
+        assert all(v.payload == "p" for v in vs)
+
+    def test_repr_mentions_color(self):
+        assert "2" in repr(Vertex(2))
+
+
+@given(st.integers(min_value=0, max_value=100), st.text(max_size=5))
+def test_roundtrip_equality_property(color, payload):
+    assert Vertex(color, payload) == Vertex(color, payload)
+    assert hash(Vertex(color, payload)) == hash(Vertex(color, payload))
+
+
+@given(
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=10),
+    st.text(max_size=3),
+    st.text(max_size=3),
+)
+def test_equality_iff_components_equal(c1, c2, p1, p2):
+    equal = Vertex(c1, p1) == Vertex(c2, p2)
+    assert equal == ((c1, p1) == (c2, p2))
