@@ -1,8 +1,9 @@
-# Developer entry points.  Everything is plain pytest underneath.
+# Developer entry points.  Everything is plain pytest underneath, except the
+# benchmark-regression harness, which is a standalone script pair.
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples zoo all
+.PHONY: install test bench bench-pytest bench-tables examples zoo all
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +11,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Run the E1/E2/E5 hot-path benchmarks, emit BENCH_LOCAL.json, and gate it
+# against the committed trajectory (fails on >20% slowdown of a tracked path).
 bench:
+	$(PYTHON) benchmarks/run_bench.py --output BENCH_LOCAL.json --label local
+	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR1.json
+
+# The full pytest-benchmark experiment suite (E1..E13).
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Benchmarks with the per-experiment tables printed (-s).

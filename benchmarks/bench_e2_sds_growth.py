@@ -34,16 +34,30 @@ def test_e2_operational_equals_iterated(benchmark, n, b):
     assert len(operational.maximal_simplices) == fubini(n + 1) ** b
 
 
-@pytest.mark.parametrize("n,b", [(1, 3), (2, 2), (3, 1)])
+@pytest.mark.parametrize("n,b", [(1, 3), (2, 2), (3, 1), (2, 3), (3, 2)])
 def test_e2_iterated_sds_construction(benchmark, n, b):
     sds = benchmark(iterated_standard_chromatic_subdivision, input_complex(n), b)
     assert len(sds.complex.maximal_simplices) == fubini(n + 1) ** b
 
 
+@pytest.mark.parametrize("n,b", [(2, 3), (3, 2)])
+def test_e2_deep_levels_validate(benchmark, n, b):
+    """The performance-layer rows: deep levels build *and* validate quickly."""
+
+    def build_and_validate():
+        sds = iterated_standard_chromatic_subdivision(input_complex(n), b)
+        sds.validate(chromatic=True)
+        return sds
+
+    sds = run_once(benchmark, build_and_validate)
+    assert len(sds.complex.maximal_simplices) == fubini(n + 1) ** b
+    assert sds.complex.euler_characteristic() == 1
+
+
 def test_e2_growth_report(benchmark):
     def report():
         rows = []
-        for n, b in [(1, 1), (1, 2), (1, 3), (1, 4), (2, 1), (2, 2), (3, 1)]:
+        for n, b in [(1, 1), (1, 2), (1, 3), (1, 4), (2, 1), (2, 2), (2, 3), (3, 1), (3, 2)]:
             sds = iterated_standard_chromatic_subdivision(input_complex(n), b)
             rows.append(
                 (

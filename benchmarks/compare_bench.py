@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Regression gate over ``BENCH_*.json`` files emitted by ``run_bench.py``.
+
+Compares a fresh benchmark run against a stored trajectory and exits
+nonzero when any *tracked* hot path slowed down by more than the threshold
+(default 20%), or when a correctness-bearing count (top simplices, search
+nodes) drifted at all:
+
+    python benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR1.json
+
+The stored file's ``tracked`` list defines the gated keys; ``*.seconds``
+entries are lower-is-better, ``*.nodes_per_sec`` higher-is-better, and
+``*.tops`` / ``*.nodes`` must match exactly.  ``*.cold.*`` timings are
+informational only (single-shot, jittery) and never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"{path}: cannot read benchmark document ({exc.strerror})")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    if document.get("schema") != "repro-bench-v1":
+        raise SystemExit(f"{path}: not a repro-bench-v1 document")
+    return document
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh benchmark JSON (run_bench.py output)")
+    parser.add_argument(
+        "--against",
+        required=True,
+        help="stored trajectory JSON to gate against (e.g. the committed BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown on tracked timings (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    stored = load(args.against)
+    current_metrics = current["metrics"]
+    stored_metrics = stored["metrics"]
+    tracked = stored.get("tracked", [])
+
+    failures: list[str] = []
+    compared = 0
+
+    for key in tracked:
+        if ".cold." in key:
+            continue
+        old = stored_metrics.get(key)
+        new = current_metrics.get(key)
+        if old is None or new is None:
+            failures.append(f"MISSING  {key}: stored={old!r} current={new!r}")
+            continue
+        compared += 1
+        if key.endswith(".seconds"):
+            if old > 0 and new > old * (1 + args.threshold):
+                failures.append(
+                    f"SLOWER   {key}: {old:.6f}s -> {new:.6f}s "
+                    f"(+{(new / old - 1) * 100:.0f}%, limit +{args.threshold * 100:.0f}%)"
+                )
+        elif key.endswith(".nodes_per_sec"):
+            if old > 0 and new < old * (1 - args.threshold):
+                failures.append(
+                    f"SLOWER   {key}: {old:.0f} -> {new:.0f} nodes/s "
+                    f"(-{(1 - new / old) * 100:.0f}%, limit -{args.threshold * 100:.0f}%)"
+                )
+
+    # Counts are correctness, not speed: any drift fails regardless of threshold.
+    for key, old in stored_metrics.items():
+        if key.endswith((".tops", ".nodes")):
+            new = current_metrics.get(key)
+            compared += 1
+            if new != old:
+                failures.append(f"DRIFT    {key}: stored={old} current={new}")
+
+    if failures:
+        print(f"benchmark regression vs {args.against}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"ok: {compared} tracked metrics within {args.threshold * 100:.0f}% "
+        f"of {args.against}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

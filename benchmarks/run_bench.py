@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Benchmark-regression harness: time the E1/E2/E5 hot paths, emit JSON.
+
+Measures the quantities the performance layer is accountable for —
+``SDS``/``SDS^b`` construction wall times and top-simplex counts (E1/E2),
+subdivision validation, and the solvability engine's search throughput in
+nodes/second (E5) — and writes a machine-readable ``BENCH_*.json``:
+
+    python benchmarks/run_bench.py --output BENCH_LOCAL.json
+
+``benchmarks/compare_bench.py`` gates two such files against each other
+(>20% slowdown on a tracked hot path fails).  ``--before seed.json`` embeds
+a pre-optimization trajectory so the committed file documents the speedup.
+
+Methodology: every ``*.seconds`` metric is the best of ``--repeats`` runs in
+one warm process (intern tables and partition templates populated), which is
+how the engine actually runs — the solver re-subdivides the same complexes
+across levels and tasks.  ``*.cold.*`` metrics re-measure the first build
+after :func:`repro.topology.interning.clear_intern_caches` and are reported
+but not gated (single-shot timings jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.solvability import solve_task  # noqa: E402
+from repro.tasks import (  # noqa: E402
+    approximate_agreement_task,
+    binary_consensus_task,
+    set_consensus_task,
+)
+from repro.topology.complex import SimplicialComplex  # noqa: E402
+from repro.topology.interning import clear_intern_caches  # noqa: E402
+from repro.topology.simplex import Simplex  # noqa: E402
+from repro.topology.standard_chromatic import (  # noqa: E402
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex  # noqa: E402
+
+SCHEMA = "repro-bench-v1"
+
+# (n, b, repeats) — the E2 growth grid, including the two rows this PR adds.
+E2_GRID = [(1, 3, 5), (2, 2, 5), (3, 1, 5), (2, 3, 3), (3, 2, 3)]
+E5_GRID = [
+    ("consensus2", lambda: binary_consensus_task(2), 2),
+    ("approx_agree_2_k3", lambda: approximate_agreement_task(2, 3), 2),
+    ("approx_agree_2_k27", lambda: approximate_agreement_task(2, 27), 3),
+    ("set_consensus_3_3", lambda: set_consensus_task(3, 3), 1),
+]
+
+
+def input_complex(n: int) -> SimplicialComplex:
+    return SimplicialComplex(
+        [Simplex(Vertex(pid, f"v{pid}") for pid in range(n + 1))]
+    )
+
+
+def best_of(fn, repeats: int):
+    best = None
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, value
+
+
+def collect_metrics(repeats_scale: int = 1) -> tuple[dict, list[str]]:
+    metrics: dict[str, float | int] = {}
+    tracked: list[str] = []
+
+    # -- E1: one-round SDS construction -----------------------------------
+    for n in (1, 2, 3):
+        key = f"e1.sds_construction.n{n}.seconds"
+        secs, _ = best_of(
+            lambda n=n: standard_chromatic_subdivision(input_complex(n)),
+            5 * repeats_scale,
+        )
+        metrics[key] = secs
+        tracked.append(key)
+
+    # -- E2: iterated SDS growth -------------------------------------------
+    for n, b, repeats in E2_GRID:
+        key = f"e2.build.n{n}_b{b}"
+        secs, sds = best_of(
+            lambda n=n, b=b: iterated_standard_chromatic_subdivision(
+                input_complex(n), b
+            ),
+            repeats * repeats_scale,
+        )
+        metrics[f"{key}.seconds"] = secs
+        metrics[f"{key}.tops"] = len(sds.complex.maximal_simplices)
+        tracked.append(f"{key}.seconds")
+
+    # Cold construction at the headline levels: fresh intern/memo state.
+    for n, b in [(2, 2), (3, 2)]:
+        clear_intern_caches()
+        t0 = time.perf_counter()
+        iterated_standard_chromatic_subdivision(input_complex(n), b)
+        metrics[f"e2.build.cold.n{n}_b{b}.seconds"] = time.perf_counter() - t0
+
+    sds22 = iterated_standard_chromatic_subdivision(input_complex(2), 2)
+    metrics["e2.validate.n2_b2.seconds"], _ = best_of(
+        lambda: sds22.validate(chromatic=True), 3 * repeats_scale
+    )
+    tracked.append("e2.validate.n2_b2.seconds")
+    sds32 = iterated_standard_chromatic_subdivision(input_complex(3), 2)
+    metrics["e2.validate.n3_b2.seconds"], _ = best_of(
+        lambda: sds32.validate(chromatic=True), repeats_scale
+    )
+    tracked.append("e2.validate.n3_b2.seconds")
+
+    # -- E5: solvability search throughput ---------------------------------
+    for key, make, max_rounds in E5_GRID:
+        task = make()
+        t0 = time.perf_counter()
+        result = solve_task(task, max_rounds)
+        dt = time.perf_counter() - t0
+        nodes = sum(l.nodes_explored for l in result.levels)
+        search_secs = sum(l.elapsed_seconds for l in result.levels)
+        metrics[f"e5.solve.{key}.seconds"] = dt
+        metrics[f"e5.solve.{key}.nodes"] = nodes
+        metrics[f"e5.solve.{key}.nodes_per_sec"] = (
+            nodes / search_secs if search_secs > 0 else 0.0
+        )
+        tracked.append(f"e5.solve.{key}.seconds")
+
+    return metrics, tracked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_LOCAL.json", help="output JSON path")
+    parser.add_argument("--label", default="local", help="label stored in the document")
+    parser.add_argument(
+        "--before",
+        default=None,
+        help="optional JSON of pre-optimization metrics to embed as 'before'",
+    )
+    parser.add_argument(
+        "--repeats-scale",
+        type=int,
+        default=1,
+        help="multiply every repeat count (use >1 on noisy machines)",
+    )
+    args = parser.parse_args()
+
+    metrics, tracked = collect_metrics(args.repeats_scale)
+
+    document = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "python": platform.python_version(),
+        "metrics": metrics,
+        "tracked": tracked,
+    }
+
+    if args.before:
+        before_doc = json.loads(Path(args.before).read_text())
+        before = before_doc.get("metrics", before_doc)
+        document["before"] = before
+        document["speedups"] = {
+            key: round(before[key] / metrics[key], 2)
+            for key in tracked
+            if key in before and metrics.get(key)
+        }
+
+    Path(args.output).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(k) for k in metrics)
+    for key in sorted(metrics):
+        value = metrics[key]
+        shown = f"{value:.6f}" if isinstance(value, float) else str(value)
+        extra = ""
+        if "speedups" in document and key in document["speedups"]:
+            extra = f"  ({document['speedups'][key]}x vs before)"
+        print(f"{key.ljust(width)}  {shown}{extra}")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

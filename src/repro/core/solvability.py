@@ -86,6 +86,32 @@ class SolvabilityResult:
         )
 
 
+def _probe_level(
+    task: Task,
+    rounds: int,
+    node_budget: int,
+    options: SearchOptions,
+) -> tuple[dict[Vertex, Vertex] | None, LevelReport]:
+    """Build ``SDS^rounds(I)`` and run the search; one unit of level work.
+
+    Module-level (rather than a closure) so the ``max_workers`` fan-out in
+    :func:`solve_task` can ship it to a process pool.
+    """
+    subdivision = iterated_standard_chromatic_subdivision(task.input_complex, rounds)
+    started = time.perf_counter()
+    mapping, nodes, exhausted = _search_map(subdivision, task, node_budget, options)
+    elapsed = time.perf_counter() - started
+    report = LevelReport(
+        rounds=rounds,
+        satisfiable=mapping is not None,
+        nodes_explored=nodes,
+        vertices=len(subdivision.complex.vertices),
+        exhausted=exhausted,
+        elapsed_seconds=elapsed,
+    )
+    return mapping, report
+
+
 def solve_task(
     task: Task,
     max_rounds: int,
@@ -93,28 +119,51 @@ def solve_task(
     min_rounds: int = 0,
     node_budget: int = 2_000_000,
     options: SearchOptions = SearchOptions(),
+    max_workers: int | None = None,
 ) -> SolvabilityResult:
-    """Search levels ``min_rounds .. max_rounds`` for a decision map."""
+    """Search levels ``min_rounds .. max_rounds`` for a decision map.
+
+    The levels are independent constraint problems; with ``max_workers``
+    set (> 1) they are probed concurrently by a ``concurrent.futures``
+    process pool and the verdict is read off in level order, so the result
+    (including the witnessing level) is identical to the serial sweep — at
+    the cost of some wasted work above the first satisfiable level.
+    """
+    level_rounds = list(range(min_rounds, max_rounds + 1))
     levels: list[LevelReport] = []
     budget_hit = False
-    for rounds in range(min_rounds, max_rounds + 1):
-        subdivision = iterated_standard_chromatic_subdivision(
-            task.input_complex, rounds
-        )
-        started = time.perf_counter()
-        mapping, nodes, exhausted = _search_map(subdivision, task, node_budget, options)
-        elapsed = time.perf_counter() - started
-        levels.append(
-            LevelReport(
-                rounds=rounds,
-                satisfiable=mapping is not None,
-                nodes_explored=nodes,
-                vertices=len(subdivision.complex.vertices),
-                exhausted=exhausted,
-                elapsed_seconds=elapsed,
-            )
-        )
+
+    if max_workers is not None and max_workers > 1 and len(level_rounds) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(level_rounds))) as ex:
+            futures = {
+                rounds: ex.submit(_probe_level, task, rounds, node_budget, options)
+                for rounds in level_rounds
+            }
+            probes = []
+            for rounds in level_rounds:
+                mapping, report = futures[rounds].result()
+                probes.append((rounds, mapping, report))
+                if mapping is not None:
+                    for later in level_rounds:
+                        if later > rounds:
+                            futures[later].cancel()
+                    break
+    else:
+        probes = []
+        for rounds in level_rounds:
+            mapping, report = _probe_level(task, rounds, node_budget, options)
+            probes.append((rounds, mapping, report))
+            if mapping is not None:
+                break
+
+    for rounds, mapping, report in probes:
+        levels.append(report)
         if mapping is not None:
+            subdivision = iterated_standard_chromatic_subdivision(
+                task.input_complex, rounds
+            )
             decision_map = SimplicialMap(
                 subdivision.complex, task.output_complex, mapping
             )
@@ -127,7 +176,7 @@ def solve_task(
                 subdivision,
                 levels,
             )
-        if not exhausted:
+        if not report.exhausted:
             budget_hit = True
     status = (
         SolvabilityStatus.UNKNOWN

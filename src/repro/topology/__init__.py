@@ -26,9 +26,12 @@ from repro.topology.barycentric import (
     iterated_barycentric_subdivision,
 )
 from repro.topology.chromatic import relabel_colors
+from repro.topology.interning import clear_intern_caches, intern_table_sizes
 from repro.topology.isomorphism import are_isomorphic, find_isomorphism
 
 __all__ = [
+    "clear_intern_caches",
+    "intern_table_sizes",
     "relabel_colors",
     "are_isomorphic",
     "find_isomorphism",

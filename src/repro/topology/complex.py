@@ -27,7 +27,14 @@ class SimplicialComplex:
         antichain of maximal simplices.
     """
 
-    __slots__ = ("_maximal", "_vertices", "_dimension", "_faces_cache")
+    __slots__ = (
+        "_maximal",
+        "_vertices",
+        "_dimension",
+        "_faces_cache",
+        "_stars",
+        "_members",
+    )
 
     def __init__(self, simplices: Iterable[Simplex]):
         candidates = list(simplices)
@@ -41,6 +48,8 @@ class SimplicialComplex:
         self._vertices = frozenset(v for s in maximal for v in s)
         self._dimension = max(s.dimension for s in maximal)
         self._faces_cache: dict[int, frozenset[Simplex]] = {}
+        self._stars: dict[Vertex, tuple[Simplex, ...]] | None = None
+        self._members: set[Simplex] = set()
 
     # -- constructors --------------------------------------------------------
 
@@ -78,8 +87,39 @@ class SimplicialComplex:
         if isinstance(item, Vertex):
             return item in self._vertices
         if isinstance(item, Simplex):
-            return any(item.is_face_of(maximal) for maximal in self._maximal)
+            # Membership via the vertex-star index: a simplex lies in the
+            # complex iff it is a face of some maximal simplex in the star of
+            # any one of its vertices.  Scanning the smallest star replaces
+            # the former O(#maximal) sweep with a handful of subset tests;
+            # interning makes positive answers cacheable per object.
+            if item in self._members:
+                return True
+            stars = self._vertex_stars()
+            smallest: tuple[Simplex, ...] | None = None
+            for vertex in item.vertices:
+                star = stars.get(vertex)
+                if star is None:
+                    return False
+                if smallest is None or len(star) < len(smallest):
+                    smallest = star
+            assert smallest is not None  # item has at least one vertex
+            if any(item.is_face_of(maximal) for maximal in smallest):
+                self._members.add(item)
+                return True
+            return False
         return False
+
+    def _vertex_stars(self) -> dict[Vertex, tuple[Simplex, ...]]:
+        """Lazy membership index: each vertex's incident maximal simplices."""
+        stars = self._stars
+        if stars is None:
+            collecting: dict[Vertex, list[Simplex]] = {}
+            for maximal in self._maximal:
+                for vertex in maximal:
+                    collecting.setdefault(vertex, []).append(maximal)
+            stars = {v: tuple(ms) for v, ms in collecting.items()}
+            self._stars = stars
+        return stars
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, SimplicialComplex):
@@ -88,6 +128,11 @@ class SimplicialComplex:
 
     def __hash__(self) -> int:
         return hash(self._maximal)
+
+    def __reduce__(self):
+        # Rebuild from the maximal antichain on unpickle (used by the
+        # multiprocessing fan-out); caches are repopulated lazily.
+        return (SimplicialComplex, (sorted(self._maximal, key=repr),))
 
     def __repr__(self) -> str:
         return (
@@ -212,9 +257,21 @@ class SimplicialComplex:
 
     # -- stars, links, subcomplexes -------------------------------------------------
 
+    def _star_tops(self, simplex: Simplex) -> list[Simplex]:
+        """Maximal simplices containing ``simplex``, via the vertex-star index."""
+        stars = self._vertex_stars()
+        smallest: tuple[Simplex, ...] = ()
+        for vertex in simplex.vertices:
+            star = stars.get(vertex)
+            if star is None:
+                return []
+            if not smallest or len(star) < len(smallest):
+                smallest = star
+        return [m for m in smallest if simplex.is_face_of(m)]
+
     def star(self, simplex: Simplex) -> "SimplicialComplex":
         """The subcomplex of all simplices containing ``simplex`` (closed star)."""
-        containing = [m for m in self._maximal if simplex.is_face_of(m)]
+        containing = self._star_tops(simplex)
         if not containing:
             raise ValueError(f"{simplex!r} is not a simplex of this complex")
         return SimplicialComplex(containing)
@@ -224,7 +281,7 @@ class SimplicialComplex:
 
         Returns ``None`` when the link is empty (``simplex`` is maximal).
         """
-        star_tops = [m for m in self._maximal if simplex.is_face_of(m)]
+        star_tops = self._star_tops(simplex)
         if not star_tops:
             raise ValueError(f"{simplex!r} is not a simplex of this complex")
         link_simplices = []

@@ -1,0 +1,47 @@
+"""Introspection and control of the hash-consing layer.
+
+:class:`~repro.topology.vertex.Vertex` and
+:class:`~repro.topology.simplex.Simplex` are interned in module-level tables
+so that equality on the engine's hot paths is (almost always) a pointer
+check and per-object caches (hashes, sort keys, sorted vertex orders) are
+computed once per distinct object.  The tables hold strong references: for
+the bounded universes this library manipulates (``SDS^b(s^n)`` for small
+``n, b`` and the task zoo) that is a few megabytes at most, and it keeps the
+fast path free of weakref indirection.
+
+A long-running process that churns through unbounded payload spaces can
+reset the tables between workloads with :func:`clear_intern_caches`;
+existing objects remain valid (equality falls back to value comparison for
+duplicates created after a reset).
+"""
+
+from __future__ import annotations
+
+from repro.topology import simplex as _simplex_module
+from repro.topology import vertex as _vertex_module
+
+
+def intern_table_sizes() -> dict[str, int]:
+    """Current sizes of the vertex and simplex intern tables."""
+    return {
+        "vertices": len(_vertex_module._INTERN),
+        "simplices": len(_simplex_module._INTERN),
+    }
+
+
+def clear_intern_caches() -> dict[str, int]:
+    """Drop every interned vertex and simplex; returns the sizes dropped.
+
+    Also clears the memoized SDS partition templates, which reference no
+    vertices but are repopulated cheaply.
+    """
+    sizes = intern_table_sizes()
+    _vertex_module._INTERN.clear()
+    _simplex_module._INTERN.clear()
+    from repro.topology import standard_chromatic as _sds_module
+
+    # The memoized SDS results hold references to interned objects; they must
+    # not outlive the tables they were built against.
+    _sds_module._SDS_TOPS_CACHE.clear()
+    _sds_module.sds_partition_templates.cache_clear()
+    return sizes

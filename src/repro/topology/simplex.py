@@ -4,6 +4,11 @@ Following Section 2 of the paper, an ``n``-dimensional simplex is a set of
 ``n + 1`` vertices.  ``Simplex`` is a thin immutable wrapper over a frozenset
 of :class:`~repro.topology.vertex.Vertex` that adds the face/dimension/color
 vocabulary the rest of the library speaks.
+
+Like :class:`Vertex`, simplices are **hash-consed**: two constructions over
+the same vertex set return the same object, equality is usually a pointer
+check, and the deterministic vertex ordering (needed by face enumeration,
+serialization, and the search) is computed once per distinct simplex.
 """
 
 from __future__ import annotations
@@ -13,25 +18,37 @@ from typing import Iterable, Iterator
 
 from repro.topology.vertex import Vertex
 
+# Strong intern table keyed by the vertex frozenset; see the note on
+# ``repro.topology.vertex._INTERN`` and
+# :func:`repro.topology.interning.clear_intern_caches`.
+_INTERN: "dict[frozenset, Simplex]" = {}
+
 
 class Simplex:
-    """An immutable simplex (a non-empty finite set of vertices).
+    """An immutable, interned simplex (a non-empty finite set of vertices).
 
     The empty simplex is deliberately excluded: the paper never needs it and
     allowing it doubles the number of edge cases in every consumer.
     """
 
-    __slots__ = ("_vertices", "_hash")
+    __slots__ = ("_vertices", "_hash", "_sorted")
 
-    def __init__(self, vertices: Iterable[Vertex]):
+    def __new__(cls, vertices: Iterable[Vertex]) -> "Simplex":
         vertex_set = frozenset(vertices)
+        interned = _INTERN.get(vertex_set)
+        if interned is not None:
+            return interned
         if not vertex_set:
             raise ValueError("a simplex must contain at least one vertex")
         for vertex in vertex_set:
             if not isinstance(vertex, Vertex):
                 raise TypeError(f"simplex members must be Vertex, got {vertex!r}")
+        self = object.__new__(cls)
         self._vertices = vertex_set
         self._hash = hash(vertex_set)
+        self._sorted = None
+        _INTERN[vertex_set] = self
+        return self
 
     # -- basic protocol ----------------------------------------------------
 
@@ -54,6 +71,8 @@ class Simplex:
         return vertex in self._vertices
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, Simplex):
             return self._vertices == other._vertices
         return NotImplemented
@@ -61,9 +80,12 @@ class Simplex:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Re-intern on unpickle (used by the multiprocessing fan-out).
+        return (Simplex, (tuple(self.sorted_vertices()),))
+
     def __repr__(self) -> str:
-        ordered = sorted(self._vertices, key=Vertex.sort_key)
-        return "{" + ", ".join(repr(v) for v in ordered) + "}"
+        return "{" + ", ".join(repr(v) for v in self.sorted_vertices()) + "}"
 
     # -- face structure ----------------------------------------------------
 
@@ -78,21 +100,22 @@ class Simplex:
 
         Faces include the simplex itself (a set is a subset of itself).
         """
+        ordered = self.sorted_vertices()
         if dimension is not None:
             size = dimension + 1
-            if size < 1 or size > len(self._vertices):
+            if size < 1 or size > len(ordered):
                 return
-            for subset in combinations(sorted(self._vertices, key=Vertex.sort_key), size):
+            for subset in combinations(ordered, size):
                 yield Simplex(subset)
             return
-        for size in range(1, len(self._vertices) + 1):
-            for subset in combinations(sorted(self._vertices, key=Vertex.sort_key), size):
+        for size in range(1, len(ordered) + 1):
+            for subset in combinations(ordered, size):
                 yield Simplex(subset)
 
     def proper_faces(self) -> Iterator["Simplex"]:
         """Yield every face except the simplex itself."""
         for face in self.faces():
-            if face != self:
+            if face is not self:
                 yield face
 
     def facets(self) -> Iterator["Simplex"]:
@@ -146,9 +169,13 @@ class Simplex:
             return None
         return Simplex(selected)
 
-    def sorted_vertices(self) -> list[Vertex]:
-        """Vertices in the deterministic library-wide order."""
-        return sorted(self._vertices, key=Vertex.sort_key)
+    def sorted_vertices(self) -> tuple[Vertex, ...]:
+        """Vertices in the deterministic library-wide order (cached)."""
+        ordered = self._sorted
+        if ordered is None:
+            ordered = tuple(sorted(self._vertices, key=Vertex.sort_key))
+            self._sorted = ordered
+        return ordered
 
 
 def simplex(*vertices: Vertex) -> Simplex:

@@ -23,11 +23,23 @@ Vertices are encoded as ``Vertex(color, frozenset_of_base_vertices)``: the
 payload *is* the snapshot view, which is what makes ``SDS^b`` literally equal
 to the b-shot full-information IIS protocol complex (Lemma 3.3, verified
 against the runtime in experiments E1/E2).
+
+Performance: the ordered partitions of ``k`` elements depend only on ``k``,
+so :func:`sds_partition_templates` derives them once per vertex count over
+the *indices* ``0..k-1`` (with per-block prefix views precomputed) and
+:func:`sds_simplices_of` merely substitutes each top simplex's vertices into
+the templates.  The per-simplex re-derivation the templates replace is kept
+as :func:`sds_simplices_of_naive` — the equivalence tests and the benchmark
+harness compare the two paths.  ``standard_chromatic_subdivision`` can also
+fan out over independent maximal simplices with ``concurrent.futures``
+(opt-in via ``max_workers``); vertices and simplices re-intern on unpickle,
+so the parallel result is object-identical to the serial one.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from math import comb
 from typing import Iterator, Sequence
 
 from repro.topology.complex import SimplicialComplex
@@ -61,9 +73,31 @@ def fubini(n: int) -> int:
     """The number of ordered partitions of an ``n``-element set."""
     if n == 0:
         return 1
-    from math import comb
-
     return sum(comb(n, k) * fubini(n - k) for k in range(1, n + 1))
+
+
+@lru_cache(maxsize=None)
+def sds_partition_templates(
+    size: int,
+) -> tuple[tuple[tuple[tuple[int, ...], tuple[int, ...]], ...], ...]:
+    """Ordered-partition templates over the index set ``{0, ..., size-1}``.
+
+    One entry per ordered partition (Fubini(size) of them); each is a tuple
+    of ``(block_indices, prefix_indices)`` pairs where ``prefix_indices`` is
+    the union of the blocks up to and including this one — i.e. the snapshot
+    view every processor in the block obtains.  Computing these once per
+    vertex count is what lets :func:`sds_simplices_of` avoid re-deriving
+    Fubini(n+1) partitions from scratch for every top simplex.
+    """
+    templates = []
+    for partition in ordered_set_partitions(range(size)):
+        prefix: list[int] = []
+        blocks = []
+        for block in partition:
+            prefix.extend(sorted(block))
+            blocks.append((tuple(sorted(block)), tuple(prefix)))
+        templates.append(tuple(blocks))
+    return tuple(templates)
 
 
 def sds_vertex(color: int, view: frozenset[Vertex]) -> Vertex:
@@ -79,11 +113,57 @@ def view_of(vertex: Vertex) -> frozenset[Vertex]:
     return payload
 
 
+# SDS of an interned simplex is a pure function of that simplex, and the
+# iterated construction re-subdivides the same simplices level after level
+# (``SDS^b`` re-derives everything ``SDS^{b-1}`` already built), as does the
+# level sweep in the solvability engine.  Memoize the maximal simplices per
+# interned input; cleared together with the intern tables.
+_SDS_TOPS_CACHE: dict[Simplex, tuple[Simplex, ...]] = {}
+
+
 def sds_simplices_of(simplex: Simplex) -> Iterator[Simplex]:
-    """Yield the maximal simplices of ``SDS(σ)`` for one colored simplex.
+    """The maximal simplices of ``SDS(σ)`` for one colored simplex.
 
     Each ordered partition ``(B_1, ..., B_k)`` of σ's vertices yields the
     simplex in which every processor in ``B_j`` snapshots ``B_1 ∪ ... ∪ B_j``.
+    """
+    cached = _SDS_TOPS_CACHE.get(simplex)
+    if cached is None:
+        cached = tuple(_sds_simplices_uncached(simplex))
+        _SDS_TOPS_CACHE[simplex] = cached
+    return iter(cached)
+
+
+def _sds_simplices_uncached(simplex: Simplex) -> Iterator[Simplex]:
+    if not simplex.is_chromatic:
+        raise ValueError(f"SDS requires a properly colored simplex, got {simplex!r}")
+    verts = simplex.sorted_vertices()
+    # The same (vertex index, prefix) pair recurs across many templates, so
+    # build each snapshot frozenset and SDS vertex once per distinct pair.
+    snapshots: dict[tuple[int, ...], frozenset[Vertex]] = {}
+    sds_verts: dict[tuple[int, tuple[int, ...]], Vertex] = {}
+    for template in sds_partition_templates(len(verts)):
+        members: list[Vertex] = []
+        for block, prefix in template:
+            for i in block:
+                vertex = sds_verts.get((i, prefix))
+                if vertex is None:
+                    snapshot = snapshots.get(prefix)
+                    if snapshot is None:
+                        snapshot = frozenset(verts[j] for j in prefix)
+                        snapshots[prefix] = snapshot
+                    vertex = Vertex(verts[i].color, snapshot)
+                    sds_verts[(i, prefix)] = vertex
+                members.append(vertex)
+        yield Simplex(members)
+
+
+def sds_simplices_of_naive(simplex: Simplex) -> Iterator[Simplex]:
+    """Reference implementation of :func:`sds_simplices_of` without templates.
+
+    Re-derives the ordered partitions of σ's own vertices (the pre-template
+    hot path).  Kept as the oracle for the optimized-vs-naive equivalence
+    tests and the benchmark-regression harness.
     """
     if not simplex.is_chromatic:
         raise ValueError(f"SDS requires a properly colored simplex, got {simplex!r}")
@@ -97,30 +177,60 @@ def sds_simplices_of(simplex: Simplex) -> Iterator[Simplex]:
         yield Simplex(members)
 
 
-def standard_chromatic_subdivision(base: SimplicialComplex) -> Subdivision:
+def _sds_tops_of_chunk(simplices: tuple[Simplex, ...]) -> list[Simplex]:
+    """Worker for the process-pool fan-out: subdivide a chunk of top simplices."""
+    tops: list[Simplex] = []
+    for simplex in simplices:
+        tops.extend(sds_simplices_of(simplex))
+    return tops
+
+
+def standard_chromatic_subdivision(
+    base: SimplicialComplex, *, max_workers: int | None = None
+) -> Subdivision:
     """``SDS(K)``: subdivide every maximal simplex of a chromatic complex.
 
     Gluing along shared faces is automatic: a vertex ``(c, S)`` with
     ``S ⊆ F`` is generated identically from every maximal simplex containing
     the face ``F``.
+
+    With ``max_workers`` set (> 1) and more than one maximal simplex, the
+    per-simplex subdivisions are computed by a ``concurrent.futures`` process
+    pool — the simplices are independent, and interning makes the merged
+    result identical to the serial construction.
     """
     if not base.is_chromatic():
         raise ValueError("SDS is defined for chromatic complexes only")
+    maximal = sorted(base.maximal_simplices, key=repr)
     top_simplices: list[Simplex] = []
-    for maximal in base.maximal_simplices:
-        top_simplices.extend(sds_simplices_of(maximal))
+    if max_workers is not None and max_workers > 1 and len(maximal) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(max_workers, len(maximal))
+        chunk_size = (len(maximal) + workers - 1) // workers
+        chunks = [
+            tuple(maximal[i : i + chunk_size])
+            for i in range(0, len(maximal), chunk_size)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            for tops in executor.map(_sds_tops_of_chunk, chunks):
+                top_simplices.extend(tops)
+    else:
+        for top in maximal:
+            top_simplices.extend(sds_simplices_of(top))
     subdivided = SimplicialComplex(top_simplices)
     carriers = {v: Simplex(view_of(v)) for v in subdivided.vertices}
     return Subdivision(base, subdivided, carriers)
 
 
 def iterated_standard_chromatic_subdivision(
-    base: SimplicialComplex, rounds: int
+    base: SimplicialComplex, rounds: int, *, max_workers: int | None = None
 ) -> Subdivision:
     """``SDS^b(K)`` with carriers composed down to the original base.
 
     ``rounds = 0`` returns the trivial subdivision.  The vertex payloads are
     nested views — round-``b`` full-information IIS local states.
+    ``max_workers`` is forwarded to each round's construction.
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
@@ -128,7 +238,9 @@ def iterated_standard_chromatic_subdivision(
 
     result = trivial_subdivision(base)
     for _ in range(rounds):
-        result = result.then(standard_chromatic_subdivision(result.complex))
+        result = result.then(
+            standard_chromatic_subdivision(result.complex, max_workers=max_workers)
+        )
     return result
 
 

@@ -31,7 +31,7 @@ class Subdivision:
         For each vertex of ``complex``, its carrier — a simplex of ``base``.
     """
 
-    __slots__ = ("base", "complex", "_carriers")
+    __slots__ = ("base", "complex", "_carriers", "_carrier_of_cache")
 
     def __init__(
         self,
@@ -42,13 +42,18 @@ class Subdivision:
         missing = complex.vertices - carriers.keys()
         if missing:
             raise ValueError(f"{len(missing)} subdivision vertices lack a carrier")
-        for vertex in complex.vertices:
-            carrier = carriers[vertex]
+        # Many vertices share a carrier (every vertex deep inside the same
+        # base simplex does), so validate each *distinct* carrier exactly once
+        # through the complex's membership index instead of re-scanning the
+        # base per vertex.
+        distinct_carriers = {carriers[v] for v in complex.vertices}
+        for carrier in distinct_carriers:
             if carrier not in base:
-                raise ValueError(f"carrier {carrier!r} of {vertex!r} is not a base simplex")
+                raise ValueError(f"carrier {carrier!r} is not a base simplex")
         self.base = base
         self.complex = complex
         self._carriers = {v: carriers[v] for v in complex.vertices}
+        self._carrier_of_cache: dict[Simplex, Simplex] = {}
 
     # -- carrier algebra ------------------------------------------------------
 
@@ -61,13 +66,21 @@ class Subdivision:
         Raises ``ValueError`` when the union is not a simplex of the base —
         that would mean the provided carrier data is not a subdivision at
         all, so we fail loudly rather than return garbage.
+
+        Results are memoized per (interned) simplex: ``validate``,
+        ``restrict_to_face``, and the solvability search all ask for the same
+        carriers repeatedly.
         """
+        cached = self._carrier_of_cache.get(simplex)
+        if cached is not None:
+            return cached
         union_vertices: set[Vertex] = set()
         for vertex in simplex:
             union_vertices.update(self._carriers[vertex])
         carrier = Simplex(union_vertices)
         if carrier not in self.base:
             raise ValueError(f"carrier union {carrier!r} of {simplex!r} is not a base simplex")
+        self._carrier_of_cache[simplex] = carrier
         return carrier
 
     def carriers(self) -> dict[Vertex, Simplex]:
@@ -114,8 +127,15 @@ class Subdivision:
         """
         if finer.base != self.complex:
             raise ValueError("composition mismatch: finer.base must equal self.complex")
+        # Vertices of the finer complex share few distinct carriers, so build
+        # a carrier -> composed-carrier table once and read the per-vertex
+        # assignment off it instead of recomputing the union per vertex.
+        composed_by_carrier = {
+            carrier: self.carrier_of(carrier)
+            for carrier in set(finer._carriers.values())
+        }
         composed_carriers = {
-            v: self.carrier_of(finer.carrier(v)) for v in finer.complex.vertices
+            v: composed_by_carrier[finer._carriers[v]] for v in finer.complex.vertices
         }
         return Subdivision(self.base, finer.complex, composed_carriers)
 
@@ -168,6 +188,10 @@ class Subdivision:
     def __repr__(self) -> str:
         return f"Subdivision(base={self.base!r}, complex={self.complex!r})"
 
+    def __reduce__(self):
+        # Rebuild (and re-validate) from the defining data on unpickle.
+        return (Subdivision, (self.base, self.complex, self._carriers))
+
 
 def trivial_subdivision(base: SimplicialComplex) -> Subdivision:
     """The identity subdivision: each vertex is its own carrier."""
@@ -187,11 +211,13 @@ def boundary_restriction(subdivision: Subdivision) -> SimplicialComplex | None:
         boundary_faces.extend(top.facets())
     if not boundary_faces:
         return None
-    pieces = [subdivision.restrict_to_face(face) for face in set(boundary_faces)]
-    result = pieces[0]
-    for piece in pieces[1:]:
-        result = result.union(piece)
-    return result
+    # Collect every piece's maximal simplices and build the boundary complex
+    # in one construction: the former chain of pairwise ``union`` calls
+    # re-ran the maximal-antichain computation per piece (quadratic overall).
+    pieces: list[Simplex] = []
+    for face in set(boundary_faces):
+        pieces.extend(subdivision.restrict_to_face(face).maximal_simplices)
+    return SimplicialComplex(pieces)
 
 
 def carriers_by_union(

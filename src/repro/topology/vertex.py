@@ -4,17 +4,30 @@ A vertex pairs a *color* (a processor id in the paper's reading: Section 3.1
 identifies processor ids with the vertices of the color simplex ``s^n``) with
 an arbitrary hashable *payload* (an input value, a protocol view, a decision
 value, ...).
+
+Vertices are **hash-consed**: constructing ``Vertex(c, p)`` twice returns the
+same object.  Round-``b`` IIS views are deeply nested frozensets of vertices,
+so the engine's hot paths (``SDS^b`` construction, carrier bookkeeping, the
+CSP search) hash and compare the same few thousand vertices millions of
+times; interning turns most of those comparisons into pointer checks and lets
+both the hash and the deterministic sort key be computed exactly once per
+distinct vertex.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Hashable
 
+# Strong intern table: a plain dict is measurably faster on the construction
+# hot path than a WeakValueDictionary (no KeyedRef indirection).  Vertices are
+# tiny and heavily shared; long-running callers that churn through unbounded
+# payload spaces can reset the table via
+# :func:`repro.topology.interning.clear_intern_caches`.
+_INTERN: "dict[tuple, Vertex]" = {}
 
-@dataclass(frozen=True, slots=True)
+
 class Vertex:
-    """An immutable colored vertex ``(color, payload)``.
+    """An immutable, interned colored vertex ``(color, payload)``.
 
     Parameters
     ----------
@@ -27,26 +40,80 @@ class Vertex:
         ``O^n``, or a full-information view for a protocol complex.
     """
 
-    color: int
-    payload: Hashable = None
+    __slots__ = ("color", "payload", "_hash", "_sort_key")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.color, int) or self.color < 0:
-            raise ValueError(f"vertex color must be a non-negative int, got {self.color!r}")
-        # Catch unhashable payloads at construction time rather than at the
-        # first set insertion, where the traceback is much less useful.
+    color: int
+    payload: Hashable
+
+    def __new__(cls, color: int, payload: Hashable = None) -> "Vertex":
+        # bool is an int subclass; normalize so V(True) and V(1) are one object.
+        if type(color) is bool:
+            color = int(color)
+        key = (color, payload)
         try:
-            hash(self.payload)
+            interned = _INTERN.get(key)
         except TypeError as exc:
-            raise TypeError(f"vertex payload must be hashable, got {self.payload!r}") from exc
+            # Catch unhashable payloads at construction time rather than at the
+            # first set insertion, where the traceback is much less useful.
+            if not isinstance(color, int):
+                raise ValueError(
+                    f"vertex color must be a non-negative int, got {color!r}"
+                ) from exc
+            raise TypeError(f"vertex payload must be hashable, got {payload!r}") from exc
+        if interned is not None:
+            return interned
+        if not isinstance(color, int) or color < 0:
+            raise ValueError(f"vertex color must be a non-negative int, got {color!r}")
+        self = object.__new__(cls)
+        object.__setattr__(self, "color", color)
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_sort_key", None)
+        _INTERN[key] = self
+        return self
+
+    # -- immutability --------------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Vertex is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Vertex is immutable; cannot delete {name!r}")
+
+    # -- value protocol ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Vertex):
+            # Distinct interned vertices differ; this branch only matters for
+            # exotic instances that bypassed the intern table (none in-library).
+            return self.color == other.color and self.payload == other.payload
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Re-intern on unpickle (used by the multiprocessing fan-out).
+        return (Vertex, (self.color, self.payload))
 
     def with_payload(self, payload: Hashable) -> "Vertex":
         """Return a vertex with the same color and a new payload."""
         return Vertex(self.color, payload)
 
     def sort_key(self) -> tuple[int, str]:
-        """A deterministic total order usable across heterogeneous payloads."""
-        return (self.color, repr(self.payload))
+        """A deterministic total order usable across heterogeneous payloads.
+
+        The key is computed lazily and cached on the interned instance:
+        ``repr`` of a round-``b`` view is expensive and the same vertices are
+        sorted over and over by face enumeration and the search.
+        """
+        key = self._sort_key
+        if key is None:
+            key = (self.color, repr(self.payload))
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def __repr__(self) -> str:
         if self.payload is None:

@@ -127,3 +127,28 @@ class TestReports:
     def test_repr(self):
         result = solve_task(identity_task(2), max_rounds=0)
         assert "solvable" in repr(result)
+
+
+class TestParallelLevels:
+    """The ``max_workers`` fan-out must be verdict-identical to the serial sweep."""
+
+    def test_parallel_matches_serial_on_solvable(self):
+        serial = solve_task(approximate_agreement_task(2, 3), max_rounds=2)
+        parallel = solve_task(
+            approximate_agreement_task(2, 3), max_rounds=2, max_workers=2
+        )
+        assert parallel.status is serial.status is SolvabilityStatus.SOLVABLE
+        assert parallel.rounds == serial.rounds
+        assert [l.rounds for l in parallel.levels] == [l.rounds for l in serial.levels]
+        assert [l.nodes_explored for l in parallel.levels] == [
+            l.nodes_explored for l in serial.levels
+        ]
+
+    def test_parallel_matches_serial_on_unsat(self):
+        serial = solve_task(binary_consensus_task(2), max_rounds=2)
+        parallel = solve_task(binary_consensus_task(2), max_rounds=2, max_workers=2)
+        assert parallel.status is serial.status
+        assert parallel.status is SolvabilityStatus.UNSOLVABLE_UP_TO_BOUND
+        assert [l.satisfiable for l in parallel.levels] == [
+            l.satisfiable for l in serial.levels
+        ]

@@ -1,0 +1,175 @@
+"""Equivalence suite for the hot-path performance layer.
+
+The optimizations (vertex/simplex interning, ordered-partition templates,
+membership indexes, memoized SDS results, process-pool fan-out) must be
+*invisible*: every optimized path has to produce exactly the objects the
+naive path produces.  This module pins that down — complex equality,
+f-vectors, per-vertex carriers — for all ``(n <= 3, b <= 2)``, and checks
+that interned objects round-trip unchanged through the JSON serializer.
+"""
+
+import pytest
+
+from repro.analysis.export import subdivision_from_json, subdivision_to_json
+from repro.topology.complex import SimplicialComplex
+from repro.topology.interning import clear_intern_caches, intern_table_sizes
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    fubini,
+    iterated_standard_chromatic_subdivision,
+    sds_partition_templates,
+    sds_simplices_of,
+    sds_simplices_of_naive,
+    standard_chromatic_subdivision,
+    view_of,
+)
+from repro.topology.subdivision import Subdivision, trivial_subdivision
+from repro.topology.vertex import Vertex
+
+
+def input_complex(n):
+    return SimplicialComplex(
+        [Simplex(Vertex(pid, f"v{pid}") for pid in range(n + 1))]
+    )
+
+
+def naive_standard_chromatic_subdivision(base):
+    """``SDS(K)`` built through the pre-template reference path."""
+    tops = []
+    for maximal in base.maximal_simplices:
+        tops.extend(sds_simplices_of_naive(maximal))
+    subdivided = SimplicialComplex(tops)
+    carriers = {v: Simplex(view_of(v)) for v in subdivided.vertices}
+    return Subdivision(base, subdivided, carriers)
+
+
+def naive_iterated(base, rounds):
+    result = trivial_subdivision(base)
+    for _ in range(rounds):
+        result = result.then(naive_standard_chromatic_subdivision(result.complex))
+    return result
+
+
+GRID = [(n, b) for n in (1, 2, 3) for b in (1, 2)]
+
+
+class TestOptimizedEqualsNaive:
+    @pytest.mark.parametrize("n,b", GRID, ids=[f"n{n}_b{b}" for n, b in GRID])
+    def test_complex_f_vector_and_carriers(self, n, b):
+        base = input_complex(n)
+        optimized = iterated_standard_chromatic_subdivision(base, b)
+        naive = naive_iterated(base, b)
+        assert optimized.complex == naive.complex
+        assert optimized.complex.f_vector() == naive.complex.f_vector()
+        assert optimized.carriers() == naive.carriers()
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_per_simplex_tops_match(self, n):
+        top = Simplex(Vertex(pid, f"v{pid}") for pid in range(n + 1))
+        assert set(sds_simplices_of(top)) == set(sds_simplices_of_naive(top))
+        assert len(list(sds_simplices_of(top))) == fubini(n + 1)
+
+    def test_templates_count_is_fubini(self):
+        for size in range(1, 5):
+            assert len(sds_partition_templates(size)) == fubini(size)
+
+    def test_template_prefixes_are_cumulative_unions(self):
+        for template in sds_partition_templates(3):
+            seen = set()
+            for block, prefix in template:
+                seen.update(block)
+                assert set(prefix) == seen
+
+    def test_fubini_values_pinned(self):
+        # Fubini(1..5): the maximal-simplex counts of SDS(s^0..s^4).
+        assert [fubini(n) for n in range(1, 6)] == [1, 3, 13, 75, 541]
+
+
+class TestParallelFanOut:
+    def test_parallel_sds_equals_serial(self):
+        base = standard_chromatic_subdivision(input_complex(2)).complex
+        serial = standard_chromatic_subdivision(base)
+        parallel = standard_chromatic_subdivision(base, max_workers=2)
+        assert serial.complex == parallel.complex
+        assert serial.carriers() == parallel.carriers()
+
+    def test_parallel_iterated_equals_serial(self):
+        serial = iterated_standard_chromatic_subdivision(input_complex(2), 2)
+        parallel = iterated_standard_chromatic_subdivision(
+            input_complex(2), 2, max_workers=2
+        )
+        assert serial.complex == parallel.complex
+        assert serial.carriers() == parallel.carriers()
+
+
+class TestInterning:
+    def test_vertices_are_hash_consed(self):
+        assert Vertex(3, "payload") is Vertex(3, "payload")
+
+    def test_simplices_are_hash_consed(self):
+        u, w = Vertex(0, "a"), Vertex(1, "b")
+        assert Simplex([u, w]) is Simplex([w, u])
+
+    def test_nested_views_are_shared(self):
+        sds = iterated_standard_chromatic_subdivision(input_complex(2), 2)
+        rebuilt = iterated_standard_chromatic_subdivision(input_complex(2), 2)
+        for vertex in sds.complex.vertices:
+            assert vertex is Vertex(vertex.color, vertex.payload)
+        assert sds.complex.maximal_simplices == rebuilt.complex.maximal_simplices
+
+    def test_sort_key_cached_and_stable(self):
+        vertex = Vertex(2, frozenset({Vertex(0, "x")}))
+        assert vertex.sort_key() == vertex.sort_key()
+        assert vertex.sort_key()[0] == 2
+
+    def test_vertices_immutable(self):
+        vertex = Vertex(0, "a")
+        with pytest.raises(AttributeError):
+            vertex.color = 1
+
+    def test_clear_intern_caches_resets_tables(self):
+        Vertex(0, "ephemeral-intern-test")
+        before = intern_table_sizes()
+        assert before["vertices"] > 0
+        dropped = clear_intern_caches()
+        assert dropped == before
+        assert intern_table_sizes() == {"vertices": 0, "simplices": 0}
+        # Post-reset construction still works and value-equality still holds.
+        assert Vertex(0, "ephemeral-intern-test") == Vertex(0, "ephemeral-intern-test")
+
+    def test_interned_objects_roundtrip_through_export(self):
+        subdivision = iterated_standard_chromatic_subdivision(input_complex(2), 2)
+        document = subdivision_to_json(subdivision)
+        restored = subdivision_from_json(document)
+        assert restored.complex == subdivision.complex
+        assert restored.base == subdivision.base
+        assert restored.carriers() == subdivision.carriers()
+        # Interning makes the round-trip reproduce the *same* objects.
+        for vertex in subdivision.complex.vertices:
+            assert vertex in restored.complex.vertices
+        for simplex in subdivision.complex.maximal_simplices:
+            assert simplex in restored.complex.maximal_simplices
+        restored_vertices = {v: v for v in restored.complex.vertices}
+        for vertex in subdivision.complex.vertices:
+            assert restored_vertices[vertex] is vertex
+
+
+class TestMembershipIndex:
+    def test_matches_linear_scan(self):
+        complex_ = iterated_standard_chromatic_subdivision(input_complex(2), 2).complex
+        probes = list(complex_.simplices(0)) + list(complex_.simplices(1))
+        probes += list(complex_.maximal_simplices)
+        outsider = Simplex([Vertex(7, "not-here")])
+        probes.append(outsider)
+        mixed = Simplex(list(next(iter(complex_.maximal_simplices)).vertices)[:1] + [Vertex(7, "not-here")])
+        probes.append(mixed)
+        for probe in probes:
+            naive = any(probe.is_face_of(m) for m in complex_.maximal_simplices)
+            assert (probe in complex_) == naive
+
+    def test_star_and_link_match_index(self):
+        complex_ = standard_chromatic_subdivision(input_complex(2)).complex
+        for vertex in complex_.vertices:
+            star = complex_.star(Simplex([vertex]))
+            expected = [m for m in complex_.maximal_simplices if vertex in m]
+            assert star.maximal_simplices == frozenset(expected)
