@@ -18,11 +18,16 @@ from repro.core.solvability import SearchOptions, SolvabilityStatus, solve_task
 from repro.tasks import approximate_agreement_task, set_consensus_task
 
 CONFIGS = [
-    ("full (AC-3 + FC + adjacency)", SearchOptions(True, True, True)),
-    ("no AC-3", SearchOptions(False, True, True)),
-    ("no forward checking", SearchOptions(True, False, True)),
-    ("no adjacency order", SearchOptions(True, True, False)),
-    ("plain backtracking", SearchOptions(False, False, False)),
+    ("kernel (AC-3 + FC + adjacency)", SearchOptions(True, True, True, True)),
+    ("kernel, no AC-3", SearchOptions(False, True, True, True)),
+    ("kernel, no forward checking", SearchOptions(True, False, True, True)),
+    ("kernel, no adjacency order", SearchOptions(True, True, False, True)),
+    ("kernel, plain backtracking", SearchOptions(False, False, False, True)),
+    ("naive (AC-3 + FC + adjacency)", SearchOptions(True, True, True, False)),
+    ("naive, no AC-3", SearchOptions(False, True, True, False)),
+    ("naive, no forward checking", SearchOptions(True, False, True, False)),
+    ("naive, no adjacency order", SearchOptions(True, True, False, False)),
+    ("naive, plain backtracking", SearchOptions(False, False, False, False)),
 ]
 
 BUDGET = 300_000

@@ -1,0 +1,91 @@
+"""Solver kernel — the bitset-compiled CSP engine vs the naive reference.
+
+The decision-map search of Proposition 3.1 now runs on a compiled form
+(:mod:`repro.core.csp_kernel`): integer-interned vertices and candidates,
+bitmask domains and Δ-projection tables, forward checking and AC-3 as
+``&``/popcount arithmetic, plus conflict-directed backjumping.  These
+benchmarks time single-level probes on both paths over the (n, b) grid the
+regression harness tracks (``run_bench.py`` → ``BENCH_PR2.json``) and print
+the speedup table; verdict equivalence itself is asserted in
+``tests/core/test_csp_kernel.py``.
+"""
+
+import pytest
+
+from conftest import print_table, run_once
+from repro.core.solvability import SearchOptions, _probe_level
+from repro.tasks import approximate_agreement_task, set_consensus_task
+
+KERNEL = SearchOptions(kernel=True)
+NAIVE = SearchOptions(kernel=False)
+
+# (row id, factory, b, node budget) — n is the process count of the task.
+GRID = [
+    ("n2_b2", lambda: approximate_agreement_task(2, 81), 2, 2_000_000),
+    ("n2_b3", lambda: approximate_agreement_task(2, 81), 3, 2_000_000),
+    ("n3_b1", lambda: set_consensus_task(3, 2), 1, 2_000_000),
+    ("n3_b2", lambda: approximate_agreement_task(3, 3), 2, 2_000_000),
+    ("n3_b2_cap", lambda: set_consensus_task(3, 2), 2, 150_000),
+]
+FAST_ROWS = [row for row in GRID if row[0] != "n3_b2_cap"]
+
+
+def _probe(task, b, budget, options):
+    _mapping, report, _sds = _probe_level(task, b, budget, options)
+    return report
+
+
+@pytest.mark.parametrize("key,make,b,budget", FAST_ROWS, ids=[r[0] for r in FAST_ROWS])
+def test_kernel_probe(benchmark, key, make, b, budget):
+    task = make()
+    report = benchmark(_probe, task, b, budget, KERNEL)
+    assert report.exhausted or report.nodes_explored > budget
+
+
+@pytest.mark.parametrize("key,make,b,budget", FAST_ROWS, ids=[r[0] for r in FAST_ROWS])
+def test_naive_probe(benchmark, key, make, b, budget):
+    task = make()
+    report = benchmark(_probe, task, b, budget, NAIVE)
+    assert report.exhausted or report.nodes_explored > budget
+
+
+def test_kernel_speedup_report(benchmark):
+    def report():
+        rows = []
+        for key, make, b, budget in GRID:
+            task = make()
+            kernel = _probe(task, b, budget, KERNEL)
+            kernel_secs = min(
+                kernel.elapsed_seconds,
+                _probe(task, b, budget, KERNEL).elapsed_seconds,
+            )
+            naive_secs = _probe(task, b, budget, NAIVE).elapsed_seconds
+            rows.append(
+                (
+                    key,
+                    f"{task.name} @ b={b}",
+                    kernel.nodes_explored,
+                    kernel.conflicts,
+                    kernel.backjumps,
+                    f"{kernel_secs * 1000:.1f}",
+                    f"{naive_secs * 1000:.1f}",
+                    f"{naive_secs / kernel_secs:.1f}x",
+                )
+            )
+        print_table(
+            "Solver kernel: bitset CBJ-FC vs naive reference "
+            "(per-level compile+search wall time)",
+            [
+                "row",
+                "instance",
+                "nodes",
+                "conflicts",
+                "backjumps",
+                "kernel ms",
+                "naive ms",
+                "speedup",
+            ],
+            rows,
+        )
+
+    run_once(benchmark, report)

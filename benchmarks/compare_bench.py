@@ -12,6 +12,12 @@ The stored file's ``tracked`` list defines the gated keys; ``*.seconds``
 entries are lower-is-better, ``*.nodes_per_sec`` higher-is-better, and
 ``*.tops`` / ``*.nodes`` must match exactly.  ``*.cold.*`` timings are
 informational only (single-shot, jittery) and never gated.
+
+``--min-speedup KEY=FACTOR`` (repeatable) additionally asserts that the
+*current* document's metric ``KEY`` is at least ``FACTOR`` — the acceptance
+gate for the kernel's ``e5k.solve.*.speedup_vs_naive`` rows.  ``--allow-missing``
+skips tracked keys absent from the current document (the CI smoke run
+measures only the cheap subset).
 """
 
 from __future__ import annotations
@@ -48,7 +54,27 @@ def main() -> int:
         default=0.20,
         help="allowed fractional slowdown on tracked timings (default 0.20)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="skip tracked keys absent from the current document (smoke runs)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="KEY=FACTOR",
+        help="require current metric KEY >= FACTOR (repeatable)",
+    )
     args = parser.parse_args()
+
+    requirements: list[tuple[str, float]] = []
+    for spec in args.min_speedup:
+        key, _, factor = spec.partition("=")
+        try:
+            requirements.append((key, float(factor)))
+        except ValueError:
+            raise SystemExit(f"--min-speedup {spec!r}: expected KEY=FACTOR")
 
     current = load(args.current)
     stored = load(args.against)
@@ -64,6 +90,8 @@ def main() -> int:
             continue
         old = stored_metrics.get(key)
         new = current_metrics.get(key)
+        if new is None and args.allow_missing:
+            continue
         if old is None or new is None:
             failures.append(f"MISSING  {key}: stored={old!r} current={new!r}")
             continue
@@ -85,9 +113,19 @@ def main() -> int:
     for key, old in stored_metrics.items():
         if key.endswith((".tops", ".nodes")):
             new = current_metrics.get(key)
+            if new is None and args.allow_missing:
+                continue
             compared += 1
             if new != old:
                 failures.append(f"DRIFT    {key}: stored={old} current={new}")
+
+    for key, factor in requirements:
+        value = current_metrics.get(key)
+        compared += 1
+        if value is None:
+            failures.append(f"MISSING  {key}: required >= {factor}, not measured")
+        elif value < factor:
+            failures.append(f"TOO-SLOW {key}: {value} < required {factor}")
 
     if failures:
         print(f"benchmark regression vs {args.against}:")

@@ -32,7 +32,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.solvability import solve_task  # noqa: E402
+from repro.core.solvability import SearchOptions, _probe_level, solve_task  # noqa: E402
 from repro.tasks import (  # noqa: E402
     approximate_agreement_task,
     binary_consensus_task,
@@ -58,6 +58,21 @@ E5_GRID = [
     ("set_consensus_3_3", lambda: set_consensus_task(3, 3), 1),
 ]
 
+# Single-level probes of the bitset CSP kernel against the naive reference
+# search, keyed by (n = processes - 1, b = subdivision level).  Each row
+# times LevelReport.elapsed_seconds — compile + search, excluding the (shared)
+# SDS construction — on the kernel path (tracked) and the naive path
+# (informational), and records the kernel/naive speedup.  ``smoke`` rows are
+# the ones cheap enough for the compare-only CI smoke run.
+# (key, factory, b, node_budget, repeats, smoke)
+E5K_GRID = [
+    ("n2_b2", lambda: approximate_agreement_task(2, 81), 2, 2_000_000, 5, True),
+    ("n2_b3", lambda: approximate_agreement_task(2, 81), 3, 2_000_000, 3, False),
+    ("n3_b1", lambda: set_consensus_task(3, 2), 1, 2_000_000, 5, True),
+    ("n3_b2", lambda: approximate_agreement_task(3, 3), 2, 2_000_000, 3, True),
+    ("n3_b2_cap", lambda: set_consensus_task(3, 2), 2, 150_000, 2, False),
+]
+
 
 def input_complex(n: int) -> SimplicialComplex:
     return SimplicialComplex(
@@ -76,7 +91,7 @@ def best_of(fn, repeats: int):
     return best, value
 
 
-def collect_metrics(repeats_scale: int = 1) -> tuple[dict, list[str]]:
+def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, list[str]]:
     metrics: dict[str, float | int] = {}
     tracked: list[str] = []
 
@@ -91,7 +106,8 @@ def collect_metrics(repeats_scale: int = 1) -> tuple[dict, list[str]]:
         tracked.append(key)
 
     # -- E2: iterated SDS growth -------------------------------------------
-    for n, b, repeats in E2_GRID:
+    e2_grid = [row for row in E2_GRID if not smoke or row[:2] in [(1, 3), (2, 2), (3, 1)]]
+    for n, b, repeats in e2_grid:
         key = f"e2.build.n{n}_b{b}"
         secs, sds = best_of(
             lambda n=n, b=b: iterated_standard_chromatic_subdivision(
@@ -103,26 +119,29 @@ def collect_metrics(repeats_scale: int = 1) -> tuple[dict, list[str]]:
         metrics[f"{key}.tops"] = len(sds.complex.maximal_simplices)
         tracked.append(f"{key}.seconds")
 
-    # Cold construction at the headline levels: fresh intern/memo state.
-    for n, b in [(2, 2), (3, 2)]:
-        clear_intern_caches()
-        t0 = time.perf_counter()
-        iterated_standard_chromatic_subdivision(input_complex(n), b)
-        metrics[f"e2.build.cold.n{n}_b{b}.seconds"] = time.perf_counter() - t0
+    if not smoke:
+        # Cold construction at the headline levels: fresh intern/memo state.
+        for n, b in [(2, 2), (3, 2)]:
+            clear_intern_caches()
+            t0 = time.perf_counter()
+            iterated_standard_chromatic_subdivision(input_complex(n), b)
+            metrics[f"e2.build.cold.n{n}_b{b}.seconds"] = time.perf_counter() - t0
 
     sds22 = iterated_standard_chromatic_subdivision(input_complex(2), 2)
     metrics["e2.validate.n2_b2.seconds"], _ = best_of(
         lambda: sds22.validate(chromatic=True), 3 * repeats_scale
     )
     tracked.append("e2.validate.n2_b2.seconds")
-    sds32 = iterated_standard_chromatic_subdivision(input_complex(3), 2)
-    metrics["e2.validate.n3_b2.seconds"], _ = best_of(
-        lambda: sds32.validate(chromatic=True), repeats_scale
-    )
-    tracked.append("e2.validate.n3_b2.seconds")
+    if not smoke:
+        sds32 = iterated_standard_chromatic_subdivision(input_complex(3), 2)
+        metrics["e2.validate.n3_b2.seconds"], _ = best_of(
+            lambda: sds32.validate(chromatic=True), repeats_scale
+        )
+        tracked.append("e2.validate.n3_b2.seconds")
 
     # -- E5: solvability search throughput ---------------------------------
-    for key, make, max_rounds in E5_GRID:
+    e5_grid = [row for row in E5_GRID if not smoke or row[0] != "approx_agree_2_k27"]
+    for key, make, max_rounds in e5_grid:
         task = make()
         t0 = time.perf_counter()
         result = solve_task(task, max_rounds)
@@ -135,6 +154,41 @@ def collect_metrics(repeats_scale: int = 1) -> tuple[dict, list[str]]:
             nodes / search_secs if search_secs > 0 else 0.0
         )
         tracked.append(f"e5.solve.{key}.seconds")
+
+    # -- E5-kernel: bitset CSP kernel vs the naive reference search --------
+    kernel_options = SearchOptions(kernel=True)
+    naive_options = SearchOptions(kernel=False)
+    e5k_grid = [row for row in E5K_GRID if not smoke or row[5]]
+    for key, make, b, node_budget, repeats, _smoke_row in e5k_grid:
+        task = make()
+        repeats = max(1, repeats * repeats_scale)
+
+        def probe(options, task=task, b=b, node_budget=node_budget):
+            _mapping, report, _sds = _probe_level(task, b, node_budget, options)
+            return report
+
+        # LevelReport.elapsed_seconds excludes the (shared) SDS build, so the
+        # row isolates exactly what the kernel replaced: compile + search.
+        kernel_report = probe(kernel_options)
+        kernel_secs = kernel_report.elapsed_seconds
+        for _ in range(repeats - 1):
+            kernel_secs = min(kernel_secs, probe(kernel_options).elapsed_seconds)
+        naive_secs = min(
+            probe(naive_options).elapsed_seconds,
+            probe(naive_options).elapsed_seconds,
+        )
+
+        row = f"e5k.solve.{key}"
+        metrics[f"{row}.seconds"] = kernel_secs
+        metrics[f"{row}.nodes"] = kernel_report.nodes_explored
+        metrics[f"{row}.nodes_per_sec"] = (
+            kernel_report.nodes_explored / kernel_secs if kernel_secs > 0 else 0.0
+        )
+        metrics[f"{row}.naive.seconds"] = naive_secs
+        metrics[f"{row}.speedup_vs_naive"] = (
+            round(naive_secs / kernel_secs, 2) if kernel_secs > 0 else 0.0
+        )
+        tracked.append(f"{row}.seconds")
 
     return metrics, tracked
 
@@ -154,9 +208,14 @@ def main() -> int:
         default=1,
         help="multiply every repeat count (use >1 on noisy machines)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI config: cheap rows only (pair with compare_bench --allow-missing)",
+    )
     args = parser.parse_args()
 
-    metrics, tracked = collect_metrics(args.repeats_scale)
+    metrics, tracked = collect_metrics(args.repeats_scale, smoke=args.smoke)
 
     document = {
         "schema": SCHEMA,

@@ -43,11 +43,17 @@ class SearchOptions:
     * ``forward_checking`` — prune neighbouring domains on each assignment.
     * ``adjacency_order`` — keep the assignment frontier connected; without
       it conflicts surface late and the search degenerates.
+    * ``kernel`` — run the search on the bitset-compiled CSP kernel
+      (:mod:`repro.core.csp_kernel`): integer-interned domains, bitmask
+      constraint tables, and conflict-directed backjumping.  ``False``
+      falls back to :func:`_search_map_naive`, the reference oracle the
+      equivalence tests compare against.
     """
 
     arc_consistency: bool = True
     forward_checking: bool = True
     adjacency_order: bool = True
+    kernel: bool = True
 
 
 class SolvabilityStatus(enum.Enum):
@@ -68,6 +74,8 @@ class LevelReport:
     vertices: int
     exhausted: bool  # False when the node budget stopped the search
     elapsed_seconds: float
+    conflicts: int = 0  # failed candidate attempts (kernel search)
+    backjumps: int = 0  # conflict-directed jumps skipping >= 1 level
 
 
 @dataclass(slots=True)
@@ -91,15 +99,25 @@ def _probe_level(
     rounds: int,
     node_budget: int,
     options: SearchOptions,
-) -> tuple[dict[Vertex, Vertex] | None, LevelReport]:
+    root_slice: tuple[int, int] | None = None,
+) -> tuple[dict[Vertex, Vertex] | None, LevelReport, Subdivision | None]:
     """Build ``SDS^rounds(I)`` and run the search; one unit of level work.
 
     Module-level (rather than a closure) so the ``max_workers`` fan-out in
-    :func:`solve_task` can ship it to a process pool.
+    :func:`solve_task` can ship it to a process pool.  The witnessing
+    subdivision rides back with a satisfiable mapping so the parent never
+    rebuilds ``SDS^rounds`` from scratch before validation (UNSAT levels
+    return ``None`` there — no point pickling a complex nobody needs).
+
+    ``root_slice = (chunk_index, n_chunks)`` restricts the kernel search to
+    one contiguous slice of the first search variable's domain — the
+    within-level parallel split of :func:`solve_task`.
     """
     subdivision = iterated_standard_chromatic_subdivision(task.input_complex, rounds)
     started = time.perf_counter()
-    mapping, nodes, exhausted = _search_map(subdivision, task, node_budget, options)
+    mapping, nodes, exhausted, conflicts, backjumps = _search_map(
+        subdivision, task, node_budget, options, root_slice=root_slice
+    )
     elapsed = time.perf_counter() - started
     report = LevelReport(
         rounds=rounds,
@@ -108,8 +126,10 @@ def _probe_level(
         vertices=len(subdivision.complex.vertices),
         exhausted=exhausted,
         elapsed_seconds=elapsed,
+        conflicts=conflicts,
+        backjumps=backjumps,
     )
-    return mapping, report
+    return mapping, report, subdivision if mapping is not None else None
 
 
 def solve_task(
@@ -127,13 +147,23 @@ def solve_task(
     set (> 1) they are probed concurrently by a ``concurrent.futures``
     process pool and the verdict is read off in level order, so the result
     (including the witnessing level) is identical to the serial sweep — at
-    the cost of some wasted work above the first satisfiable level.
+    the cost of some wasted work above the first satisfiable level.  When
+    there is exactly *one* level to probe (``min_rounds == max_rounds``)
+    and the kernel is enabled, ``max_workers`` instead splits the root
+    search variable's domain into contiguous value-order chunks, one per
+    worker; chunk verdicts are read off in value order, so the first map
+    found is the one the serial search finds.
     """
     level_rounds = list(range(min_rounds, max_rounds + 1))
     levels: list[LevelReport] = []
     budget_hit = False
+    parallel = max_workers is not None and max_workers > 1
 
-    if max_workers is not None and max_workers > 1 and len(level_rounds) > 1:
+    if parallel and len(level_rounds) == 1 and options.kernel:
+        probes = [_probe_level_parallel_split(
+            task, level_rounds[0], node_budget, options, max_workers
+        )]
+    elif parallel and len(level_rounds) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(max_workers, len(level_rounds))) as ex:
@@ -143,27 +173,30 @@ def solve_task(
             }
             probes = []
             for rounds in level_rounds:
-                mapping, report = futures[rounds].result()
-                probes.append((rounds, mapping, report))
+                mapping, report, subdivision = futures[rounds].result()
+                probes.append((rounds, mapping, report, subdivision))
                 if mapping is not None:
-                    for later in level_rounds:
-                        if later > rounds:
-                            futures[later].cancel()
+                    # Levels above the witness are wasted work: drop the ones
+                    # that have not started instead of draining the queue.
+                    ex.shutdown(wait=False, cancel_futures=True)
                     break
     else:
         probes = []
         for rounds in level_rounds:
-            mapping, report = _probe_level(task, rounds, node_budget, options)
-            probes.append((rounds, mapping, report))
+            mapping, report, subdivision = _probe_level(
+                task, rounds, node_budget, options
+            )
+            probes.append((rounds, mapping, report, subdivision))
             if mapping is not None:
                 break
 
-    for rounds, mapping, report in probes:
+    for rounds, mapping, report, subdivision in probes:
         levels.append(report)
         if mapping is not None:
-            subdivision = iterated_standard_chromatic_subdivision(
-                task.input_complex, rounds
-            )
+            if subdivision is None:  # pragma: no cover - probes always attach it
+                subdivision = iterated_standard_chromatic_subdivision(
+                    task.input_complex, rounds
+                )
             decision_map = SimplicialMap(
                 subdivision.complex, task.output_complex, mapping
             )
@@ -186,22 +219,90 @@ def solve_task(
     return SolvabilityResult(task.name, status, None, None, None, levels)
 
 
+def _probe_level_parallel_split(
+    task: Task,
+    rounds: int,
+    node_budget: int,
+    options: SearchOptions,
+    max_workers: int,
+) -> tuple[int, dict[Vertex, Vertex] | None, LevelReport, Subdivision | None]:
+    """One expensive level, root domain partitioned across worker processes.
+
+    Every worker deterministically recompiles the level and takes the
+    ``chunk_index``-th contiguous slice of the root variable's domain
+    (:func:`repro.core.csp_kernel.root_domain_chunks`); slices are disjoint
+    and cover the domain, so the union of exhaustive chunk searches is an
+    exhaustive level search.  Verdicts are scanned in chunk (= value)
+    order: the first satisfiable chunk carries the same first-found map as
+    the serial search, provided every earlier chunk was exhausted.  The
+    node budget applies per chunk; a budget-stopped chunk before the first
+    satisfiable one degrades the level to ``exhausted=False`` (UNKNOWN),
+    never to a wrong verdict.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    n_chunks = max_workers
+    with ProcessPoolExecutor(max_workers=max_workers) as ex:
+        futures = [
+            ex.submit(
+                _probe_level, task, rounds, node_budget, options, (chunk, n_chunks)
+            )
+            for chunk in range(n_chunks)
+        ]
+        outcomes = [future.result() for future in futures]
+
+    mapping: dict[Vertex, Vertex] | None = None
+    subdivision: Subdivision | None = None
+    exhausted = True
+    nodes = conflicts = backjumps = 0
+    elapsed = 0.0
+    for chunk_mapping, chunk_report, chunk_subdivision in outcomes:
+        nodes += chunk_report.nodes_explored
+        conflicts += chunk_report.conflicts
+        backjumps += chunk_report.backjumps
+        elapsed = max(elapsed, chunk_report.elapsed_seconds)
+        if mapping is None:
+            if chunk_mapping is not None:
+                mapping = chunk_mapping
+                subdivision = chunk_subdivision
+            elif not chunk_report.exhausted:
+                exhausted = False
+    report = LevelReport(
+        rounds=rounds,
+        satisfiable=mapping is not None,
+        nodes_explored=nodes,
+        vertices=outcomes[0][1].vertices,
+        exhausted=exhausted if mapping is None else True,
+        elapsed_seconds=elapsed,
+        conflicts=conflicts,
+        backjumps=backjumps,
+    )
+    return rounds, mapping, report, subdivision
+
+
 def validate_decision_map(
     subdivision: Subdivision, task: Task, decision_map: SimplicialMap
 ) -> None:
     """Machine-check Proposition 3.1's conditions on a candidate map.
 
     Simplicial and color-preserving via the map's own validators, then
-    ``µ(s) ∈ Δ(carrier(s))`` for *every* simplex of the subdivision.
+    ``µ(s) ∈ Δ(carrier(s))`` for *every* simplex of the subdivision.  The
+    Δ check runs against the task's memoized projection tables: for a
+    color-preserving map the image of a chromatic simplex is allowed for
+    its carrier exactly when its color-aligned vertex tuple is one of
+    Δ(carrier)'s projections onto that color profile — an O(1) set
+    membership instead of an ``is_face_of`` scan per face.
     """
     decision_map.validate(color_preserving=True)
     for simplex in subdivision.complex.simplices():
         carrier = subdivision.carrier_of(simplex)
-        image = decision_map.image_of(simplex)
-        if not task.allows(carrier, image):
+        colors = tuple(v.color for v in simplex.sorted_vertices())
+        image = decision_map.image_vertices(simplex)
+        if not task.allows_projection(carrier, colors, image):
             raise ValueError(
                 f"decision map violates Δ on {simplex!r}: "
-                f"image {image!r} not allowed for carrier {carrier!r}"
+                f"image {decision_map.image_of(simplex)!r} not allowed "
+                f"for carrier {carrier!r}"
             )
 
 
@@ -248,8 +349,58 @@ def _search_map(
     task: Task,
     node_budget: int,
     options: SearchOptions = SearchOptions(),
+    *,
+    root_slice: tuple[int, int] | None = None,
+) -> tuple[dict[Vertex, Vertex] | None, int, bool, int, int]:
+    """Search one level for a decision map; dispatches on ``options.kernel``.
+
+    Returns ``(mapping or None, nodes, exhausted?, conflicts, backjumps)``.
+    The kernel path compiles the level into bitmask form
+    (:mod:`repro.core.csp_kernel`) and runs CBJ-FC on it; the naive path is
+    the original object-level backtracking, kept as the reference oracle.
+    Both are exact: verdicts (and, for SAT, the first map found) agree.
+    """
+    if options.kernel:
+        from repro.core.csp_kernel import (
+            compile_level,
+            kernel_search,
+            root_domain_chunks,
+        )
+
+        compiled = compile_level(subdivision, task)
+        root_restrict: int | None = None
+        if root_slice is not None:
+            chunk_index, n_chunks = root_slice
+            root_restrict = root_domain_chunks(
+                compiled,
+                arc_consistency=options.arc_consistency,
+                adjacency_order=options.adjacency_order,
+                n_chunks=n_chunks,
+            )[chunk_index]
+        mapping, stats = kernel_search(
+            compiled,
+            node_budget,
+            arc_consistency=options.arc_consistency,
+            forward_checking=options.forward_checking,
+            adjacency_order=options.adjacency_order,
+            root_restrict=root_restrict,
+        )
+        return mapping, stats.nodes, stats.exhausted, stats.conflicts, stats.backjumps
+    if root_slice is not None:
+        raise ValueError("the within-level parallel split requires options.kernel")
+    mapping, nodes, exhausted = _search_map_naive(
+        subdivision, task, node_budget, options
+    )
+    return mapping, nodes, exhausted, 0, 0
+
+
+def _search_map_naive(
+    subdivision: Subdivision,
+    task: Task,
+    node_budget: int,
+    options: SearchOptions = SearchOptions(),
 ) -> tuple[dict[Vertex, Vertex] | None, int, bool]:
-    """Backtracking search for the decision map.
+    """Backtracking search for the decision map (reference oracle).
 
     Returns ``(mapping or None, nodes explored, search exhausted?)``.
     Consistency is enforced incrementally: assigning a vertex re-checks every

@@ -11,12 +11,41 @@ condition of Proposition 3.1 quantifies over.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 from repro.topology.vertex import Vertex
+
+# Every live task with a Δ-derived cache, keyed by identity (frozen
+# dataclasses compare by value, and equal-but-distinct tasks each own a
+# cache), so :func:`clear_task_caches` — hooked into
+# :func:`repro.topology.interning.clear_intern_caches` — can drop cached
+# vertices/simplices together with the intern tables they were built against.
+_TASK_REGISTRY: "dict[int, weakref.ref[Task]]" = {}
+
+
+def _register_task(task: "Task") -> None:
+    key = id(task)
+    _TASK_REGISTRY[key] = weakref.ref(task, lambda _ref, key=key: _TASK_REGISTRY.pop(key, None))
+
+
+def clear_task_caches() -> int:
+    """Clear the Δ-derived memos of every live task; returns tasks touched.
+
+    The caches hold interned :class:`Vertex`/:class:`Simplex` objects, so
+    they must not outlive an intern-table reset —
+    :func:`repro.topology.interning.clear_intern_caches` calls this hook.
+    """
+    cleared = 0
+    for ref in list(_TASK_REGISTRY.values()):
+        task = ref()
+        if task is not None:
+            task.clear_delta_caches()
+            cleared += 1
+    return cleared
 
 
 @dataclass(frozen=True)
@@ -41,6 +70,12 @@ class Task:
     delta: Mapping[Simplex, frozenset[Simplex]] = field(hash=False)
 
     def __post_init__(self) -> None:
+        # Δ-derived memos (candidate decisions, projected tuples).  The
+        # dataclass is frozen, so attach them via object.__setattr__; they are
+        # derived data only and excluded from eq/hash (non-field attributes).
+        object.__setattr__(self, "_candidate_cache", {})
+        object.__setattr__(self, "_projection_cache", {})
+        _register_task(self)
         if not self.input_complex.is_chromatic():
             raise ValueError(f"task {self.name}: input complex is not chromatic")
         if not self.output_complex.is_chromatic():
@@ -85,13 +120,82 @@ class Task:
         return allowed
 
     def candidate_decisions(self, input_simplex: Simplex, color: int) -> list[Vertex]:
-        """Output vertices of ``color`` appearing in some allowed tuple."""
+        """Output vertices of ``color`` appearing in some allowed tuple.
+
+        Memoized per ``(input_simplex, color)``: the edge-table and kernel
+        compilers ask for the same carrier/color pairs for thousands of
+        subdivision vertices.  The returned list is shared — treat it as
+        immutable.  :meth:`clear_delta_caches` / :func:`clear_task_caches`
+        reset the memo (hooked into ``clear_intern_caches``).
+        """
+        key = (input_simplex, color)
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            return cached
         seen: set[Vertex] = set()
         for tuple_ in self.allowed_outputs(input_simplex):
             for vertex in tuple_:
                 if vertex.color == color:
                     seen.add(vertex)
-        return sorted(seen, key=Vertex.sort_key)
+        result = sorted(seen, key=Vertex.sort_key)
+        self._candidate_cache[key] = result
+        return result
+
+    def projected_tuples(
+        self, input_simplex: Simplex, colors: tuple[int, ...]
+    ) -> tuple[tuple[Vertex, ...], ...]:
+        """Δ(``input_simplex``) projected onto an ordered color profile.
+
+        Each allowed tuple is chromatic with colors equal to the input
+        simplex's colors, so projecting onto ``colors ⊆ colors(input)``
+        yields one output vertex per requested color; the result is the
+        deduplicated, deterministically ordered set of those projections.
+        A partial image on a simplex with this carrier is Δ-allowed exactly
+        when its color-aligned vertex tuple matches some projection on the
+        assigned coordinates — the table the CSP kernel compiles into
+        bitmasks.  Memoized per ``(input_simplex, colors)``.
+        """
+        key = (input_simplex, colors)
+        cached = self._projection_cache.get(key)
+        if cached is not None:
+            return cached[0]
+        rows: dict[tuple[Vertex, ...], None] = {}
+        for tuple_ in sorted(
+            self.allowed_outputs(input_simplex),
+            key=lambda t: tuple(v.sort_key() for v in t.sorted_vertices()),
+        ):
+            by_color = {vertex.color: vertex for vertex in tuple_}
+            try:
+                rows[tuple(by_color[c] for c in colors)] = None
+            except KeyError:
+                continue  # tuple does not cover the profile (never for faces)
+        result = tuple(rows)
+        self._projection_cache[key] = (result, frozenset(result))
+        return result
+
+    def allows_projection(
+        self, input_simplex: Simplex, colors: tuple[int, ...], row: tuple[Vertex, ...]
+    ) -> bool:
+        """O(1) membership form of :meth:`allows` for color-aligned tuples."""
+        self.projected_tuples(input_simplex, colors)
+        return row in self._projection_cache[(input_simplex, colors)][1]
+
+    def clear_delta_caches(self) -> None:
+        """Drop this task's memoized Δ-derived tables (see ``clear_task_caches``)."""
+        self._candidate_cache.clear()
+        self._projection_cache.clear()
+
+    # Ship tasks to process pools without their memo tables (workers rebuild
+    # them lazily against their own intern tables).
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_candidate_cache"] = {}
+        state["_projection_cache"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        _register_task(self)
 
     @property
     def n_processes(self) -> int:

@@ -44,4 +44,10 @@ def clear_intern_caches() -> dict[str, int]:
     # not outlive the tables they were built against.
     _sds_module._SDS_TOPS_CACHE.clear()
     _sds_module.sds_partition_templates.cache_clear()
+    # Same story for the Δ-derived memos on live tasks (candidate decisions
+    # and projected-tuple tables feeding the CSP kernel).  Deferred import:
+    # core sits above topology in the layering.
+    from repro.core.task import clear_task_caches
+
+    clear_task_caches()
     return sizes

@@ -55,6 +55,17 @@ class SimplicialMap:
         """The image simplex (as a vertex set; may have lower dimension)."""
         return Simplex(self._mapping[v] for v in simplex)
 
+    def image_vertices(self, simplex: Simplex) -> tuple[Vertex, ...]:
+        """Images aligned with ``simplex.sorted_vertices()``, no Simplex built.
+
+        The decision-map validator checks Δ-allowance for *every* simplex of
+        a subdivision; for chromatic sources this color-aligned tuple can be
+        tested against precomputed projection tables directly, skipping one
+        ``Simplex`` interning per face on the reporting path.
+        """
+        mapping = self._mapping
+        return tuple(mapping[v] for v in simplex.sorted_vertices())
+
     def as_dict(self) -> dict[Vertex, Vertex]:
         return dict(self._mapping)
 
