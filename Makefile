@@ -3,7 +3,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-pytest bench-tables examples zoo all
+.PHONY: install test bench bench-smoke bench-pytest bench-tables mc-smoke examples zoo all
 
 install:
 	$(PYTHON) setup.py develop
@@ -11,26 +11,43 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Run the E1/E2/E5 hot-path benchmarks, emit BENCH_LOCAL.json, and gate it
+# Run the E1/E2/E5/MC hot-path benchmarks, emit BENCH_LOCAL.json, and gate it
 # against the committed trajectory (fails on >20% slowdown of a tracked path,
-# or if the CSP kernel's speedup over the naive search drops below 5x on the
-# (n=3, b=2) rows).
+# if the CSP kernel's speedup over the naive search drops below 5x on the
+# (n=3, b=2) rows, or if the model checker's DPOR reduction drops below 5x
+# schedules on the 3-process emulation).
 bench:
 	$(PYTHON) benchmarks/run_bench.py --output BENCH_LOCAL.json --label local
-	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR2.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR3.json \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
-		--min-speedup e5k.solve.n3_b2_cap.speedup_vs_naive=5
+		--min-speedup e5k.solve.n3_b2_cap.speedup_vs_naive=5 \
+		--min-speedup mc.explore.emu_p3k1.reduction_vs_naive=5 \
+		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2
 
 # CI-sized benchmark: cheap rows only, compare-only (no committed JSON is
-# rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row.
-# The loose timing threshold absorbs CI jitter on microsecond-scale rows;
-# node-count drift and the speedup floor are exact gates regardless.
+# rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row and
+# the model checker's reduction floor on its smoke row.  The loose timing
+# threshold absorbs CI jitter on microsecond-scale rows; count drift and the
+# speedup floors are exact gates regardless.
 bench-smoke:
 	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_SMOKE.json --label smoke
-	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR2.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR3.json \
 		--allow-missing --threshold 1.0 \
-		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5
+		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
+		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2
 	rm -f BENCH_SMOKE.json
+
+# Model-checker smoke: exhaustively verify the 2-process emulation (healthy,
+# with crash injection, and in parallel), then prove the oracles are
+# load-bearing — the broken skip-freshness variant must FAIL, produce a
+# minimized replay file, and that file must re-reproduce the violation.
+mc-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro mc -p 2 -k 1 --compare --crashes 1
+	PYTHONPATH=src $(PYTHON) -m repro mc -p 2 -k 2 --workers 2
+	! PYTHONPATH=src $(PYTHON) -m repro mc -p 2 -k 1 --mutate skip-freshness \
+		--save-replay MC_CEX.json
+	PYTHONPATH=src $(PYTHON) -m repro mc --replay MC_CEX.json
+	rm -f MC_CEX.json
 
 # The full pytest-benchmark experiment suite (E1..E13).
 bench-pytest:

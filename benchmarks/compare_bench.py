@@ -9,8 +9,9 @@ nodes) drifted at all:
     python benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR1.json
 
 The stored file's ``tracked`` list defines the gated keys; ``*.seconds``
-entries are lower-is-better, ``*.nodes_per_sec`` higher-is-better, and
-``*.tops`` / ``*.nodes`` must match exactly.  ``*.cold.*`` timings are
+entries are lower-is-better, ``*.nodes_per_sec`` / ``*.schedules_per_sec``
+higher-is-better, and ``*.tops`` / ``*.nodes`` / ``*.schedules`` (exhaustive
+enumeration sizes) must match exactly.  ``*.cold.*`` timings are
 informational only (single-shot, jittery) and never gated.
 
 ``--min-speedup KEY=FACTOR`` (repeatable) additionally asserts that the
@@ -102,7 +103,7 @@ def main() -> int:
                     f"SLOWER   {key}: {old:.6f}s -> {new:.6f}s "
                     f"(+{(new / old - 1) * 100:.0f}%, limit +{args.threshold * 100:.0f}%)"
                 )
-        elif key.endswith(".nodes_per_sec"):
+        elif key.endswith((".nodes_per_sec", ".schedules_per_sec")):
             if old > 0 and new < old * (1 - args.threshold):
                 failures.append(
                     f"SLOWER   {key}: {old:.0f} -> {new:.0f} nodes/s "
@@ -111,7 +112,7 @@ def main() -> int:
 
     # Counts are correctness, not speed: any drift fails regardless of threshold.
     for key, old in stored_metrics.items():
-        if key.endswith((".tops", ".nodes")):
+        if key.endswith((".tops", ".nodes", ".schedules")):
             new = current_metrics.get(key)
             if new is None and args.allow_missing:
                 continue

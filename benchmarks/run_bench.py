@@ -3,8 +3,10 @@
 
 Measures the quantities the performance layer is accountable for —
 ``SDS``/``SDS^b`` construction wall times and top-simplex counts (E1/E2),
-subdivision validation, and the solvability engine's search throughput in
-nodes/second (E5) — and writes a machine-readable ``BENCH_*.json``:
+subdivision validation, the solvability engine's search throughput in
+nodes/second (E5), and the model checker's schedule-space exploration
+(schedules/second, total schedules, reduced vs naive) — and writes a
+machine-readable ``BENCH_*.json``:
 
     python benchmarks/run_bench.py --output BENCH_LOCAL.json
 
@@ -71,6 +73,16 @@ E5K_GRID = [
     ("n3_b1", lambda: set_consensus_task(3, 2), 1, 2_000_000, 5, True),
     ("n3_b2", lambda: approximate_agreement_task(3, 3), 2, 2_000_000, 3, True),
     ("n3_b2_cap", lambda: set_consensus_task(3, 2), 2, 150_000, 2, False),
+]
+
+# Model-checking exploration of the Figure 2 emulation: the reduced (DPOR)
+# walk vs the naive enumeration over the same schedule space.  Both are
+# exhaustive, so ``.schedules`` counts are exact (drift-gated) and
+# ``.reduction_vs_naive`` is the acceptance floor enforced via
+# ``compare_bench --min-speedup``.  (key, processes, k, smoke)
+MC_GRID = [
+    ("emu_p2k2", 2, 2, True),
+    ("emu_p3k1", 3, 1, False),
 ]
 
 
@@ -187,6 +199,35 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
         metrics[f"{row}.naive.seconds"] = naive_secs
         metrics[f"{row}.speedup_vs_naive"] = (
             round(naive_secs / kernel_secs, 2) if kernel_secs > 0 else 0.0
+        )
+        tracked.append(f"{row}.seconds")
+
+    # -- MC: reduced exhaustive exploration vs the naive schedule walk -----
+    from repro.mc import EmulationScenario, ExploreOptions, explore
+
+    mc_naive_options = ExploreOptions(reduction=False, state_cache=False)
+    mc_grid = [row for row in MC_GRID if not smoke or row[3]]
+    for key, processes, k, _smoke_row in mc_grid:
+        scenario = EmulationScenario(processes=processes, k=k)
+        reduced = explore(scenario)
+        naive = explore(scenario, mc_naive_options)
+        if reduced.outcomes != naive.outcomes or not (reduced.ok and naive.ok):
+            raise SystemExit(
+                f"mc.{key}: reduced and naive walks disagree — not a perf "
+                "regression, a soundness bug"
+            )
+        row = f"mc.explore.{key}"
+        secs = reduced.stats.elapsed_seconds
+        metrics[f"{row}.seconds"] = secs
+        metrics[f"{row}.schedules"] = reduced.stats.executions
+        metrics[f"{row}.schedules_per_sec"] = (
+            reduced.stats.executions / secs if secs > 0 else 0.0
+        )
+        metrics[f"{row}.naive.schedules"] = naive.stats.executions
+        metrics[f"{row}.reduction_vs_naive"] = (
+            round(naive.stats.executions / reduced.stats.executions, 2)
+            if reduced.stats.executions
+            else 0.0
         )
         tracked.append(f"{row}.seconds")
 

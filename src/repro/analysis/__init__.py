@@ -4,27 +4,36 @@
   decision maps to JSON (round-trippable) and to OFF/DOT for external
   viewers;
 * :mod:`repro.analysis.statistics` — summaries of run populations
-  (steps, decisions, memory consumption) used by the benchmarks and
-  examples.
+  (steps, decisions, memory consumption) and of model-checking
+  explorations, used by the benchmarks and examples.
 """
 
 from repro.analysis.export import (
     complex_from_json,
     complex_to_json,
     complex_to_off,
+    exploration_to_json,
     skeleton_to_dot,
     subdivision_from_json,
     subdivision_to_json,
 )
-from repro.analysis.statistics import RunStatistics, summarize_runs
+from repro.analysis.statistics import (
+    ExplorationSummary,
+    RunStatistics,
+    summarize_exploration,
+    summarize_runs,
+)
 
 __all__ = [
     "complex_from_json",
     "complex_to_json",
     "complex_to_off",
+    "exploration_to_json",
     "skeleton_to_dot",
     "subdivision_from_json",
     "subdivision_to_json",
+    "ExplorationSummary",
     "RunStatistics",
+    "summarize_exploration",
     "summarize_runs",
 ]

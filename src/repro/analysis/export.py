@@ -127,6 +127,64 @@ def subdivision_from_json(data: str) -> Subdivision:
     return Subdivision(base, complex_, carriers)
 
 
+# -- exploration reports ------------------------------------------------------------
+
+
+def exploration_to_json(report: Any, naive: Any = None) -> str:
+    """JSON form of an :class:`~repro.mc.explorer.ExplorationReport`.
+
+    Violation schedules are encoded with the replay-file action encoding, so
+    a schedule copied out of this document pastes straight into a
+    ``repro-mc-replay-v1`` file.  ``naive`` (the same scenario explored
+    unreduced) adds a comparison block.
+    """
+    from repro.mc.replay import action_to_json
+
+    def stats_block(r: Any) -> dict:
+        s = r.stats
+        return {
+            "executions": s.executions,
+            "states_expanded": s.states_expanded,
+            "transitions": s.transitions,
+            "cache_hits": s.cache_hits,
+            "sleep_pruned": s.sleep_pruned,
+            "persistent_hits": s.persistent_hits,
+            "max_depth_seen": s.max_depth_seen,
+            "elapsed_seconds": s.elapsed_seconds,
+            "outcomes": len(r.outcomes),
+        }
+
+    document = {
+        "format": "repro-mc-report-v1",
+        "scenario": report.scenario_name,
+        "options": {
+            "reduction": report.options.reduction,
+            "state_cache": report.options.state_cache,
+            "max_crashes": report.options.crash_budget.max_crashes,
+            "max_depth": report.options.max_depth,
+        },
+        "stats": stats_block(report),
+        "violations": [
+            {
+                "property": violation.property_name,
+                "message": violation.message,
+                "terminal": violation.terminal,
+                "schedule": [
+                    action_to_json(action) for action in violation.schedule
+                ],
+            }
+            for violation in report.violations
+        ],
+    }
+    if naive is not None:
+        document["naive"] = stats_block(naive)
+        if report.stats.executions:
+            document["reduction_ratio"] = (
+                naive.stats.executions / report.stats.executions
+            )
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
 # -- lossy views ----------------------------------------------------------------------
 
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 import statistics as _stats
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.runtime.scheduler import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard mc import
+    from repro.mc.explorer import ExplorationReport
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,4 +80,67 @@ def summarize_runs(
         total_crashes=total_crashes,
         decision_histogram=ordered_histogram,
         all_survivors_decided=survivors_ok,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ExplorationSummary:
+    """Aggregate over one (or a naive-vs-reduced pair of) exploration run(s)."""
+
+    scenario: str
+    executions: int
+    states_expanded: int
+    transitions: int
+    schedules_per_second: float
+    outcomes: int
+    violations: int
+    cache_hits: int
+    sleep_pruned: int
+    persistent_hits: int
+    naive_executions: int | None = None
+
+    @property
+    def reduction_ratio(self) -> float | None:
+        """Naive schedules per reduced schedule (higher = better reduction)."""
+        if self.naive_executions is None or self.executions == 0:
+            return None
+        return self.naive_executions / self.executions
+
+    def __str__(self) -> str:
+        line = (
+            f"{self.scenario}: {self.executions} schedules "
+            f"({self.schedules_per_second:.0f}/s), "
+            f"{self.states_expanded} states, {self.outcomes} outcomes, "
+            f"{self.violations} violations"
+        )
+        if self.reduction_ratio is not None:
+            line += (
+                f" | naive {self.naive_executions} schedules, "
+                f"reduction {self.reduction_ratio:.2f}x"
+            )
+        return line
+
+
+def summarize_exploration(
+    report: "ExplorationReport", naive: "ExplorationReport | None" = None
+) -> ExplorationSummary:
+    """Summarize an exploration report, optionally against its naive twin.
+
+    ``naive`` should be the same scenario explored with reduction and state
+    caching disabled; its execution count feeds ``reduction_ratio``.
+    """
+    stats = report.stats
+    elapsed = stats.elapsed_seconds
+    return ExplorationSummary(
+        scenario=report.scenario_name,
+        executions=stats.executions,
+        states_expanded=stats.states_expanded,
+        transitions=stats.transitions,
+        schedules_per_second=stats.executions / elapsed if elapsed > 0 else 0.0,
+        outcomes=len(report.outcomes),
+        violations=len(report.violations),
+        cache_hits=stats.cache_hits,
+        sleep_pruned=stats.sleep_pruned,
+        persistent_hits=stats.persistent_hits,
+        naive_executions=None if naive is None else naive.stats.executions,
     )

@@ -6,7 +6,9 @@ writing code:
 * ``zoo``      — the solvability table over the task zoo (experiment E5);
 * ``sds``      — build ``SDS^b(sⁿ)``, print structure, optionally export;
 * ``emulate``  — run the Figure 2 emulation and report the legality check;
-* ``rename``   — run (2p−1)-renaming, natively or over the emulation.
+* ``rename``   — run (2p−1)-renaming, natively or over the emulation;
+* ``mc``       — model-check a scenario: reduced exhaustive exploration,
+  crash injection, counterexample minimization and replay.
 """
 
 from __future__ import annotations
@@ -195,6 +197,126 @@ def _cmd_rename(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.analysis.export import exploration_to_json
+    from repro.analysis.statistics import summarize_exploration
+    from repro.mc import (
+        CrashBudget,
+        EmulationScenario,
+        ExploreOptions,
+        IISScenario,
+        explore,
+        explore_parallel,
+        minimize_schedule,
+        replay_file,
+        replay_to_json,
+    )
+    from repro.runtime.scheduler import SchedulerTimeout
+
+    if args.replay:
+        loaded, outcome = replay_file(args.replay)
+        print(f"replaying {args.replay}: scenario {loaded.scenario.name}, "
+              f"{len(loaded.schedule)} actions")
+        if outcome.reproduced:
+            print(f"  reproduced: {outcome.violation}")
+            if (
+                loaded.expected_property is not None
+                and outcome.violation.property_name != loaded.expected_property
+            ):
+                print(f"  (file expected {loaded.expected_property!r})")
+            return 0
+        if loaded.expected_property is None:
+            print("  clean run (file records no violation) ✓")
+            return 0
+        print(f"  FAILED to reproduce expected {loaded.expected_property!r}")
+        return 1
+
+    if args.scenario == "emulation":
+        scenario = EmulationScenario(
+            processes=args.processes, k=args.k, mutate=args.mutate
+        )
+    else:
+        if args.mutate:
+            print("--mutate applies to the emulation scenario only",
+                  file=sys.stderr)
+            return 2
+        scenario = IISScenario(processes=args.processes, rounds=args.rounds)
+
+    crash_pids = (
+        tuple(int(p) for p in args.crash_pids.split(",")) if args.crash_pids else None
+    )
+    options = ExploreOptions(
+        reduction=not args.naive,
+        state_cache=not args.naive and not args.no_cache,
+        crash_budget=CrashBudget(max_crashes=args.crashes, pids=crash_pids),
+        max_depth=args.max_depth,
+    )
+
+    try:
+        if args.workers > 1:
+            report = explore_parallel(scenario, options, workers=args.workers)
+        else:
+            report = explore(scenario, options)
+        naive_report = None
+        if args.compare and not args.naive:
+            naive_report = explore(
+                scenario,
+                ExploreOptions(
+                    reduction=False,
+                    state_cache=False,
+                    crash_budget=options.crash_budget,
+                    max_depth=options.max_depth,
+                    stop_on_violation=options.stop_on_violation,
+                ),
+            )
+    except SchedulerTimeout as timeout:
+        print(f"exploration hit a scheduler timeout: {timeout}")
+        print(timeout.diagnostics())
+        return 1
+
+    mode = "naive" if args.naive else "reduced"
+    print(f"model checking {scenario.name} [{mode}"
+          f"{f', {args.workers} workers' if args.workers > 1 else ''}"
+          f"{f', <= {args.crashes} crashes' if args.crashes else ''}]")
+    print(f"  {summarize_exploration(report, naive_report)}")
+    stats = report.stats
+    print(f"  reductions: {stats.persistent_hits} persistent-set, "
+          f"{stats.sleep_pruned} sleep-set, {stats.cache_hits} state-cache")
+    if naive_report is not None:
+        ratio = naive_report.stats.executions / max(stats.executions, 1)
+        print(f"  naive twin : {naive_report.stats.executions} schedules, "
+              f"{naive_report.stats.states_expanded} states "
+              f"-> {ratio:.2f}x reduction, outcome sets "
+              f"{'agree ✓' if naive_report.outcomes == report.outcomes else 'DISAGREE ✗'}")
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(exploration_to_json(report, naive_report))
+        print(f"  wrote report to {args.report}")
+
+    if report.ok:
+        print(f"  all {len(report.outcomes)} outcomes satisfy "
+              f"{', '.join(p.name for p in scenario.properties())} ✓")
+        return 0
+
+    violation = report.violation
+    print(f"  VIOLATION: {violation}")
+    schedule = violation.schedule
+    if not args.no_minimize:
+        result = minimize_schedule(scenario, schedule)
+        schedule = result.schedule
+        print(f"  minimized {result.original_length} -> {len(schedule)} actions "
+              f"({result.candidates_tried} candidates): {result.violation.message}")
+        if result.timeout_diagnostics:
+            print(f"  (a candidate stalled)\n{result.timeout_diagnostics}")
+        violation = result.violation
+    if args.save_replay:
+        with open(args.save_replay, "w") as handle:
+            handle.write(replay_to_json(scenario, schedule, violation))
+        print(f"  wrote replay to {args.save_replay} "
+              f"(re-drive with: repro mc --replay {args.save_replay})")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,6 +378,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="run over iterated immediate snapshots via the emulation",
     )
     rename.set_defaults(func=_cmd_rename)
+
+    mc = sub.add_parser(
+        "mc", help="model-check a scenario (reduced exhaustive exploration)"
+    )
+    mc.add_argument(
+        "--scenario", choices=("emulation", "iis"), default="emulation"
+    )
+    mc.add_argument("-p", "--processes", type=int, default=2)
+    mc.add_argument("-k", type=int, default=1, help="emulation snapshot rounds")
+    mc.add_argument(
+        "-r", "--rounds", type=int, default=1, help="IIS rounds (iis scenario)"
+    )
+    mc.add_argument(
+        "--mutate",
+        help="check a deliberately broken emulation variant (e.g. skip-freshness)",
+    )
+    mc.add_argument(
+        "--crashes", type=int, default=0, help="crash-injection budget"
+    )
+    mc.add_argument(
+        "--crash-pids", help="comma-separated pids eligible to crash (default: all)"
+    )
+    mc.add_argument(
+        "--naive", action="store_true", help="disable all reductions (reference walk)"
+    )
+    mc.add_argument(
+        "--no-cache", action="store_true", help="disable state-hash pruning only"
+    )
+    mc.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the naive walk and report the reduction ratio",
+    )
+    mc.add_argument("--workers", type=int, default=1)
+    mc.add_argument("--max-depth", type=int, default=400)
+    mc.add_argument(
+        "--no-minimize", action="store_true", help="skip ddmin on a counterexample"
+    )
+    mc.add_argument("--save-replay", help="write a counterexample replay file here")
+    mc.add_argument("--report", help="write the exploration report (JSON) here")
+    mc.add_argument(
+        "--replay", help="re-drive a saved replay file instead of exploring"
+    )
+    mc.set_defaults(func=_cmd_mc)
 
     return parser
 

@@ -200,17 +200,24 @@ class EmulationHarness:
     as in Figure 1, but over the iterated immediate snapshot model.
     """
 
-    def __init__(self, inputs: Mapping[int, Hashable], k: int):
+    def __init__(
+        self,
+        inputs: Mapping[int, Hashable],
+        k: int,
+        *,
+        memory_factory: Callable[[int, int], "IISEmulatedMemory"] | None = None,
+    ):
         if k < 1:
             raise ValueError("k must be at least 1")
         self.inputs = dict(inputs)
         self.k = k
         self.n_processes = max(inputs) + 1
         self.trace = EmulationTrace(self.n_processes)
+        self._memory_factory = memory_factory or IISEmulatedMemory
         self._clock: Callable[[], int] = lambda: 0
 
     def _protocol(self, pid: int, input_value: Hashable):
-        memory = IISEmulatedMemory(pid, self.n_processes)
+        memory = self._memory_factory(pid, self.n_processes)
         trace = self.trace
         clock = lambda: self._clock()  # late-bound: the scheduler exists by run time
 
@@ -240,16 +247,33 @@ class EmulationHarness:
 
         return protocol()
 
-    def run(
-        self, schedule: Schedule | None = None, max_steps: int = 200_000
-    ) -> EmulationTrace:
-        factories = {
+    def protocol_factories(self) -> dict:
+        """Fresh protocol factories, e.g. for a scheduler the caller drives.
+
+        Call :meth:`attach` once the scheduler exists so trace timestamps
+        come from its clock; the model checker uses this pair to rebuild a
+        harness-per-replay without going through :meth:`run`.
+        """
+        return {
             pid: (lambda p, value=value: self._protocol(p, value))
             for pid, value in self.inputs.items()
         }
-        scheduler = Scheduler(factories, self.n_processes)
+
+    def attach(self, scheduler: Scheduler) -> None:
+        """Bind the trace's clock to ``scheduler`` (idempotent)."""
         self._clock = lambda: scheduler.time
-        result = scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+
+    def finalize(self, scheduler: Scheduler) -> EmulationTrace:
+        """Record the run outcome on the trace (callable mid-run, too)."""
+        result = scheduler.result()
         self.trace.final_states = dict(result.decisions)
         self.trace.total_memories = scheduler.memory.highest_is_memory_used + 1
         return self.trace
+
+    def run(
+        self, schedule: Schedule | None = None, max_steps: int = 200_000
+    ) -> EmulationTrace:
+        scheduler = Scheduler(self.protocol_factories(), self.n_processes)
+        self.attach(scheduler)
+        scheduler.run(schedule or RoundRobinSchedule(), max_steps)
+        return self.finalize(scheduler)

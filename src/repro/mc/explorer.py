@@ -1,0 +1,491 @@
+"""Reduced exhaustive exploration of the scheduler's schedule space.
+
+The explorer walks every execution of a :class:`~repro.mc.scenario.Scenario`
+by depth-first prefix replay (the same re-execution trick as
+:func:`repro.runtime.scheduler.enumerate_executions`, which stays available
+as the reference oracle) and prunes the walk with three sound reductions:
+
+1. **Sleep sets** (dynamic partial-order reduction) keyed on the
+   commutativity of actions: :class:`StepAction`\\ s of different processes
+   commute unless one writes a cell the other reads (single-writer cells
+   make write/write pairs always commute); :class:`BlockAction`\\ s commute
+   iff they target different one-shot memories; :class:`CrashAction`\\ s
+   commute with everything not involving the crashed process.  After a
+   branch explores action ``a``, its siblings' subtrees put ``a`` to sleep
+   until a dependent action wakes it, so each Mazurkiewicz trace is explored
+   once instead of once per interleaving of independent actions.
+
+2. **Persistent sets** for *saturated* one-shot memories: when every
+   running process outside memory ``M``'s pending group has already written
+   ``M`` (one-shot memories are write-once, so nobody can join later), the
+   blocks on ``M`` — plus crashes of the group, when fault injection is
+   active — form a persistent set: nothing outside it can ever interfere
+   with it.  The explorer then branches *only* on those actions.
+
+3. **Canonical state hashing**: two prefixes delivering the same per-process
+   result histories on the same shared-memory state have identical futures
+   (processes are deterministic generators), so revisits are pruned via
+   :meth:`Scheduler.state_fingerprint`.  With sleep sets in play a cached
+   state is skipped only when it was previously explored with a subset of
+   the current sleep set — the standard condition keeping the combination
+   sound.
+
+Soundness for the online properties: all stock oracles are functions of the
+per-process histories and memory state (value-level conditions) plus
+*monotone* real-time conditions whose obligation set is itself determined by
+the histories — see DESIGN.md §3.3 for the argument — so every violation
+reachable by the naive enumeration is reachable by the reduced walk.
+
+Fault injection extends the explored alphabet with ``CrashAction``\\ s under
+a configurable :class:`CrashBudget`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Hashable, Sequence
+
+from repro.mc.properties import Property
+from repro.mc.scenario import Scenario, ScenarioInstance
+from repro.runtime.ops import Operation, ReadCell, SnapshotRegion, WriteCell
+from repro.runtime.scheduler import (
+    Action,
+    BlockAction,
+    CrashAction,
+    Scheduler,
+    SchedulerError,
+    StepAction,
+)
+
+Outcome = tuple[tuple[tuple[int, Hashable], ...], frozenset[int]]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashBudget:
+    """Fault-injection configuration: how many crashes, and of whom."""
+
+    max_crashes: int = 0
+    pids: tuple[int, ...] | None = None  # None = every process is crashable
+
+    def allows(self, crashes_so_far: int) -> bool:
+        return crashes_so_far < self.max_crashes
+
+    def crashable(self, pid: int) -> bool:
+        return self.pids is None or pid in self.pids
+
+
+@dataclass(frozen=True, slots=True)
+class ExploreOptions:
+    """Knobs of one exploration run (picklable for the parallel split)."""
+
+    reduction: bool = True  # sleep sets + persistent sets
+    state_cache: bool = True  # canonical state-hash pruning
+    crash_budget: CrashBudget = CrashBudget()
+    max_depth: int = 400
+    check_online: bool = True  # evaluate properties on every state, not just terminal
+    stop_on_violation: bool = True
+
+
+@dataclass(slots=True)
+class ExplorationStats:
+    """Work accounting, naive-vs-reduced comparable."""
+
+    executions: int = 0  # complete schedules driven to termination
+    states_expanded: int = 0  # nodes whose successors were computed
+    transitions: int = 0  # actions applied across all replays
+    cache_hits: int = 0  # states pruned by the canonical hash
+    sleep_pruned: int = 0  # actions suppressed by sleep sets
+    persistent_hits: int = 0  # states narrowed to a persistent set
+    max_depth_seen: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "ExplorationStats") -> None:
+        self.executions += other.executions
+        self.states_expanded += other.states_expanded
+        self.transitions += other.transitions
+        self.cache_hits += other.cache_hits
+        self.sleep_pruned += other.sleep_pruned
+        self.persistent_hits += other.persistent_hits
+        self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
+        self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A property failure with the schedule that produced it."""
+
+    property_name: str
+    message: str
+    schedule: tuple[Action, ...]
+    terminal: bool
+
+    def __str__(self) -> str:
+        where = "terminal state" if self.terminal else f"step {len(self.schedule)}"
+        return (
+            f"{self.property_name} violated at {where} "
+            f"after {len(self.schedule)} actions: {self.message}"
+        )
+
+
+@dataclass(slots=True)
+class ExplorationReport:
+    """Everything one exploration produced."""
+
+    scenario_name: str
+    options: ExploreOptions
+    outcomes: set[Outcome] = field(default_factory=set)
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def violation(self) -> Violation | None:
+        return self.violations[0] if self.violations else None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# -- commutativity ------------------------------------------------------------
+
+
+def _action_pids(action: Action) -> frozenset[int]:
+    if isinstance(action, BlockAction):
+        return frozenset(action.pids)
+    return frozenset((action.pid,))
+
+
+def _ops_independent(
+    op_a: Operation | None, pid_a: int, op_b: Operation | None, pid_b: int
+) -> bool:
+    """Do these two register operations (by distinct processes) commute?"""
+    reads = (SnapshotRegion, ReadCell)
+    if isinstance(op_a, WriteCell) and isinstance(op_b, WriteCell):
+        return True  # single-writer: always disjoint cells
+    if isinstance(op_a, reads) and isinstance(op_b, reads):
+        return True  # reads never interfere
+    if isinstance(op_a, WriteCell) and isinstance(op_b, reads):
+        write_op, write_pid, read_op = op_a, pid_a, op_b
+    elif isinstance(op_b, WriteCell) and isinstance(op_a, reads):
+        write_op, write_pid, read_op = op_b, pid_b, op_a
+    else:
+        return False  # conservative for anything unexpected
+    if isinstance(read_op, SnapshotRegion):
+        return read_op.region != write_op.region
+    return read_op.region != write_op.region or read_op.cell != write_pid
+
+
+def independent(a: Action, b: Action, pending: dict[int, Operation | None]) -> bool:
+    """Conservative commutativity of two enabled actions.
+
+    ``pending`` maps running pids to their pending operations in the state
+    where both actions are enabled.  ``True`` means executing ``a`` then
+    ``b`` reaches the same state as ``b`` then ``a`` and neither disables
+    the other — the relation both sleep sets and persistent sets key on.
+    """
+    if _action_pids(a) & _action_pids(b):
+        return False
+    if isinstance(a, CrashAction) or isinstance(b, CrashAction):
+        return True  # disjoint pids: a crash only touches its own process
+    if isinstance(a, StepAction) and isinstance(b, StepAction):
+        return _ops_independent(
+            pending.get(a.pid), a.pid, pending.get(b.pid), b.pid
+        )
+    if isinstance(a, BlockAction) and isinstance(b, BlockAction):
+        return a.index != b.index  # one-shot memories are disjoint objects
+    return True  # step vs block with disjoint pids: registers vs IS memories
+
+
+# -- persistent sets -----------------------------------------------------------
+
+
+def _persistent_actions(
+    scheduler: Scheduler,
+    actions: list[Action],
+    crashes_active: bool,
+) -> tuple[list[Action], bool]:
+    """Narrow to a saturated-memory persistent set when one exists.
+
+    A one-shot memory ``M`` is *saturated* when every running process
+    outside its pending group has already written ``M``: since one-shot
+    memories are write-once, the pending group can never grow, so the
+    blocks on ``M`` (plus crashes of group members while fault injection is
+    active) can neither be enabled, disabled, nor influenced by any action
+    outside the set — the defining condition of a persistent set.  When
+    several memories are saturated the smallest pending group wins (fewest
+    branches).
+    """
+    groups = scheduler.is_groups()
+    if not groups:
+        return actions, False
+    running = set(scheduler.running_pids())
+    best_index: int | None = None
+    for index in sorted(groups):
+        group = set(groups[index])
+        outside = running - group
+        participants = scheduler.memory.immediate_snapshot_memory(index).participants
+        if outside <= participants:
+            if best_index is None or len(group) < len(groups[best_index]):
+                best_index = index
+    if best_index is None:
+        return actions, False
+    group = set(groups[best_index])
+    narrowed = [
+        action
+        for action in actions
+        if (isinstance(action, BlockAction) and action.index == best_index)
+        or (crashes_active and isinstance(action, CrashAction) and action.pid in group)
+    ]
+    return narrowed, True
+
+
+# -- the exploration loop ------------------------------------------------------
+
+
+def _enabled(
+    scheduler: Scheduler, options: ExploreOptions, crashes_so_far: int
+) -> tuple[list[Action], bool]:
+    crashes_active = options.crash_budget.allows(crashes_so_far)
+    actions = scheduler.enabled_actions(with_crashes=crashes_active)
+    if crashes_active and options.crash_budget.pids is not None:
+        actions = [
+            action
+            for action in actions
+            if not isinstance(action, CrashAction)
+            or options.crash_budget.crashable(action.pid)
+        ]
+    return actions, crashes_active
+
+
+def _outcome_of(scheduler: Scheduler) -> Outcome:
+    result = scheduler.result()
+    return (tuple(sorted(result.decisions.items())), result.crashed)
+
+
+def _check(
+    properties: Sequence[Property],
+    instance: ScenarioInstance,
+    prefix: tuple[Action, ...],
+    terminal: bool,
+) -> Violation | None:
+    for prop in properties:
+        message = (
+            prop.check_terminal(instance) if terminal else prop.check_running(instance)
+        )
+        if message is not None:
+            return Violation(prop.name, message, prefix, terminal)
+    return None
+
+
+def replay_prefix(scenario: Scenario, prefix: Sequence[Action]) -> ScenarioInstance:
+    """Build a fresh instance and apply ``prefix`` to it."""
+    instance = scenario.build()
+    for action in prefix:
+        instance.scheduler.apply(action)
+    return instance
+
+
+def explore(
+    scenario: Scenario,
+    options: ExploreOptions = ExploreOptions(),
+    *,
+    properties: Sequence[Property] | None = None,
+    _seed_frontier: Sequence[tuple[tuple[Action, ...], frozenset[Action]]] | None = None,
+) -> ExplorationReport:
+    """Explore every execution of ``scenario`` under ``options``.
+
+    With ``options.reduction`` and ``options.state_cache`` disabled the walk
+    degenerates to the naive enumeration (same branching as
+    :func:`enumerate_executions`), which is how the benchmark's naive column
+    is measured.  ``_seed_frontier`` roots the walk at pre-computed
+    (prefix, sleep-set) pairs — the worker-parallel split uses it.
+    """
+    import time as _time
+
+    t0 = _time.perf_counter()
+    if properties is None:
+        properties = scenario.properties()
+    report = ExplorationReport(scenario.name, options)
+    stats = report.stats
+
+    # fingerprint -> sleep sets it was explored with (subset check keeps the
+    # cache sound underneath sleep sets).
+    visited: dict[tuple, list[frozenset[Action]]] = {}
+
+    if _seed_frontier is None:
+        stack: list[tuple[tuple[Action, ...], frozenset[Action]]] = [((), frozenset())]
+    else:
+        stack = [(tuple(prefix), frozenset(sleep)) for prefix, sleep in _seed_frontier]
+        stack.reverse()
+
+    # Live cursor: DFS pops a node's first child immediately after expanding
+    # it, so that child's state is one apply() away from the instance already
+    # in hand — no rebuild.  Siblings (popped after a whole subtree) replay.
+    live_prefix: tuple[Action, ...] | None = None
+    live_instance: ScenarioInstance | None = None
+
+    while stack:
+        prefix, sleep = stack.pop()
+        if live_prefix is not None and prefix and prefix[:-1] == live_prefix:
+            instance = live_instance
+            instance.scheduler.apply(prefix[-1])
+            stats.transitions += 1
+        else:
+            instance = replay_prefix(scenario, prefix)
+            stats.transitions += len(prefix)
+        live_prefix, live_instance = prefix, instance
+        scheduler = instance.scheduler
+        stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
+
+        crashes_so_far = sum(
+            1 for action in prefix if isinstance(action, CrashAction)
+        )
+        actions, crashes_active = _enabled(scheduler, options, crashes_so_far)
+
+        terminal = scheduler.all_done() or not actions
+        if options.check_online or terminal:
+            violation = _check(properties, instance, prefix, terminal)
+            if violation is not None:
+                report.violations.append(violation)
+                if options.stop_on_violation:
+                    stats.elapsed_seconds = _time.perf_counter() - t0
+                    return report
+                if not terminal:
+                    continue  # don't extend a violating prefix further
+
+        if terminal:
+            stats.executions += 1
+            report.outcomes.add(_outcome_of(scheduler))
+            continue
+
+        if len(prefix) >= options.max_depth:
+            raise SchedulerError(
+                f"exploration exceeded max_depth={options.max_depth} "
+                f"(scenario {scenario.name})"
+            )
+
+        if options.state_cache:
+            fingerprint = scheduler.state_fingerprint()
+            known = visited.get(fingerprint)
+            if known is not None and any(stored <= sleep for stored in known):
+                stats.cache_hits += 1
+                continue
+            visited.setdefault(fingerprint, []).append(sleep)
+
+        stats.states_expanded += 1
+
+        if options.reduction:
+            actions, narrowed = _persistent_actions(scheduler, actions, crashes_active)
+            if narrowed:
+                stats.persistent_hits += 1
+            pending = {
+                pid: process.pending
+                for pid, process in scheduler.processes.items()
+                if process.is_running
+            }
+            awake = [action for action in actions if action not in sleep]
+            stats.sleep_pruned += len(actions) - len(awake)
+            current_sleep = set(sleep)
+            children = []
+            for action in awake:
+                child_sleep = frozenset(
+                    other
+                    for other in current_sleep
+                    if independent(action, other, pending)
+                )
+                children.append((prefix + (action,), child_sleep))
+                current_sleep.add(action)
+        else:
+            children = [(prefix + (action,), frozenset()) for action in actions]
+
+        stack.extend(reversed(children))
+
+    stats.elapsed_seconds = _time.perf_counter() - t0
+    return report
+
+
+def frontier(
+    scenario: Scenario,
+    options: ExploreOptions,
+    *,
+    min_leaves: int,
+) -> tuple[list[tuple[tuple[Action, ...], frozenset[Action]]], ExplorationReport]:
+    """Breadth-first expansion until at least ``min_leaves`` open leaves.
+
+    Returns the open (prefix, sleep-set) leaves plus a partial report
+    covering the executions/violations already closed during expansion.
+    Mirrors the ``root_domain_chunks`` pattern of the CSP kernel: the split
+    point is computed deterministically so workers agree on it by index.
+    """
+    report = ExplorationReport(scenario.name, options)
+    properties = scenario.properties()
+    leaves: list[tuple[tuple[Action, ...], frozenset[Action]]] = [((), frozenset())]
+    while 0 < len(leaves) < min_leaves:
+        next_leaves: list[tuple[tuple[Action, ...], frozenset[Action]]] = []
+        progressed = False
+        for prefix, sleep in leaves:
+            if len(prefix) >= options.max_depth:
+                next_leaves.append((prefix, sleep))
+                continue
+            instance = replay_prefix(scenario, prefix)
+            scheduler = instance.scheduler
+            crashes_so_far = sum(
+                1 for action in prefix if isinstance(action, CrashAction)
+            )
+            actions, crashes_active = _enabled(scheduler, options, crashes_so_far)
+            terminal = scheduler.all_done() or not actions
+            if terminal:
+                violation = _check(properties, instance, prefix, True)
+                if violation is not None:
+                    report.violations.append(violation)
+                report.stats.executions += 1
+                report.outcomes.add(_outcome_of(scheduler))
+                continue
+            progressed = True
+            if options.reduction:
+                actions, _narrowed = _persistent_actions(
+                    scheduler, actions, crashes_active
+                )
+                pending = {
+                    pid: process.pending
+                    for pid, process in scheduler.processes.items()
+                    if process.is_running
+                }
+                awake = [action for action in actions if action not in sleep]
+                current_sleep = set(sleep)
+                for action in awake:
+                    child_sleep = frozenset(
+                        other
+                        for other in current_sleep
+                        if independent(action, other, pending)
+                    )
+                    next_leaves.append((prefix + (action,), child_sleep))
+                    current_sleep.add(action)
+            else:
+                next_leaves.extend(
+                    (prefix + (action,), frozenset()) for action in actions
+                )
+        leaves = next_leaves
+        if not progressed:
+            break
+    return leaves, report
+
+
+def frontier_chunks(
+    leaves: Sequence[tuple[tuple[Action, ...], frozenset[Action]]],
+    n_chunks: int,
+) -> list[list[tuple[tuple[Action, ...], frozenset[Action]]]]:
+    """Contiguous slices of the frontier, earliest leaves first.
+
+    Like :func:`repro.core.csp_kernel.root_domain_chunks`: contiguous and
+    deterministic, so scanning chunk results in order reproduces the serial
+    first-found violation.
+    """
+    chunks: list[list[tuple[tuple[Action, ...], frozenset[Action]]]] = []
+    size, extra = divmod(len(leaves), n_chunks)
+    iterator = iter(leaves)
+    for chunk_index in range(n_chunks):
+        take = size + (1 if chunk_index < extra else 0)
+        chunks.append(list(islice(iterator, take)))
+    return chunks

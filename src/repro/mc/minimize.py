@@ -1,0 +1,150 @@
+"""Delta-debugging minimization of violating schedules.
+
+A counterexample found by the explorer is an action prefix; this module
+shrinks it with the classic ddmin loop: repeatedly drop contiguous chunks of
+the schedule, keep the candidate when it still reproduces a violation, and
+refine granularity until 1-minimal (no single action can be removed).
+
+Dropping actions can make a schedule ill-formed — an action may no longer be
+enabled at its position — so a candidate is first *validated* by replay:
+every action must be enabled when applied.  After the candidate prefix is
+applied, the run is completed deterministically (always the first enabled
+action, no crash injection) so terminal properties get a full execution to
+judge; a candidate "reproduces" when any tracked property is violated along
+the way.  A :class:`SchedulerTimeout` during completion is treated as
+non-reproducing but its diagnostics are kept for the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mc.explorer import Violation, _check
+from repro.mc.properties import Property
+from repro.mc.scenario import Scenario
+from repro.runtime.scheduler import Action, SchedulerTimeout
+
+
+@dataclass(slots=True)
+class MinimizationResult:
+    """The shrunk schedule and the violation it still exhibits."""
+
+    schedule: tuple[Action, ...]
+    violation: Violation
+    original_length: int
+    candidates_tried: int
+    timeout_diagnostics: str | None = None
+
+    @property
+    def removed(self) -> int:
+        return self.original_length - len(self.schedule)
+
+
+def _reproduce(
+    scenario: Scenario,
+    candidate: Sequence[Action],
+    properties: Sequence[Property],
+    max_extension: int,
+) -> tuple[Violation | None, str | None]:
+    """Replay ``candidate`` (+ deterministic completion); return a violation.
+
+    Returns ``(violation, timeout_diagnostics)``; ``(None, ...)`` when the
+    candidate is ill-formed, completes cleanly, or stalls.
+    """
+    instance = scenario.build()
+    scheduler = instance.scheduler
+    applied: list[Action] = []
+    for action in candidate:
+        if action not in scheduler.enabled_actions(with_crashes=True):
+            return None, None  # ill-formed at this position
+        scheduler.apply(action)
+        applied.append(action)
+        violation = _check(properties, instance, tuple(applied), terminal=False)
+        if violation is not None:
+            return violation, None
+    extension_steps = 0
+    while not scheduler.all_done():
+        actions = scheduler.enabled_actions()
+        if not actions:
+            break
+        extension_steps += 1
+        if extension_steps > max_extension:
+            timeout = SchedulerTimeout(
+                f"minimizer completion exceeded {max_extension} steps",
+                per_process_steps={
+                    p.pid: p.steps for p in scheduler.processes.values()
+                },
+                last_action=applied[-1] if applied else None,
+            )
+            return None, timeout.diagnostics()
+        scheduler.apply(actions[0])
+        applied.append(actions[0])
+        violation = _check(properties, instance, tuple(applied), terminal=False)
+        if violation is not None:
+            return violation, None
+    return _check(properties, instance, tuple(applied), terminal=True), None
+
+
+def minimize_schedule(
+    scenario: Scenario,
+    schedule: Sequence[Action],
+    *,
+    properties: Sequence[Property] | None = None,
+    max_extension: int = 10_000,
+) -> MinimizationResult:
+    """ddmin: shrink ``schedule`` to a 1-minimal violating core.
+
+    ``schedule`` must reproduce a violation of the scenario's properties
+    (the prefix the explorer reported always does); raises ``ValueError``
+    otherwise.
+    """
+    if properties is None:
+        properties = scenario.properties()
+    tried = 0
+    timeout_diag: str | None = None
+
+    def check(candidate: Sequence[Action]) -> Violation | None:
+        nonlocal tried, timeout_diag
+        tried += 1
+        violation, diag = _reproduce(scenario, candidate, properties, max_extension)
+        if diag is not None:
+            timeout_diag = diag
+        return violation
+
+    current = list(schedule)
+    violation = check(current)
+    if violation is None:
+        raise ValueError(
+            "schedule does not reproduce any property violation; "
+            "nothing to minimize"
+        )
+
+    granularity = 2
+    while len(current) >= 2:
+        chunk_size = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk_size :]
+            if candidate:
+                candidate_violation = check(candidate)
+                if candidate_violation is not None:
+                    current = candidate
+                    violation = candidate_violation
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            start += chunk_size
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    return MinimizationResult(
+        schedule=tuple(current),
+        violation=violation,
+        original_length=len(schedule),
+        candidates_tried=tried,
+        timeout_diagnostics=timeout_diag,
+    )

@@ -1,0 +1,156 @@
+"""Pluggable safety properties evaluated online during exploration.
+
+A *property* inspects a :class:`~repro.mc.scenario.ScenarioInstance` and
+returns either ``None`` (no violation) or a human-readable message naming
+the violated condition.  The explorer calls :meth:`Property.check_running`
+after every applied action and :meth:`Property.check_terminal` on completed
+executions, so a violation is reported on the *shortest prefix* that
+exhibits it — which keeps counterexamples small before the delta-debugging
+minimizer even runs.
+
+The three stock properties wire in the oracles the repository already
+trusts:
+
+* :class:`SnapshotLegalityProperty` — Proposition 4.1's atomic-snapshot
+  legality conditions (:func:`repro.runtime.traces.check_snapshot_legality`)
+  over the Figure 2 emulation trace.  All five conditions are monotone in
+  the trace prefix (they quantify over pairs of *completed* operations), so
+  checking partial traces is sound: any violation found on a prefix is a
+  violation of every extension.
+* :class:`ISInvariantsProperty` — the Section 3.5 immediate-snapshot axioms
+  (self-inclusion, containment/comparability, immediacy/knowledge) plus the
+  ordered-partition shape of every one-shot memory's committed blocks.
+* :class:`TaskComplianceProperty` — decided outputs form a partial tuple
+  that extends to one allowed by the task's ``Δ``
+  (:meth:`repro.core.task.Task.validate_outputs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Mapping, Protocol as TypingProtocol
+
+from repro.runtime.immediate_snapshot import check_immediate_snapshot_axioms
+from repro.runtime.traces import SnapshotLegalityError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.task import Task
+    from repro.mc.scenario import ScenarioInstance
+
+
+class Property(TypingProtocol):
+    """Online safety property over scenario instances."""
+
+    name: str
+
+    def check_running(self, instance: "ScenarioInstance") -> str | None: ...
+
+    def check_terminal(self, instance: "ScenarioInstance") -> str | None: ...
+
+
+class SnapshotLegalityProperty:
+    """Proposition 4.1: the emulated history is a legal atomic-snapshot one.
+
+    Requires the scenario context to be an
+    :class:`~repro.core.emulation.EmulationHarness` (or anything exposing a
+    ``trace`` with ``check_legality``).
+    """
+
+    name = "snapshot-legality"
+
+    def _check(self, instance: "ScenarioInstance") -> str | None:
+        trace = instance.context.trace
+        try:
+            trace.check_legality()
+        except SnapshotLegalityError as exc:
+            return str(exc)
+        return None
+
+    def check_running(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance)
+
+    def check_terminal(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance)
+
+
+class ISInvariantsProperty:
+    """Every one-shot IS memory is an ordered partition with legal views."""
+
+    name = "is-invariants"
+
+    def _check(self, instance: "ScenarioInstance") -> str | None:
+        memory_system = instance.scheduler.memory
+        for index in memory_system.is_memory_indices():
+            memory = memory_system.immediate_snapshot_memory(index)
+            seen: set[int] = set()
+            for block in memory.blocks:
+                if not block:
+                    return f"memory {index}: empty block committed"
+                if seen & block:
+                    return (
+                        f"memory {index}: blocks are not disjoint "
+                        f"(pids {sorted(seen & block)} repeat)"
+                    )
+                seen |= block
+            if seen != set(memory.participants):
+                return (
+                    f"memory {index}: blocks cover {sorted(seen)} but "
+                    f"participants are {sorted(memory.participants)}"
+                )
+            pair_by_pid = {pid: (pid, value) for pid, value in memory.written_pairs}
+            cumulative: set[tuple[int, Hashable]] = set()
+            views: dict[int, frozenset] = {}
+            for block in memory.blocks:
+                cumulative.update(pair_by_pid[pid] for pid in block)
+                view = frozenset(cumulative)
+                for pid in block:
+                    views[pid] = view
+            try:
+                check_immediate_snapshot_axioms(views)
+            except AssertionError as exc:
+                return f"memory {index}: {exc}"
+        return None
+
+    def check_running(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance)
+
+    def check_terminal(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance)
+
+
+@dataclass
+class TaskComplianceProperty:
+    """Decided outputs are ``Δ``-compliant for the scenario's inputs.
+
+    ``inputs`` maps pids to the task-level input payloads of the run; the
+    partial output tuple of the processes decided *so far* must extend to an
+    allowed tuple, which is exactly what
+    :meth:`~repro.core.task.Task.validate_outputs` checks, so the property
+    is safe to evaluate online.
+    """
+
+    task: "Task"
+    inputs: Mapping[int, Hashable]
+    name: str = "task-compliance"
+
+    def _check(self, instance: "ScenarioInstance") -> str | None:
+        scheduler = instance.scheduler
+        decisions = {
+            p.pid: p.decision
+            for p in scheduler.processes.values()
+            if p.has_decided
+        }
+        if not decisions:
+            return None
+        if not self.task.validate_outputs(dict(self.inputs), decisions):
+            return (
+                f"decisions {decisions!r} are not Δ-compliant for "
+                f"{self.task.name} on inputs {dict(self.inputs)!r}"
+            )
+        return None
+
+    def check_running(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance)
+
+    def check_terminal(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance)

@@ -1,0 +1,157 @@
+"""Deterministic counterexample replay files (JSON).
+
+A replay file is self-contained: the scenario spec (rebuildable via
+:func:`repro.mc.scenario.scenario_from_spec`), the exact action schedule,
+and the violation it demonstrates.  ``repro mc --replay FILE`` loads one and
+re-drives the scheduler action by action, re-checking the properties — so a
+counterexample found once is reproducible forever, independent of seeds,
+wall clock, or host.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mc.explorer import Violation, _check, replay_prefix
+from repro.mc.scenario import Scenario, ScenarioInstance, scenario_from_spec
+from repro.runtime.scheduler import Action, BlockAction, CrashAction, StepAction
+
+SCHEMA = "repro-mc-replay-v1"
+
+
+def action_to_json(action: Action) -> dict:
+    if isinstance(action, StepAction):
+        return {"type": "step", "pid": action.pid}
+    if isinstance(action, BlockAction):
+        return {"type": "block", "index": action.index, "pids": list(action.pids)}
+    if isinstance(action, CrashAction):
+        return {"type": "crash", "pid": action.pid}
+    raise TypeError(f"unknown action {action!r}")
+
+
+def action_from_json(encoded: dict) -> Action:
+    kind = encoded.get("type")
+    if kind == "step":
+        return StepAction(int(encoded["pid"]))
+    if kind == "block":
+        return BlockAction(
+            int(encoded["index"]), tuple(int(pid) for pid in encoded["pids"])
+        )
+    if kind == "crash":
+        return CrashAction(int(encoded["pid"]))
+    raise ValueError(f"unknown action type {kind!r}")
+
+
+def replay_to_json(
+    scenario: Scenario,
+    schedule: Sequence[Action],
+    violation: Violation | None = None,
+) -> str:
+    document = {
+        "schema": SCHEMA,
+        "scenario": scenario.to_spec(),
+        "schedule": [action_to_json(action) for action in schedule],
+    }
+    if violation is not None:
+        document["violation"] = {
+            "property": violation.property_name,
+            "message": violation.message,
+            "terminal": violation.terminal,
+        }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+@dataclass(slots=True)
+class LoadedReplay:
+    scenario: Scenario
+    schedule: tuple[Action, ...]
+    expected_property: str | None
+    expected_message: str | None
+
+
+def load_replay(text: str) -> LoadedReplay:
+    document = json.loads(text)
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"not a {SCHEMA} document")
+    expected = document.get("violation") or {}
+    return LoadedReplay(
+        scenario=scenario_from_spec(document["scenario"]),
+        schedule=tuple(
+            action_from_json(encoded) for encoded in document["schedule"]
+        ),
+        expected_property=expected.get("property"),
+        expected_message=expected.get("message"),
+    )
+
+
+@dataclass(slots=True)
+class ReplayOutcome:
+    instance: ScenarioInstance
+    violation: Violation | None
+
+    @property
+    def reproduced(self) -> bool:
+        return self.violation is not None
+
+
+def replay_schedule(
+    scenario: Scenario,
+    schedule: Sequence[Action],
+    *,
+    max_extension: int = 10_000,
+) -> ReplayOutcome:
+    """Apply ``schedule`` to a fresh instance, checking properties online.
+
+    A schedule that leaves the system unfinished (minimized cores usually
+    do) is completed deterministically — always the first enabled action, no
+    crash injection — exactly like the minimizer judges its candidates, so a
+    minimized counterexample reproduces on replay by construction.
+    """
+    properties = scenario.properties()
+    instance = scenario.build()
+    scheduler = instance.scheduler
+    applied: list[Action] = []
+    for action in schedule:
+        scheduler.apply(action)
+        applied.append(action)
+        violation = _check(properties, instance, tuple(applied), terminal=False)
+        if violation is not None:
+            return ReplayOutcome(instance, violation)
+    extension_steps = 0
+    while not scheduler.all_done() and extension_steps < max_extension:
+        actions = scheduler.enabled_actions()
+        if not actions:
+            break
+        extension_steps += 1
+        scheduler.apply(actions[0])
+        applied.append(actions[0])
+        violation = _check(properties, instance, tuple(applied), terminal=False)
+        if violation is not None:
+            return ReplayOutcome(instance, violation)
+    violation = _check(
+        properties, instance, tuple(applied), terminal=scheduler.all_done()
+    )
+    return ReplayOutcome(instance, violation)
+
+
+def replay_file(path: str) -> tuple[LoadedReplay, ReplayOutcome]:
+    """Load and re-drive a replay file."""
+    with open(path) as handle:
+        loaded = load_replay(handle.read())
+    return loaded, replay_schedule(loaded.scenario, loaded.schedule)
+
+
+__all__ = [
+    "SCHEMA",
+    "action_from_json",
+    "action_to_json",
+    "load_replay",
+    "LoadedReplay",
+    "replay_file",
+    "replay_schedule",
+    "ReplayOutcome",
+    "replay_to_json",
+    "replay_prefix",
+]

@@ -1,0 +1,175 @@
+"""Scenarios: rebuildable system-under-test configurations.
+
+The explorer's depth-first prefix replay re-executes action prefixes from
+scratch (generator coroutines cannot be forked), so the object it explores
+must be *rebuildable*: a :class:`Scenario` produces a fresh
+:class:`ScenarioInstance` — scheduler plus scenario-specific context (e.g.
+the emulation harness whose trace the legality oracle reads) — every time
+:meth:`Scenario.build` is called.  Scenarios are small picklable dataclasses
+so the worker-parallel frontier split can ship them to subprocesses, and
+they serialize to/from JSON specs so a counterexample replay file is
+self-contained.
+
+The mutation scenario (``mutate="skip-freshness"``) runs Figure 2 with the
+double-collect freshness check removed: an emulated operation returns after
+its *first* one-shot memory instead of resubmitting until its tuple lands in
+``∩S``.  The model checker must catch this — it is the self-test proving the
+Proposition 4.1 oracles are load-bearing, not vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Protocol as TypingProtocol, Sequence
+
+from repro.core.emulation import EmulationHarness, IISEmulatedMemory, union_of
+from repro.mc.properties import ISInvariantsProperty, Property, SnapshotLegalityProperty
+from repro.runtime.iterated import iis_full_information
+from repro.runtime.ops import Decide, WriteReadIS
+from repro.runtime.scheduler import Scheduler
+
+
+@dataclass
+class ScenarioInstance:
+    """One fresh, steerable copy of the system under test."""
+
+    scheduler: Scheduler
+    context: object = None
+
+
+class Scenario(TypingProtocol):
+    """A rebuildable configuration the explorer can quantify over."""
+
+    name: str
+
+    def build(self) -> ScenarioInstance: ...
+
+    def properties(self) -> Sequence[Property]: ...
+
+
+class SkipFreshnessMemory(IISEmulatedMemory):
+    """Figure 2 with the freshness loop removed (deliberately broken).
+
+    The correct emulator resubmits ``∪S`` to successive memories until its
+    tuple appears in ``∩S`` — that loop is what makes completed writes
+    visible to later snapshots (Corollary 4.1).  This variant declares the
+    operation done after the first WriteRead, so under the right
+    interleavings a snapshot misses a completed write (or even the writer's
+    own one), violating the legality conditions.
+    """
+
+    __slots__ = ()
+
+    def _drive(self, tag):
+        submission = union_of(self._collection) | {tag}
+        view = yield WriteReadIS(self._next_memory, submission)
+        self._next_memory += 1
+        self._collection = frozenset(entry for _pid, entry in view)
+
+
+MUTATIONS = {
+    "skip-freshness": SkipFreshnessMemory,
+}
+
+
+@dataclass
+class EmulationScenario:
+    """The Figure 1-over-Figure 2 emulation as a model-checking target.
+
+    ``processes`` emulators each run ``k`` write/snapshot rounds; the
+    checked properties are the Proposition 4.1 legality oracle and the
+    Section 3.5 IS invariants.  ``mutate`` selects a deliberately broken
+    emulation variant from :data:`MUTATIONS` (``None`` = faithful).
+    """
+
+    processes: int = 3
+    k: int = 1
+    mutate: str | None = None
+    name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        suffix = f"+{self.mutate}" if self.mutate else ""
+        self.name = f"emulation(p={self.processes},k={self.k}){suffix}"
+        if self.mutate is not None and self.mutate not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {self.mutate!r}; known: {sorted(MUTATIONS)}"
+            )
+
+    def build(self) -> ScenarioInstance:
+        inputs = {pid: f"v{pid}" for pid in range(self.processes)}
+        memory_factory = MUTATIONS[self.mutate] if self.mutate else None
+        harness = EmulationHarness(inputs, self.k, memory_factory=memory_factory)
+        scheduler = Scheduler(
+            harness.protocol_factories(),
+            self.processes,
+            record_events=True,
+            track_history=True,
+        )
+        harness.attach(scheduler)
+        return ScenarioInstance(scheduler, harness)
+
+    def properties(self) -> tuple[Property, ...]:
+        return (SnapshotLegalityProperty(), ISInvariantsProperty())
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "emulation",
+            "processes": self.processes,
+            "k": self.k,
+            "mutate": self.mutate,
+        }
+
+
+@dataclass
+class IISScenario:
+    """The ``rounds``-shot IIS full-information protocol (Section 3.5)."""
+
+    processes: int = 3
+    rounds: int = 1
+    name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.name = f"iis(p={self.processes},r={self.rounds})"
+
+    def build(self) -> ScenarioInstance:
+        rounds = self.rounds
+
+        def factory_for(value):
+            def factory(pid):
+                def protocol():
+                    view = yield from iis_full_information(pid, value, rounds)
+                    yield Decide(view)
+
+                return protocol()
+
+            return factory
+
+        factories = {
+            pid: factory_for(f"v{pid}") for pid in range(self.processes)
+        }
+        scheduler = Scheduler(
+            factories, self.processes, record_events=True, track_history=True
+        )
+        return ScenarioInstance(scheduler)
+
+    def properties(self) -> tuple[Property, ...]:
+        return (ISInvariantsProperty(),)
+
+    def to_spec(self) -> dict:
+        return {"kind": "iis", "processes": self.processes, "rounds": self.rounds}
+
+
+def scenario_from_spec(spec: dict) -> Scenario:
+    """Inverse of ``to_spec``: rebuild a scenario from its JSON form."""
+    kind = spec.get("kind")
+    if kind == "emulation":
+        return EmulationScenario(
+            processes=int(spec["processes"]),
+            k=int(spec["k"]),
+            mutate=spec.get("mutate"),
+        )
+    if kind == "iis":
+        return IISScenario(
+            processes=int(spec["processes"]), rounds=int(spec["rounds"])
+        )
+    raise ValueError(f"unknown scenario kind {kind!r}")

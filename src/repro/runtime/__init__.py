@@ -20,6 +20,7 @@ from repro.runtime.scheduler import (
     RoundRobinSchedule,
     Scheduler,
     SchedulerError,
+    SchedulerTimeout,
     enumerate_executions,
 )
 from repro.runtime.shared_memory import RegisterRegion, SharedMemorySystem
@@ -43,6 +44,7 @@ __all__ = [
     "ProtocolFactory",
     "Scheduler",
     "SchedulerError",
+    "SchedulerTimeout",
     "RandomSchedule",
     "RoundRobinSchedule",
     "enumerate_executions",

@@ -70,6 +70,11 @@ class OneShotISMemory:
         return frozenset(self._participants)
 
     @property
+    def written_pairs(self) -> frozenset[tuple[int, Hashable]]:
+        """All ``(pid, value)`` pairs committed so far (cumulative state)."""
+        return frozenset(self._written)
+
+    @property
     def blocks(self) -> tuple[frozenset[int], ...]:
         """The ordered partition committed so far (for transcripts/tests)."""
         return tuple(self._blocks)

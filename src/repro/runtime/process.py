@@ -30,17 +30,25 @@ class ProcessState(enum.Enum):
 
 
 class Process:
-    """Execution state of one process driving a protocol generator."""
+    """Execution state of one process driving a protocol generator.
 
-    __slots__ = ("pid", "_generator", "state", "decision", "pending", "steps")
+    With ``track_history=True`` the process records every result the
+    scheduler delivered to it.  For a deterministic protocol that history
+    (plus the terminal state) determines the generator's entire future, so
+    it is the per-process component of the scheduler's canonical state
+    fingerprint used by the model checker to prune revisited states.
+    """
 
-    def __init__(self, pid: int, generator: Protocol):
+    __slots__ = ("pid", "_generator", "state", "decision", "pending", "steps", "history")
+
+    def __init__(self, pid: int, generator: Protocol, *, track_history: bool = False):
         self.pid = pid
         self._generator = generator
         self.state = ProcessState.RUNNING
         self.decision: Hashable = None
         self.pending: Operation | None = None
         self.steps = 0
+        self.history: list[object] | None = [] if track_history else None
 
     def start(self) -> None:
         """Advance to the first yield (or immediate decision)."""
@@ -54,6 +62,8 @@ class Process:
 
     def _advance(self, result: object) -> None:
         self.steps += 1
+        if self.history is not None:
+            self.history.append(result)
         try:
             operation = self._generator.send(result)
         except StopIteration as stop:

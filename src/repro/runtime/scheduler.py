@@ -38,6 +38,41 @@ class SchedulerError(RuntimeError):
     """A run failed: non-termination guard tripped or an illegal action."""
 
 
+class SchedulerTimeout(SchedulerError):
+    """The ``max_steps`` guard tripped.
+
+    Carries everything needed to debug the stall: the partial trace (empty
+    unless the scheduler was created with ``record_events=True``), the step
+    count of every process, and the last action applied.  The model checker
+    surfaces these on its counterexample path.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        events: tuple["Event", ...] = (),
+        per_process_steps: dict[int, int] | None = None,
+        last_action: "Action | None" = None,
+    ):
+        super().__init__(message)
+        self.events = events
+        self.per_process_steps = dict(per_process_steps or {})
+        self.last_action = last_action
+
+    def diagnostics(self) -> str:
+        """Human-readable summary of the stalled run."""
+        steps = ", ".join(
+            f"p{pid}:{count}" for pid, count in sorted(self.per_process_steps.items())
+        )
+        lines = [str(self), f"  per-process steps: {steps or '(none)'}"]
+        lines.append(f"  last action      : {self.last_action!r}")
+        if self.events:
+            tail = ", ".join(repr(e.action) for e in self.events[-5:])
+            lines.append(f"  trace tail       : {tail}")
+        return "\n".join(lines)
+
+
 @dataclass(frozen=True, slots=True)
 class StepAction:
     pid: int
@@ -67,12 +102,19 @@ class Event:
 
 @dataclass(slots=True)
 class RunResult:
-    """Outcome of a completed run."""
+    """Outcome of a completed run.
+
+    ``injected_crashes`` records every applied :class:`CrashAction` as a
+    ``(time, pid)`` pair regardless of ``record_events``, so a run driven by
+    a seeded schedule is auditable and reproducible from (seed, config)
+    alone.
+    """
 
     decisions: dict[int, Hashable]
     crashed: frozenset[int]
     steps: int
     events: tuple[Event, ...] = field(default=(), repr=False)
+    injected_crashes: tuple[tuple[int, int], ...] = ()
 
     @property
     def participating(self) -> frozenset[int]:
@@ -94,6 +136,7 @@ class Scheduler:
         n_processes: int | None = None,
         *,
         record_events: bool = False,
+        track_history: bool = False,
     ):
         if isinstance(factories, dict):
             factory_map = dict(factories)
@@ -106,12 +149,14 @@ class Scheduler:
         self.memory = SharedMemorySystem(n_processes)
         self.processes: dict[int, Process] = {}
         for pid, factory in factory_map.items():
-            process = Process(pid, factory(pid))
+            process = Process(pid, factory(pid), track_history=track_history)
             process.start()
             self.processes[pid] = process
         self.time = 0
         self._record = record_events
         self._events: list[Event] = []
+        self._last_action: Action | None = None
+        self._injected_crashes: list[tuple[int, int]] = []
 
     # -- introspection for schedules ------------------------------------------
 
@@ -141,8 +186,9 @@ class Scheduler:
     def enabled_actions(self, *, with_crashes: bool = False) -> list[Action]:
         """Deterministically ordered list of all currently legal actions."""
         actions: list[Action] = [StepAction(pid) for pid in self.register_pending()]
-        for index in sorted(self.is_groups()):
-            pids = self.is_groups()[index]
+        groups = self.is_groups()
+        for index in sorted(groups):
+            pids = groups[index]
             for size in range(1, len(pids) + 1):
                 for block in combinations(pids, size):
                     actions.append(BlockAction(index, block))
@@ -154,10 +200,12 @@ class Scheduler:
 
     def apply(self, action: Action) -> None:
         self.time += 1
+        self._last_action = action
         if self._record:
             self._events.append(Event(self.time, action))
         if isinstance(action, CrashAction):
             self.processes[action.pid].crash()
+            self._injected_crashes.append((self.time, action.pid))
             return
         if isinstance(action, StepAction):
             self._apply_step(action.pid)
@@ -216,8 +264,13 @@ class Scheduler:
         """Drive to completion (all processes decided or crashed)."""
         while not self.all_done():
             if self.time >= max_steps:
-                raise SchedulerError(
-                    f"exceeded {max_steps} steps; protocol or schedule is not wait-free"
+                raise SchedulerTimeout(
+                    f"exceeded {max_steps} steps; protocol or schedule is not wait-free",
+                    events=tuple(self._events),
+                    per_process_steps={
+                        p.pid: p.steps for p in self.processes.values()
+                    },
+                    last_action=self._last_action,
                 )
             action = schedule.choose(self)
             if action is None:
@@ -234,7 +287,34 @@ class Scheduler:
         crashed = frozenset(
             p.pid for p in self.processes.values() if p.state is ProcessState.CRASHED
         )
-        return RunResult(decisions, crashed, self.time, tuple(self._events))
+        return RunResult(
+            decisions,
+            crashed,
+            self.time,
+            tuple(self._events),
+            tuple(self._injected_crashes),
+        )
+
+    def state_fingerprint(self) -> tuple:
+        """Canonical hashable fingerprint of the reachable-future state.
+
+        Requires ``track_history=True``.  Two schedulers with equal
+        fingerprints have identical future behaviour under every action
+        sequence: each process is a deterministic generator, so its future
+        is a function of the results delivered to it (its history) plus its
+        liveness state, and the shared memory's future responses are a
+        function of :meth:`SharedMemorySystem.fingerprint`.  The model
+        checker uses this to prune revisited states soundly.
+        """
+        processes = []
+        for pid in sorted(self.processes):
+            process = self.processes[pid]
+            if process.history is None:
+                raise SchedulerError(
+                    "state_fingerprint requires Scheduler(track_history=True)"
+                )
+            processes.append((pid, process.state.value, tuple(process.history)))
+        return (tuple(processes), self.memory.fingerprint())
 
 
 class RoundRobinSchedule:
@@ -256,12 +336,25 @@ class RoundRobinSchedule:
 
 
 class RandomSchedule:
-    """Seeded random schedule with optional crash injection.
+    """Seeded random schedule with configurable crash injection.
 
     ``block_probability`` controls how often co-pending WriteReads are
     merged into one concurrency class — higher values produce "more
-    simultaneous" immediate-snapshot executions.  ``crash_pids`` processes
-    are crashed after a random number of their own steps.
+    simultaneous" immediate-snapshot executions.
+
+    Two crash mechanisms, both deterministic functions of (seed, config):
+
+    * ``crash_pids`` — the listed processes are crashed after a seeded
+      random number of their own steps (at most ``max_crash_delay``);
+    * ``crash_probability`` — at each scheduling decision, with this
+      probability a uniformly random running process is crashed.
+
+    ``max_crashes`` caps the total number of injected crashes.  When left
+    ``None`` it defaults to ``len(crash_pids)`` plus (if probabilistic
+    crashing is on) ``n_processes - 1``, the standard wait-free adversary
+    that always leaves one survivor.  Every injected crash lands in
+    :attr:`RunResult.injected_crashes`, so the run is reproducible and
+    auditable from (seed, config) alone.
     """
 
     def __init__(
@@ -271,22 +364,51 @@ class RandomSchedule:
         block_probability: float = 0.5,
         crash_pids: Sequence[int] = (),
         max_crash_delay: int = 20,
+        crash_probability: float = 0.0,
+        max_crashes: int | None = None,
     ):
+        if not 0.0 <= crash_probability <= 1.0:
+            raise ValueError("crash_probability must be within [0, 1]")
+        if max_crashes is not None and max_crashes < 0:
+            raise ValueError("max_crashes must be non-negative")
+        self.seed = seed
         self._rng = random.Random(seed)
         self._block_probability = block_probability
+        self._crash_probability = crash_probability
+        self._max_crashes = max_crashes
+        self._crashes_issued = 0
         self._crash_at = {
             pid: self._rng.randint(0, max_crash_delay) for pid in crash_pids
         }
+        self._listed_crashes = len(self._crash_at)
+
+    def _crash_cap(self, scheduler: Scheduler) -> int:
+        if self._max_crashes is not None:
+            return self._max_crashes
+        cap = self._listed_crashes
+        if self._crash_probability > 0.0:
+            cap += max(len(scheduler.processes) - 1, 0)
+        return cap
 
     def choose(self, scheduler: Scheduler) -> Action | None:
+        cap = self._crash_cap(scheduler)
         for pid, deadline in sorted(self._crash_at.items()):
             process = scheduler.processes.get(pid)
             if process is not None and process.is_running and process.steps >= deadline:
                 del self._crash_at[pid]
-                return CrashAction(pid)
+                if self._crashes_issued < cap:
+                    self._crashes_issued += 1
+                    return CrashAction(pid)
         running = scheduler.running_pids()
         if not running:
             return None
+        if (
+            self._crash_probability > 0.0
+            and self._crashes_issued < cap
+            and self._rng.random() < self._crash_probability
+        ):
+            self._crashes_issued += 1
+            return CrashAction(self._rng.choice(running))
         pid = self._rng.choice(running)
         process = scheduler.processes[pid]
         if isinstance(process.pending, WriteReadIS):

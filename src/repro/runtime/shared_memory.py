@@ -89,6 +89,31 @@ class SharedMemorySystem:
             self._is_memories[index] = existing
         return existing
 
+    def fingerprint(self) -> tuple:
+        """Canonical hashable summary of the shared state.
+
+        Two memory systems with equal fingerprints behave identically under
+        every future operation: register reads/snapshots depend only on cell
+        values (versions feed legality vectors), and one-shot IS views are
+        cumulative functions of the written-pair set plus the write-once
+        participant set.  The *order* of past blocks is deliberately absent —
+        it only affects views already delivered, which the model checker
+        captures in the per-process histories.
+        """
+        regions = tuple(
+            (name, region.snapshot(), region.version_vector())
+            for name, region in sorted(self._regions.items())
+        )
+        is_memories = tuple(
+            (index, memory.written_pairs, memory.participants)
+            for index, memory in sorted(self._is_memories.items())
+        )
+        return (regions, is_memories)
+
+    def is_memory_indices(self) -> list[int]:
+        """Indices of the one-shot IS memories created so far, ascending."""
+        return sorted(self._is_memories)
+
     @property
     def highest_is_memory_used(self) -> int:
         """The largest IS memory index touched so far (-1 if none)."""

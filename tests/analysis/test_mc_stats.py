@@ -1,0 +1,49 @@
+"""Exploration summaries and the JSON report export."""
+
+import json
+
+from repro.analysis import exploration_to_json, summarize_exploration
+from repro.mc import EmulationScenario, ExploreOptions, explore
+
+NAIVE = ExploreOptions(reduction=False, state_cache=False)
+
+
+def test_summarize_exploration_alone():
+    report = explore(EmulationScenario(processes=2, k=1))
+    summary = summarize_exploration(report)
+    assert summary.executions == report.stats.executions
+    assert summary.violations == 0
+    assert summary.reduction_ratio is None
+    assert "schedules" in str(summary)
+
+
+def test_summarize_exploration_against_naive():
+    scenario = EmulationScenario(processes=2, k=1)
+    reduced = explore(scenario)
+    naive = explore(scenario, NAIVE)
+    summary = summarize_exploration(reduced, naive)
+    assert summary.naive_executions == naive.stats.executions
+    assert summary.reduction_ratio > 1.0
+    assert "reduction" in str(summary)
+
+
+def test_exploration_to_json_round_trips_stats():
+    scenario = EmulationScenario(processes=2, k=1, mutate="skip-freshness")
+    report = explore(scenario)
+    document = json.loads(exploration_to_json(report))
+    assert document["format"] == "repro-mc-report-v1"
+    assert document["scenario"] == scenario.name
+    assert document["stats"]["executions"] == report.stats.executions
+    violation = document["violations"][0]
+    assert violation["property"] == "snapshot-legality"
+    # The schedule uses the replay-file action encoding.
+    assert all("type" in action for action in violation["schedule"])
+
+
+def test_exploration_to_json_with_naive_comparison():
+    scenario = EmulationScenario(processes=2, k=1)
+    reduced = explore(scenario)
+    naive = explore(scenario, NAIVE)
+    document = json.loads(exploration_to_json(reduced, naive))
+    assert document["naive"]["executions"] == naive.stats.executions
+    assert document["reduction_ratio"] > 1.0

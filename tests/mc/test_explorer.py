@@ -1,0 +1,129 @@
+"""Explorer soundness: reduced walks cover exactly the naive outcome space."""
+
+import pytest
+
+from repro.mc import (
+    CrashBudget,
+    EmulationScenario,
+    ExploreOptions,
+    IISScenario,
+    explore,
+    independent,
+)
+from repro.runtime.iterated import iis_full_information
+from repro.runtime.ops import Decide, SnapshotRegion, WriteCell
+from repro.runtime.scheduler import (
+    BlockAction,
+    CrashAction,
+    SchedulerError,
+    StepAction,
+    enumerate_executions,
+)
+
+NAIVE = ExploreOptions(reduction=False, state_cache=False)
+
+
+class TestOutcomeAgreement:
+    def test_emulation_reduced_matches_naive(self):
+        scenario = EmulationScenario(processes=2, k=1)
+        reduced = explore(scenario)
+        naive = explore(scenario, NAIVE)
+        assert reduced.ok and naive.ok
+        assert reduced.outcomes == naive.outcomes
+        assert reduced.stats.executions < naive.stats.executions
+
+    def test_iis_both_modes_count_fubini(self):
+        # 13 = Fubini(3) ordered partitions = top simplices of SDS(s^2):
+        # the schedule space of one IS round *is* the subdivision (Lemma 3.2).
+        scenario = IISScenario(processes=3, rounds=1)
+        reduced = explore(scenario)
+        naive = explore(scenario, NAIVE)
+        assert reduced.stats.executions == naive.stats.executions == 13
+        assert reduced.outcomes == naive.outcomes
+        assert len(reduced.outcomes) == 13
+
+    def test_naive_walk_matches_enumerate_executions(self):
+        def factory(pid):
+            def protocol():
+                view = yield from iis_full_information(pid, f"v{pid}", 1)
+                yield Decide(view)
+
+            return protocol()
+
+        reference = list(enumerate_executions([factory, factory, factory], 3))
+        naive = explore(IISScenario(processes=3, rounds=1), NAIVE)
+        assert naive.stats.executions == len(reference)
+        reference_outcomes = {
+            (tuple(sorted(r.decisions.items())), r.crashed) for r in reference
+        }
+        assert naive.outcomes == reference_outcomes
+
+    def test_state_cache_alone_preserves_outcomes(self):
+        scenario = IISScenario(processes=2, rounds=2)
+        cached = explore(scenario, ExploreOptions(reduction=False, state_cache=True))
+        naive = explore(scenario, NAIVE)
+        assert cached.outcomes == naive.outcomes
+        assert cached.stats.cache_hits > 0
+        assert cached.stats.executions < naive.stats.executions
+
+
+class TestCrashInjection:
+    def test_crash_budget_agreement_with_naive(self):
+        scenario = EmulationScenario(processes=2, k=1)
+        budget = CrashBudget(max_crashes=1)
+        reduced = explore(scenario, ExploreOptions(crash_budget=budget))
+        naive = explore(
+            scenario,
+            ExploreOptions(reduction=False, state_cache=False, crash_budget=budget),
+        )
+        assert reduced.outcomes == naive.outcomes
+        # The emulation is wait-free and stays legal under every crash pattern.
+        assert reduced.ok and naive.ok
+        assert any(crashed for _decisions, crashed in reduced.outcomes)
+
+    def test_zero_budget_never_crashes(self):
+        report = explore(EmulationScenario(processes=2, k=1))
+        assert all(not crashed for _decisions, crashed in report.outcomes)
+
+    def test_crash_pids_restricts_victims(self):
+        options = ExploreOptions(crash_budget=CrashBudget(max_crashes=1, pids=(0,)))
+        report = explore(EmulationScenario(processes=2, k=1), options)
+        crashed_pids = set()
+        for _decisions, crashed in report.outcomes:
+            crashed_pids |= crashed
+        assert crashed_pids == {0}
+
+    def test_budget_caps_crash_count(self):
+        options = ExploreOptions(crash_budget=CrashBudget(max_crashes=1))
+        report = explore(EmulationScenario(processes=2, k=1), options)
+        assert max(len(crashed) for _d, crashed in report.outcomes) == 1
+
+
+class TestGuards:
+    def test_max_depth_guard(self):
+        with pytest.raises(SchedulerError, match="max_depth"):
+            explore(IISScenario(processes=3, rounds=1), ExploreOptions(max_depth=2))
+
+
+class TestIndependence:
+    def test_single_writer_writes_commute(self):
+        pending = {0: WriteCell("r", "a"), 1: WriteCell("r", "b")}
+        assert independent(StepAction(0), StepAction(1), pending)
+
+    def test_write_vs_snapshot_same_region_conflict(self):
+        pending = {0: WriteCell("r", "a"), 1: SnapshotRegion("r")}
+        assert not independent(StepAction(0), StepAction(1), pending)
+        pending = {0: WriteCell("other", "a"), 1: SnapshotRegion("r")}
+        assert independent(StepAction(0), StepAction(1), pending)
+
+    def test_blocks_commute_iff_different_memory(self):
+        assert independent(BlockAction(0, (0,)), BlockAction(1, (1,)), {})
+        assert not independent(BlockAction(0, (0,)), BlockAction(0, (1,)), {})
+
+    def test_overlapping_pids_never_commute(self):
+        assert not independent(BlockAction(0, (0, 1)), BlockAction(1, (1,)), {})
+        assert not independent(StepAction(0), CrashAction(0), {})
+
+    def test_crash_commutes_with_disjoint_actions(self):
+        assert independent(CrashAction(0), StepAction(1), {1: SnapshotRegion("r")})
+        assert independent(CrashAction(0), BlockAction(0, (1, 2)), {})

@@ -1,0 +1,84 @@
+"""The mutation self-test: catch, minimize, save, re-drive.
+
+ISSUE acceptance: the deliberately broken emulation variant (freshness loop
+removed) must be *caught* by the checker, the counterexample *minimized* by
+ddmin, and the minimized schedule *replayable* from its JSON file.
+"""
+
+import pytest
+
+from repro.mc import (
+    EmulationScenario,
+    action_from_json,
+    action_to_json,
+    explore,
+    load_replay,
+    minimize_schedule,
+    replay_file,
+    replay_schedule,
+    replay_to_json,
+)
+from repro.runtime.scheduler import BlockAction, CrashAction, StepAction
+
+
+def test_mutation_is_caught():
+    report = explore(EmulationScenario(processes=2, k=1, mutate="skip-freshness"))
+    assert not report.ok
+    assert report.violation.property_name == "snapshot-legality"
+    # The same configuration unmutated passes: the oracle is load-bearing.
+    assert explore(EmulationScenario(processes=2, k=1)).ok
+
+
+def test_counterexample_minimizes_and_replays(tmp_path):
+    scenario = EmulationScenario(processes=2, k=1, mutate="skip-freshness")
+    report = explore(scenario)
+    result = minimize_schedule(scenario, report.violation.schedule)
+    assert len(result.schedule) <= len(report.violation.schedule)
+    assert result.violation.property_name == "snapshot-legality"
+
+    # 1-minimality: dropping any single remaining action kills reproduction.
+    for index in range(len(result.schedule)):
+        candidate = result.schedule[:index] + result.schedule[index + 1 :]
+        if not candidate:
+            continue
+        outcome = replay_schedule(scenario, candidate)
+        assert not outcome.reproduced
+
+    path = tmp_path / "counterexample.json"
+    path.write_text(replay_to_json(scenario, result.schedule, result.violation))
+    loaded, outcome = replay_file(str(path))
+    assert loaded.scenario.name == scenario.name
+    assert outcome.reproduced
+    assert outcome.violation.property_name == result.violation.property_name
+
+
+def test_minimize_rejects_healthy_schedule():
+    scenario = EmulationScenario(processes=2, k=1)
+    report = explore(scenario)
+    assert report.ok
+    # Any terminal schedule of the healthy scenario reproduces nothing.
+    healthy_prefix = (BlockAction(0, (0, 1)),)
+    with pytest.raises(ValueError, match="does not reproduce"):
+        minimize_schedule(scenario, healthy_prefix)
+
+
+def test_replay_of_healthy_scenario_is_clean():
+    scenario = EmulationScenario(processes=2, k=1)
+    outcome = replay_schedule(scenario, (BlockAction(0, (0, 1)),))
+    assert not outcome.reproduced
+    assert outcome.instance.scheduler.all_done()
+
+
+def test_action_codec_round_trips():
+    actions = [
+        StepAction(3),
+        BlockAction(2, (0, 2, 5)),
+        CrashAction(1),
+    ]
+    for action in actions:
+        assert action_from_json(action_to_json(action)) == action
+
+
+def test_load_replay_rejects_unknown_schema():
+    with pytest.raises(ValueError, match="repro-mc-replay-v1"):
+        load_replay('{"schema": "something-else"}')

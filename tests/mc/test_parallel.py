@@ -1,0 +1,54 @@
+"""Worker-parallel frontier splitting: same coverage as the serial walk."""
+
+import pytest
+
+from repro.mc import (
+    EmulationScenario,
+    ExploreOptions,
+    explore,
+    explore_parallel,
+    frontier,
+    frontier_chunks,
+)
+
+
+class TestFrontier:
+    def test_frontier_chunks_partition_in_order(self):
+        leaves = [((f"a{i}",), frozenset()) for i in range(7)]
+        chunks = frontier_chunks(leaves, 3)
+        assert len(chunks) == 3
+        flattened = [leaf for chunk in chunks for leaf in chunk]
+        assert flattened == leaves  # contiguous, order-preserving
+        assert {len(chunk) for chunk in chunks} == {2, 3}
+
+    def test_frontier_expands_to_min_leaves(self):
+        scenario = EmulationScenario(processes=2, k=1)
+        leaves, partial = frontier(scenario, ExploreOptions(), min_leaves=4)
+        assert len(leaves) >= 4
+        assert partial.ok
+
+
+class TestParallelExploration:
+    def test_matches_serial_coverage(self):
+        scenario = EmulationScenario(processes=2, k=1)
+        serial = explore(scenario)
+        parallel = explore_parallel(scenario, workers=2)
+        assert parallel.ok
+        assert parallel.outcomes == serial.outcomes
+        assert parallel.stats.executions >= serial.stats.executions
+
+    def test_catches_mutation(self):
+        scenario = EmulationScenario(processes=2, k=1, mutate="skip-freshness")
+        report = explore_parallel(scenario, workers=2)
+        assert not report.ok
+        assert report.violation.property_name == "snapshot-legality"
+
+    def test_single_worker_is_serial(self):
+        scenario = EmulationScenario(processes=2, k=1)
+        assert explore_parallel(scenario, workers=1).outcomes == explore(
+            scenario
+        ).outcomes
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            explore_parallel(EmulationScenario(processes=2, k=1), workers=0)

@@ -1,0 +1,92 @@
+"""Property plumbing: the stock oracles fire (and only fire) when they should."""
+
+from dataclasses import dataclass, field
+
+from repro.mc import (
+    EmulationScenario,
+    ExploreOptions,
+    IISScenario,
+    ScenarioInstance,
+    TaskComplianceProperty,
+    explore,
+)
+from repro.runtime.ops import Decide, WriteCell
+from repro.runtime.scheduler import Scheduler, StepAction
+from repro.tasks import binary_consensus_task
+
+
+@dataclass
+class DecideOwnInputScenario:
+    """Two processes that 'decide' without communicating — no consensus."""
+
+    compliant: bool = False
+    name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.name = f"decide-own-input(compliant={self.compliant})"
+
+    def build(self) -> ScenarioInstance:
+        compliant = self.compliant
+
+        def factory_for(pid, value):
+            def factory(_pid):
+                def protocol():
+                    yield WriteCell("r", value)
+                    yield Decide(0 if compliant else value)
+
+                return protocol()
+
+            return factory
+
+        factories = {pid: factory_for(pid, pid) for pid in (0, 1)}
+        scheduler = Scheduler(
+            factories, 2, record_events=True, track_history=True
+        )
+        return ScenarioInstance(scheduler)
+
+    def properties(self):
+        return (
+            TaskComplianceProperty(binary_consensus_task(2), {0: 0, 1: 1}),
+        )
+
+
+class TestTaskCompliance:
+    def test_disagreement_is_caught(self):
+        report = explore(DecideOwnInputScenario(compliant=False))
+        assert not report.ok
+        assert report.violation.property_name == "task-compliance"
+        assert "not Δ-compliant" in report.violation.message
+
+    def test_agreement_passes(self):
+        report = explore(DecideOwnInputScenario(compliant=True))
+        assert report.ok
+        assert report.stats.executions > 0
+
+    def test_partial_decisions_judged_online(self):
+        # One decision extends to an allowed consensus tuple: no violation yet.
+        scenario = DecideOwnInputScenario(compliant=False)
+        instance = scenario.build()
+        scheduler = instance.scheduler
+        while not scheduler.processes[0].has_decided:
+            scheduler.apply(StepAction(0))
+        assert not scheduler.processes[1].has_decided
+        prop = scenario.properties()[0]
+        assert prop.check_running(instance) is None
+
+
+class TestStockPropertiesOnHealthyRuns:
+    def test_emulation_properties_silent_on_complete_run(self):
+        scenario = EmulationScenario(processes=2, k=1)
+        instance = scenario.build()
+        scheduler = instance.scheduler
+        while not scheduler.all_done():
+            scheduler.apply(scheduler.enabled_actions()[0])
+        for prop in scenario.properties():
+            assert prop.check_terminal(instance) is None
+
+    def test_iis_properties_silent_everywhere(self):
+        report = explore(
+            IISScenario(processes=2, rounds=2),
+            ExploreOptions(stop_on_violation=False),
+        )
+        assert report.ok

@@ -76,3 +76,36 @@ class TestMaxContention:
         trace = harness.run(MaxContentionSchedule())
         trace.check_legality()
         assert len(trace.final_states) == 3
+
+    def test_max_contention_commits_single_blocks(self):
+        from repro.analysis.narrate import summarize_block_structure
+        from repro.runtime.iterated import iis_full_information
+
+        def factory_for(pid):
+            def factory(p):
+                def protocol():
+                    view = yield from iis_full_information(p, f"v{p}", 2)
+                    yield Decide(view)
+
+                return protocol()
+
+            return factory
+
+        scheduler = Scheduler(
+            {pid: factory_for(pid) for pid in range(3)}, 3, record_events=True
+        )
+        result = scheduler.run(MaxContentionSchedule())
+        # Maximal contention = one concurrency class per memory: every
+        # ordered partition is the trivial single-block one.
+        for blocks in summarize_block_structure(result).values():
+            assert len(blocks) == 1
+            assert set(blocks[0]) == {0, 1, 2}
+
+
+class TestAdversariesAtScale:
+    def test_both_adversaries_stay_legal_at_four_processes(self):
+        for make in (lambda: StarvationSchedule(victim=1), MaxContentionSchedule):
+            harness = EmulationHarness({pid: f"v{pid}" for pid in range(4)}, 2)
+            trace = harness.run(make())
+            trace.check_legality()
+            assert len(trace.final_states) == 4  # wait-free: everyone finishes

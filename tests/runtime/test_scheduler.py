@@ -11,6 +11,7 @@ from repro.runtime.scheduler import (
     RoundRobinSchedule,
     Scheduler,
     SchedulerError,
+    SchedulerTimeout,
     StepAction,
     enumerate_executions,
 )
@@ -193,6 +194,137 @@ class TestEnumeration:
             )
         )
         assert results == []  # pruned at the root before any completion
+
+
+def spinner(pid):
+    def protocol():
+        while True:
+            yield WriteCell("r", pid)
+
+    return protocol()
+
+
+class TestTimeoutDiagnostics:
+    def test_timeout_is_a_scheduler_error(self):
+        # Callers catching the old bare SchedulerError keep working.
+        assert issubclass(SchedulerTimeout, SchedulerError)
+
+    def test_timeout_carries_rich_diagnostics(self):
+        s = Scheduler([spinner, spinner], 2, record_events=True)
+        with pytest.raises(SchedulerTimeout) as info:
+            s.run(RoundRobinSchedule(), max_steps=7)
+        err = info.value
+        assert set(err.per_process_steps) == {0, 1}
+        assert sum(err.per_process_steps.values()) >= 7
+        assert isinstance(err.last_action, StepAction)
+        assert len(err.events) == 7  # the partial trace
+        text = err.diagnostics()
+        assert "per-process steps" in text and "p0:" in text and "p1:" in text
+
+    def test_timeout_without_event_recording(self):
+        s = Scheduler([spinner], 1)
+        with pytest.raises(SchedulerTimeout) as info:
+            s.run(RoundRobinSchedule(), max_steps=3)
+        assert info.value.events == ()
+        assert set(info.value.per_process_steps) == {0}
+        assert info.value.per_process_steps[0] >= 3
+
+
+class TestCrashConfiguration:
+    def test_probabilistic_crashes_reproducible_from_seed_and_config(self):
+        def run():
+            s = Scheduler([writer_reader, writer_reader, writer_reader], 3)
+            return s.run(RandomSchedule(7, crash_probability=0.4))
+
+        first, second = run(), run()
+        assert first.injected_crashes == second.injected_crashes
+        assert first.decisions == second.decisions
+        assert first.crashed == second.crashed
+
+    def test_injected_crashes_recorded_with_times(self):
+        crashing_seed = next(
+            seed
+            for seed in range(50)
+            if Scheduler([writer_reader, writer_reader], 2)
+            .run(RandomSchedule(seed, crash_probability=0.5))
+            .crashed
+        )
+        s = Scheduler([writer_reader, writer_reader], 2)
+        result = s.run(RandomSchedule(crashing_seed, crash_probability=0.5))
+        assert {pid for _time, pid in result.injected_crashes} == result.crashed
+        assert all(time >= 0 for time, _pid in result.injected_crashes)
+
+    def test_max_crashes_zero_disables_injection(self):
+        s = Scheduler([writer_reader, writer_reader], 2)
+        result = s.run(RandomSchedule(3, crash_probability=1.0, max_crashes=0))
+        assert result.crashed == frozenset()
+        assert set(result.decisions) == {0, 1}
+
+    def test_default_cap_always_leaves_a_survivor(self):
+        for seed in range(20):
+            s = Scheduler([writer_reader, writer_reader, writer_reader], 3)
+            result = s.run(RandomSchedule(seed, crash_probability=1.0))
+            assert len(result.crashed) <= 2
+            assert result.decisions  # somebody decided
+
+    def test_listed_and_probabilistic_crashes_compose(self):
+        s = Scheduler([writer_reader] * 4, 4)
+        result = s.run(
+            RandomSchedule(
+                11, crash_pids=[0], crash_probability=0.5, max_crashes=2
+            )
+        )
+        assert len(result.crashed) <= 2
+        assert len(result.decisions) + len(result.crashed) == 4
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError, match="crash_probability"):
+            RandomSchedule(0, crash_probability=1.5)
+        with pytest.raises(ValueError, match="max_crashes"):
+            RandomSchedule(0, max_crashes=-1)
+
+    def test_legacy_configs_keep_their_rng_stream(self):
+        # crash_probability=0 must not consume random numbers: seeds from
+        # older PRs replay the exact same schedules.
+        def decisions(schedule):
+            s = Scheduler([writer_reader, writer_reader], 2)
+            return s.run(schedule).decisions
+
+        for seed in range(10):
+            assert decisions(RandomSchedule(seed)) == decisions(
+                RandomSchedule(seed, crash_probability=0.0, max_crashes=None)
+            )
+
+
+class TestStateFingerprint:
+    def test_requires_history_tracking(self):
+        s = Scheduler([writer_reader], 1)
+        with pytest.raises(SchedulerError, match="track_history"):
+            s.state_fingerprint()
+
+    def test_commuting_writes_converge(self):
+        def after(actions):
+            s = Scheduler([writer_reader, writer_reader], 2, track_history=True)
+            for action in actions:
+                s.apply(action)
+            return s.state_fingerprint()
+
+        # Single-writer cells: write order is invisible to every future.
+        assert after([StepAction(0), StepAction(1)]) == after(
+            [StepAction(1), StepAction(0)]
+        )
+
+    def test_diverging_snapshots_differ(self):
+        def after(actions):
+            s = Scheduler([writer_reader, writer_reader], 2, track_history=True)
+            for action in actions:
+                s.apply(action)
+            return s.state_fingerprint()
+
+        # p0 snapshots before vs after p1's write: different delivered views.
+        early = after([StepAction(0), StepAction(0)])
+        late = after([StepAction(0), StepAction(1), StepAction(0)])
+        assert early != late
 
 
 class TestDeterminism:

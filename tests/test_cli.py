@@ -79,3 +79,42 @@ class TestCommands:
     def test_converge_chromatic(self, capsys):
         assert main(["converge", "-n", "1", "-m", "1", "--chromatic"]) == 0
         assert "Theorem 5.1" in capsys.readouterr().out
+
+
+class TestModelChecker:
+    def test_mc_healthy_run(self, capsys):
+        assert main(["mc", "-p", "2", "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "model checking emulation(p=2,k=1)" in out
+        assert "✓" in out
+
+    def test_mc_compare_reports_reduction(self, capsys):
+        assert main(["mc", "-p", "2", "-k", "1", "--compare", "--crashes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out and "agree ✓" in out
+
+    def test_mc_iis_scenario(self, capsys):
+        assert main(["mc", "--scenario", "iis", "-p", "3", "-r", "1"]) == 0
+        assert "iis(p=3,r=1)" in capsys.readouterr().out
+
+    def test_mc_mutation_full_loop(self, tmp_path, capsys):
+        replay = tmp_path / "cex.json"
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "mc", "-p", "2", "-k", "1",
+                "--mutate", "skip-freshness",
+                "--save-replay", str(replay),
+                "--report", str(report),
+            ]
+        )
+        assert code == 1  # a violation is a failing exit
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "minimized" in out
+        assert replay.exists() and report.exists()
+
+        assert main(["mc", "--replay", str(replay)]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_mc_mutate_requires_emulation(self, capsys):
+        assert main(["mc", "--scenario", "iis", "--mutate", "skip-freshness"]) == 2
