@@ -8,8 +8,14 @@ PYTHON ?= python3
 install:
 	$(PYTHON) setup.py develop
 
+# Hypothesis runs under the derandomized "ci" profile so the property-based
+# and differential suites are reproducible (see tests/conftest.py).  Coverage
+# is collected when pytest-cov is installed (CI installs it; it is optional
+# locally) — the floor itself is enforced in the CI workflow.
+COV_ARGS := $(shell $(PYTHON) -c "import pytest_cov" 2>/dev/null && echo "--cov=src/repro --cov-report=term-missing:skip-covered")
+
 test:
-	$(PYTHON) -m pytest tests/
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/ $(COV_ARGS)
 
 # Run the E1/E2/E5/MC hot-path benchmarks, emit BENCH_LOCAL.json, and gate it
 # against the committed trajectory (fails on >20% slowdown of a tracked path,

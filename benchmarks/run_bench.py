@@ -231,6 +231,30 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
         )
         tracked.append(f"{row}.seconds")
 
+    # -- OBS: observability-layer overhead ---------------------------------
+    # The null backend rides along on every row above (observability is off
+    # by default), so e2.build.n2_b2.seconds IS the null-backend number.
+    # Here we re-time the same build inside an active capture to document the
+    # cost of turning tracing on.  Informational, not tracked: the traced
+    # path is diagnostic, not a hot path, and the null-backend cost is
+    # already gated by the tracked rows plus tests/obs/test_overhead.py.
+    from repro.obs import capture
+
+    null_secs, _ = best_of(
+        lambda: iterated_standard_chromatic_subdivision(input_complex(2), 2),
+        5 * repeats_scale,
+    )
+    with capture():
+        traced_secs, _ = best_of(
+            lambda: iterated_standard_chromatic_subdivision(input_complex(2), 2),
+            5 * repeats_scale,
+        )
+    metrics["obs.build.n2_b2.null.seconds"] = null_secs
+    metrics["obs.build.n2_b2.traced.seconds"] = traced_secs
+    metrics["obs.build.n2_b2.traced_overhead_ratio"] = (
+        round(traced_secs / null_secs, 3) if null_secs > 0 else 0.0
+    )
+
     return metrics, tracked
 
 

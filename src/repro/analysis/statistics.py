@@ -17,6 +17,7 @@ from repro.runtime.scheduler import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard mc import
     from repro.mc.explorer import ExplorationReport
+    from repro.obs.export import CaptureDocument
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,4 +144,72 @@ def summarize_exploration(
         sleep_pruned=stats.sleep_pruned,
         persistent_hits=stats.persistent_hits,
         naive_executions=None if naive is None else naive.stats.executions,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureSummary:
+    """Aggregate over one observability capture (what ``repro stats`` prints).
+
+    ``span_table`` rows are ``(name, count, total_seconds, max_seconds)``
+    sorted by total time descending; ``counters``/``gauges`` are
+    ``(label, value)`` pairs in the registry's deterministic order.
+    """
+
+    label: str
+    span_table: tuple[tuple[str, int, float, float], ...]
+    counters: tuple[tuple[str, int | float], ...]
+    gauges: tuple[tuple[str, int | float], ...]
+    profiles: int
+
+    def render(self) -> str:
+        lines = [f"capture {self.label!r}:"]
+        if self.span_table:
+            lines.append(f"  spans ({sum(row[1] for row in self.span_table)}):")
+            width = max(len(row[0]) for row in self.span_table)
+            for name, count, total, peak in self.span_table:
+                lines.append(
+                    f"    {name:{width}s}  x{count:<6d} "
+                    f"total {total * 1e3:9.3f} ms  max {peak * 1e3:8.3f} ms"
+                )
+        if self.counters:
+            lines.append("  counters:")
+            width = max(len(label) for label, _ in self.counters)
+            lines.extend(
+                f"    {label:{width}s}  {value}" for label, value in self.counters
+            )
+        if self.gauges:
+            lines.append("  gauges:")
+            width = max(len(label) for label, _ in self.gauges)
+            lines.extend(
+                f"    {label:{width}s}  {value}" for label, value in self.gauges
+            )
+        if self.profiles:
+            lines.append(f"  profiles: {self.profiles}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def summarize_capture(document: "CaptureDocument") -> CaptureSummary:
+    """Summarize a parsed ``repro-obs-v1`` capture document."""
+    by_name: dict[str, list[int]] = {}
+    for span in document.spans:
+        by_name.setdefault(span["name"], []).append(span["duration_ns"])
+    span_table = tuple(
+        sorted(
+            (
+                (name, len(durations), sum(durations) / 1e9, max(durations) / 1e9)
+                for name, durations in by_name.items()
+            ),
+            key=lambda row: -row[2],
+        )
+    )
+    return CaptureSummary(
+        label=str(document.meta.get("label", "capture")),
+        span_table=span_table,
+        counters=tuple(document.counters().items()),
+        gauges=tuple(document.gauges().items()),
+        profiles=len(document.profiles),
     )

@@ -8,12 +8,16 @@ writing code:
 * ``emulate``  — run the Figure 2 emulation and report the legality check;
 * ``rename``   — run (2p−1)-renaming, natively or over the emulation;
 * ``mc``       — model-check a scenario: reduced exhaustive exploration,
-  crash injection, counterexample minimization and replay.
+  crash injection, counterexample minimization and replay;
+* ``trace``    — run a traced workload sweep (emulation, SDS build, kernel
+  solve, small model-checking run) and export ``repro-obs-v1`` JSONL;
+* ``stats``    — validate a capture file and render its spans/counters.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -317,6 +321,95 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.emulation import EmulationHarness
+    from repro.core.solvability import SearchOptions, solve_task
+    from repro.mc import CrashBudget, EmulationScenario, ExploreOptions, explore
+    from repro.obs import capture
+    from repro.obs.export import capture_to_jsonl
+    from repro.runtime.scheduler import RandomSchedule
+    from repro.tasks import set_consensus_task
+    from repro.topology import (
+        SimplicialComplex,
+        iterated_standard_chromatic_subdivision,
+    )
+    from repro.topology.vertex import vertices_of
+
+    label = f"trace(p={args.processes},k={args.k},b={args.rounds})"
+    with capture(profile=args.profile) as cap:
+        # Scheduler spans: the Figure 2 emulation under a random schedule.
+        inputs = {pid: f"v{pid}" for pid in range(args.processes)}
+        EmulationHarness(inputs, args.k).run(RandomSchedule(args.seed))
+        # SDS spans + intern counters: SDS^b(s^{p-1}).
+        base = SimplicialComplex.from_vertices(vertices_of(range(args.processes)))
+        iterated_standard_chromatic_subdivision(base, args.rounds)
+        # Kernel spans + search counters: an unsolvable probe exercises the
+        # conflict/backjump machinery, a solvable one exits early.
+        task = set_consensus_task(args.processes, max(args.processes - 1, 1))
+        solve_task(task, max_rounds=1, options=SearchOptions(kernel=True))
+        # MC spans: a small scenario keeps the default invocation fast (the
+        # full p=3 walk takes ~30 s).  Two walks — reduced (sleep/persistent
+        # counters) and state-cache-only (under sleep sets the fingerprint
+        # cache's subset condition rarely fires, so its hits show up here).
+        if not args.skip_mc:
+            scenario = EmulationScenario(processes=args.mc_processes, k=args.mc_k)
+            budget = CrashBudget(max_crashes=args.crashes)
+            explore(
+                scenario,
+                ExploreOptions(crash_budget=budget, stop_on_violation=False),
+            )
+            explore(
+                scenario,
+                ExploreOptions(
+                    reduction=False,
+                    state_cache=True,
+                    crash_budget=budget,
+                    stop_on_violation=False,
+                ),
+            )
+    payload = capture_to_jsonl(cap, label=label)
+    if args.out == "-":
+        sys.stdout.write(payload)
+        return 0
+    with open(args.out, "w") as handle:
+        handle.write(payload)
+    spans = len(cap.tracer.spans)
+    series = len(list(cap.metrics.series()))
+    print(f"traced {label}: {spans} spans, {series} metric series"
+          f"{f', {len(cap.profiler.records)} profiles' if args.profile else ''}")
+    print(f"  wrote {args.out} (render with: repro stats {args.out})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.statistics import summarize_capture
+    from repro.obs.export import SchemaError, load_capture_jsonl
+
+    try:
+        if args.file == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.file) as handle:
+                text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        document = load_capture_jsonl(text)
+    except SchemaError as exc:
+        print(f"malformed capture: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(summarize_capture(document).render())
+    except BrokenPipeError:
+        # Downstream (head, a closed pager) stopped reading; not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -422,6 +515,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", help="re-drive a saved replay file instead of exploring"
     )
     mc.set_defaults(func=_cmd_mc)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced workload sweep, export repro-obs-v1 JSONL"
+    )
+    trace.add_argument("-p", "--processes", type=int, default=3)
+    trace.add_argument("-k", type=int, default=1, help="emulation snapshot rounds")
+    trace.add_argument("-b", "--rounds", type=int, default=1, help="SDS rounds")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--out", default="trace.jsonl", help="output path ('-' for stdout)"
+    )
+    trace.add_argument(
+        "--profile", action="store_true", help="also collect cProfile records"
+    )
+    trace.add_argument(
+        "--skip-mc", action="store_true", help="skip the model-checking stage"
+    )
+    trace.add_argument("--mc-processes", type=int, default=2)
+    trace.add_argument("--mc-k", type=int, default=1)
+    trace.add_argument(
+        "--crashes", type=int, default=1, help="MC crash-injection budget"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="validate and render a repro-obs-v1 capture file"
+    )
+    stats.add_argument("file", help="capture JSONL path ('-' for stdin)")
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 

@@ -48,6 +48,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.core.task import Task
+from repro.obs import OBS as _OBS
 from repro.topology.simplex import Simplex
 from repro.topology.subdivision import Subdivision
 from repro.topology.vertex import Vertex
@@ -96,6 +97,20 @@ def compile_level(subdivision: Subdivision, task: Task) -> CompiledLevel:
     interior simplices of a given shape share one table, so compilation is
     much cheaper than one Δ scan per simplex.
     """
+    if not _OBS.enabled:
+        return _compile_level_impl(subdivision, task)
+    with _OBS.tracer.span(
+        "kernel.compile", vertices=len(subdivision.complex.vertices)
+    ) as span:
+        compiled = _compile_level_impl(subdivision, task)
+        span.set(
+            constraints=len(compiled.con_vars), infeasible=compiled.infeasible
+        )
+        _OBS.metrics.counter("kernel.levels_compiled").inc()
+        return compiled
+
+
+def _compile_level_impl(subdivision: Subdivision, task: Task) -> CompiledLevel:
     complex_ = subdivision.complex
     verts = sorted(complex_.vertices, key=Vertex.sort_key)
     # Vertices are hash-consed (repro.topology.interning), so the instance in
@@ -307,6 +322,52 @@ def kernel_search(
     ``exhausted=True`` is an exhaustive UNSAT certificate (for the
     ``root_restrict`` slice, when one is given).
     """
+    if not _OBS.enabled:
+        return _kernel_search_impl(
+            compiled,
+            node_budget,
+            arc_consistency=arc_consistency,
+            forward_checking=forward_checking,
+            adjacency_order=adjacency_order,
+            root_restrict=root_restrict,
+        )
+    with _OBS.tracer.span(
+        "kernel.search",
+        vertices=len(compiled.verts),
+        constraints=len(compiled.con_vars),
+    ) as span:
+        with _OBS.profiler.profiled("kernel.search"):
+            mapping, stats = _kernel_search_impl(
+                compiled,
+                node_budget,
+                arc_consistency=arc_consistency,
+                forward_checking=forward_checking,
+                adjacency_order=adjacency_order,
+                root_restrict=root_restrict,
+            )
+        span.set(
+            satisfiable=mapping is not None,
+            nodes=stats.nodes,
+            exhausted=stats.exhausted,
+        )
+        metrics = _OBS.metrics
+        metrics.counter("kernel.searches").inc()
+        metrics.counter("kernel.nodes").inc(stats.nodes)
+        metrics.counter("kernel.conflicts").inc(stats.conflicts)
+        metrics.counter("kernel.backjumps").inc(stats.backjumps)
+        metrics.counter("kernel.nogoods").inc(stats.nogoods)
+        return mapping, stats
+
+
+def _kernel_search_impl(
+    compiled: CompiledLevel,
+    node_budget: int,
+    *,
+    arc_consistency: bool = True,
+    forward_checking: bool = True,
+    adjacency_order: bool = True,
+    root_restrict: int | None = None,
+) -> tuple[dict[Vertex, Vertex] | None, KernelStats]:
     stats = KernelStats()
     if compiled.infeasible:
         return None, stats

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.task import Task
+from repro.obs import span as _obs_span
 from repro.topology.maps import SimplicialMap
 from repro.topology.simplex import Simplex
 from repro.topology.standard_chromatic import iterated_standard_chromatic_subdivision
@@ -113,22 +114,27 @@ def _probe_level(
     one contiguous slice of the first search variable's domain — the
     within-level parallel split of :func:`solve_task`.
     """
-    subdivision = iterated_standard_chromatic_subdivision(task.input_complex, rounds)
-    started = time.perf_counter()
-    mapping, nodes, exhausted, conflicts, backjumps = _search_map(
-        subdivision, task, node_budget, options, root_slice=root_slice
-    )
-    elapsed = time.perf_counter() - started
-    report = LevelReport(
-        rounds=rounds,
-        satisfiable=mapping is not None,
-        nodes_explored=nodes,
-        vertices=len(subdivision.complex.vertices),
-        exhausted=exhausted,
-        elapsed_seconds=elapsed,
-        conflicts=conflicts,
-        backjumps=backjumps,
-    )
+    span = _obs_span("solve.level", task=task.name, rounds=rounds)
+    with span:
+        subdivision = iterated_standard_chromatic_subdivision(
+            task.input_complex, rounds
+        )
+        started = time.perf_counter()
+        mapping, nodes, exhausted, conflicts, backjumps = _search_map(
+            subdivision, task, node_budget, options, root_slice=root_slice
+        )
+        elapsed = time.perf_counter() - started
+        report = LevelReport(
+            rounds=rounds,
+            satisfiable=mapping is not None,
+            nodes_explored=nodes,
+            vertices=len(subdivision.complex.vertices),
+            exhausted=exhausted,
+            elapsed_seconds=elapsed,
+            conflicts=conflicts,
+            backjumps=backjumps,
+        )
+        span.set(satisfiable=report.satisfiable, nodes=nodes)
     return mapping, report, subdivision if mapping is not None else None
 
 

@@ -47,6 +47,7 @@ from itertools import islice
 from typing import Hashable, Sequence
 
 from repro.mc.properties import Property
+from repro.obs import OBS as _OBS
 from repro.mc.scenario import Scenario, ScenarioInstance
 from repro.runtime.ops import Operation, ReadCell, SnapshotRegion, WriteCell
 from repro.runtime.scheduler import (
@@ -98,6 +99,7 @@ class ExplorationStats:
     sleep_pruned: int = 0  # actions suppressed by sleep sets
     persistent_hits: int = 0  # states narrowed to a persistent set
     max_depth_seen: int = 0
+    frontier_peak: int = 0  # largest DFS stack (open-leaf frontier) seen
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "ExplorationStats") -> None:
@@ -108,6 +110,7 @@ class ExplorationStats:
         self.sleep_pruned += other.sleep_pruned
         self.persistent_hits += other.persistent_hits
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
+        self.frontier_peak = max(self.frontier_peak, other.frontier_peak)
         self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
 
 
@@ -301,6 +304,40 @@ def explore(
     is measured.  ``_seed_frontier`` roots the walk at pre-computed
     (prefix, sleep-set) pairs — the worker-parallel split uses it.
     """
+    if not _OBS.enabled:
+        return _explore_impl(scenario, options, properties, _seed_frontier)
+    with _OBS.tracer.span(
+        "mc.explore",
+        scenario=scenario.name,
+        reduction=options.reduction,
+        state_cache=options.state_cache,
+        max_crashes=options.crash_budget.max_crashes,
+    ) as span:
+        report = _explore_impl(scenario, options, properties, _seed_frontier)
+        stats = report.stats
+        span.set(
+            executions=stats.executions,
+            states_expanded=stats.states_expanded,
+            outcomes=len(report.outcomes),
+            violations=len(report.violations),
+        )
+        metrics = _OBS.metrics
+        metrics.counter("mc.executions").inc(stats.executions)
+        metrics.counter("mc.states_expanded").inc(stats.states_expanded)
+        metrics.counter("mc.transitions").inc(stats.transitions)
+        metrics.counter("mc.cache_hits").inc(stats.cache_hits)
+        metrics.counter("mc.sleep_pruned").inc(stats.sleep_pruned)
+        metrics.counter("mc.persistent_hits").inc(stats.persistent_hits)
+        metrics.gauge("mc.frontier.peak").max(stats.frontier_peak)
+        return report
+
+
+def _explore_impl(
+    scenario: Scenario,
+    options: ExploreOptions,
+    properties: Sequence[Property] | None,
+    _seed_frontier: Sequence[tuple[tuple[Action, ...], frozenset[Action]]] | None,
+) -> ExplorationReport:
     import time as _time
 
     t0 = _time.perf_counter()
@@ -318,6 +355,7 @@ def explore(
     else:
         stack = [(tuple(prefix), frozenset(sleep)) for prefix, sleep in _seed_frontier]
         stack.reverse()
+    stats.frontier_peak = len(stack)
 
     # Live cursor: DFS pops a node's first child immediately after expanding
     # it, so that child's state is one apply() away from the instance already
@@ -400,6 +438,8 @@ def explore(
             children = [(prefix + (action,), frozenset()) for action in actions]
 
         stack.extend(reversed(children))
+        if len(stack) > stats.frontier_peak:
+            stats.frontier_peak = len(stack)
 
     stats.elapsed_seconds = _time.perf_counter() - t0
     return report

@@ -1,0 +1,201 @@
+"""Observability: tracing, metrics, and profiling over the whole engine.
+
+PR1–PR3 made the hot paths fast; this package makes them *visible*.  One
+module-level :data:`OBS` state object carries the active backend:
+
+* disabled (the default, and the production null backend): ``OBS.enabled``
+  is ``False``, the tracer/metrics/profiler are shared no-op singletons,
+  and every instrumentation site in the engine costs one attribute check —
+  the overhead test pins that below 2% on the ``e2.build.n2_b2``
+  micro-benchmark;
+* enabled (inside :func:`capture`): spans, metric series, and optional
+  cProfile records accumulate on a :class:`Capture` and export to
+  schema-validated JSONL (:mod:`repro.obs.export`), which ``repro trace``
+  writes and ``repro stats`` renders.
+
+Instrumented layers and their naming scheme (DESIGN.md §3.4):
+
+==========================  ===================================================
+prefix                      instrumented layer
+==========================  ===================================================
+``sds.*``                   ``topology.standard_chromatic`` build spans,
+                            tops-cache and partition-template counters
+``intern.*``                ``topology.interning`` hit/miss counters (the
+                            tables are swapped for counting twins while a
+                            capture is open — zero cost when disabled)
+``kernel.*``                ``core.csp_kernel`` compile/search spans, node/
+                            conflict/backjump/nogood counters
+``solve.*``                 ``core.solvability`` per-level probe spans
+``sched.*``                 ``runtime.scheduler`` run/step spans, per-process
+                            step gauges, crash counters
+``mc.*``                    ``mc.explorer`` exploration spans, frontier
+                            gauges, reduction counters
+==========================  ===================================================
+
+Hot-path contract: instrumentation must never change engine *behaviour*
+(verdicts, maps, outcome sets, schedule counts are byte-identical with and
+without a capture — the differential suite asserts it), and per-event work
+on inner loops is only done behind ``if OBS.enabled``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.export import (
+    SCHEMA,
+    SchemaError,
+    capture_to_jsonl,
+    load_capture_jsonl,
+    validate_record,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.profiling import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "OBS",
+    "Capture",
+    "capture",
+    "enabled",
+    "span",
+    "SCHEMA",
+    "SchemaError",
+    "capture_to_jsonl",
+    "load_capture_jsonl",
+    "validate_record",
+    "Tracer",
+    "MetricsRegistry",
+    "Profiler",
+    "Span",
+]
+
+
+class ObsState:
+    """The process-wide backend selector.
+
+    A plain (non-slotted) class on purpose: the overhead test swaps
+    ``OBS.__class__`` for a flag-read-counting twin to *prove* the disabled
+    path performs only O(boundary) checks, not O(vertices).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        self.metrics: MetricsRegistry | NullMetrics = NULL_METRICS
+        self.profiler: Profiler | NullProfiler = NULL_PROFILER
+
+
+OBS = ObsState()
+
+
+def enabled() -> bool:
+    return OBS.enabled
+
+
+def span(name: str, **attrs: Any):
+    """A span under the active tracer, or the shared no-op when disabled."""
+    if OBS.enabled:
+        return OBS.tracer.span(name, **attrs)
+    return NULL_SPAN
+
+
+class Capture:
+    """One enabled observability session: tracer + metrics + profiler."""
+
+    __slots__ = ("tracer", "metrics", "profiler")
+
+    def __init__(self, *, profile: bool = False):
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.profiler: Profiler | NullProfiler = (
+            Profiler() if profile else NULL_PROFILER
+        )
+
+    def to_jsonl(self, label: str = "capture") -> str:
+        return capture_to_jsonl(self, label)
+
+
+class _CountingIntern(dict):
+    """A hash-consing table that counts its hits and misses.
+
+    Installed *only while a capture is open*: the plain dicts in
+    ``topology.vertex`` / ``topology.simplex`` are swapped for counting
+    twins holding the same entries, and swapped back (entries preserved) on
+    capture exit — so the disabled hot path keeps its native ``dict.get``.
+    ``Vertex.__new__``/``Simplex.__new__`` only ever probe with ``.get``,
+    which is the one method overridden here.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self, entries: dict):
+        super().__init__(entries)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if value is default:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+
+def _install_counting_interns() -> tuple[_CountingIntern, _CountingIntern]:
+    from repro.topology import simplex as simplex_module
+    from repro.topology import vertex as vertex_module
+
+    vertex_table = _CountingIntern(vertex_module._INTERN)
+    simplex_table = _CountingIntern(simplex_module._INTERN)
+    vertex_module._INTERN = vertex_table
+    simplex_module._INTERN = simplex_table
+    return vertex_table, simplex_table
+
+
+def _uninstall_counting_interns(capture: Capture) -> None:
+    from repro.topology import simplex as simplex_module
+    from repro.topology import vertex as vertex_module
+
+    for table, family in (
+        (vertex_module._INTERN, "vertices"),
+        (simplex_module._INTERN, "simplices"),
+    ):
+        if isinstance(table, _CountingIntern):
+            capture.metrics.counter("intern.hits", table=family).inc(table.hits)
+            capture.metrics.counter("intern.misses", table=family).inc(
+                table.misses
+            )
+            capture.metrics.gauge("intern.size", table=family).set(len(table))
+    vertex_module._INTERN = dict(vertex_module._INTERN)
+    simplex_module._INTERN = dict(simplex_module._INTERN)
+
+
+@contextmanager
+def capture(*, profile: bool = False) -> Iterator[Capture]:
+    """Enable observability for the dynamic extent of the ``with`` block.
+
+    Yields the :class:`Capture` accumulating spans/metrics/profiles; on
+    exit the intern hit/miss counters are flushed into the capture and the
+    global state reverts to the null backend.  Captures do not nest — the
+    engine's global state is one, and silently shadowing an outer capture
+    would corrupt both.
+    """
+    if OBS.enabled:
+        raise RuntimeError("an observability capture is already active")
+    session = Capture(profile=profile)
+    _install_counting_interns()
+    OBS.tracer = session.tracer
+    OBS.metrics = session.metrics
+    OBS.profiler = session.profiler
+    OBS.enabled = True
+    try:
+        yield session
+    finally:
+        OBS.enabled = False
+        OBS.tracer = NULL_TRACER
+        OBS.metrics = NULL_METRICS
+        OBS.profiler = NULL_PROFILER
+        _uninstall_counting_interns(session)

@@ -1,0 +1,196 @@
+"""Capture export: JSONL spans/metrics/profiles, schema ``repro-obs-v1``.
+
+One capture serializes to a JSON-Lines document: the first line is a
+``meta`` record naming the schema, then one record per span (in completion
+order), one per metric series, and one per profile.  JSONL rather than one
+JSON object so that a long traced run can be streamed line-by-line and cut
+with standard tools (``grep '"type": "span"'``, ``jq`` filters, tail).
+
+The schema is validated by :func:`validate_record` — hand-rolled (the test
+image has no ``jsonschema``) but strict: unknown record types, missing
+required fields, and wrongly-typed fields all raise :class:`SchemaError`
+with the offending line number.  ``repro stats`` refuses malformed captures
+rather than rendering garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Capture
+
+SCHEMA = "repro-obs-v1"
+
+
+class SchemaError(ValueError):
+    """A capture record does not conform to ``repro-obs-v1``."""
+
+
+_SPAN_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "name": str,
+    "span_id": int,
+    "parent_id": (int, type(None)),
+    "start_ns": int,
+    "duration_ns": int,
+    "attrs": dict,
+}
+_METRIC_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "kind": str,
+    "name": str,
+    "labels": dict,
+    # "value" is checked per kind below.
+}
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _require(record: dict, fields: dict, line: int, type_: str) -> None:
+    for field, expected in fields.items():
+        if field not in record:
+            raise SchemaError(f"line {line}: {type_} record missing {field!r}")
+        if not isinstance(record[field], expected):
+            raise SchemaError(
+                f"line {line}: {type_}.{field} has type "
+                f"{type(record[field]).__name__}, expected {expected}"
+            )
+
+
+def validate_record(record: Any, line: int = 0) -> str:
+    """Validate one parsed JSONL record; returns its type."""
+    if not isinstance(record, dict):
+        raise SchemaError(f"line {line}: record is not an object")
+    record_type = record.get("type")
+    if record_type == "meta":
+        if record.get("schema") != SCHEMA:
+            raise SchemaError(
+                f"line {line}: meta.schema is {record.get('schema')!r}, "
+                f"expected {SCHEMA!r}"
+            )
+    elif record_type == "span":
+        _require(record, _SPAN_FIELDS, line, "span")
+        if record["duration_ns"] < 0:
+            raise SchemaError(f"line {line}: span.duration_ns is negative")
+    elif record_type == "metric":
+        _require(record, _METRIC_FIELDS, line, "metric")
+        kind = record["kind"]
+        if kind not in _METRIC_KINDS:
+            raise SchemaError(f"line {line}: unknown metric kind {kind!r}")
+        value = record.get("value")
+        if kind == "histogram":
+            if not isinstance(value, dict) or "count" not in value:
+                raise SchemaError(f"line {line}: histogram value malformed")
+        elif not isinstance(value, (int, float)):
+            raise SchemaError(
+                f"line {line}: {kind} value must be numeric, got {value!r}"
+            )
+    elif record_type == "profile":
+        if not isinstance(record.get("name"), str) or not isinstance(
+            record.get("entries"), list
+        ):
+            raise SchemaError(f"line {line}: profile record malformed")
+    else:
+        raise SchemaError(f"line {line}: unknown record type {record_type!r}")
+    return record_type
+
+
+def span_record(span) -> dict[str, Any]:
+    return {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "attrs": span.attrs,
+    }
+
+
+def capture_records(capture: "Capture", label: str = "capture") -> list[dict]:
+    """The capture as a list of schema-valid record dicts, meta first."""
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "schema": SCHEMA,
+            "label": label,
+            "python": platform.python_version(),
+        }
+    ]
+    records.extend(span_record(span) for span in capture.tracer.spans)
+    for series in capture.metrics.series():
+        records.append({"type": "metric", **series.snapshot()})
+    for profile in capture.profiler.records:
+        records.append({"type": "profile", **profile.snapshot()})
+    return records
+
+
+def capture_to_jsonl(capture: "Capture", label: str = "capture") -> str:
+    """Serialize a capture to a ``repro-obs-v1`` JSONL document."""
+    lines = [
+        json.dumps(record, sort_keys=True, default=str)
+        for record in capture_records(capture, label)
+    ]
+    return "\n".join(lines) + "\n"
+
+
+class CaptureDocument:
+    """A parsed, validated JSONL capture (what ``repro stats`` renders)."""
+
+    __slots__ = ("meta", "spans", "metrics", "profiles")
+
+    def __init__(self) -> None:
+        self.meta: dict[str, Any] = {}
+        self.spans: list[dict[str, Any]] = []
+        self.metrics: list[dict[str, Any]] = []
+        self.profiles: list[dict[str, Any]] = []
+
+    def counters(self) -> dict[str, int | float]:
+        """Counter series rendered as ``name{labels}`` -> value."""
+        return {
+            _series_label(m): m["value"]
+            for m in self.metrics
+            if m["kind"] == "counter"
+        }
+
+    def gauges(self) -> dict[str, int | float]:
+        return {
+            _series_label(m): m["value"]
+            for m in self.metrics
+            if m["kind"] == "gauge"
+        }
+
+    def span_names(self) -> set[str]:
+        return {span["name"] for span in self.spans}
+
+
+def _series_label(metric: dict[str, Any]) -> str:
+    labels = metric.get("labels") or {}
+    if not labels:
+        return metric["name"]
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{metric['name']}{{{rendered}}}"
+
+
+def load_capture_jsonl(text: str) -> CaptureDocument:
+    """Parse and validate a JSONL capture; raises :class:`SchemaError`."""
+    document = CaptureDocument()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"line {line_number}: not valid JSON ({exc})")
+        record_type = validate_record(record, line_number)
+        if record_type == "meta":
+            document.meta = record
+        elif record_type == "span":
+            document.spans.append(record)
+        elif record_type == "metric":
+            document.metrics.append(record)
+        else:
+            document.profiles.append(record)
+    if not document.meta:
+        raise SchemaError("capture has no meta record (is this a capture file?)")
+    return document

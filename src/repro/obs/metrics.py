@@ -1,0 +1,243 @@
+"""Metrics: counters, gauges, and histograms with labeled series.
+
+A :class:`MetricsRegistry` owns every series of one capture.  A *series* is
+``(name, labels)`` — e.g. ``sched.process.steps{pid=2}`` — so the same
+metric name fans out into one series per label combination, the shape every
+later aggregation layer (sharded runs, batched serving) can sum over.
+
+* :class:`Counter` — monotone; ``inc(n)``.
+* :class:`Gauge` — last-write-wins; ``set(v)`` / ``add(v)``.
+* :class:`Histogram` — streaming count/sum/min/max plus fixed
+  power-of-two-ish buckets; ``observe(v)``.  Enough for latency
+  distributions without keeping samples.
+
+Lookup is a single dict get on the ``(name, sorted label items)`` key; hot
+instrumentation sites that increment per-event should hold the series
+object rather than re-resolving it (see ``Counter`` reuse in the scheduler).
+
+The null registry swallows everything at one attribute access + call, so
+``OBS.metrics.counter(...)`` is safe to write unguarded on warm paths; truly
+hot loops should still branch on ``OBS.enabled`` and aggregate locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+_BUCKET_BOUNDS = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+    float("inf"),
+)
+
+
+def _series_key(name: str, labels: dict[str, Any]) -> tuple:
+    if not labels:
+        return (name,)
+    return (name,) + tuple(sorted(labels.items()))
+
+
+class Counter:
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc({n}))")
+        self.value += n
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def add(self, delta: int | float) -> None:
+        self.value += delta
+
+    def max(self, value: int | float) -> None:
+        """Keep the running maximum (frontier peaks, high-water marks)."""
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets = [0] * len(_BUCKET_BOUNDS)
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(_BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            "value": {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "buckets": dict(
+                    zip((str(b) for b in _BUCKET_BOUNDS), self.buckets)
+                ),
+            },
+        }
+
+
+class MetricsRegistry:
+    """All metric series of one capture, keyed by (name, labels)."""
+
+    __slots__ = ("_series",)
+
+    def __init__(self) -> None:
+        self._series: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        key = _series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, labels)
+            self._series[key] = series
+        elif type(series) is not cls:
+            raise TypeError(
+                f"metric {name!r}{labels!r} already registered as "
+                f"{series.kind}, requested {cls.kind}"
+            )
+        return series
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def series(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Every series, in deterministic (name, labels) order."""
+        for key in sorted(self._series, key=repr):
+            yield self._series[key]
+
+    def value(self, name: str, **labels: Any):
+        """The current value of one series, or ``None`` if never touched."""
+        series = self._series.get(_series_key(name, labels))
+        return None if series is None else series.value
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class _NullSeries:
+    """Accepts every mutation, keeps nothing."""
+
+    __slots__ = ()
+
+    name = "null"
+    labels: dict[str, Any] = {}
+    value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def add(self, delta: int | float) -> None:
+        pass
+
+    def max(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL_SERIES = _NullSeries()
+
+
+class NullMetrics:
+    """Registry that swallows everything (the disabled backend)."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels: Any) -> _NullSeries:
+        return _NULL_SERIES
+
+    def gauge(self, name: str, **labels: Any) -> _NullSeries:
+        return _NULL_SERIES
+
+    def histogram(self, name: str, **labels: Any) -> _NullSeries:
+        return _NULL_SERIES
+
+    def series(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(())
+
+    def value(self, name: str, **labels: Any):
+        return None
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()

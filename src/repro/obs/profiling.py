@@ -1,0 +1,118 @@
+"""Profiling hooks: opt-in cProfile capture attached to spans.
+
+Tracing tells *where time went between instrumentation points*; profiling
+tells *where it went inside one*.  A capture created with ``profile=True``
+arms :func:`profiled` so that the wrapped block runs under ``cProfile`` and
+the top functions (by cumulative time) land in the enclosing capture as a
+``profile`` record — exported next to the spans, rendered by ``repro stats``.
+
+Profiles nest no better than cProfile does (one active profiler per
+thread), so :func:`profiled` is a no-op while another profile is running;
+the outermost block wins.  When profiling is disarmed the hook costs one
+attribute check.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any
+
+
+class ProfileRecord:
+    """Top-N functions of one profiled block."""
+
+    __slots__ = ("name", "total_seconds", "entries")
+
+    def __init__(self, name: str, total_seconds: float, entries: list[dict]):
+        self.name = name
+        self.total_seconds = total_seconds
+        self.entries = entries
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "total_seconds": self.total_seconds,
+            "entries": self.entries,
+        }
+
+
+class Profiler:
+    """Collects :class:`ProfileRecord`\\ s; armed per capture."""
+
+    __slots__ = ("records", "top_n", "_active")
+
+    def __init__(self, top_n: int = 15):
+        self.records: list[ProfileRecord] = []
+        self.top_n = top_n
+        self._active = False
+
+    def profiled(self, name: str) -> "_ProfiledBlock":
+        return _ProfiledBlock(self, name)
+
+
+class _ProfiledBlock:
+    __slots__ = ("_profiler", "_name", "_cprofile")
+
+    def __init__(self, profiler: Profiler, name: str):
+        self._profiler = profiler
+        self._name = name
+        self._cprofile: cProfile.Profile | None = None
+
+    def __enter__(self) -> "_ProfiledBlock":
+        if not self._profiler._active:
+            self._profiler._active = True
+            self._cprofile = cProfile.Profile()
+            self._cprofile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._cprofile is None:
+            return
+        self._cprofile.disable()
+        self._profiler._active = False
+        stats = pstats.Stats(self._cprofile)
+        entries: list[dict] = []
+        # pstats keys are (file, line, function); sort by cumulative time.
+        rows = sorted(
+            stats.stats.items(), key=lambda item: item[1][3], reverse=True
+        )
+        for (filename, line, function), (
+            primitive_calls,
+            total_calls,
+            internal_time,
+            cumulative_time,
+            _callers,
+        ) in rows[: self._profiler.top_n]:
+            entries.append(
+                {
+                    "function": f"{filename}:{line}:{function}",
+                    "calls": total_calls,
+                    "primitive_calls": primitive_calls,
+                    "internal_seconds": round(internal_time, 6),
+                    "cumulative_seconds": round(cumulative_time, 6),
+                }
+            )
+        self._profiler.records.append(
+            ProfileRecord(self._name, round(stats.total_tt, 6), entries)
+        )
+
+
+class NullProfiler:
+    """Disarmed profiler: ``profiled`` is a reusable no-op context manager."""
+
+    __slots__ = ()
+
+    records: list[ProfileRecord] = []
+
+    def profiled(self, name: str) -> "NullProfiler":
+        return self
+
+    def __enter__(self) -> "NullProfiler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()

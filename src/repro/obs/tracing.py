@@ -1,0 +1,176 @@
+"""Span-based tracing: nested timed regions with structured attributes.
+
+A :class:`Span` is one timed region of a run — an ``SDS^b`` build, a kernel
+search, a single scheduler action.  Spans carry a name, monotonic start/end
+times (``time.perf_counter_ns``), a dict of structured attributes, and a
+parent id; nesting follows the dynamic extent of the context managers, so a
+``sched.step`` span recorded while a ``sched.run`` span is open becomes its
+child.  Finished spans accumulate on the :class:`Tracer` in completion
+order and export to JSONL via :mod:`repro.obs.export`.
+
+Two recording styles, both cheap:
+
+* ``with tracer.span("kernel.search", vertices=v):`` — the context-manager
+  API for regions that enclose other instrumentation;
+* ``tracer.record("sched.step", start_ns, pid=0)`` — completed-span
+  recording for straight-line hot paths that only need a timestamp pair
+  (no try/finally frame, no stack push/pop).
+
+Span ids are sequential per tracer, so traces are deterministic for
+deterministic workloads — the differential tests rely on that.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed region.  Use via ``Tracer.span`` (context manager)."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "end_ns",
+        "attrs",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = 0
+        self.end_ns = 0
+        self.attrs = attrs
+        self._tracer = tracer
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self.span_id)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end_ns = time.perf_counter_ns()
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._finished.append(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"{self.duration_ns / 1e6:.3f}ms, attrs={self.attrs!r})"
+        )
+
+
+class Tracer:
+    """Collects finished spans; one per capture."""
+
+    __slots__ = ("_finished", "_stack", "_next_id")
+
+    def __init__(self) -> None:
+        self._finished: list[Span] = []
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span as a context manager, nested under the current one."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, name, span_id, parent, attrs)
+
+    def record(self, name: str, start_ns: int, **attrs: Any) -> Span:
+        """Record an already-finished region (hot-path style, no ``with``)."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self, name, span_id, parent, attrs)
+        span.start_ns = start_ns
+        span.end_ns = time.perf_counter_ns()
+        self._finished.append(span)
+        return span
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, in completion order."""
+        return self._finished
+
+    def spans_named(self, name: str) -> Iterator[Span]:
+        return (span for span in self._finished if span.name == name)
+
+    def children_of(self, parent: Span) -> list[Span]:
+        return [s for s in self._finished if s.parent_id == parent.span_id]
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+
+class NullSpan:
+    """Shared do-nothing span: the disabled backend's answer to everything."""
+
+    __slots__ = ()
+
+    name = "null"
+    span_id = 0
+    parent_id = None
+    start_ns = 0
+    end_ns = 0
+    duration_ns = 0
+    attrs: dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing; every ``span`` is the shared null span."""
+
+    __slots__ = ()
+
+    spans: list[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def record(self, name: str, start_ns: int, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def spans_named(self, name: str) -> Iterator[Span]:
+        return iter(())
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

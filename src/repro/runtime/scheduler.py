@@ -25,10 +25,12 @@ the runtime this way.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Callable, Hashable, Iterator, Protocol as TypingProtocol, Sequence
 
+from repro.obs import OBS as _OBS
 from repro.runtime.ops import Decide, ReadCell, SnapshotRegion, WriteCell, WriteReadIS
 from repro.runtime.process import Process, ProcessState, ProtocolFactory
 from repro.runtime.shared_memory import SharedMemorySystem
@@ -199,6 +201,12 @@ class Scheduler:
     # -- applying actions ---------------------------------------------------------
 
     def apply(self, action: Action) -> None:
+        if _OBS.enabled:
+            self._apply_traced(action)
+            return
+        self._apply(action)
+
+    def _apply(self, action: Action) -> None:
         self.time += 1
         self._last_action = action
         if self._record:
@@ -214,6 +222,34 @@ class Scheduler:
             self._apply_block(action)
             return
         raise SchedulerError(f"unknown action {action!r}")
+
+    def _apply_traced(self, action: Action) -> None:
+        """One applied action as a completed ``sched.*`` span plus counters.
+
+        Identical behaviour to :meth:`_apply` — instrumentation wraps it,
+        never replaces it — so traces, decisions, and diagnostics are
+        byte-for-byte what an untraced run produces.
+        """
+        start_ns = _time.perf_counter_ns()
+        self._apply(action)
+        tracer = _OBS.tracer
+        metrics = _OBS.metrics
+        if isinstance(action, StepAction):
+            tracer.record("sched.step", start_ns, time=self.time, pid=action.pid)
+            metrics.counter("sched.actions", kind="step").inc()
+        elif isinstance(action, BlockAction):
+            tracer.record(
+                "sched.block",
+                start_ns,
+                time=self.time,
+                memory=action.index,
+                pids=list(action.pids),
+            )
+            metrics.counter("sched.actions", kind="block").inc()
+        else:
+            tracer.record("sched.crash", start_ns, time=self.time, pid=action.pid)
+            metrics.counter("sched.actions", kind="crash").inc()
+            metrics.counter("sched.crashes_injected").inc()
 
     def _apply_step(self, pid: int) -> None:
         process = self.processes[pid]
@@ -262,6 +298,27 @@ class Scheduler:
 
     def run(self, schedule: "Schedule", max_steps: int = 100_000) -> RunResult:
         """Drive to completion (all processes decided or crashed)."""
+        if not _OBS.enabled:
+            return self._run(schedule, max_steps)
+        with _OBS.tracer.span(
+            "sched.run",
+            processes=len(self.processes),
+            schedule=type(schedule).__name__,
+        ) as span:
+            result = self._run(schedule, max_steps)
+            span.set(
+                steps=result.steps,
+                decided=len(result.decisions),
+                crashed=len(result.crashed),
+            )
+            metrics = _OBS.metrics
+            for process in self.processes.values():
+                metrics.gauge("sched.process.steps", pid=process.pid).set(
+                    process.steps
+                )
+            return result
+
+    def _run(self, schedule: "Schedule", max_steps: int) -> RunResult:
         while not self.all_done():
             if self.time >= max_steps:
                 raise SchedulerTimeout(

@@ -29,6 +29,32 @@ def intern_table_sizes() -> dict[str, int]:
     }
 
 
+def intern_table_stats() -> dict[str, dict[str, int]] | None:
+    """Live hit/miss counts while an observability capture is open.
+
+    Inside :func:`repro.obs.capture` the plain intern dicts are swapped for
+    counting twins (see ``repro.obs._CountingIntern``); this reads their
+    counters without waiting for capture exit.  Returns ``None`` when no
+    capture is active — the disabled tables are plain dicts and count
+    nothing, by design (the hot path must not pay for bookkeeping).
+    """
+    tables = {
+        "vertices": _vertex_module._INTERN,
+        "simplices": _simplex_module._INTERN,
+    }
+    stats: dict[str, dict[str, int]] = {}
+    for name, table in tables.items():
+        hits = getattr(table, "hits", None)
+        if hits is None:
+            return None
+        stats[name] = {
+            "hits": hits,
+            "misses": table.misses,
+            "size": len(table),
+        }
+    return stats
+
+
 def clear_intern_caches() -> dict[str, int]:
     """Drop every interned vertex and simplex; returns the sizes dropped.
 

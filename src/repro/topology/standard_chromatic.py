@@ -42,6 +42,7 @@ from functools import lru_cache
 from math import comb
 from typing import Iterator, Sequence
 
+from repro.obs import OBS as _OBS
 from repro.topology.complex import SimplicialComplex
 from repro.topology.simplex import Simplex
 from repro.topology.subdivision import Subdivision
@@ -128,6 +129,10 @@ def sds_simplices_of(simplex: Simplex) -> Iterator[Simplex]:
     simplex in which every processor in ``B_j`` snapshots ``B_1 ∪ ... ∪ B_j``.
     """
     cached = _SDS_TOPS_CACHE.get(simplex)
+    if _OBS.enabled:
+        _OBS.metrics.counter(
+            "sds.tops_cache", outcome="hit" if cached is not None else "miss"
+        ).inc()
     if cached is None:
         cached = tuple(_sds_simplices_uncached(simplex))
         _SDS_TOPS_CACHE[simplex] = cached
@@ -199,6 +204,23 @@ def standard_chromatic_subdivision(
     pool — the simplices are independent, and interning makes the merged
     result identical to the serial construction.
     """
+    if not _OBS.enabled:
+        return _standard_chromatic_subdivision_impl(base, max_workers)
+    with _OBS.tracer.span(
+        "sds.build",
+        base_tops=len(base.maximal_simplices),
+        dimension=base.dimension,
+        workers=max_workers or 1,
+    ) as span:
+        with _OBS.profiler.profiled("sds.build"):
+            result = _standard_chromatic_subdivision_impl(base, max_workers)
+        span.set(tops=len(result.complex.maximal_simplices))
+        return result
+
+
+def _standard_chromatic_subdivision_impl(
+    base: SimplicialComplex, max_workers: int | None
+) -> Subdivision:
     if not base.is_chromatic():
         raise ValueError("SDS is defined for chromatic complexes only")
     maximal = sorted(base.maximal_simplices, key=repr)
@@ -236,12 +258,23 @@ def iterated_standard_chromatic_subdivision(
         raise ValueError("rounds must be non-negative")
     from repro.topology.subdivision import trivial_subdivision
 
-    result = trivial_subdivision(base)
-    for _ in range(rounds):
-        result = result.then(
-            standard_chromatic_subdivision(result.complex, max_workers=max_workers)
-        )
-    return result
+    if not _OBS.enabled:
+        result = trivial_subdivision(base)
+        for _ in range(rounds):
+            result = result.then(
+                standard_chromatic_subdivision(result.complex, max_workers=max_workers)
+            )
+        return result
+    with _OBS.tracer.span(
+        "sds.build_iterated", rounds=rounds, base_tops=len(base.maximal_simplices)
+    ) as span:
+        result = trivial_subdivision(base)
+        for _ in range(rounds):
+            result = result.then(
+                standard_chromatic_subdivision(result.complex, max_workers=max_workers)
+            )
+        span.set(tops=len(result.complex.maximal_simplices))
+        return result
 
 
 def is_simultaneity_class(vertices: Iterator[Vertex] | Simplex) -> bool:

@@ -1,0 +1,27 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The ``ci`` profile is fully derandomized so a CI failure reproduces locally
+byte-for-byte (same examples, same shrinks); ``make test`` and the CI
+workflow select it with ``HYPOTHESIS_PROFILE=ci``.  The default ``dev``
+profile keeps Hypothesis's random exploration (better at finding new bugs
+during development) but drops the deadline — the SDS builds inside property
+bodies are legitimately slow on cold caches.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,44 @@
+"""Differential suite: bitset kernel vs. naive search on *randomized* tasks.
+
+``test_csp_kernel.py`` already locks kernel-vs-naive agreement over the task
+zoo; this suite replaces the curated instances with the
+:mod:`tests.strategies` task generator, whose Δ relations vary from
+consensus-like (one allowed tuple, unsolvable) to identity-like (the full
+product, trivially solvable) — the spectrum where a compilation bug would
+make the two searches drift apart.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.solvability import SearchOptions, solve_task, validate_decision_map
+from tests.strategies import tasks
+
+KERNEL = SearchOptions(kernel=True)
+NAIVE = SearchOptions(kernel=False)
+
+
+class TestKernelDifferential:
+    @given(tasks())
+    @settings(max_examples=20)
+    def test_verdicts_and_first_maps_agree(self, task):
+        kernel_result = solve_task(task, max_rounds=1, options=KERNEL)
+        naive_result = solve_task(task, max_rounds=1, options=NAIVE)
+        assert kernel_result.status is naive_result.status
+        assert kernel_result.rounds == naive_result.rounds
+        for kernel_level, naive_level in zip(
+            kernel_result.levels, naive_result.levels
+        ):
+            assert kernel_level.satisfiable == naive_level.satisfiable
+            assert kernel_level.exhausted and naive_level.exhausted
+        if kernel_result.decision_map is not None:
+            # Both searches order values identically, so SAT answers must
+            # find the *same first* decision map, not just equivalent ones.
+            assert (
+                kernel_result.decision_map.as_dict()
+                == naive_result.decision_map.as_dict()
+            )
+            validate_decision_map(
+                kernel_result.subdivision,
+                task,
+                kernel_result.decision_map,
+            )

@@ -1,0 +1,107 @@
+"""Differential suite: DPOR-reduced exploration vs. the naive oracles.
+
+Two independent references keep the reductions honest under *randomized*
+fault injection (budgets drawn by :mod:`tests.strategies`):
+
+* the explorer's own unreduced walk (``reduction=False, state_cache=False``),
+  which shares the replay machinery but none of the pruning; and
+* :func:`repro.runtime.scheduler.enumerate_executions`, a separate
+  implementation that predates the explorer entirely.
+
+Sound reductions may only collapse *interleavings*, never outcomes, so the
+outcome sets must match exactly.  Derandomized under the ``ci`` Hypothesis
+profile, so a CI failure replays locally with the same budgets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.explorer import CrashBudget, ExploreOptions, explore
+from repro.mc.scenario import EmulationScenario, IISScenario
+from repro.runtime.iterated import iis_full_information
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import enumerate_executions
+from tests.strategies import crash_budgets
+
+
+def _naive_options(budget: CrashBudget) -> ExploreOptions:
+    return ExploreOptions(
+        reduction=False,
+        state_cache=False,
+        crash_budget=budget,
+        stop_on_violation=False,
+    )
+
+
+def _iis_factories(processes: int, rounds: int):
+    def factory_for(pid):
+        def factory(p):
+            def protocol():
+                view = yield from iis_full_information(p, f"v{p}", rounds)
+                yield Decide(view)
+
+            return protocol()
+
+        return factory
+
+    return {pid: factory_for(pid) for pid in range(processes)}
+
+
+class TestReducedVsNaiveWalk:
+    @given(crash_budgets(processes=2))
+    @settings(max_examples=10, deadline=None)
+    def test_emulation_outcome_sets_agree(self, budget):
+        scenario = EmulationScenario(processes=2, k=1)
+        reduced = explore(
+            scenario,
+            ExploreOptions(crash_budget=budget, stop_on_violation=False),
+        )
+        naive = explore(scenario, _naive_options(budget))
+        assert reduced.ok and naive.ok
+        assert reduced.outcomes == naive.outcomes
+        assert reduced.stats.executions <= naive.stats.executions
+
+    def test_emulation_two_round_outcome_sets_agree(self):
+        # k=2 multiplies the naive schedule count ~50x, so this depth is a
+        # single crash-free case rather than a Hypothesis dimension.
+        scenario = EmulationScenario(processes=2, k=2)
+        options = ExploreOptions(stop_on_violation=False)
+        reduced = explore(scenario, options)
+        naive = explore(scenario, _naive_options(options.crash_budget))
+        assert reduced.outcomes == naive.outcomes
+        assert reduced.stats.executions < naive.stats.executions
+
+    @given(crash_budgets(processes=3))
+    @settings(max_examples=6, deadline=None)
+    def test_iis_outcome_sets_agree(self, budget):
+        scenario = IISScenario(processes=3, rounds=1)
+        reduced = explore(
+            scenario,
+            ExploreOptions(crash_budget=budget, stop_on_violation=False),
+        )
+        naive = explore(scenario, _naive_options(budget))
+        assert reduced.ok and naive.ok
+        assert reduced.outcomes == naive.outcomes
+
+
+class TestReducedVsEnumerateExecutions:
+    @given(
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_iis_outcomes_match_reference_enumeration(self, max_crashes, rounds):
+        scenario = IISScenario(processes=2, rounds=rounds)
+        reduced = explore(
+            scenario,
+            ExploreOptions(
+                crash_budget=CrashBudget(max_crashes=max_crashes),
+                stop_on_violation=False,
+            ),
+        )
+        reference = {
+            (tuple(sorted(run.decisions.items())), run.crashed)
+            for run in enumerate_executions(
+                _iis_factories(2, rounds), 2, max_crashes=max_crashes
+            )
+        }
+        assert reduced.outcomes == reference

@@ -1,0 +1,149 @@
+"""The capture lifecycle: global state, intern counting, behavior neutrality."""
+
+import pytest
+
+from repro.obs import OBS, capture, span
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER
+from repro.topology.complex import SimplicialComplex
+from repro.topology.interning import intern_table_stats
+from repro.topology.standard_chromatic import standard_chromatic_subdivision
+from repro.topology.vertex import vertices_of
+
+
+def _base(n: int) -> SimplicialComplex:
+    return SimplicialComplex.from_vertices(vertices_of(range(n + 1)))
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert OBS.enabled is False
+        assert OBS.tracer is NULL_TRACER
+        assert OBS.metrics is NULL_METRICS
+        assert span("anything") is NULL_SPAN
+
+    def test_capture_enables_and_restores(self):
+        with capture() as session:
+            assert OBS.enabled is True
+            assert OBS.tracer is session.tracer
+            assert OBS.metrics is session.metrics
+        assert OBS.enabled is False
+        assert OBS.tracer is NULL_TRACER
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with capture():
+                raise RuntimeError("boom")
+        assert OBS.enabled is False
+        assert OBS.tracer is NULL_TRACER
+        assert intern_table_stats() is None
+
+    def test_captures_do_not_nest(self):
+        with capture():
+            with pytest.raises(RuntimeError, match="already active"):
+                with capture():
+                    pass
+
+    def test_span_helper_uses_active_tracer(self):
+        with capture() as session:
+            with span("unit", x=1):
+                pass
+            (finished,) = session.tracer.spans
+            assert finished.name == "unit" and finished.attrs == {"x": 1}
+
+
+class TestInternCounting:
+    def test_stats_live_only_inside_capture(self):
+        assert intern_table_stats() is None
+        with capture() as session:
+            stats = intern_table_stats()
+            assert stats is not None
+            assert set(stats) == {"vertices", "simplices"}
+            standard_chromatic_subdivision(_base(1))
+            after = intern_table_stats()
+            assert after["vertices"]["hits"] + after["vertices"]["misses"] > 0
+        assert intern_table_stats() is None
+        # The counters were flushed into the capture on exit.
+        assert session.metrics.value("intern.misses", table="vertices") >= 0
+        assert session.metrics.value("intern.size", table="vertices") > 0
+
+    def test_interned_objects_survive_the_table_swap(self):
+        from repro.topology.vertex import Vertex
+
+        before = Vertex(0, "payload")
+        with capture():
+            during = Vertex(0, "payload")
+            assert during is before  # entries were copied into the twin
+        after = Vertex(0, "payload")
+        assert after is before  # and copied back out
+
+
+class TestBehaviorNeutrality:
+    """A traced run must be byte-identical to an untraced one."""
+
+    def test_sds_build_identical_under_capture(self):
+        plain = standard_chromatic_subdivision(_base(2))
+        with capture() as session:
+            traced = standard_chromatic_subdivision(_base(2))
+        assert traced.complex == plain.complex
+        names = [s.name for s in session.tracer.spans]
+        assert "sds.build" in names
+
+    def test_solver_verdict_identical_under_capture(self):
+        from repro.core.solvability import SearchOptions, solve_task
+        from repro.tasks import set_consensus_task
+
+        options = SearchOptions(kernel=True)
+        plain = solve_task(set_consensus_task(3, 3), 1, options=options)
+        with capture() as session:
+            traced = solve_task(set_consensus_task(3, 3), 1, options=options)
+        assert traced.status is plain.status
+        assert traced.rounds == plain.rounds
+        assert traced.decision_map.as_dict() == plain.decision_map.as_dict()
+        assert session.metrics.value("kernel.searches") >= 1
+
+    def test_scheduler_run_identical_under_capture(self):
+        from repro.runtime.iterated import iis_full_information
+        from repro.runtime.ops import Decide
+        from repro.runtime.scheduler import RandomSchedule, Scheduler
+
+        def factory(pid):
+            def protocol():
+                view = yield from iis_full_information(pid, f"v{pid}", 1)
+                yield Decide(view)
+
+            return protocol()
+
+        def run():
+            scheduler = Scheduler([factory, factory, factory], 3, record_events=True)
+            result = scheduler.run(RandomSchedule(5))
+            return result, {p.pid: p.steps for p in scheduler.processes.values()}
+
+        plain, plain_steps = run()
+        with capture() as session:
+            traced, traced_steps = run()
+        assert traced.decisions == plain.decisions
+        assert traced.events == plain.events
+        assert traced.steps == plain.steps
+        assert traced_steps == plain_steps
+        (run_span,) = session.tracer.spans_named("sched.run")
+        assert run_span.attrs["steps"] == plain.steps
+        for pid, count in plain_steps.items():
+            assert session.metrics.value("sched.process.steps", pid=pid) == count
+
+    def test_explorer_outcomes_identical_under_capture(self):
+        from repro.mc.explorer import ExploreOptions, explore
+        from repro.mc.scenario import EmulationScenario
+
+        scenario = EmulationScenario(processes=2, k=1)
+        options = ExploreOptions(stop_on_violation=False)
+        plain = explore(scenario, options)
+        with capture() as session:
+            traced = explore(scenario, options)
+        assert traced.outcomes == plain.outcomes
+        assert traced.stats.executions == plain.stats.executions
+        assert traced.stats.frontier_peak == plain.stats.frontier_peak
+        assert session.metrics.value("mc.executions") == plain.stats.executions
+        assert (
+            session.metrics.value("mc.frontier.peak") == plain.stats.frontier_peak
+        )

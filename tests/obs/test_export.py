@@ -1,0 +1,141 @@
+"""JSONL export: schema validity, round-trip, strict rejection of garbage."""
+
+import json
+
+import pytest
+
+from repro.obs import capture
+from repro.obs.export import (
+    SCHEMA,
+    SchemaError,
+    capture_to_jsonl,
+    load_capture_jsonl,
+    validate_record,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.standard_chromatic import standard_chromatic_subdivision
+from repro.topology.vertex import vertices_of
+
+
+def _traced_build():
+    with capture() as session:
+        base = SimplicialComplex.from_vertices(vertices_of(range(2)))
+        standard_chromatic_subdivision(base)
+    return session
+
+
+class TestRoundTrip:
+    def test_every_line_is_schema_valid(self):
+        text = capture_to_jsonl(_traced_build(), label="unit")
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            validate_record(json.loads(line), line_number)
+
+    def test_meta_record_comes_first(self):
+        text = capture_to_jsonl(_traced_build(), label="unit")
+        first = json.loads(text.splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["schema"] == SCHEMA
+        assert first["label"] == "unit"
+
+    def test_load_reconstructs_spans_and_metrics(self):
+        session = _traced_build()
+        document = load_capture_jsonl(capture_to_jsonl(session))
+        assert len(document.spans) == len(session.tracer.spans)
+        assert len(document.metrics) == len(list(session.metrics.series()))
+        assert "sds.build" in document.span_names()
+        counters = document.counters()
+        assert any(name.startswith("intern.misses") for name in counters)
+
+    def test_profile_records_export_and_validate(self):
+        with capture(profile=True) as session:
+            base = SimplicialComplex.from_vertices(vertices_of(range(2)))
+            standard_chromatic_subdivision(base)
+        assert session.profiler.records, "profiled('sds.build') never fired"
+        document = load_capture_jsonl(capture_to_jsonl(session))
+        assert len(document.profiles) == len(session.profiler.records)
+        names = {profile["name"] for profile in document.profiles}
+        assert "sds.build" in names
+        for profile in document.profiles:
+            assert profile["entries"], "profile exported with no stat entries"
+
+    def test_profiler_stays_off_without_the_flag(self):
+        session = _traced_build()
+        assert session.profiler.records == []
+
+
+class TestRejection:
+    def test_not_json(self):
+        with pytest.raises(SchemaError, match="line 2: not valid JSON"):
+            load_capture_jsonl(
+                '{"type": "meta", "schema": "%s"}\n{nope\n' % SCHEMA
+            )
+
+    def test_unknown_record_type(self):
+        with pytest.raises(SchemaError, match="unknown record type 'event'"):
+            validate_record({"type": "event"}, line=3)
+
+    def test_missing_span_field(self):
+        record = {"type": "span", "name": "x"}
+        with pytest.raises(SchemaError, match="span record missing 'span_id'"):
+            validate_record(record, line=7)
+
+    def test_wrongly_typed_span_field(self):
+        record = {
+            "type": "span",
+            "name": "x",
+            "span_id": "one",
+            "parent_id": None,
+            "start_ns": 0,
+            "duration_ns": 0,
+            "attrs": {},
+        }
+        with pytest.raises(SchemaError, match="span.span_id has type str"):
+            validate_record(record)
+
+    def test_negative_duration(self):
+        record = {
+            "type": "span",
+            "name": "x",
+            "span_id": 1,
+            "parent_id": None,
+            "start_ns": 0,
+            "duration_ns": -5,
+            "attrs": {},
+        }
+        with pytest.raises(SchemaError, match="duration_ns is negative"):
+            validate_record(record)
+
+    def test_bad_metric_kind(self):
+        record = {"type": "metric", "kind": "summary", "name": "x", "labels": {}}
+        with pytest.raises(SchemaError, match="unknown metric kind 'summary'"):
+            validate_record(record)
+
+    def test_non_numeric_counter_value(self):
+        record = {
+            "type": "metric",
+            "kind": "counter",
+            "name": "x",
+            "labels": {},
+            "value": "many",
+        }
+        with pytest.raises(SchemaError, match="counter value must be numeric"):
+            validate_record(record)
+
+    def test_wrong_schema_version(self):
+        with pytest.raises(SchemaError, match="meta.schema"):
+            validate_record({"type": "meta", "schema": "repro-obs-v0"})
+
+    def test_document_without_meta(self):
+        span_line = json.dumps(
+            {
+                "type": "span",
+                "name": "x",
+                "span_id": 1,
+                "parent_id": None,
+                "start_ns": 0,
+                "duration_ns": 0,
+                "attrs": {},
+            }
+        )
+        with pytest.raises(SchemaError, match="no meta record"):
+            load_capture_jsonl(span_line + "\n")

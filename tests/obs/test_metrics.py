@@ -1,0 +1,93 @@
+"""The metrics registry: counters, gauges, histograms, labeled series."""
+
+import pytest
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.value("hits") == 5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("hits").inc(-1)
+
+    def test_labels_fan_out_into_series(self):
+        registry = MetricsRegistry()
+        registry.counter("actions", kind="step").inc(3)
+        registry.counter("actions", kind="crash").inc()
+        assert registry.value("actions", kind="step") == 3
+        assert registry.value("actions", kind="crash") == 1
+        assert registry.value("actions") is None  # unlabeled is distinct
+
+
+class TestGauges:
+    def test_set_add_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert registry.value("depth") == 3
+        gauge.max(10)
+        gauge.max(7)  # not a new high-water mark
+        assert registry.value("depth") == 10
+
+
+class TestHistograms:
+    def test_streaming_aggregates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (0.5e-6, 2e-3, 0.5, 20.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.min == 0.5e-6
+        assert histogram.max == 20.0
+        assert histogram.mean == pytest.approx(histogram.sum / 4)
+        assert sum(histogram.buckets) == 4  # every observation lands once
+
+    def test_empty_histogram_snapshot_has_null_extrema(self):
+        snapshot = MetricsRegistry().histogram("empty").snapshot()
+        assert snapshot["value"]["count"] == 0
+        assert snapshot["value"]["min"] is None
+        assert snapshot["value"]["max"] is None
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_series_order_is_deterministic(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name, labels in order:
+                registry.counter(name, **labels).inc()
+            return [(s.name, s.labels) for s in registry.series()]
+
+        creation_a = [("b", {}), ("a", {"x": 1}), ("a", {"x": 0})]
+        creation_b = list(reversed(creation_a))
+        assert build(creation_a) == build(creation_b)
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.clear()
+        assert registry.value("x") is None
+        assert list(registry.series()) == []
+
+
+class TestNullMetrics:
+    def test_swallows_every_mutation(self):
+        series = NULL_METRICS.counter("x", any_label=1)
+        series.inc(100)
+        series.set(5)
+        series.observe(1.0)
+        assert NULL_METRICS.value("x", any_label=1) is None
+        assert list(NULL_METRICS.series()) == []

@@ -1,0 +1,86 @@
+"""The span tracer: nesting, attributes, hot-path recording, null backend."""
+
+import pytest
+
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullSpan, Tracer
+
+
+class TestSpans:
+    def test_span_times_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as span:
+            span.set(result=7)
+        (finished,) = tracer.spans
+        assert finished is span
+        assert finished.name == "work"
+        assert finished.attrs == {"size": 3, "result": 7}
+        assert finished.duration_ns >= 0
+        assert finished.end_ns >= finished.start_ns > 0
+
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        # Completion order: inner closes first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert tracer.children_of(outer) == [inner]
+
+    def test_record_is_a_completed_child_of_the_open_span(self):
+        import time
+
+        tracer = Tracer()
+        with tracer.span("run") as run:
+            start = time.perf_counter_ns()
+            recorded = tracer.record("step", start, pid=0)
+        assert recorded.parent_id == run.span_id
+        assert recorded.attrs == {"pid": 0}
+        assert recorded.start_ns == start
+        assert recorded.end_ns >= start
+
+    def test_exception_is_recorded_and_span_still_finishes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (finished,) = tracer.spans
+        assert finished.attrs["error"] == "ValueError"
+        assert finished.end_ns >= finished.start_ns
+
+    def test_span_ids_are_sequential(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [s.span_id for s in tracer.spans]
+        assert ids == sorted(ids) and len(set(ids)) == 2
+
+    def test_spans_named_and_clear(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        with tracer.span("y"):
+            pass
+        assert len(list(tracer.spans_named("x"))) == 3
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestNullBackend:
+    def test_null_tracer_returns_the_shared_null_span(self):
+        span = NULL_TRACER.span("anything", attr=1)
+        assert span is NULL_SPAN
+        assert isinstance(span, NullSpan)
+        with span as entered:
+            entered.set(ignored=True)
+        assert NULL_TRACER.spans == []
+        assert list(NULL_TRACER.spans_named("anything")) == []
+
+    def test_null_span_keeps_no_state(self):
+        NULL_SPAN.set(a=1)
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.duration_ns == 0

@@ -229,6 +229,32 @@ class TestTimeoutDiagnostics:
         assert set(info.value.per_process_steps) == {0}
         assert info.value.per_process_steps[0] >= 3
 
+    def test_timeout_diagnostics_survive_a_traced_run(self):
+        # Regression guard for the observability layer: tracing must not
+        # perturb (or swallow) the timeout's partial trace.
+        from repro.obs import capture
+
+        def timeout():
+            s = Scheduler([spinner, spinner], 2, record_events=True)
+            with pytest.raises(SchedulerTimeout) as info:
+                s.run(RoundRobinSchedule(), max_steps=7)
+            return info.value
+
+        plain = timeout()
+        with capture() as session:
+            traced = timeout()
+        assert traced.events == plain.events
+        assert traced.per_process_steps == plain.per_process_steps
+        assert type(traced.last_action) is type(plain.last_action)
+        assert traced.last_action.pid == plain.last_action.pid
+        # The steps taken before the guard tripped were still traced, and
+        # the aborted run span records the exception.
+        names = [s.name for s in session.tracer.spans]
+        assert names.count("sched.step") == 7
+        (run_span,) = session.tracer.spans_named("sched.run")
+        assert run_span.attrs["error"] == "SchedulerTimeout"
+        assert "steps" not in run_span.attrs  # completion attrs never set
+
 
 class TestCrashConfiguration:
     def test_probabilistic_crashes_reproducible_from_seed_and_config(self):
@@ -241,16 +267,17 @@ class TestCrashConfiguration:
         assert first.decisions == second.decisions
         assert first.crashed == second.crashed
 
+    # Pinned: under this seed the schedule injects exactly one crash (pid 1
+    # at time 2).  A pinned constant, not a seed scan: the RNG stream is part
+    # of the compatibility surface (see test_legacy_configs_keep_their_rng
+    # _stream), so a drift that changes which seeds crash should fail loudly
+    # here rather than be silently absorbed by re-scanning.
+    CRASHING_SEED = 0
+
     def test_injected_crashes_recorded_with_times(self):
-        crashing_seed = next(
-            seed
-            for seed in range(50)
-            if Scheduler([writer_reader, writer_reader], 2)
-            .run(RandomSchedule(seed, crash_probability=0.5))
-            .crashed
-        )
         s = Scheduler([writer_reader, writer_reader], 2)
-        result = s.run(RandomSchedule(crashing_seed, crash_probability=0.5))
+        result = s.run(RandomSchedule(self.CRASHING_SEED, crash_probability=0.5))
+        assert result.crashed, "pinned seed no longer crashes: RNG stream drifted"
         assert {pid for _time, pid in result.injected_crashes} == result.crashed
         assert all(time >= 0 for time, _pid in result.injected_crashes)
 

@@ -1,0 +1,127 @@
+"""Hypothesis strategies for the paper's combinatorial objects.
+
+Shared by the property suites (SDS invariants) and the differential suites
+(kernel vs. naive search, DPOR vs. naive enumeration).  Everything here
+generates *valid* objects by construction — chromatic simplices have
+distinct colors, tasks satisfy the ``Task`` validator's color and
+non-emptiness conditions — so shrinking never wanders into constructor
+errors and every counterexample is a genuine property failure.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from hypothesis import strategies as st
+
+from repro.core.task import Task, delta_from_rule
+from repro.mc.explorer import CrashBudget
+from repro.runtime.scheduler import RandomSchedule
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.vertex import Vertex
+
+# Small payload pool: interning makes repeated payloads cheap, and collisions
+# between simplices (shared faces) are exactly the interesting case for SDS.
+payloads = st.integers(min_value=0, max_value=2)
+
+
+@st.composite
+def chromatic_simplices(
+    draw, colors: tuple[int, ...] = (0, 1, 2), payload=payloads
+) -> Simplex:
+    """A properly colored simplex over a nonempty subset of ``colors``."""
+    chosen = draw(
+        st.sets(st.sampled_from(colors), min_size=1, max_size=len(colors))
+    )
+    return Simplex(Vertex(color, draw(payload)) for color in sorted(chosen))
+
+
+@st.composite
+def chromatic_complexes(
+    draw,
+    colors: tuple[int, ...] = (0, 1, 2),
+    max_tops: int = 3,
+    payload=payloads,
+) -> SimplicialComplex:
+    """A chromatic complex glued from 1..``max_tops`` random simplices."""
+    tops = draw(
+        st.lists(
+            chromatic_simplices(colors=colors, payload=payload),
+            min_size=1,
+            max_size=max_tops,
+        )
+    )
+    return SimplicialComplex(tops)
+
+
+@st.composite
+def tasks(draw, max_processes: int = 3, max_values: int = 2) -> Task:
+    """A random decision task over a single full input simplex.
+
+    The allowed full output tuples are a random nonempty subset of the
+    per-color value products; Δ on a face is the projection of every full
+    tuple (so Δ is total and color-matching by construction).  Verdicts
+    genuinely vary: a singleton tuple set is consensus-like (usually
+    unsolvable), the full product is identity-like (trivially solvable).
+    """
+    n = draw(st.integers(min_value=2, max_value=max_processes))
+    colors = tuple(range(n))
+    input_complex = SimplicialComplex([Simplex(Vertex(c, c) for c in colors)])
+    pools = {
+        c: tuple(range(draw(st.integers(min_value=1, max_value=max_values))))
+        for c in colors
+    }
+    full_tuples = [
+        Simplex(Vertex(c, value) for c, value in zip(colors, values))
+        for values in product(*(pools[c] for c in colors))
+    ]
+    indices = draw(
+        st.sets(
+            st.sampled_from(range(len(full_tuples))),
+            min_size=1,
+            max_size=len(full_tuples),
+        )
+    )
+    tops = [full_tuples[i] for i in sorted(indices)]
+    output_complex = SimplicialComplex(tops)
+
+    def rule(input_simplex: Simplex):
+        return {
+            top.restrict_to_colors(input_simplex.colors) for top in tops
+        }
+
+    return Task(
+        name=f"random(n={n},tuples={len(tops)})",
+        input_complex=input_complex,
+        output_complex=output_complex,
+        delta=delta_from_rule(input_complex, rule),
+    )
+
+
+def schedules(max_seed: int = 2**16) -> st.SearchStrategy[RandomSchedule]:
+    """Seeded random schedules (deterministic functions of the drawn seed)."""
+    return st.builds(
+        RandomSchedule,
+        st.integers(min_value=0, max_value=max_seed),
+        block_probability=st.floats(min_value=0.1, max_value=0.9),
+    )
+
+
+@st.composite
+def crash_budgets(draw, processes: int = 2) -> CrashBudget:
+    """Random fault-injection budgets, sometimes restricted to a pid subset."""
+    max_crashes = draw(st.integers(min_value=0, max_value=processes - 1))
+    pids: tuple[int, ...] | None = None
+    if max_crashes and draw(st.booleans()):
+        pids = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=processes - 1),
+                        min_size=1,
+                    )
+                )
+            )
+        )
+    return CrashBudget(max_crashes=max_crashes, pids=pids)

@@ -118,3 +118,40 @@ class TestModelChecker:
 
     def test_mc_mutate_requires_emulation(self, capsys):
         assert main(["mc", "--scenario", "iis", "--mutate", "skip-freshness"]) == 2
+
+
+class TestObservability:
+    def test_trace_then_stats(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "--out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and str(target) in out
+
+        assert main(["stats", str(target)]) == 0
+        rendered = capsys.readouterr().out
+        # All three span families of the acceptance scenario ...
+        assert "sched.run" in rendered
+        assert "sds.build" in rendered
+        assert "kernel.search" in rendered
+        assert "mc.explore" in rendered
+        # ... and the headline counters.
+        assert "intern.hits{table=vertices}" in rendered
+        assert "kernel.backjumps" in rendered
+        assert "mc.cache_hits" in rendered
+
+    def test_trace_to_stdout_is_schema_valid(self, capsys):
+        from repro.obs.export import load_capture_jsonl
+
+        assert main(["trace", "-p", "2", "--skip-mc", "--out", "-"]) == 0
+        document = load_capture_jsonl(capsys.readouterr().out)
+        assert {"sched.run", "sds.build", "kernel.compile"} <= document.span_names()
+
+    def test_stats_rejects_malformed_capture(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"}\n')
+        assert main(["stats", str(bad)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Property suite: SDS invariants over *randomized* chromatic complexes.
+
+The example-based tests in ``test_standard_chromatic.py`` pin the paper's
+small instances; this suite quantifies the same invariants over the
+:mod:`tests.strategies` generators — any chromatic complex, glued along
+arbitrary shared faces — so a regression that only bites an odd gluing
+pattern still falls out of CI.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.topology.standard_chromatic import (
+    fubini,
+    iterated_standard_chromatic_subdivision,
+    standard_chromatic_subdivision,
+    view_of,
+)
+from tests.strategies import chromatic_complexes
+
+
+class TestOneRoundProperties:
+    @given(chromatic_complexes())
+    def test_color_and_carrier_preserving(self, base):
+        subdivision = standard_chromatic_subdivision(base)
+        # validate(chromatic=True) checks properness, carrier containment of
+        # each vertex's color, purity of per-top restrictions, and onto-ness.
+        subdivision.validate(chromatic=True)
+        assert subdivision.complex.colors == base.colors
+
+    @given(chromatic_complexes())
+    def test_top_count_is_fubini_sum(self, base):
+        subdivision = standard_chromatic_subdivision(base)
+        expected = sum(
+            fubini(top.dimension + 1) for top in base.maximal_simplices
+        )
+        assert len(subdivision.complex.maximal_simplices) == expected
+
+    @given(chromatic_complexes())
+    def test_views_are_carrier_vertex_sets(self, base):
+        subdivision = standard_chromatic_subdivision(base)
+        for vertex in subdivision.complex.vertices:
+            view = view_of(vertex)
+            carrier = subdivision.carrier(vertex)
+            assert view == frozenset(carrier)
+
+
+class TestIteratedProperties:
+    @given(chromatic_complexes(max_tops=2), st.integers(min_value=1, max_value=2))
+    def test_iterated_carriers_compose_to_base(self, base, rounds):
+        subdivision = iterated_standard_chromatic_subdivision(base, rounds)
+        subdivision.validate(chromatic=True)
+        assert subdivision.base == base
+        assert subdivision.complex.colors == base.colors
+
+    @given(chromatic_complexes(max_tops=2), st.integers(min_value=1, max_value=2))
+    def test_iterated_top_count_composes(self, base, rounds):
+        """tops(SDS^b) equals b-fold iteration of the Fubini-sum recurrence."""
+        subdivision = iterated_standard_chromatic_subdivision(base, rounds)
+        current = base
+        for _ in range(rounds):
+            current = standard_chromatic_subdivision(current).complex
+        assert len(subdivision.complex.maximal_simplices) == len(
+            current.maximal_simplices
+        )
