@@ -20,27 +20,33 @@ test:
 # Run the E1/E2/E5/MC hot-path benchmarks, emit BENCH_LOCAL.json, and gate it
 # against the committed trajectory (fails on >20% slowdown of a tracked path,
 # if the CSP kernel's speedup over the naive search drops below 5x on the
-# (n=3, b=2) rows, or if the model checker's DPOR reduction drops below 5x
-# schedules on the 3-process emulation).
+# (n=3, b=2) rows, if the model checker's DPOR reduction drops below 5x
+# schedules on the 3-process emulation, or if the orbit engine's acceptance
+# ratios regress: the cold packed (n=3, b=2) build must stay >= 3x faster
+# than the PR4 engine and a disk-cache hit >= 2x faster than a cold build).
 bench:
 	$(PYTHON) benchmarks/run_bench.py --output BENCH_LOCAL.json --label local
-	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR3.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR4.json \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
 		--min-speedup e5k.solve.n3_b2_cap.speedup_vs_naive=5 \
 		--min-speedup mc.explore.emu_p3k1.reduction_vs_naive=5 \
-		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2
+		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
+		--min-speedup e2.build.cold.n3_b2.speedup_vs_pr4=3 \
+		--min-speedup e2.build.cold.cache_hit.n3_b2.speedup_vs_cold=2
 
 # CI-sized benchmark: cheap rows only, compare-only (no committed JSON is
-# rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row and
-# the model checker's reduction floor on its smoke row.  The loose timing
+# rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row,
+# the model checker's reduction floor, and the disk cache's warm-start
+# advantage on the smoke-sized (n=2, b=2) cold row.  The loose timing
 # threshold absorbs CI jitter on microsecond-scale rows; count drift and the
 # speedup floors are exact gates regardless.
 bench-smoke:
 	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_SMOKE.json --label smoke
-	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR3.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR4.json \
 		--allow-missing --threshold 1.0 \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
-		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2
+		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
+		--min-speedup e2.build.cold.cache_hit.n2_b2.speedup_vs_cold=1.5
 	rm -f BENCH_SMOKE.json
 
 # Model-checker smoke: exhaustively verify the 2-process emulation (healthy,

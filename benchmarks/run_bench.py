@@ -26,13 +26,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# The cold/cache-hit rows clear and repopulate the persistent SDS cache; run
+# them against a private directory so benchmarking never wipes (or is skewed
+# by) the user's real ~/.cache/repro-sds.  An explicit REPRO_SDS_CACHE_DIR
+# wins — that is how CI pins the cache inside the runner workspace.
+os.environ.setdefault(
+    "REPRO_SDS_CACHE_DIR", tempfile.mkdtemp(prefix="repro-sds-bench-")
+)
 
 from repro.core.solvability import SearchOptions, _probe_level, solve_task  # noqa: E402
 from repro.tasks import (  # noqa: E402
@@ -40,6 +50,7 @@ from repro.tasks import (  # noqa: E402
     binary_consensus_task,
     set_consensus_task,
 )
+from repro.topology import sds_cache  # noqa: E402
 from repro.topology.complex import SimplicialComplex  # noqa: E402
 from repro.topology.interning import clear_intern_caches  # noqa: E402
 from repro.topology.simplex import Simplex  # noqa: E402
@@ -50,6 +61,11 @@ from repro.topology.standard_chromatic import (  # noqa: E402
 from repro.topology.vertex import Vertex  # noqa: E402
 
 SCHEMA = "repro-bench-v1"
+
+# BENCH_PR4.json's e2.build.cold.n3_b2.seconds — the pre-orbit engine's cold
+# (n=3, b=2) build.  Pinned as a constant (not read from the file) so the
+# acceptance ratio survives the --against target moving forward.
+PR4_COLD_N3_B2_SECONDS = 0.0476
 
 # (n, b, repeats) — the E2 growth grid, including the two rows this PR adds.
 E2_GRID = [(1, 3, 5), (2, 2, 5), (3, 1, 5), (2, 3, 3), (3, 2, 3)]
@@ -72,7 +88,7 @@ E5K_GRID = [
     ("n2_b3", lambda: approximate_agreement_task(2, 81), 3, 2_000_000, 3, False),
     ("n3_b1", lambda: set_consensus_task(3, 2), 1, 2_000_000, 5, True),
     ("n3_b2", lambda: approximate_agreement_task(3, 3), 2, 2_000_000, 3, True),
-    ("n3_b2_cap", lambda: set_consensus_task(3, 2), 2, 150_000, 2, False),
+    ("n3_b2_cap", lambda: set_consensus_task(3, 2), 2, 150_000, 3, False),
 ]
 
 # Model-checking exploration of the Figure 2 emulation: the reduced (DPOR)
@@ -107,12 +123,24 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
     metrics: dict[str, float | int] = {}
     tracked: list[str] = []
 
+    # One-time process state, hoisted out of the timed rows: the first
+    # ``solve_task`` call otherwise pays the lazy import (and bytecode
+    # compile) of the CSP kernel module inside a single-shot e5 row, which
+    # turns that row into an import benchmark — profiling showed the import
+    # alone dwarfing the actual search on the smallest task.  A throwaway
+    # solve warms every lazy import; per-task work (kernel level compile,
+    # SDS builds of each task's own base) stays inside the rows.
+    solve_task(binary_consensus_task(2), 1)
+    clear_intern_caches()
+
     # -- E1: one-round SDS construction -----------------------------------
     for n in (1, 2, 3):
         key = f"e1.sds_construction.n{n}.seconds"
+        # Microsecond-scale rows: repeats are nearly free and these are the
+        # first to wobble under CPU frequency noise, so take a deep min.
         secs, _ = best_of(
             lambda n=n: standard_chromatic_subdivision(input_complex(n)),
-            5 * repeats_scale,
+            20 * repeats_scale,
         )
         metrics[key] = secs
         tracked.append(key)
@@ -131,21 +159,15 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
         metrics[f"{key}.tops"] = len(sds.complex.maximal_simplices)
         tracked.append(f"{key}.seconds")
 
-    if not smoke:
-        # Cold construction at the headline levels: fresh intern/memo state.
-        for n, b in [(2, 2), (3, 2)]:
-            clear_intern_caches()
-            t0 = time.perf_counter()
-            iterated_standard_chromatic_subdivision(input_complex(n), b)
-            metrics[f"e2.build.cold.n{n}_b{b}.seconds"] = time.perf_counter() - t0
-
     sds22 = iterated_standard_chromatic_subdivision(input_complex(2), 2)
+    sds22.complex  # force materialization: the row times validate, not thaw
     metrics["e2.validate.n2_b2.seconds"], _ = best_of(
         lambda: sds22.validate(chromatic=True), 3 * repeats_scale
     )
     tracked.append("e2.validate.n2_b2.seconds")
     if not smoke:
         sds32 = iterated_standard_chromatic_subdivision(input_complex(3), 2)
+        sds32.complex
         metrics["e2.validate.n3_b2.seconds"], _ = best_of(
             lambda: sds32.validate(chromatic=True), repeats_scale
         )
@@ -154,10 +176,18 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
     # -- E5: solvability search throughput ---------------------------------
     e5_grid = [row for row in E5_GRID if not smoke or row[0] != "approx_agree_2_k27"]
     for key, make, max_rounds in e5_grid:
-        task = make()
-        t0 = time.perf_counter()
-        result = solve_task(task, max_rounds)
-        dt = time.perf_counter() - t0
+        # Best-of-N with a fresh task per run: level compile + search are
+        # re-done every time, while the subdivision memo warms after the
+        # first run — SDS construction cost is E2's row, not this one.
+        # (These rows were single-shot, which made them the noisiest gated
+        # paths in the file.)
+        dt = None
+        for _ in range(1 + repeats_scale):
+            task = make()
+            t0 = time.perf_counter()
+            result = solve_task(task, max_rounds)
+            run = time.perf_counter() - t0
+            dt = run if dt is None else min(dt, run)
         nodes = sum(l.nodes_explored for l in result.levels)
         search_secs = sum(l.elapsed_seconds for l in result.levels)
         metrics[f"e5.solve.{key}.seconds"] = dt
@@ -209,7 +239,14 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
     mc_grid = [row for row in MC_GRID if not smoke or row[3]]
     for key, processes, k, _smoke_row in mc_grid:
         scenario = EmulationScenario(processes=processes, k=k)
+        # The walks are deterministic, so only the timing varies: keep the
+        # fastest reduced run (the naive walk only feeds the schedule counts
+        # and the reduction ratio, which are exact).
         reduced = explore(scenario)
+        for _ in range(repeats_scale):
+            again = explore(scenario)
+            if again.stats.elapsed_seconds < reduced.stats.elapsed_seconds:
+                reduced = again
         naive = explore(scenario, mc_naive_options)
         if reduced.outcomes != naive.outcomes or not (reduced.ok and naive.ok):
             raise SystemExit(
@@ -254,6 +291,78 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
     metrics["obs.build.n2_b2.traced_overhead_ratio"] = (
         round(traced_secs / null_secs, 3) if null_secs > 0 else 0.0
     )
+
+    # -- E2-cold: the orbit engine from scratch ----------------------------
+    # Runs LAST: these rows clear the intern tables, the in-process memo and
+    # the persistent disk cache between repeats, and every warm row above
+    # depends on exactly that state staying warm (the e5 solve rows are
+    # single-shot — re-deriving caches inside them reads as a solver
+    # regression).  "Cold" now means what it claims: a from-scratch packed
+    # orbit build (the old rows left the engine's caches warm and timed a
+    # near-noop).  The ``cache_hit`` twins clear only the in-process state
+    # and keep the disk entries — the cross-process warm-start path workers
+    # and repeat CLI invocations actually take.  ``.cold.`` keys are never
+    # slowdown-gated (single-shot jitter); the speedup ratios are the
+    # acceptance gates, enforced via ``compare_bench --min-speedup``.
+    cold_grid = [(2, 2)] if smoke else [(2, 2), (3, 2)]
+    cold_secs_of: dict[tuple[int, int], float] = {}
+    for n, b in cold_grid:
+        def build_cold(n=n, b=b):
+            clear_intern_caches()
+            sds_cache.clear_cache()
+            t0 = time.perf_counter()
+            iterated_standard_chromatic_subdivision(input_complex(n), b)
+            return time.perf_counter() - t0
+
+        def build_cache_hit(n=n, b=b):
+            clear_intern_caches()
+            t0 = time.perf_counter()
+            iterated_standard_chromatic_subdivision(input_complex(n), b)
+            return time.perf_counter() - t0
+
+        cold = min(build_cold() for _ in range(3 * repeats_scale))
+        # The last cold build stored its packed result, so the disk is warm.
+        hit = min(build_cache_hit() for _ in range(3 * repeats_scale))
+        cold_secs_of[(n, b)] = cold
+        metrics[f"e2.build.cold.n{n}_b{b}.seconds"] = cold
+        metrics[f"e2.build.cold.cache_hit.n{n}_b{b}.seconds"] = hit
+        metrics[f"e2.build.cold.cache_hit.n{n}_b{b}.speedup_vs_cold"] = (
+            round(cold / hit, 2) if hit > 0 else 0.0
+        )
+
+    if not smoke:
+        # Orbit-engine acceptance gate: the packed cold build vs the PR4
+        # engine's cold (n=3, b=2) build on the same machine class.
+        metrics["e2.build.cold.n3_b2.speedup_vs_pr4"] = round(
+            PR4_COLD_N3_B2_SECONDS / cold_secs_of[(3, 2)], 2
+        )
+        # Thaw cost in isolation: disk warm, object graph cold — the packed
+        # load is ~1ms, so this times materialization onto fresh interns.
+        def thaw_n3_b2():
+            clear_intern_caches()
+            sds = iterated_standard_chromatic_subdivision(input_complex(3), 2)
+            t0 = time.perf_counter()
+            sds.complex
+            return time.perf_counter() - t0
+
+        metrics["e2.thaw.n3_b2.seconds"] = min(
+            thaw_n3_b2() for _ in range(3 * repeats_scale)
+        )
+        tracked.append("e2.thaw.n3_b2.seconds")
+        # The new depth the orbit engine unlocks: SDS^3(s^3) (421875 tops),
+        # from-scratch including forced materialization.  Single-shot — the
+        # row exists to pin the count exactly and keep the build under the
+        # acceptance ceiling, not to chase microseconds.
+        clear_intern_caches()
+        sds_cache.clear_cache()
+        t0 = time.perf_counter()
+        sds33 = iterated_standard_chromatic_subdivision(input_complex(3), 3)
+        tops33 = len(sds33.complex.maximal_simplices)
+        metrics["e2.build.n3_b3.seconds"] = time.perf_counter() - t0
+        metrics["e2.build.n3_b3.tops"] = tops33
+        tracked.append("e2.build.n3_b3.seconds")
+        del sds33
+        clear_intern_caches()
 
     return metrics, tracked
 

@@ -11,7 +11,8 @@ writing code:
   crash injection, counterexample minimization and replay;
 * ``trace``    — run a traced workload sweep (emulation, SDS build, kernel
   solve, small model-checking run) and export ``repro-obs-v1`` JSONL;
-* ``stats``    — validate a capture file and render its spans/counters.
+* ``stats``    — validate a capture file and render its spans/counters;
+* ``cache``    — inspect, clear or warm the persistent ``SDS^b`` build cache.
 """
 
 from __future__ import annotations
@@ -410,6 +411,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.topology import sds_cache
+
+    try:
+        if args.action == "info":
+            info = sds_cache.cache_info()
+            state = "enabled" if info["enabled"] else "disabled"
+            print(f"persistent SDS cache [{info['schema']} rev "
+                  f"{info['engine_rev']}]: {state}")
+            print(f"  directory: {info['directory'] or '(none)'}")
+            print(f"  entries  : {info['entries']}")
+            print(f"  bytes    : {info['bytes']}")
+        elif args.action == "clear":
+            removed = sds_cache.clear_cache()
+            print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        else:  # warm
+            outcome = sds_cache.warm(args.n, args.rounds)
+            print(f"warm SDS^{args.rounds}(s^{args.n}): {outcome['outcome']} "
+                  f"({outcome['tops']} tops, {outcome['seconds']:.3f}s)")
+            if outcome["outcome"] == "built-unstored":
+                print("  (cache disabled or unwritable; build was not persisted)",
+                      file=sys.stderr)
+    except BrokenPipeError:
+        # Same contract as `repro stats`: a closed reader is not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -544,6 +574,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("file", help="capture JSONL path ('-' for stdin)")
     stats.set_defaults(func=_cmd_stats)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/clear/warm the persistent SDS^b build cache"
+    )
+    cache.add_argument("action", choices=("info", "clear", "warm"))
+    cache.add_argument(
+        "--n", type=int, default=3, help="dimension to warm (processes - 1)"
+    )
+    cache.add_argument("--b", "--rounds", dest="rounds", type=int, default=2)
+    cache.set_defaults(func=_cmd_cache)
 
     return parser
 

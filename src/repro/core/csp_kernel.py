@@ -138,7 +138,13 @@ def _compile_level_impl(subdivision: Subdivision, task: Task) -> CompiledLevel:
 
     cand_index = [{c: j for j, c in enumerate(cs)} for cs in cands]
     # (carrier, colors, per-position candidate-list ids) -> encoded table.
-    table_cache: dict[tuple, tuple[list[list[int]], int, list[list[int]] | None]] = {}
+    # The cache lives on the task (satellite of clear_delta_caches): levels of
+    # one solve share almost all their carrier/profile shapes, so compiling
+    # level b reuses the tables level b-1 already encoded.  The id() key
+    # components stay valid exactly as long as task._candidate_cache keeps the
+    # candidate lists alive — both are dropped together by clear_delta_caches.
+    table_cache: dict[tuple, tuple[list[list[int]], int, list[list[int]] | None]]
+    table_cache = task._kernel_table_cache
 
     # Bound-method/local aliases: this loop visits every simplex of SDS^b.
     carrier_of = subdivision.carrier_of
@@ -153,6 +159,16 @@ def _compile_level_impl(subdivision: Subdivision, task: Task) -> CompiledLevel:
     # set-union + base-membership check for all but one representative of
     # each distinct carrier combination.
     union_cache: dict[frozenset[int], Simplex] = {}
+    # Packed-array fast path: orbit-built subdivisions expose per-vertex
+    # carrier bitmasks over base ids, turning the union into integer ORs
+    # with a memoized mask -> Simplex decode (same Simplex objects, so the
+    # table cache keys and the constraint enumeration are unchanged).
+    mask_table = subdivision._carrier_mask_table()
+    if mask_table is not None:
+        vertex_mask_of, decode_mask = mask_table
+        vert_mask = [vertex_mask_of[v] for v in verts]
+    else:
+        vert_mask = None
 
     for dimension in range(1, complex_.dimension + 1):
         for simplex in complex_.simplices(dimension):
@@ -169,11 +185,17 @@ def _compile_level_impl(subdivision: Subdivision, task: Task) -> CompiledLevel:
             first_carrier = vert_carrier[vids_list[0]]
             for i in vids_list[1:]:
                 if vert_carrier[i] is not first_carrier:
-                    union_key = frozenset(id(vert_carrier[j]) for j in vids_list)
-                    carrier = union_cache.get(union_key)
-                    if carrier is None:
-                        carrier = carrier_of(simplex)
-                        union_cache[union_key] = carrier
+                    if vert_mask is not None:
+                        mask = 0
+                        for j in vids_list:
+                            mask |= vert_mask[j]
+                        carrier = decode_mask(mask)
+                    else:
+                        union_key = frozenset(id(vert_carrier[j]) for j in vids_list)
+                        carrier = union_cache.get(union_key)
+                        if carrier is None:
+                            carrier = carrier_of(simplex)
+                            union_cache[union_key] = carrier
                     break
             else:
                 carrier = first_carrier

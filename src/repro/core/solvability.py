@@ -95,6 +95,20 @@ class SolvabilityResult:
         )
 
 
+def _warm_worker() -> None:
+    """Process-pool initializer: pre-derive the orbit engine's packed tables.
+
+    Workers rebuild ``SDS^rounds`` locally, but structurally identical bases
+    hit the persistent disk cache (:mod:`repro.topology.sds_cache`) that the
+    parent — or the first worker to finish a build — populated, so the only
+    per-worker cost worth front-loading is the pure-integer orbit table
+    derivation.
+    """
+    from repro.topology.orbits import prime_packed_tables
+
+    prime_packed_tables()
+
+
 def _probe_level(
     task: Task,
     rounds: int,
@@ -172,7 +186,10 @@ def solve_task(
     elif parallel and len(level_rounds) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(max_workers, len(level_rounds))) as ex:
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers, len(level_rounds)),
+            initializer=_warm_worker,
+        ) as ex:
             futures = {
                 rounds: ex.submit(_probe_level, task, rounds, node_budget, options)
                 for rounds in level_rounds
@@ -248,7 +265,7 @@ def _probe_level_parallel_split(
     from concurrent.futures import ProcessPoolExecutor
 
     n_chunks = max_workers
-    with ProcessPoolExecutor(max_workers=max_workers) as ex:
+    with ProcessPoolExecutor(max_workers=max_workers, initializer=_warm_worker) as ex:
         futures = [
             ex.submit(
                 _probe_level, task, rounds, node_budget, options, (chunk, n_chunks)

@@ -75,6 +75,7 @@ class Task:
         # derived data only and excluded from eq/hash (non-field attributes).
         object.__setattr__(self, "_candidate_cache", {})
         object.__setattr__(self, "_projection_cache", {})
+        object.__setattr__(self, "_kernel_table_cache", {})
         _register_task(self)
         if not self.input_complex.is_chromatic():
             raise ValueError(f"task {self.name}: input complex is not chromatic")
@@ -181,9 +182,18 @@ class Task:
         return row in self._projection_cache[(input_simplex, colors)][1]
 
     def clear_delta_caches(self) -> None:
-        """Drop this task's memoized Δ-derived tables (see ``clear_task_caches``)."""
+        """Drop this task's memoized Δ-derived tables (see ``clear_task_caches``).
+
+        Includes the CSP kernel's compiled tuple tables
+        (``_kernel_table_cache``): those are keyed by interned carrier
+        simplices — possibly thawed from packed arrays — plus ``id()``s of
+        the candidate lists in ``_candidate_cache``, so letting them outlive
+        either an intern-table reset or the candidate memos would serve
+        stale (or colliding) tables.
+        """
         self._candidate_cache.clear()
         self._projection_cache.clear()
+        self._kernel_table_cache.clear()
 
     # Ship tasks to process pools without their memo tables (workers rebuild
     # them lazily against their own intern tables).
@@ -191,6 +201,7 @@ class Task:
         state = dict(self.__dict__)
         state["_candidate_cache"] = {}
         state["_projection_cache"] = {}
+        state["_kernel_table_cache"] = {}
         return state
 
     def __setstate__(self, state) -> None:

@@ -54,6 +54,30 @@ class SimplicialComplex:
     # -- constructors --------------------------------------------------------
 
     @classmethod
+    def _from_parts_trusted(
+        cls,
+        maximal: frozenset[Simplex],
+        vertices: frozenset[Vertex],
+        dimension: int,
+    ) -> "SimplicialComplex":
+        """Construct from a known maximal antichain, skipping validation.
+
+        The packed-thaw path (:mod:`repro.topology.compact`) already holds
+        the exact vertex set and dimension of the complex it materializes;
+        re-deriving them through ``__init__`` would re-scan every top.  The
+        caller guarantees ``maximal`` is a non-empty antichain and that
+        ``vertices``/``dimension`` agree with it.
+        """
+        self = object.__new__(cls)
+        self._maximal = maximal
+        self._vertices = vertices
+        self._dimension = dimension
+        self._faces_cache = {}
+        self._stars = None
+        self._members = set()
+        return self
+
+    @classmethod
     def from_vertices(cls, vertices: Iterable[Vertex]) -> "SimplicialComplex":
         """The full simplex on the given vertex set (one maximal simplex)."""
         return cls([Simplex(vertices)])

@@ -67,8 +67,12 @@ def clear_intern_caches() -> dict[str, int]:
     from repro.topology import standard_chromatic as _sds_module
 
     # The memoized SDS results hold references to interned objects; they must
-    # not outlive the tables they were built against.
+    # not outlive the tables they were built against.  The orbit engine's
+    # integer tables (repro.topology.orbits.packed_tables) are vertex-free
+    # static combinatorics and deliberately survive: a "cold" build re-pays
+    # materialization, not one-time template math.
     _sds_module._SDS_TOPS_CACHE.clear()
+    _sds_module._ITERATED_MEMO.clear()
     _sds_module.sds_partition_templates.cache_clear()
     # Same story for the Δ-derived memos on live tasks (candidate decisions
     # and projected-tuple tables feeding the CSP kernel).  Deferred import:

@@ -1,0 +1,206 @@
+"""Persistent cross-run/cross-process cache of packed ``SDS^b`` builds.
+
+``SDS^b`` is a pure function of the *structure* of its base — the colors of
+the base vertices (in the library-wide sort order) and the top simplices as
+id tuples — so one packed build (:class:`repro.topology.compact.CompactSubdivision`)
+can serve every process that ever subdivides a structurally identical base:
+cold CLI invocations, the ``ProcessPoolExecutor`` workers
+:func:`repro.core.solvability.solve_task` fans levels out to, and the model
+checker's parallel explorers.  Payloads deliberately do NOT enter the cache
+key: materialization re-anchors the packed ids onto the caller's actual base
+vertices, so two bases differing only in payloads share one entry (that is a
+feature, and it is also what makes the key deterministic across processes —
+``repr`` of a payload frozenset is hash-order dependent, ``repr`` of int
+tuples is not).
+
+Entries are ``marshal`` blobs of pure int/tuple data (no arbitrary-object
+deserialization), written atomically (`tmp` + ``os.replace``) so concurrent
+writers at worst duplicate work.  Any unreadable, mis-versioned or corrupt
+entry is treated as a miss and rebuilt.  Keys are versioned by the schema
+(``repro-sds-v1``) and :data:`ENGINE_REV` — bump the latter whenever the
+packed layout or the orbit enumeration order changes.
+
+Layout: ``~/.cache/repro-sds/`` (override with ``REPRO_SDS_CACHE_DIR``; set
+it to an empty string to disable the cache entirely).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs import OBS as _OBS
+
+SCHEMA = "repro-sds-v1"
+
+# Bump when CompactSubdivision's payload layout, the orbit enumeration, or
+# the id-assignment order changes; old entries become unreachable (and are
+# swept by ``clear_cache``/``cache_info`` tooling, not eagerly).
+ENGINE_REV = 1
+
+
+def cache_dir() -> Path | None:
+    """The active cache directory, or ``None`` when the cache is disabled."""
+    env = os.environ.get("REPRO_SDS_CACHE_DIR")
+    if env is not None:
+        if not env:
+            return None
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sds"
+
+
+def structure_key(
+    base_colors: Sequence[int],
+    base_tops: Sequence[tuple[int, ...]],
+    rounds: int,
+) -> str:
+    """Deterministic content key over the structural build inputs."""
+    blob = repr(
+        (SCHEMA, ENGINE_REV, tuple(base_colors), tuple(base_tops), rounds)
+    ).encode("ascii")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _entry_path(directory: Path, key: str) -> Path:
+    return directory / f"{SCHEMA}-r{ENGINE_REV}-{key[:40]}.sds"
+
+
+def load(key: str):
+    """The cached :class:`CompactSubdivision` for ``key``, or ``None``.
+
+    Every failure mode — disabled cache, missing file, torn write, schema or
+    revision mismatch — is a miss; the caller rebuilds and re-stores.
+    """
+    from repro.topology.compact import CompactSubdivision
+
+    directory = cache_dir()
+    compact = None
+    if directory is not None:
+        try:
+            # Whole-buffer loads: marshal.load on a file handle issues one
+            # tiny read per object, which is ~10x slower on these payloads.
+            record = marshal.loads(_entry_path(directory, key).read_bytes())
+            if (
+                isinstance(record, tuple)
+                and len(record) == 4
+                and record[0] == SCHEMA
+                and record[1] == ENGINE_REV
+                and record[2] == key
+            ):
+                compact = CompactSubdivision.from_payload(record[3])
+        except (OSError, ValueError, EOFError, TypeError):
+            compact = None
+    if _OBS.enabled:
+        _OBS.metrics.counter(
+            "sds.orbit.cache", outcome="hit" if compact is not None else "miss"
+        ).inc()
+    return compact
+
+
+def store(key: str, compact) -> bool:
+    """Persist a packed build; best-effort (cache write failures are silent)."""
+    directory = cache_dir()
+    if directory is None:
+        return False
+    record = (SCHEMA, ENGINE_REV, key, compact.to_payload())
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                marshal.dump(record, handle)
+            os.replace(tmp_name, _entry_path(directory, key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    if _OBS.enabled:
+        _OBS.metrics.counter("sds.orbit.cache", outcome="store").inc()
+    return True
+
+
+def _entries(directory: Path) -> list[Path]:
+    try:
+        return sorted(directory.glob(f"{SCHEMA}-*.sds"))
+    except OSError:
+        return []
+
+
+def cache_info() -> dict:
+    """Directory, entry count and total bytes of the persistent cache."""
+    directory = cache_dir()
+    info = {
+        "schema": SCHEMA,
+        "engine_rev": ENGINE_REV,
+        "directory": str(directory) if directory is not None else None,
+        "enabled": directory is not None,
+        "entries": 0,
+        "bytes": 0,
+    }
+    if directory is None or not directory.is_dir():
+        return info
+    for path in _entries(directory):
+        try:
+            info["bytes"] += path.stat().st_size
+            info["entries"] += 1
+        except OSError:
+            continue
+    return info
+
+
+def clear_cache() -> int:
+    """Remove every cache entry (all revisions); returns entries removed."""
+    directory = cache_dir()
+    if directory is None or not directory.is_dir():
+        return 0
+    removed = 0
+    for path in _entries(directory):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def warm(n: int, rounds: int) -> dict:
+    """Ensure ``SDS^rounds(s^n)`` is cached; build it packed if it is not.
+
+    Works entirely in the integer domain — no vertex is ever constructed —
+    so warming, e.g. from the CLI or a worker initializer, costs exactly one
+    packed build the first time and one file probe afterwards.
+    """
+    if n < 0 or rounds < 1:
+        raise ValueError("warm requires n >= 0 and rounds >= 1")
+    base_colors = tuple(range(n + 1))
+    base_tops = (tuple(range(n + 1)),)
+    key = structure_key(base_colors, base_tops, rounds)
+    started = time.perf_counter()
+    cached = load(key)
+    if cached is not None:
+        return {
+            "key": key,
+            "outcome": "hit",
+            "tops": cached.top_count,
+            "seconds": time.perf_counter() - started,
+        }
+    from repro.topology.compact import build_sds_packed
+
+    compact = build_sds_packed(base_colors, base_tops, rounds)
+    compact.validate_carriers()
+    stored = store(key, compact)
+    return {
+        "key": key,
+        "outcome": "built" if stored else "built-unstored",
+        "tops": compact.top_count,
+        "seconds": time.perf_counter() - started,
+    }

@@ -50,6 +50,25 @@ class Simplex:
         _INTERN[vertex_set] = self
         return self
 
+    @classmethod
+    def _intern_trusted(cls, vertex_set: frozenset) -> "Simplex":
+        """Intern a simplex from a known-good non-empty vertex frozenset.
+
+        Mirrors ``__new__``'s object layout while skipping the per-member
+        isinstance sweep; used by the packed-thaw hot path
+        (:mod:`repro.topology.compact`).  Reads the module global so capture
+        counting twins still see the probes.
+        """
+        interned = _INTERN.get(vertex_set)
+        if interned is not None:
+            return interned
+        self = object.__new__(cls)
+        self._vertices = vertex_set
+        self._hash = hash(vertex_set)
+        self._sorted = None
+        _INTERN[vertex_set] = self
+        return self
+
     # -- basic protocol ----------------------------------------------------
 
     @property

@@ -245,17 +245,132 @@ def _standard_chromatic_subdivision_impl(
     return Subdivision(base, subdivided, carriers)
 
 
+# The orbit engine returns one (lazily materialized) Subdivision per distinct
+# (base, rounds); the solvability level sweep and repeated bench rows ask for
+# the same iterate over and over.  Holds interned objects, so it is cleared
+# together with the intern tables (repro.topology.interning).
+_ITERATED_MEMO: dict[tuple[SimplicialComplex, int], Subdivision] = {}
+
+
 def iterated_standard_chromatic_subdivision(
-    base: SimplicialComplex, rounds: int, *, max_workers: int | None = None
+    base: SimplicialComplex,
+    rounds: int,
+    *,
+    max_workers: int | None = None,
+    engine: str = "orbit",
 ) -> Subdivision:
     """``SDS^b(K)`` with carriers composed down to the original base.
 
     ``rounds = 0`` returns the trivial subdivision.  The vertex payloads are
     nested views — round-``b`` full-information IIS local states.
-    ``max_workers`` is forwarded to each round's construction.
+
+    ``engine="orbit"`` (the default) builds through the symmetry-reduced
+    packed engine (:mod:`repro.topology.orbits` /
+    :mod:`repro.topology.compact`): one integer-domain build per distinct
+    structure, shared across calls (in-process memo), across processes and
+    across runs (:mod:`repro.topology.sds_cache`), with the object graph
+    materialized lazily on first access.  ``engine="naive"`` runs the
+    original per-round template construction — the oracle for the
+    differential suite — and is the only engine that honours
+    ``max_workers`` (the serial packed build outruns the fan-out).
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
+    if engine not in ("orbit", "naive"):
+        raise ValueError(f"unknown SDS engine {engine!r}")
+    from repro.topology.subdivision import trivial_subdivision
+
+    if engine == "naive":
+        return _iterated_naive(base, rounds, max_workers)
+    if rounds == 0:
+        return trivial_subdivision(base)
+    # Exactly one _OBS.enabled read on the memo-hit path: the overhead suite
+    # counts flag reads against a 2% budget of the (memoized) build time.
+    enabled = _OBS.enabled
+    memo_key = (base, rounds)
+    memoized = _ITERATED_MEMO.get(memo_key)
+    if memoized is not None:
+        if enabled:
+            _OBS.metrics.counter("sds.orbit.memo", outcome="hit").inc()
+            # Trace consumers key on the span family: a memo hit is still one
+            # (free) "sds.build" from the workload's point of view.
+            with _OBS.tracer.span(
+                "sds.build",
+                base_tops=len(base.maximal_simplices),
+                dimension=base.dimension,
+                engine="orbit",
+                rounds=rounds,
+                cache="memo",
+            ) as span:
+                span.set(tops=len(memoized._compact.tops))
+        return memoized
+    if not enabled:
+        result = _iterated_orbit_impl(base, rounds)
+    else:
+        with _OBS.tracer.span(
+            "sds.build_iterated",
+            rounds=rounds,
+            base_tops=len(base.maximal_simplices),
+            engine="orbit",
+        ) as span:
+            result = _iterated_orbit_impl(base, rounds)
+            span.set(tops=len(result._compact.tops))
+    _ITERATED_MEMO[memo_key] = result
+    return result
+
+
+def _iterated_orbit_impl(base: SimplicialComplex, rounds: int) -> Subdivision:
+    """Load-or-build the packed ``SDS^rounds`` and wrap it lazily."""
+    from repro.topology import sds_cache
+    from repro.topology.compact import build_sds_packed
+
+    if not base.is_chromatic():
+        raise ValueError("SDS is defined for chromatic complexes only")
+    base_verts = sorted(base.vertices, key=Vertex.sort_key)
+    vid = {vertex: i for i, vertex in enumerate(base_verts)}
+    base_colors = tuple(vertex.color for vertex in base_verts)
+    base_tops = tuple(
+        sorted(
+            tuple(sorted(vid[vertex] for vertex in maximal))
+            for maximal in base.maximal_simplices
+        )
+    )
+    key = sds_cache.structure_key(base_colors, base_tops, rounds)
+    if not _OBS.enabled:
+        compact = sds_cache.load(key)
+        if compact is None:
+            compact = build_sds_packed(base_colors, base_tops, rounds)
+            compact.validate_carriers()
+            sds_cache.store(key, compact)
+        else:
+            compact.validate_carriers()  # integrity gate on disk loads
+        return Subdivision._from_compact(base, compact)
+    # Span name deliberately matches the per-round builder's "sds.build":
+    # consumers of traces group on the family, not on the engine.
+    with _OBS.tracer.span(
+        "sds.build",
+        base_tops=len(base.maximal_simplices),
+        dimension=base.dimension,
+        engine="orbit",
+        rounds=rounds,
+    ) as span:
+        with _OBS.profiler.profiled("sds.build"):
+            compact = sds_cache.load(key)
+            cache_outcome = "hit" if compact is not None else "miss"
+            if compact is None:
+                compact = build_sds_packed(base_colors, base_tops, rounds)
+                compact.validate_carriers()
+                sds_cache.store(key, compact)
+            else:
+                compact.validate_carriers()
+        span.set(tops=len(compact.tops), cache=cache_outcome)
+        return Subdivision._from_compact(base, compact)
+
+
+def _iterated_naive(
+    base: SimplicialComplex, rounds: int, max_workers: int | None
+) -> Subdivision:
+    """The original per-round construction (``then``-composed carriers)."""
     from repro.topology.subdivision import trivial_subdivision
 
     if not _OBS.enabled:
@@ -266,7 +381,10 @@ def iterated_standard_chromatic_subdivision(
             )
         return result
     with _OBS.tracer.span(
-        "sds.build_iterated", rounds=rounds, base_tops=len(base.maximal_simplices)
+        "sds.build_iterated",
+        rounds=rounds,
+        base_tops=len(base.maximal_simplices),
+        engine="naive",
     ) as span:
         result = trivial_subdivision(base)
         for _ in range(rounds):

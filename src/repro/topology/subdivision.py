@@ -31,7 +31,7 @@ class Subdivision:
         For each vertex of ``complex``, its carrier — a simplex of ``base``.
     """
 
-    __slots__ = ("base", "complex", "_carriers", "_carrier_of_cache")
+    __slots__ = ("base", "_complex", "_carriers_map", "_carrier_of_cache", "_compact", "_arrays")
 
     def __init__(
         self,
@@ -51,9 +51,72 @@ class Subdivision:
             if carrier not in base:
                 raise ValueError(f"carrier {carrier!r} is not a base simplex")
         self.base = base
-        self.complex = complex
-        self._carriers = {v: carriers[v] for v in complex.vertices}
+        self._complex = complex
+        self._carriers_map = {v: carriers[v] for v in complex.vertices}
         self._carrier_of_cache: dict[Simplex, Simplex] = {}
+        self._compact = None
+        self._arrays = None
+
+    # -- packed backing (the orbit engine) ------------------------------------
+
+    @classmethod
+    def _from_compact(cls, base: SimplicialComplex, compact) -> "Subdivision":
+        """A subdivision backed by packed arrays, materialized lazily.
+
+        Trusted constructor for the orbit engine
+        (:mod:`repro.topology.compact`): the packed build has already passed
+        ``validate_carriers``, so ``__init__``'s per-carrier membership scan
+        is skipped and the object graph (``complex`` / carriers) is only
+        built on first access — consumers that never look at the objects
+        (e.g. a bench row timing the packed build, or a worker that ships
+        the structure onward) never pay for materialization.
+        """
+        self = object.__new__(cls)
+        self.base = base
+        self._complex = None
+        self._carriers_map = None
+        self._carrier_of_cache = {}
+        self._compact = compact
+        self._arrays = None
+        return self
+
+    def _force(self) -> None:
+        from repro.topology.compact import materialize
+
+        complex_, carriers, arrays = materialize(self._compact, self.base)
+        self._complex = complex_
+        self._carriers_map = carriers
+        self._arrays = arrays
+
+    @property
+    def complex(self) -> SimplicialComplex:
+        complex_ = self._complex
+        if complex_ is None:
+            self._force()
+            complex_ = self._complex
+        return complex_
+
+    @property
+    def _carriers(self) -> dict[Vertex, Simplex]:
+        carriers = self._carriers_map
+        if carriers is None:
+            self._force()
+            carriers = self._carriers_map
+        return carriers
+
+    def _carrier_mask_table(self):
+        """(vertex -> base bitmask, mask decoder) when packed state exists.
+
+        The CSP kernel's compile step uses this to compute carrier unions as
+        integer ORs over the packed arrays instead of frozenset unions.
+        Returns ``None`` for subdivisions without packed backing.
+        """
+        if self._compact is None:
+            return None
+        if self._arrays is None:
+            self._force()
+        arrays = self._arrays
+        return arrays.carrier_mask_of, lambda mask: arrays.simplex_for_mask(mask, self.base)
 
     # -- carrier algebra ------------------------------------------------------
 
@@ -74,12 +137,24 @@ class Subdivision:
         cached = self._carrier_of_cache.get(simplex)
         if cached is not None:
             return cached
-        union_vertices: set[Vertex] = set()
-        for vertex in simplex:
-            union_vertices.update(self._carriers[vertex])
-        carrier = Simplex(union_vertices)
-        if carrier not in self.base:
-            raise ValueError(f"carrier union {carrier!r} of {simplex!r} is not a base simplex")
+        arrays = self._arrays
+        if arrays is not None:
+            # Packed path: union the carrier bitmasks and decode once per
+            # distinct mask (the decoder performs the base-membership check).
+            mask_of = arrays.carrier_mask_of
+            mask = 0
+            for vertex in simplex:
+                mask |= mask_of[vertex]
+            carrier = arrays.simplex_for_mask(mask, self.base)
+        else:
+            union_vertices: set[Vertex] = set()
+            for vertex in simplex:
+                union_vertices.update(self._carriers[vertex])
+            carrier = Simplex(union_vertices)
+            if carrier not in self.base:
+                raise ValueError(
+                    f"carrier union {carrier!r} of {simplex!r} is not a base simplex"
+                )
         self._carrier_of_cache[simplex] = carrier
         return carrier
 
@@ -92,11 +167,23 @@ class Subdivision:
         """The subcomplex of simplices whose carrier is a face of ``face``."""
         if face not in self.base:
             raise ValueError(f"{face!r} is not a simplex of the base")
-        selected = [
-            m
-            for m in self.complex.maximal_simplices
-            if self.carrier_of(m).is_face_of(face)
-        ]
+        complex_ = self.complex  # forces materialization for packed backings
+        arrays = self._arrays
+        if arrays is not None:
+            # Packed path: one AND-NOT per top over precomputed carrier-union
+            # masks replaces the per-simplex carrier_of + subset test.
+            face_mask = arrays.mask_of_base_simplex(face)
+            selected = [
+                simplex
+                for simplex, mask in zip(arrays.top_simplices, arrays.top_union_masks)
+                if mask & ~face_mask == 0
+            ]
+        else:
+            selected = [
+                m
+                for m in complex_.maximal_simplices
+                if self.carrier_of(m).is_face_of(face)
+            ]
         generated: list[Simplex] = list(selected)
         if not generated:
             # No maximal simplex is fully carried by the face; collect the

@@ -72,6 +72,29 @@ class Vertex:
         _INTERN[key] = self
         return self
 
+    @classmethod
+    def _intern_trusted(cls, color: int, payload: Hashable) -> "Vertex":
+        """Intern a vertex the caller guarantees is well-formed.
+
+        The packed-thaw hot path (:mod:`repro.topology.compact`) constructs
+        tens of thousands of vertices whose colors and payloads are known
+        valid by construction; this skips ``__new__``'s bool normalization
+        and error diagnostics but must mirror its object layout exactly.
+        Reads the module global so an observability capture's counting twin
+        (which rebinds ``_INTERN``) still sees the probes.
+        """
+        key = (color, payload)
+        interned = _INTERN.get(key)
+        if interned is not None:
+            return interned
+        self = object.__new__(cls)
+        object.__setattr__(self, "color", color)
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_sort_key", None)
+        _INTERN[key] = self
+        return self
+
     # -- immutability --------------------------------------------------------
 
     def __setattr__(self, name: str, value: Any) -> None:

@@ -155,3 +155,30 @@ class TestObservability:
     def test_stats_missing_file(self, tmp_path, capsys):
         assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_info_warm_clear_cycle(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "enabled" in out and "entries  : 0" in out
+
+        assert main(["cache", "warm", "--n", "2", "--b", "2"]) == 0
+        assert "built (169 tops" in capsys.readouterr().out
+        assert main(["cache", "warm", "--n", "2", "--b", "2"]) == 0
+        assert "hit (169 tops" in capsys.readouterr().out
+
+        assert main(["cache", "info"]) == 0
+        assert "entries  : 1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+
+    def test_disabled_cache(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SDS_CACHE_DIR", "")
+        assert main(["cache", "info"]) == 0
+        assert "disabled" in capsys.readouterr().out
+        assert main(["cache", "warm", "--n", "1", "--b", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "built-unstored" in captured.out
+        assert "not persisted" in captured.err

@@ -1,0 +1,263 @@
+"""Array-backed complexes, the packed orbit builder, and the disk cache.
+
+Three contracts, pinned differentially against the naive object-graph
+engine:
+
+* the packed orbit builder produces exactly the ``SDS^b`` the per-round
+  template construction produces — golden top counts on the single-simplex
+  grid, plus Hypothesis differentials on random glued chromatic complexes;
+* ``CompactComplex.freeze`` / ``thaw`` are exact inverses, with the CSR star
+  index agreeing with the object-level star;
+* the persistent cache (:mod:`repro.topology.sds_cache`) round-trips packed
+  builds byte-faithfully, treats corruption/disabled dirs as misses, and the
+  kernel's per-task compiled tables die with ``clear_delta_caches``.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+
+from tests.strategies import chromatic_complexes
+
+from repro.topology import sds_cache
+from repro.topology.compact import (
+    CompactComplex,
+    CompactSubdivision,
+    build_sds_packed,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.interning import clear_intern_caches
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.subdivision import Subdivision, boundary_restriction
+from repro.topology.vertex import Vertex
+
+# f_tops(SDS^b(s^n)): Fubini(n+1)^(sum over levels) — the golden counts the
+# paper's Fubini recursion implies for the single-simplex grid.
+GOLDEN_TOPS = {(1, 1): 3, (1, 2): 9, (2, 1): 13, (2, 2): 169, (3, 1): 75, (3, 2): 5625}
+
+
+def simplex_base(n):
+    return SimplicialComplex([Simplex(Vertex(pid, f"v{pid}") for pid in range(n + 1))])
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_sds_cache(tmp_path_factory):
+    """Point the persistent cache at a module-private directory.
+
+    Module-scoped (not ``monkeypatch``) so the Hypothesis differentials can
+    use it without tripping the function-scoped-fixture health check.
+    """
+    old = os.environ.get("REPRO_SDS_CACHE_DIR")
+    os.environ["REPRO_SDS_CACHE_DIR"] = str(tmp_path_factory.mktemp("sds-cache"))
+    yield
+    if old is None:
+        del os.environ["REPRO_SDS_CACHE_DIR"]
+    else:
+        os.environ["REPRO_SDS_CACHE_DIR"] = old
+
+
+class TestPackedBuilder:
+    @pytest.mark.parametrize(
+        "n,b", sorted(GOLDEN_TOPS), ids=[f"n{n}_b{b}" for n, b in sorted(GOLDEN_TOPS)]
+    )
+    def test_golden_top_counts(self, n, b):
+        compact = build_sds_packed(tuple(range(n + 1)), (tuple(range(n + 1)),), b)
+        assert compact.top_count == GOLDEN_TOPS[(n, b)]
+        compact.validate_carriers()
+
+    @pytest.mark.parametrize("b", [1, 2])
+    def test_orbit_equals_naive_on_simplex_bases(self, b):
+        for n in (1, 2, 3):
+            base = simplex_base(n)
+            orbit = iterated_standard_chromatic_subdivision(base, b, engine="orbit")
+            naive = iterated_standard_chromatic_subdivision(base, b, engine="naive")
+            assert orbit.complex == naive.complex
+            assert orbit.carriers() == naive.carriers()
+
+    @settings(max_examples=25, deadline=None)
+    @given(chromatic_complexes())
+    def test_orbit_equals_naive_on_random_complexes(self, base):
+        orbit = iterated_standard_chromatic_subdivision(base, 1, engine="orbit")
+        naive = iterated_standard_chromatic_subdivision(base, 1, engine="naive")
+        assert orbit.complex == naive.complex
+        assert orbit.carriers() == naive.carriers()
+
+    @settings(max_examples=10, deadline=None)
+    @given(chromatic_complexes(max_tops=2))
+    def test_restriction_paths_agree(self, base):
+        orbit = iterated_standard_chromatic_subdivision(base, 1, engine="orbit")
+        naive = iterated_standard_chromatic_subdivision(base, 1, engine="naive")
+        assert boundary_restriction(orbit) == boundary_restriction(naive)
+        for top in base.maximal_simplices:
+            assert orbit.restrict_to_face(top) == naive.restrict_to_face(top)
+
+    def test_lazy_materialization(self):
+        base = simplex_base(2)
+        compact = build_sds_packed((0, 1, 2), ((0, 1, 2),), 1)
+        lazy = Subdivision._from_compact(base, compact)
+        assert lazy._complex is None  # nothing forced yet
+        assert len(lazy.complex.maximal_simplices) == 13
+        assert lazy._carriers is not None
+        lazy.validate(chromatic=True)
+
+    def test_rounds_zero_rejected(self):
+        with pytest.raises(ValueError):
+            build_sds_packed((0, 1), ((0, 1),), 0)
+
+    def test_validate_carriers_catches_corruption(self):
+        compact = build_sds_packed((0, 1), ((0, 1),), 1)
+        # Empty carrier.
+        broken = CompactSubdivision(
+            compact.base_colors,
+            compact.base_tops,
+            compact.rounds,
+            compact.levels,
+            compact.tops,
+            (0,) + compact.carrier_masks[1:],
+        )
+        with pytest.raises(ValueError, match="empty carrier"):
+            broken.validate_carriers()
+        # Carrier straddling the base tops (bit outside any top).
+        straddling = CompactSubdivision(
+            compact.base_colors,
+            compact.base_tops,
+            compact.rounds,
+            compact.levels,
+            compact.tops,
+            (1 << 7,) + compact.carrier_masks[1:],
+        )
+        with pytest.raises(ValueError, match="straddles"):
+            straddling.validate_carriers()
+
+    def test_payload_round_trip(self):
+        compact = build_sds_packed((0, 1, 2), ((0, 1, 2),), 2)
+        clone = CompactSubdivision.from_payload(compact.to_payload())
+        assert clone.to_payload() == compact.to_payload()
+        assert clone.top_count == compact.top_count == 169
+
+
+class TestFreezeThaw:
+    @settings(max_examples=25, deadline=None)
+    @given(chromatic_complexes())
+    def test_round_trip_identity(self, complex_):
+        frozen = CompactComplex.freeze(complex_)
+        assert frozen.thaw() == complex_
+        assert frozen.vertex_count == len(complex_.vertices)
+        assert frozen.top_count == len(complex_.maximal_simplices)
+        assert frozen.dimension == complex_.dimension
+
+    @settings(max_examples=25, deadline=None)
+    @given(chromatic_complexes())
+    def test_colors_and_masks_agree(self, complex_):
+        frozen = CompactComplex.freeze(complex_)
+        ordered = sorted(complex_.vertices, key=Vertex.sort_key)
+        assert list(frozen.colors) == [v.color for v in ordered]
+        for t, top in enumerate(frozen.tops()):
+            expected = 0
+            for i in top:
+                expected |= 1 << ordered[i].color
+            assert frozen.color_masks[t] == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(chromatic_complexes())
+    def test_star_index_agrees_with_object_star(self, complex_):
+        frozen = CompactComplex.freeze(complex_)
+        ordered = sorted(complex_.vertices, key=Vertex.sort_key)
+        tops = [
+            Simplex(ordered[i] for i in top) for top in frozen.tops()
+        ]
+        for vid, vertex in enumerate(ordered):
+            star_tops = {tops[t] for t in frozen.star(vid)}
+            expected = {
+                top for top in complex_.maximal_simplices if vertex in top
+            }
+            assert star_tops == expected
+
+    def test_thaw_survives_intern_reset(self):
+        frozen = CompactComplex.freeze(simplex_base(2))
+        clear_intern_caches()
+        thawed = frozen.thaw()
+        assert thawed == simplex_base(2)
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path))
+        compact = build_sds_packed((0, 1, 2), ((0, 1, 2),), 2)
+        key = sds_cache.structure_key((0, 1, 2), ((0, 1, 2),), 2)
+        assert sds_cache.load(key) is None
+        assert sds_cache.store(key, compact)
+        loaded = sds_cache.load(key)
+        assert loaded is not None
+        assert loaded.to_payload() == compact.to_payload()
+        info = sds_cache.cache_info()
+        assert info["enabled"] and info["entries"] == 1 and info["bytes"] > 0
+        assert sds_cache.clear_cache() == 1
+        assert sds_cache.load(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path))
+        key = sds_cache.structure_key((0, 1), ((0, 1),), 1)
+        sds_cache.store(key, build_sds_packed((0, 1), ((0, 1),), 1))
+        entry = next(tmp_path.glob("*.sds"))
+        entry.write_bytes(b"definitely not marshal data")
+        assert sds_cache.load(key) is None
+        # A mis-keyed record (stale rename) is also a miss.
+        other = sds_cache.structure_key((0, 1, 2), ((0, 1, 2),), 1)
+        sds_cache.store(other, build_sds_packed((0, 1, 2), ((0, 1, 2),), 1))
+        entry_other = sds_cache._entry_path(tmp_path, other)
+        entry_other.rename(sds_cache._entry_path(tmp_path, key))
+        assert sds_cache.load(key) is None
+
+    def test_disabled_via_empty_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SDS_CACHE_DIR", "")
+        assert sds_cache.cache_dir() is None
+        key = sds_cache.structure_key((0, 1), ((0, 1),), 1)
+        assert sds_cache.load(key) is None
+        assert not sds_cache.store(key, build_sds_packed((0, 1), ((0, 1),), 1))
+        assert sds_cache.cache_info()["enabled"] is False
+        assert sds_cache.clear_cache() == 0
+
+    def test_warm(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path))
+        first = sds_cache.warm(2, 2)
+        assert first["outcome"] == "built" and first["tops"] == 169
+        second = sds_cache.warm(2, 2)
+        assert second["outcome"] == "hit" and second["tops"] == 169
+        with pytest.raises(ValueError):
+            sds_cache.warm(2, 0)
+
+    def test_structure_key_ignores_payloads(self):
+        """Two bases differing only in payloads share one cache entry."""
+        key_a = sds_cache.structure_key((0, 1, 2), ((0, 1, 2),), 1)
+        key_b = sds_cache.structure_key((0, 1, 2), ((0, 1, 2),), 1)
+        assert key_a == key_b
+        assert key_a != sds_cache.structure_key((0, 1, 2), ((0, 1, 2),), 2)
+        assert key_a != sds_cache.structure_key((0, 1, 3), ((0, 1, 2),), 1)
+
+
+class TestKernelTableInvalidation:
+    def test_clear_delta_caches_drops_kernel_tables(self):
+        from repro.core.solvability import SearchOptions, solve_task
+        from repro.tasks import set_consensus_task
+
+        task = set_consensus_task(3, 2)
+        solve_task(task, max_rounds=1, options=SearchOptions(kernel=True))
+        assert task._kernel_table_cache  # compile populated it
+        task.clear_delta_caches()
+        assert not task._kernel_table_cache
+        assert not task._candidate_cache
+
+    def test_intern_reset_cascades_to_kernel_tables(self):
+        from repro.core.solvability import SearchOptions, solve_task
+        from repro.tasks import set_consensus_task
+
+        task = set_consensus_task(3, 2)
+        solve_task(task, max_rounds=1, options=SearchOptions(kernel=True))
+        assert task._kernel_table_cache
+        clear_intern_caches()
+        assert not task._kernel_table_cache

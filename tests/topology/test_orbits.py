@@ -1,0 +1,127 @@
+"""The orbit-reduced ordered-partition enumeration (symmetry layer).
+
+Pins the combinatorics the packed ``SDS`` builder rides on: compositions
+index the ``S_k`` orbits (2^(k-1) of them), the Young-subgroup transversal
+enumerates exactly the multinomial members per orbit, the per-orbit template
+derivation reproduces the full ordered-partition template set, and the packed
+tables have the sizes the theory predicts (``n_pairs = f_0(SDS(s^{k-1}))``,
+``n_templates = Fubini(k)``).
+"""
+
+import pytest
+
+from repro.topology.orbits import (
+    compositions,
+    orbit_count,
+    orbit_members,
+    orbit_partition_templates,
+    orbit_representative,
+    orbit_size,
+    packed_tables,
+    prime_packed_tables,
+)
+from repro.topology.standard_chromatic import fubini, sds_partition_templates
+
+SIZES = [1, 2, 3, 4, 5]
+
+
+class TestCompositions:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_count_is_two_to_k_minus_one(self, size):
+        assert len(list(compositions(size))) == orbit_count(size) == 2 ** (size - 1)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_each_sums_to_size_with_positive_blocks(self, size):
+        for composition in compositions(size):
+            assert sum(composition) == size
+            assert all(block > 0 for block in composition)
+
+    def test_empty_composition(self):
+        assert list(compositions(0)) == [()]
+        assert orbit_count(0) == 1
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            list(compositions(-1))
+
+
+class TestOrbits:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_orbit_sizes_sum_to_fubini(self, size):
+        assert sum(orbit_size(c) for c in compositions(size)) == fubini(size)
+
+    @pytest.mark.parametrize("size", SIZES[:4])
+    def test_member_counts_match_multinomials(self, size):
+        for composition in compositions(size):
+            members = list(orbit_members(composition))
+            assert len(members) == orbit_size(composition)
+            assert len(set(members)) == len(members)  # transversal: no repeats
+
+    @pytest.mark.parametrize("size", SIZES[:4])
+    def test_members_are_ordered_partitions(self, size):
+        for composition in compositions(size):
+            for member in orbit_members(composition):
+                flattened = [i for block in member for i in block]
+                assert sorted(flattened) == list(range(size))
+                assert tuple(len(block) for block in member) == tuple(composition)
+
+    def test_representative_is_a_member(self, size=4):
+        for composition in compositions(size):
+            assert orbit_representative(composition) in set(
+                orbit_members(composition)
+            )
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("size", SIZES[:4])
+    def test_orbit_templates_equal_partition_templates(self, size):
+        """Per-orbit derivation == full enumeration, up to prefix sort order.
+
+        ``sds_partition_templates`` stores prefixes in block-insertion order;
+        the orbit templates canonicalize them to sorted tuples (the snapshot
+        is a set).  After normalizing, the template *sets* must coincide —
+        each template being one ordered partition with its per-block views.
+        """
+        canonical_naive = {
+            tuple((block, tuple(sorted(prefix))) for block, prefix in template)
+            for template in sds_partition_templates(size)
+        }
+        canonical_orbit = set(orbit_partition_templates(size))
+        assert canonical_orbit == canonical_naive
+        assert len(orbit_partition_templates(size)) == fubini(size)
+
+
+class TestPackedTables:
+    # f_0(SDS(s^{k-1})): distinct (member, prefix) pairs per top of size k.
+    F0 = {1: 1, 2: 4, 3: 12, 4: 32, 5: 80}
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_table_sizes(self, size):
+        tables = packed_tables(size)
+        assert tables.orbits == orbit_count(size)
+        assert tables.n_templates == fubini(size)
+        assert tables.n_pairs == self.F0[size]
+        assert len(tables.pair_info) == tables.n_pairs
+
+    @pytest.mark.parametrize("size", SIZES[:4])
+    def test_getters_reconstruct_singleton_base(self, size):
+        """Instantiating the tables on the identity top reproduces the naive
+        per-simplex vertex set: every (member, prefix-id) pair appears in at
+        least one template, and template members index valid local ids."""
+        tables = packed_tables(size)
+        top = tuple(range(size))
+        prefixes = [getter(top) for getter in tables.prefix_getters]
+        assert all(tuple(sorted(p)) == p for p in prefixes)
+        used = set()
+        local = list(range(tables.n_pairs))
+        for getter in tables.template_getters:
+            members = getter(local)
+            assert len(members) == size
+            used.update(members)
+        assert used == set(range(tables.n_pairs))
+
+    def test_prime_is_idempotent(self):
+        prime_packed_tables(4)
+        before = packed_tables.cache_info().currsize
+        prime_packed_tables(4)
+        assert packed_tables.cache_info().currsize == before
