@@ -3,7 +3,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-pytest bench-tables mc-smoke examples zoo all
+.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke examples zoo all
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,10 @@ test:
 # schedules on the 3-process emulation, or if the orbit engine's acceptance
 # ratios regress: the cold packed (n=3, b=2) build must stay >= 3x faster
 # than the PR4 engine and a disk-cache hit >= 2x faster than a cold build).
+# The E17 floors are the out-of-core acceptance: the numpy mask kernel must
+# hold >= 3x over the int kernel on the (n=3, b=3) identity probe, and the
+# in-RAM pipeline must genuinely OOM under the RSS ceiling the sharded
+# pipeline clears (a ratio and a bit — both stable on noisy machines).
 bench:
 	$(PYTHON) benchmarks/run_bench.py --output BENCH_LOCAL.json --label local
 	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR4.json \
@@ -32,7 +36,9 @@ bench:
 		--min-speedup mc.explore.emu_p3k1.reduction_vs_naive=5 \
 		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
 		--min-speedup e2.build.cold.n3_b2.speedup_vs_pr4=3 \
-		--min-speedup e2.build.cold.cache_hit.n3_b2.speedup_vs_cold=2
+		--min-speedup e2.build.cold.cache_hit.n3_b2.speedup_vs_cold=2 \
+		--min-speedup e17.kernel.n3_b3.numpy_speedup_vs_int=3 \
+		--min-speedup e17.pipeline.inram.n3_b3.oom_under_cap=1
 
 # CI-sized benchmark: cheap rows only, compare-only (no committed JSON is
 # rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row,
@@ -48,6 +54,19 @@ bench-smoke:
 		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
 		--min-speedup e2.build.cold.cache_hit.n2_b2.speedup_vs_cold=1.5
 	rm -f BENCH_SMOKE.json
+
+# CI-sized out-of-core separation proof: the same (n=2, b=4) instance under
+# the same 110MB address-space ceiling must SUCCEED through the sharded
+# pipeline and FAIL (exit 3 = MemoryError) through the in-RAM one.  Both run
+# the int backend so the smoke job needs nothing past the stdlib, and both
+# use a throwaway cache directory so CI never touches a shared cache.
+bench-oom-smoke:
+	$(eval OOM_TMP := $(shell mktemp -d))
+	$(PYTHON) benchmarks/capped_probe.py --mode pipeline --n 2 --b 4 \
+		--shard-size 8192 --cap-mb 110 --backend int --cache-dir $(OOM_TMP)
+	$(PYTHON) benchmarks/capped_probe.py --mode pipeline-inram --n 2 --b 4 \
+		--cap-mb 110 --cache-dir $(OOM_TMP); test $$? -eq 3
+	rm -rf $(OOM_TMP)
 
 # Model-checker smoke: exhaustively verify the 2-process emulation (healthy,
 # with crash injection, and in parallel), then prove the oracles are

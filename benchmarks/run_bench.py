@@ -4,9 +4,10 @@
 Measures the quantities the performance layer is accountable for —
 ``SDS``/``SDS^b`` construction wall times and top-simplex counts (E1/E2),
 subdivision validation, the solvability engine's search throughput in
-nodes/second (E5), and the model checker's schedule-space exploration
-(schedules/second, total schedules, reduced vs naive) — and writes a
-machine-readable ``BENCH_*.json``:
+nodes/second (E5), the model checker's schedule-space exploration
+(schedules/second, total schedules, reduced vs naive), and the out-of-core
+sharded pipeline under an explicit RSS ceiling with the int-vs-numpy mask
+kernel ratio (E17) — and writes a machine-readable ``BENCH_*.json``:
 
     python benchmarks/run_bench.py --output BENCH_LOCAL.json
 
@@ -28,6 +29,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import tempfile
 import time
@@ -39,7 +41,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 # The cold/cache-hit rows clear and repopulate the persistent SDS cache; run
 # them against a private directory so benchmarking never wipes (or is skewed
 # by) the user's real ~/.cache/repro-sds.  An explicit REPRO_SDS_CACHE_DIR
-# wins — that is how CI pins the cache inside the runner workspace.
+# wins — that is how CI pins the cache inside the runner workspace.  A
+# private directory we created is deleted on exit: the E17 rows leave a
+# ~1.5 GB `SDS^4(s^3)` shard set behind otherwise.
+_PRIVATE_CACHE = "REPRO_SDS_CACHE_DIR" not in os.environ
 os.environ.setdefault(
     "REPRO_SDS_CACHE_DIR", tempfile.mkdtemp(prefix="repro-sds-bench-")
 )
@@ -364,6 +369,115 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
         del sds33
         clear_intern_caches()
 
+    # -- E17: out-of-core sharded pipeline under a memory ceiling ----------
+    # The ceiling rows run in subprocesses with RLIMIT_AS set *before*
+    # import (benchmarks/capped_probe.py), so peak_rss is honest — the parent
+    # process's allocations can't subsidise the child.  None of these are
+    # slowdown-tracked: the build/pipeline rows are single-shot subprocesses
+    # and the kernel rows are gated on their *ratio* (stable on a noisy
+    # shared CPU where absolute wall times are not) via ``compare_bench
+    # --min-speedup e17.kernel.n3_b3.numpy_speedup_vs_int``.  The oom row is
+    # the acceptance separation itself: the in-RAM PR5 path must *fail*
+    # under the same ceiling the sharded path clears, recorded as 1/0 and
+    # gated the same way.
+    if not smoke:
+        e17_dir = Path(os.environ["REPRO_SDS_CACHE_DIR"]) / "e17"
+
+        def capped(extra: list[str]) -> tuple[int, dict]:
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    str(REPO_ROOT / "benchmarks" / "capped_probe.py"),
+                    "--cache-dir",
+                    str(e17_dir),
+                    *extra,
+                ],
+                capture_output=True,
+                text=True,
+            )
+            lines = [l for l in proc.stdout.splitlines() if l.startswith("{")]
+            if not lines:
+                raise SystemExit(
+                    f"capped_probe {' '.join(extra)}: no JSON "
+                    f"(exit {proc.returncode}): {proc.stderr.strip()[-500:]}"
+                )
+            return proc.returncode, json.loads(lines[-1])
+
+        for b, cap in ((3, 512), (4, 4096)):
+            code, row = capped(
+                ["--mode", "build", "--n", "3", "--b", str(b), "--cap-mb", str(cap)]
+            )
+            if code != 0:
+                raise SystemExit(f"e17.build.sharded.n3_b{b}: {row}")
+            prefix = f"e17.build.sharded.n3_b{b}"
+            metrics[f"{prefix}.seconds"] = row["seconds"]
+            metrics[f"{prefix}.tops"] = row["tops"]
+            metrics[f"{prefix}.shards"] = row["shards"]
+            metrics[f"{prefix}.peak_rss_mb"] = row["peak_rss_mb"]
+            metrics[f"{prefix}.cap_mb"] = cap
+
+        # Full pipeline (build cache warm from above) vs the in-RAM path,
+        # both under the same ceiling.  1300MB: comfortably above the
+        # sharded path's peak, comfortably below the in-RAM path's.
+        pipeline_cap = 1300
+        code, row = capped(
+            ["--mode", "pipeline", "--n", "3", "--b", "3",
+             "--cap-mb", str(pipeline_cap), "--backend", "numpy"]
+        )
+        if code != 0 or row["outcome"] != "ok":
+            raise SystemExit(f"e17.pipeline.sharded.n3_b3 failed under cap: {row}")
+        metrics["e17.pipeline.sharded.n3_b3.seconds"] = row["seconds"]
+        metrics["e17.pipeline.sharded.n3_b3.nodes"] = row["nodes"]
+        metrics["e17.pipeline.sharded.n3_b3.peak_rss_mb"] = row["peak_rss_mb"]
+        metrics["e17.pipeline.sharded.n3_b3.cap_mb"] = pipeline_cap
+        metrics["e17.pipeline.sharded.n3_b3.dropped_faces"] = row["dropped_faces"]
+
+        code, row = capped(
+            ["--mode", "pipeline-inram", "--n", "3", "--b", "3",
+             "--cap-mb", str(pipeline_cap)]
+        )
+        metrics["e17.pipeline.inram.n3_b3.oom_under_cap"] = int(
+            code == 3 and row["outcome"] == "oom"
+        )
+        metrics["e17.pipeline.inram.n3_b3.cap_mb"] = pipeline_cap
+        metrics["e17.pipeline.inram.n3_b3.peak_rss_mb"] = row["peak_rss_mb"]
+
+        # Kernel backends back-to-back in this process on the same shards
+        # and the same vertex chain: compile + search, int then numpy.
+        from repro.core.csp_kernel import compile_level_packed, kernel_search
+        from repro.core.mask_kernel import array_search, compile_arrays
+        from repro.tasks import identity_task
+        from repro.topology.shards import ensure_sharded
+
+        task17 = identity_task(4, values=(0,))
+        sharded17 = ensure_sharded((0, 1, 2, 3), ((0, 1, 2, 3),), 3, directory=e17_dir)
+        base17 = task17.input_complex
+        chain17 = sharded17.vertex_chain(sorted(base17.vertices, key=Vertex.sort_key))
+
+        t0 = time.perf_counter()
+        ci17, _ = compile_level_packed(sharded17, task17, base17, vertex_chain=chain17)
+        mi17, si17 = kernel_search(ci17, 2_000_000)
+        int_secs = time.perf_counter() - t0
+
+        numpy_secs = None
+        for _ in range(1 + repeats_scale):
+            t0 = time.perf_counter()
+            ca17, _ = compile_arrays(sharded17, task17, base17, vertex_chain=chain17)
+            ma17, sa17 = array_search(ca17, 2_000_000)
+            run = time.perf_counter() - t0
+            numpy_secs = run if numpy_secs is None else min(numpy_secs, run)
+        if (mi17 is None) != (ma17 is None) or si17.nodes != sa17.nodes:
+            raise SystemExit(
+                "e17.kernel.n3_b3: int and numpy kernels disagree — not a "
+                "perf regression, a soundness bug"
+            )
+        metrics["e17.kernel.n3_b3.int.seconds"] = int_secs
+        metrics["e17.kernel.n3_b3.numpy.seconds"] = numpy_secs
+        metrics["e17.kernel.n3_b3.nodes"] = si17.nodes
+        metrics["e17.kernel.n3_b3.numpy_speedup_vs_int"] = (
+            round(int_secs / numpy_secs, 2) if numpy_secs > 0 else 0.0
+        )
+
     return metrics, tracked
 
 
@@ -410,6 +524,11 @@ def main() -> int:
         }
 
     Path(args.output).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    if _PRIVATE_CACHE:
+        import shutil
+
+        shutil.rmtree(os.environ["REPRO_SDS_CACHE_DIR"], ignore_errors=True)
 
     width = max(len(k) for k in metrics)
     for key in sorted(metrics):

@@ -420,12 +420,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             state = "enabled" if info["enabled"] else "disabled"
             print(f"persistent SDS cache [{info['schema']} rev "
                   f"{info['engine_rev']}]: {state}")
-            print(f"  directory: {info['directory'] or '(none)'}")
-            print(f"  entries  : {info['entries']}")
-            print(f"  bytes    : {info['bytes']}")
+            print(f"  directory  : {info['directory'] or '(none)'}")
+            print(f"  entries    : {info['entries']}")
+            print(f"  bytes      : {info['bytes']}")
+            print(f"  shard sets : {info['shard_sets']} "
+                  f"({info['shard_files']} files)")
+            print(f"  shard bytes: {info['shard_bytes']}")
         elif args.action == "clear":
             removed = sds_cache.clear_cache()
-            print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+            print(f"removed {removed} cache file{'' if removed == 1 else 's'}")
+        elif args.action == "prune":
+            if args.max_bytes is None:
+                print("cache prune requires --max-bytes", file=sys.stderr)
+                return 2
+            report = sds_cache.prune(args.max_bytes)
+            print(f"pruned to <= {report['max_bytes']} bytes: "
+                  f"removed {report['removed_units']} unit(s) "
+                  f"({report['removed_bytes']} bytes), "
+                  f"kept {report['kept_units']} unit(s) "
+                  f"({report['kept_bytes']} bytes)")
         else:  # warm
             outcome = sds_cache.warm(args.n, args.rounds)
             print(f"warm SDS^{args.rounds}(s^{args.n}): {outcome['outcome']} "
@@ -576,13 +589,19 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(func=_cmd_stats)
 
     cache = sub.add_parser(
-        "cache", help="inspect/clear/warm the persistent SDS^b build cache"
+        "cache", help="inspect/clear/warm/prune the persistent SDS^b build cache"
     )
-    cache.add_argument("action", choices=("info", "clear", "warm"))
+    cache.add_argument("action", choices=("info", "clear", "warm", "prune"))
     cache.add_argument(
         "--n", type=int, default=3, help="dimension to warm (processes - 1)"
     )
     cache.add_argument("--b", "--rounds", dest="rounds", type=int, default=2)
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: evict least-recently-used entries/shard sets above this total",
+    )
     cache.set_defaults(func=_cmd_cache)
 
     return parser

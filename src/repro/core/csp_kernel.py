@@ -89,20 +89,31 @@ class CompiledLevel:
         }
 
 
-def compile_level(subdivision: Subdivision, task: Task) -> CompiledLevel:
+def compile_level(
+    subdivision: Subdivision,
+    task: Task,
+    vertex_order: list[Vertex] | None = None,
+) -> CompiledLevel:
     """Intern one level's CSP into bitmask form.
 
     Tuple tables are shared across constraints with the same (carrier,
     color profile, per-position candidate lists) — in ``SDS^b`` almost all
     interior simplices of a given shape share one table, so compilation is
     much cheaper than one Δ scan per simplex.
+
+    ``vertex_order`` overrides the default ``Vertex.sort_key`` variable
+    numbering with an explicit permutation of the level's vertices.  The
+    sharded kernel numbers variables in packed-vid discovery order (sort
+    keys cannot be computed without materializing payloads), so differential
+    suites pass the packed order here to make first-solution comparisons
+    exact; production callers leave it ``None``.
     """
     if not _OBS.enabled:
-        return _compile_level_impl(subdivision, task)
+        return _compile_level_impl(subdivision, task, vertex_order)
     with _OBS.tracer.span(
         "kernel.compile", vertices=len(subdivision.complex.vertices)
     ) as span:
-        compiled = _compile_level_impl(subdivision, task)
+        compiled = _compile_level_impl(subdivision, task, vertex_order)
         span.set(
             constraints=len(compiled.con_vars), infeasible=compiled.infeasible
         )
@@ -110,9 +121,18 @@ def compile_level(subdivision: Subdivision, task: Task) -> CompiledLevel:
         return compiled
 
 
-def _compile_level_impl(subdivision: Subdivision, task: Task) -> CompiledLevel:
+def _compile_level_impl(
+    subdivision: Subdivision,
+    task: Task,
+    vertex_order: list[Vertex] | None = None,
+) -> CompiledLevel:
     complex_ = subdivision.complex
-    verts = sorted(complex_.vertices, key=Vertex.sort_key)
+    if vertex_order is None:
+        verts = sorted(complex_.vertices, key=Vertex.sort_key)
+    else:
+        if set(vertex_order) != complex_.vertices:
+            raise ValueError("vertex_order must permute the level's vertices")
+        verts = list(vertex_order)
     # Vertices are hash-consed (repro.topology.interning), so the instance in
     # every simplex IS the instance in ``verts`` — index by identity to keep
     # Vertex.__hash__ out of the per-simplex loop.
@@ -249,6 +269,155 @@ def _compile_level_impl(subdivision: Subdivision, task: Task) -> CompiledLevel:
                 fc[vids[1]].append((vids[0], supports[1]))
     compiled.neighbors = [sorted(s) for s in neighbor_sets]
     return compiled
+
+
+def compile_level_packed(
+    subdivision,
+    task: Task,
+    base,
+    *,
+    collapse: bool = True,
+    vertex_chain: list[Vertex] | None = None,
+):
+    """Compile one level's CSP straight from packed tops — no object graph.
+
+    ``subdivision`` is a :class:`~repro.topology.shards.ShardedSubdivision`
+    (streamed one block at a time) or an in-RAM
+    :class:`~repro.topology.compact.CompactSubdivision`.  The constraint set
+    comes from the collapse census (:mod:`repro.topology.collapse`): with
+    ``collapse`` the implied arity >= 3 faces are dropped, which leaves the
+    solution set and the first solution unchanged (see the census contract);
+    without it every face compiles, matching :func:`compile_level` face for
+    face.  Variables are numbered by packed vid — the discovery order shared
+    by both builders — and only the final-level *vertex chain* is ever
+    materialized (for candidate decoding), never a simplex or a complex.
+
+    Returns ``(compiled, collapse_report)``.
+    """
+    from repro.topology.collapse import core_census, full_census, iter_tops_with_masks
+    from repro.topology.compact import materialize_vertex_chain
+
+    base_verts = sorted(base.vertices, key=Vertex.sort_key)
+    if tuple(v.color for v in base_verts) != tuple(subdivision.base_colors):
+        raise ValueError("base complex colors do not match the packed subdivision")
+    if hasattr(subdivision, "iter_shards"):
+        colors = subdivision.colors
+        chain = vertex_chain or subdivision.vertex_chain(base_verts)
+    else:
+        colors = subdivision.levels[-1][0]
+        chain = vertex_chain or materialize_vertex_chain(subdivision.levels, base_verts)
+    carrier_masks = subdivision.carrier_masks
+    n = len(carrier_masks)
+
+    mask_to_simplex: dict[int, Simplex] = {}
+
+    def decode_mask(mask: int) -> Simplex:
+        simplex = mask_to_simplex.get(mask)
+        if simplex is None:
+            members = []
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                members.append(base_verts[low.bit_length() - 1])
+                remaining ^= low
+            simplex = Simplex._intern_trusted(frozenset(members))
+            if simplex not in base:
+                raise ValueError(f"carrier union {simplex!r} is not a base simplex")
+            mask_to_simplex[mask] = simplex
+        return simplex
+
+    # Domain classes: candidates are a function of (carrier mask, color), and
+    # a level has only a handful of distinct classes, so the per-vid loop is
+    # two dict probes.  Sharing the list object per class also shares the
+    # table-cache identity keys with every other compile against this task.
+    cands_by_class: dict[tuple[int, int], list[Vertex]] = {}
+    index_by_class: dict[tuple[int, int], dict[Vertex, int]] = {}
+    cands: list[list[Vertex]] = []
+    cand_index: list[dict[Vertex, int]] = []
+    domains: list[int] = []
+    for vid in range(n):
+        class_key = (carrier_masks[vid], colors[vid])
+        candidates = cands_by_class.get(class_key)
+        if candidates is None:
+            candidates = task.candidate_decisions(decode_mask(class_key[0]), class_key[1])
+            cands_by_class[class_key] = candidates
+            index_by_class[class_key] = {c: j for j, c in enumerate(candidates)}
+        cands.append(candidates)
+        cand_index.append(index_by_class[class_key])
+        domains.append((1 << len(candidates)) - 1)
+
+    incident: list[list[tuple[int, list[int]]]] = [[] for _ in range(n)]
+    fc: list[list[tuple[int, list[int]]]] = [[] for _ in range(n)]
+    compiled = CompiledLevel(chain, cands, domains, [], [], [], incident, fc, [])
+
+    census = core_census if collapse else full_census
+    faces_by_arity, report = census(iter_tops_with_masks(subdivision), carrier_masks)
+    if not all(domains):
+        compiled.infeasible = True
+        return compiled, report
+
+    table_cache = task._kernel_table_cache
+    table_get = table_cache.get
+    neighbor_sets: list[set[int]] = [set() for _ in range(n)]
+    con_vars_append = compiled.con_vars.append
+    con_masks_append = compiled.con_masks.append
+    con_full_append = compiled.con_full.append
+    for arity in sorted(faces_by_arity):
+        for vids in faces_by_arity[arity]:
+            union = 0
+            for i in vids:
+                union |= carrier_masks[i]
+            carrier = decode_mask(union)
+            colors_profile = tuple(colors[i] for i in vids)
+            cache_key = (carrier, colors_profile, tuple(id(cands[i]) for i in vids))
+            cached = table_get(cache_key)
+            if cached is None:
+                rows: list[tuple[int, ...]] = []
+                for row in task.projected_tuples(carrier, colors_profile):
+                    encoded = []
+                    for position, image in enumerate(row):
+                        j = cand_index[vids[position]].get(image)
+                        if j is None:
+                            break
+                        encoded.append(j)
+                    else:
+                        rows.append(tuple(encoded))
+                masks = [[0] * len(cands[i]) for i in vids]
+                for row_number, row in enumerate(rows):
+                    bit = 1 << row_number
+                    for position, j in enumerate(row):
+                        masks[position][j] |= bit
+                supports: list[list[int]] | None = None
+                if arity == 2:
+                    sup_first = [0] * len(cands[vids[0]])
+                    sup_second = [0] * len(cands[vids[1]])
+                    for a, b in rows:
+                        sup_first[a] |= 1 << b
+                        sup_second[b] |= 1 << a
+                    supports = [sup_first, sup_second]
+                cached = (masks, (1 << len(rows)) - 1, supports)
+                table_cache[cache_key] = cached
+            masks, full, supports = cached
+            if full == 0:
+                compiled.infeasible = True
+                return compiled, report
+            constraint = len(compiled.con_vars)
+            con_vars_append(vids)
+            con_masks_append(masks)
+            con_full_append(full)
+            for position, i in enumerate(vids):
+                incident[i].append((constraint, masks[position]))
+                neighbor_sets_i = neighbor_sets[i]
+                for j in vids:
+                    if j != i:
+                        neighbor_sets_i.add(j)
+            if supports is not None:
+                fc[vids[0]].append((vids[1], supports[0]))
+                fc[vids[1]].append((vids[0], supports[1]))
+    compiled.neighbors = [sorted(s) for s in neighbor_sets]
+    if _OBS.enabled:
+        _OBS.metrics.counter("kernel.sharded_compiles").inc()
+    return compiled, report
 
 
 def _ac3_bits(compiled: CompiledLevel, domains: list[int]) -> bool:

@@ -49,12 +49,21 @@ class SearchOptions:
       constraint tables, and conflict-directed backjumping.  ``False``
       falls back to :func:`_search_map_naive`, the reference oracle the
       equivalence tests compare against.
+    * ``mask_backend`` — mask representation for the *sharded* probe
+      (:func:`probe_level_sharded`): ``"int"`` compiles Python-int bitmask
+      structures (no width limits; the differential oracle), ``"numpy"``
+      compiles ``uint64`` arrays (:mod:`repro.core.mask_kernel`; raises
+      :class:`~repro.core.mask_kernel.UnsupportedByArrayKernel` past a
+      64-bit word limit), and ``"auto"`` tries numpy and falls back to int.
+      Both backends produce the same verdict, the same first decision map
+      and the same search statistics.  Ignored by the non-sharded paths.
     """
 
     arc_consistency: bool = True
     forward_checking: bool = True
     adjacency_order: bool = True
     kernel: bool = True
+    mask_backend: str = "auto"
 
 
 class SolvabilityStatus(enum.Enum):
@@ -150,6 +159,100 @@ def _probe_level(
         )
         span.set(satisfiable=report.satisfiable, nodes=nodes)
     return mapping, report, subdivision if mapping is not None else None
+
+
+def probe_level_sharded(
+    task: Task,
+    rounds: int,
+    *,
+    node_budget: int = 2_000_000,
+    options: SearchOptions = SearchOptions(),
+    shard_size: int | None = None,
+    directory=None,
+    collapse: bool = True,
+) -> tuple[dict[Vertex, Vertex] | None, LevelReport, dict]:
+    """Out-of-core solvability probe of one level: sharded build, packed compile.
+
+    The in-RAM path (:func:`_probe_level`) materializes the full object-graph
+    subdivision before searching; at ``(n, b) = (3, 3)`` that already costs
+    ~3x the resident memory of this path, which streams orbit-generated top
+    blocks to disk (:func:`repro.topology.shards.ensure_sharded`), compiles
+    the CSP shard-at-a-time through the collapse census, and only ever
+    materializes the final-level vertex chain.  Verdict and first decision
+    map are identical to the in-RAM kernel probe compiled with the packed
+    vertex order (``compile_level(..., vertex_order=chain)``).
+
+    ``options.mask_backend`` picks the compile/search representation (see
+    :class:`SearchOptions`).  Returns ``(mapping, report, extras)`` where
+    ``extras`` carries the collapse report, the backend actually used, and
+    the sharded build handle.
+    """
+    from repro.core.csp_kernel import compile_level_packed, kernel_search
+    from repro.topology.compact import CompactComplex
+    from repro.topology.shards import DEFAULT_SHARD_SIZE, ensure_sharded
+
+    backend = options.mask_backend
+    if backend not in ("int", "numpy", "auto"):
+        raise ValueError(f"unknown mask backend: {backend!r}")
+    span = _obs_span("solve.level.sharded", task=task.name, rounds=rounds)
+    with span:
+        frozen = CompactComplex.freeze(task.input_complex)
+        sharded = ensure_sharded(
+            tuple(frozen.colors),
+            tuple(frozen.tops()),
+            rounds,
+            shard_size=shard_size or DEFAULT_SHARD_SIZE,
+            directory=directory,
+        )
+        started = time.perf_counter()
+        compiled = None
+        search = kernel_search
+        used = "int"
+        if backend in ("numpy", "auto"):
+            from repro.core.mask_kernel import (
+                UnsupportedByArrayKernel,
+                array_search,
+                compile_arrays,
+            )
+
+            try:
+                compiled, collapse_report = compile_arrays(
+                    sharded, task, task.input_complex, collapse=collapse
+                )
+                search = array_search
+                used = "numpy"
+            except UnsupportedByArrayKernel:
+                if backend == "numpy":
+                    raise
+        if compiled is None:
+            compiled, collapse_report = compile_level_packed(
+                sharded, task, task.input_complex, collapse=collapse
+            )
+        mapping, stats = search(
+            compiled,
+            node_budget,
+            arc_consistency=options.arc_consistency,
+            forward_checking=options.forward_checking,
+            adjacency_order=options.adjacency_order,
+        )
+        report = LevelReport(
+            rounds=rounds,
+            satisfiable=mapping is not None,
+            nodes_explored=stats.nodes,
+            vertices=sharded.vertex_count,
+            exhausted=stats.exhausted,
+            elapsed_seconds=time.perf_counter() - started,
+            conflicts=stats.conflicts,
+            backjumps=stats.backjumps,
+        )
+        span.set(satisfiable=report.satisfiable, nodes=stats.nodes, backend=used)
+    extras = {
+        "backend": used,
+        "collapse": collapse_report,
+        "sharded": sharded,
+        "shards": sharded.shard_count,
+    }
+    return mapping, report, extras
 
 
 def solve_task(

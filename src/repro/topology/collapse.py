@@ -1,0 +1,253 @@
+"""Collapse machinery: free faces on packed tops and the constraint core.
+
+Benavides–Rajsbaum prove the immediate-snapshot protocol complex is
+collapsible, which licenses discarding faces before the solvability search —
+*provided* the discard is exact for the CSP, not just homotopy-exact.  This
+module supplies both halves:
+
+* **Geometric collapses** (:func:`free_codim1_faces`,
+  :func:`collapse_sequence`) — classic elementary collapses at the top
+  level: a codim-1 face contained in exactly one top is *free*, and removing
+  the ``(face, top)`` pair preserves the homotopy type.  On ``SDS^b`` of a
+  single base simplex the free faces are exactly the boundary facets (every
+  interior codim-1 face of a pseudomanifold lies in two tops), which the
+  golden tests pin.
+
+* **The constraint core** (:func:`core_census`) — the collapse the kernel
+  actually consumes.  Homotopy equivalence is *not* sufficient to drop a CSP
+  constraint, so the census uses an exact implication rule instead: a face
+  ``f`` of a top ``t`` with ``carrier(f) == carrier(t)`` has a Δ-projection
+  table that is the projection of ``t``'s table onto ``f``'s positions
+  (projection-of-projection through the same ``Δ(carrier)``), so every
+  assignment satisfying ``t``'s constraint satisfies ``f``'s.  Dropping such
+  implied faces leaves the solution set — and therefore SAT/UNSAT and the
+  first solution under the kernel's deterministic order — unchanged.  The
+  census drops only implied faces of arity >= 3: every 2-ary face is kept so
+  AC-3 domains, forward-checking behavior and neighbor sets (hence the
+  variable order) match the full compile exactly.
+
+Both run on packed integer tops — streamed shard blocks or an in-RAM
+:class:`~repro.topology.compact.CompactSubdivision` — and never build a
+simplex.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.obs import OBS as _OBS
+from repro.topology.orbits import face_index_tuples
+
+
+def iter_tops_with_masks(subdivision) -> Iterator[tuple[tuple[int, ...], int]]:
+    """Yield ``(top, carrier_union_mask)`` from a packed or sharded build.
+
+    Sharded builds stream one block at a time (masks come precomputed from
+    the shard payload); compact builds compute the union on the fly.
+    """
+    if hasattr(subdivision, "iter_shards"):
+        for block in subdivision.iter_shards():
+            for top, mask in zip(block.tops(), block.union_masks):
+                yield top, mask
+        return
+    carrier_masks = subdivision.carrier_masks
+    for top in subdivision.tops:
+        mask = 0
+        for vid in top:
+            mask |= carrier_masks[vid]
+        yield top, mask
+
+
+@dataclass(frozen=True)
+class CollapseReport:
+    """Face accounting of one constraint-core census."""
+
+    enumerated: int  # face occurrences visited (with multiplicity)
+    unique_faces: int  # distinct faces of arity >= 2, tops included
+    kept_faces: int  # faces surviving into the constraint core
+    dropped_faces: int  # implied arity->=3 faces discarded
+
+    @property
+    def dropped_ratio(self) -> float:
+        return self.dropped_faces / self.unique_faces if self.unique_faces else 0.0
+
+
+def core_census(
+    tops_with_masks: Iterable[tuple[tuple[int, ...], int]],
+    vertex_masks: Sequence[int],
+) -> tuple[dict[int, list[tuple[int, ...]]], CollapseReport]:
+    """The constraint core: faces by arity, implied faces dropped.
+
+    Returns ``(faces_by_arity, report)`` where ``faces_by_arity[a]`` is the
+    lexicographically sorted list of kept arity-``a`` faces (vid tuples; tops
+    are included in their own arity bucket and are always kept, as is every
+    2-ary face).  An arity >= 3 proper face is dropped iff *some* containing
+    top has the same carrier union — the exact-implication rule above.  The
+    sorted-by-arity output order is the kernel's canonical constraint order,
+    shared bit-for-bit by the int and numpy compile backends.
+    """
+    edges: set[tuple[int, int]] = set()
+    implied: dict[tuple[int, ...], bool] = {}
+    tops_by_arity: dict[int, list[tuple[int, ...]]] = {}
+    enumerated = 0
+    for top, top_mask in tops_with_masks:
+        k = len(top)
+        tops_by_arity.setdefault(k, []).append(top)
+        if k < 2:
+            continue
+        per_arity = face_index_tuples(k)
+        enumerated += 1
+        for selector_group in per_arity[: k - 2]:  # proper faces only
+            arity = len(selector_group[0])
+            enumerated += len(selector_group)
+            if arity == 2:
+                for sel in selector_group:
+                    edges.add((top[sel[0]], top[sel[1]]))
+            else:
+                for sel in selector_group:
+                    face = tuple(top[i] for i in sel)
+                    mask = 0
+                    for vid in face:
+                        mask |= vertex_masks[vid]
+                    if mask == top_mask:
+                        implied[face] = True
+                    elif face not in implied:
+                        implied[face] = False
+    faces_by_arity: dict[int, list[tuple[int, ...]]] = {}
+    if edges:
+        faces_by_arity[2] = sorted(edges)
+    dropped = 0
+    for face, is_implied in implied.items():
+        if is_implied:
+            dropped += 1
+        else:
+            faces_by_arity.setdefault(len(face), []).append(face)
+    for arity, tops in tops_by_arity.items():
+        if arity >= 2:
+            faces_by_arity.setdefault(arity, []).extend(sorted(set(tops)))
+    for faces in faces_by_arity.values():
+        faces.sort()
+    unique = sum(len(faces) for faces in faces_by_arity.values()) + dropped
+    kept = unique - dropped
+    report = CollapseReport(enumerated, unique, kept, dropped)
+    if _OBS.enabled:
+        _OBS.metrics.gauge("kernel.collapse.dropped_ratio").set(report.dropped_ratio)
+        _OBS.metrics.counter("kernel.collapse.censuses").inc()
+    return faces_by_arity, report
+
+
+def full_census(
+    tops_with_masks: Iterable[tuple[tuple[int, ...], int]],
+    vertex_masks: Sequence[int],
+) -> tuple[dict[int, list[tuple[int, ...]]], CollapseReport]:
+    """Every unique face by arity — the uncollapsed constraint set.
+
+    Same output contract as :func:`core_census` with the implication rule
+    switched off; the differential suites compare kernels compiled from
+    both.
+    """
+    by_arity: dict[int, set[tuple[int, ...]]] = {}
+    enumerated = 0
+    for top, _mask in tops_with_masks:
+        k = len(top)
+        if k < 2:
+            continue
+        enumerated += 1
+        for selector_group in face_index_tuples(k):
+            enumerated += len(selector_group)
+            arity = len(selector_group[0])
+            bucket = by_arity.setdefault(arity, set())
+            for sel in selector_group:
+                bucket.add(tuple(top[i] for i in sel))
+    faces_by_arity = {arity: sorted(faces) for arity, faces in sorted(by_arity.items())}
+    unique = sum(len(faces) for faces in faces_by_arity.values())
+    return faces_by_arity, CollapseReport(enumerated, unique, unique, 0)
+
+
+# -- geometric elementary collapses ------------------------------------------
+
+
+def free_codim1_faces(
+    tops_with_masks: Iterable[tuple[tuple[int, ...], int]],
+) -> list[tuple[int, ...]]:
+    """Codim-1 faces contained in exactly one top (sorted).
+
+    On ``SDS^b`` of a single base simplex these are precisely the facets of
+    the subdivided boundary sphere.
+    """
+    containing: dict[tuple[int, ...], int] = {}
+    for top, _mask in tops_with_masks:
+        k = len(top)
+        if k < 2:
+            continue
+        for sel in face_index_tuples(k)[k - 3] if k >= 3 else ((0,), (1,)):
+            if k >= 3:
+                face = tuple(top[i] for i in sel)
+            else:
+                face = (top[sel[0]],)
+            containing[face] = containing.get(face, 0) + 1
+    return sorted(face for face, count in containing.items() if count == 1)
+
+
+def collapse_sequence(tops: Sequence[tuple[int, ...]]) -> dict:
+    """Greedy elementary collapse of ``(codim-1 free face, top)`` pairs.
+
+    Maintains per-face containment counts and a worklist: whenever a codim-1
+    face is contained in exactly one live top, the pair is removed, which
+    may free further faces of that top.  Returns the number of pairs
+    removed and the surviving top indices.  This is the *geometric* witness
+    of collapsibility used by the golden tests and the collapse-ratio
+    gauge — the kernel consumes :func:`core_census`, not this sequence.
+    """
+    containing: dict[tuple[int, ...], list[int]] = {}
+    tops = [tuple(top) for top in tops]
+    for t, top in enumerate(tops):
+        k = len(top)
+        if k < 2:
+            continue
+        if k >= 3:
+            selectors = face_index_tuples(k)[k - 3]
+            faces = [tuple(top[i] for i in sel) for sel in selectors]
+        else:
+            faces = [(top[0],), (top[1],)]
+        for face in faces:
+            containing.setdefault(face, []).append(t)
+    alive = [True] * len(tops)
+    live_count = {face: len(holders) for face, holders in containing.items()}
+    queue = deque(
+        face for face, count in sorted(live_count.items()) if count == 1
+    )
+    pairs = 0
+    while queue:
+        face = queue.popleft()
+        if live_count.get(face) != 1:
+            continue
+        top_index = next(t for t in containing[face] if alive[t])
+        alive[top_index] = False
+        live_count[face] = 0
+        pairs += 1
+        top = tops[top_index]
+        k = len(top)
+        if k >= 3:
+            faces = [tuple(top[i] for i in sel) for sel in face_index_tuples(k)[k - 3]]
+        else:
+            faces = [(top[0],), (top[1],)]
+        for other in faces:
+            if other == face:
+                continue
+            remaining = live_count[other] - 1
+            live_count[other] = remaining
+            if remaining == 1:
+                queue.append(other)
+    remaining_tops = [t for t, live in enumerate(alive) if live]
+    result = {
+        "pairs_removed": pairs,
+        "tops_total": len(tops),
+        "tops_remaining": len(remaining_tops),
+        "remaining_top_indices": remaining_tops,
+    }
+    if _OBS.enabled:
+        _OBS.metrics.gauge("kernel.collapse.tops_remaining").set(len(remaining_tops))
+    return result

@@ -301,6 +301,52 @@ class CompactSubdivision:
         )
 
 
+def advance_round(
+    tops: Sequence[tuple[int, ...]],
+    colors: Sequence[int],
+    carrier_masks: Sequence[int],
+) -> tuple[list[int], list[tuple[int, ...]], list[int], list[tuple[int, ...]]]:
+    """One subdivision round over packed ids: ``(colors, views, masks, tops)``.
+
+    The orbit-table inner loop shared by :func:`build_sds_packed` and the
+    streaming shard builder (:mod:`repro.topology.shards`): per current top,
+    extract the distinct snapshot prefixes once, dedupe ``(member, prefix)``
+    pairs through one global dict — keyed by ``(old vertex id, prefix)``, so
+    vertices shared across faces glue automatically — and emit the Fubini(k)
+    new tops via the precompiled template getters.  New vertex ids are
+    assigned in discovery order, which depends only on the top order, making
+    the id assignment deterministic across processes (and identical between
+    the in-RAM and streaming builders — the shard suite pins this).
+    """
+    new_colors: list[int] = []
+    new_views: list[tuple[int, ...]] = []
+    new_masks: list[int] = []
+    key_to_id: dict[tuple[int, tuple[int, ...]], int] = {}
+    key_get = key_to_id.get
+    new_tops: list[tuple[int, ...]] = []
+    extend_tops = new_tops.extend
+    for top in tops:
+        tables = packed_tables(len(top))
+        prefixes = [getter(top) for getter in tables.prefix_getters]
+        local = [0] * tables.n_pairs
+        for local_id, (member_index, prefix_id) in enumerate(tables.pair_info):
+            prefix = prefixes[prefix_id]
+            key = (top[member_index], prefix)
+            vertex_id = key_get(key)
+            if vertex_id is None:
+                vertex_id = len(new_colors)
+                key_to_id[key] = vertex_id
+                new_colors.append(colors[top[member_index]])
+                new_views.append(prefix)
+                mask = 0
+                for i in prefix:
+                    mask |= carrier_masks[i]
+                new_masks.append(mask)
+            local[local_id] = vertex_id
+        extend_tops(getter(local) for getter in tables.template_getters)
+    return new_colors, new_views, new_masks, new_tops
+
+
 def build_sds_packed(
     base_colors: Sequence[int],
     base_tops: Sequence[tuple[int, ...]],
@@ -332,37 +378,11 @@ def build_sds_packed(
         gc.disable()
     try:
         for _ in range(rounds):
-            new_colors: list[int] = []
-            new_views: list[tuple[int, ...]] = []
-            new_masks: list[int] = []
-            key_to_id: dict[tuple[int, tuple[int, ...]], int] = {}
-            key_get = key_to_id.get
-            new_tops: list[tuple[int, ...]] = []
-            extend_tops = new_tops.extend
-            for top in tops:
-                tables = packed_tables(len(top))
-                prefixes = [getter(top) for getter in tables.prefix_getters]
-                local = [0] * tables.n_pairs
-                for local_id, (member_index, prefix_id) in enumerate(tables.pair_info):
-                    prefix = prefixes[prefix_id]
-                    key = (top[member_index], prefix)
-                    vertex_id = key_get(key)
-                    if vertex_id is None:
-                        vertex_id = len(new_colors)
-                        key_to_id[key] = vertex_id
-                        new_colors.append(colors[top[member_index]])
-                        new_views.append(prefix)
-                        mask = 0
-                        for i in prefix:
-                            mask |= carrier_masks[i]
-                        new_masks.append(mask)
-                    local[local_id] = vertex_id
-                extend_tops(getter(local) for getter in tables.template_getters)
-            replicated += len(new_tops)
-            levels.append((tuple(new_colors), tuple(new_views)))
-            colors = new_colors
-            carrier_masks = new_masks
-            tops = new_tops
+            colors, views, carrier_masks, tops = advance_round(
+                tops, colors, carrier_masks
+            )
+            replicated += len(tops)
+            levels.append((tuple(colors), tuple(views)))
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -434,6 +454,29 @@ class ThawedArrays:
         return mask
 
 
+def materialize_vertex_chain(
+    levels: Sequence[tuple[Sequence[int], Sequence[tuple[int, ...]]]],
+    base_verts: Sequence[Vertex],
+) -> list[Vertex]:
+    """Intern the final-level vertices of a packed level chain, in id order.
+
+    The lightweight slice of :func:`materialize` the sharded kernel needs to
+    decode solutions: level by level, each ``(color, view)`` becomes an
+    interned ``Vertex(color, frozenset_of_previous_level)``.  No
+    :class:`Simplex` and no complex is ever built — the only allocations are
+    the vertex chain itself, which is vertex-scale, not top-scale.
+    """
+    previous: Sequence[Vertex] = base_verts
+    vertex_intern = Vertex._intern_trusted
+    for level_colors, level_views in levels:
+        lookup = previous.__getitem__
+        previous = [
+            vertex_intern(color, frozenset(map(lookup, view)))
+            for color, view in zip(level_colors, level_views)
+        ]
+    return list(previous)
+
+
 def materialize(
     compact: CompactSubdivision, base: SimplicialComplex
 ) -> tuple[SimplicialComplex, dict[Vertex, Simplex], ThawedArrays]:
@@ -450,16 +493,7 @@ def materialize(
     base_verts = sorted(base.vertices, key=Vertex.sort_key)
     if tuple(v.color for v in base_verts) != compact.base_colors:
         raise ValueError("base complex colors do not match the packed subdivision")
-    vertex_intern = Vertex._intern_trusted
-    previous: list[Vertex] = base_verts
-    for level_colors, level_views in compact.levels:
-        lookup = previous.__getitem__
-        current: list[Vertex] = [
-            vertex_intern(color, frozenset(map(lookup, view)))
-            for color, view in zip(level_colors, level_views)
-        ]
-        previous = current
-    final = previous
+    final = materialize_vertex_chain(compact.levels, base_verts)
     simplex_intern = Simplex._intern_trusted
     final_lookup = final.__getitem__
     top_simplices = [

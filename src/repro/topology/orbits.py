@@ -202,6 +202,26 @@ def packed_tables(size: int) -> _PackedTables:
     return _PackedTables(size)
 
 
+@lru_cache(maxsize=None)
+def face_index_tuples(size: int) -> tuple[tuple[tuple[int, ...], ...], ...]:
+    """Per arity, the index subsets of a sorted ``size``-tuple's proper+full faces.
+
+    ``face_index_tuples(k)[a]`` lists every strictly increasing index tuple of
+    length ``a + 2`` over ``range(k)`` — i.e. the column selections that turn a
+    top simplex (a sorted vid tuple) into its dimension-``a + 1`` faces, the
+    enumeration the sharded CSP compiler and the collapse pass run per top
+    block.  Index tuples are increasing and the top's vids are sorted, so every
+    extracted face is itself a sorted vid tuple (the canonical census key).
+    Pure integer combinatorics, memoized process-wide like the packed tables.
+    """
+    if size < 0:
+        raise ValueError("face_index_tuples requires size >= 0")
+    return tuple(
+        tuple(combinations(range(size), arity))
+        for arity in range(2, size + 1)
+    )
+
+
 def prime_packed_tables(max_size: int = 5) -> None:
     """Derive the packed tables for every simplex size up to ``max_size``.
 

@@ -70,6 +70,35 @@ def _entry_path(directory: Path, key: str) -> Path:
     return directory / f"{SCHEMA}-r{ENGINE_REV}-{key[:40]}.sds"
 
 
+def shard_store_key(structure_key_: str, shard_size: int) -> str:
+    """Content key of a sharded build: the structure key plus the shard split.
+
+    The same subdivision sharded at two block sizes is two distinct on-disk
+    artifacts (different shard boundaries, star indices and vid ranges), so
+    the split parameter is part of the identity.
+    """
+    blob = repr((SCHEMA, ENGINE_REV, "shards", structure_key_, shard_size)).encode(
+        "ascii"
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+def manifest_path(directory: Path, store_key: str) -> Path:
+    return directory / f"{SCHEMA}-r{ENGINE_REV}-{store_key[:40]}.manifest"
+
+
+def shard_path(directory: Path, store_key: str, index: int) -> Path:
+    return directory / f"{SCHEMA}-r{ENGINE_REV}-{store_key[:40]}.shard{index:05d}"
+
+
+def _touch(path: Path) -> None:
+    """Best-effort mtime bump — the LRU recency signal for :func:`prune`."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
 def load(key: str):
     """The cached :class:`CompactSubdivision` for ``key``, or ``None``.
 
@@ -93,6 +122,7 @@ def load(key: str):
                 and record[2] == key
             ):
                 compact = CompactSubdivision.from_payload(record[3])
+                _touch(_entry_path(directory, key))
         except (OSError, ValueError, EOFError, TypeError):
             compact = None
     if _OBS.enabled:
@@ -135,6 +165,23 @@ def _entries(directory: Path) -> list[Path]:
         return []
 
 
+def _shard_sets(directory: Path) -> list[list[Path]]:
+    """Group shard-set files (manifest + shard blocks) by store key.
+
+    Orphan shard files whose manifest is gone still form a (headless) group,
+    so eviction and ``clear`` sweep them instead of leaking them.
+    """
+    groups: dict[str, list[Path]] = {}
+    try:
+        paths = list(directory.glob(f"{SCHEMA}-*.manifest"))
+        paths += list(directory.glob(f"{SCHEMA}-*.shard[0-9]*"))
+    except OSError:
+        return []
+    for path in paths:
+        groups.setdefault(path.name.split(".")[0], []).append(path)
+    return [sorted(group) for _, group in sorted(groups.items())]
+
+
 def cache_info() -> dict:
     """Directory, entry count and total bytes of the persistent cache."""
     directory = cache_dir()
@@ -145,6 +192,9 @@ def cache_info() -> dict:
         "enabled": directory is not None,
         "entries": 0,
         "bytes": 0,
+        "shard_sets": 0,
+        "shard_files": 0,
+        "shard_bytes": 0,
     }
     if directory is None or not directory.is_dir():
         return info
@@ -154,6 +204,18 @@ def cache_info() -> dict:
             info["entries"] += 1
         except OSError:
             continue
+    for group in _shard_sets(directory):
+        counted = False
+        for path in group:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            info["shard_bytes"] += size
+            info["shard_files"] += 1
+            counted = True
+        if counted:
+            info["shard_sets"] += 1
     return info
 
 
@@ -163,13 +225,76 @@ def clear_cache() -> int:
     if directory is None or not directory.is_dir():
         return 0
     removed = 0
-    for path in _entries(directory):
+    shard_files = [path for group in _shard_sets(directory) for path in group]
+    for path in _entries(directory) + shard_files:
         try:
             path.unlink()
             removed += 1
         except OSError:
             continue
     return removed
+
+
+def prune(max_bytes: int) -> dict:
+    """Evict least-recently-used cache units until the total fits the budget.
+
+    A *unit* is either one ``.sds`` entry or one whole shard set (manifest
+    plus blocks — a shard set is useless in parts, so it lives and dies as
+    one).  Recency is file mtime: loads and shard opens touch their files,
+    so mtime order is LRU order without any sidecar state.  Returns an
+    accounting dict; a disabled or missing cache prunes nothing.
+    """
+    if max_bytes < 0:
+        raise ValueError("prune requires max_bytes >= 0")
+    directory = cache_dir()
+    report = {
+        "max_bytes": max_bytes,
+        "removed_units": 0,
+        "removed_bytes": 0,
+        "kept_units": 0,
+        "kept_bytes": 0,
+    }
+    if directory is None or not directory.is_dir():
+        return report
+    units: list[tuple[float, int, list[Path]]] = []
+    for path in _entries(directory):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        units.append((stat.st_mtime, stat.st_size, [path]))
+    for group in _shard_sets(directory):
+        mtime = 0.0
+        total = 0
+        paths = []
+        for path in group:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            mtime = max(mtime, stat.st_mtime)
+            total += stat.st_size
+            paths.append(path)
+        if paths:
+            units.append((mtime, total, paths))
+    units.sort(key=lambda unit: unit[0])
+    remaining = sum(size for _, size, _ in units)
+    for _, size, paths in units:
+        if remaining <= max_bytes:
+            report["kept_units"] += 1
+            report["kept_bytes"] += size
+            continue
+        for path in paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        remaining -= size
+        report["removed_units"] += 1
+        report["removed_bytes"] += size
+    if _OBS.enabled and report["removed_units"]:
+        _OBS.metrics.counter("sds.cache.pruned_units").inc(report["removed_units"])
+    return report
 
 
 def warm(n: int, rounds: int) -> dict:

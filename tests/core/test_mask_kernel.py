@@ -1,0 +1,205 @@
+"""Unit contracts of the array kernel's building blocks.
+
+The end-to-end equivalence with the int kernel lives in
+``test_sharded_kernel.py``; this file pins the pieces in isolation — the
+packed-key row dedup against ``np.unique(axis=0)``, the vectorized census
+against the Python census, the whole-array AC-3 sweep against the worklist
+AC-3 fixpoint, and the 64-bit word limits that trigger the int fallback.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csp_kernel import _ac3_bits, compile_level_packed
+from repro.core.mask_kernel import (
+    UnsupportedByArrayKernel,
+    _ac3_arrays,
+    _group_columns,
+    _sorted_unique_rows,
+    census_arrays,
+    compile_arrays,
+)
+from repro.tasks import identity_task, set_consensus_task
+from repro.topology.collapse import core_census, full_census, iter_tops_with_masks
+from repro.topology.compact import CompactComplex
+from repro.topology.shards import build_sds_sharded, ensure_sharded
+
+SIMPLEX = lambda n: (tuple(range(n + 1)), (tuple(range(n + 1)),))  # noqa: E731
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_sds_cache(tmp_path_factory):
+    old = os.environ.get("REPRO_SDS_CACHE_DIR")
+    os.environ["REPRO_SDS_CACHE_DIR"] = str(tmp_path_factory.mktemp("sds-cache"))
+    yield
+    if old is None:
+        del os.environ["REPRO_SDS_CACHE_DIR"]
+    else:
+        os.environ["REPRO_SDS_CACHE_DIR"] = old
+
+
+def _sharded_for(task, rounds):
+    frozen = CompactComplex.freeze(task.input_complex)
+    return ensure_sharded(tuple(frozen.colors), tuple(frozen.tops()), rounds)
+
+
+class TestSortedUniqueRows:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_python_sorted_set(self, rows):
+        arr = np.array(rows, dtype=np.int32)
+        got, _ = _sorted_unique_rows(arr)
+        assert [tuple(r) for r in got.tolist()] == sorted(set(rows))
+
+    def test_flag_aggregation_is_or_across_duplicates(self):
+        rows = np.array([[1, 2], [3, 4], [1, 2], [3, 4], [5, 6]], dtype=np.int32)
+        flags = np.array([False, True, True, False, False])
+        uniq, agg = _sorted_unique_rows(rows, flags)
+        assert [tuple(r) for r in uniq.tolist()] == [(1, 2), (3, 4), (5, 6)]
+        assert agg.tolist() == [True, True, False]
+
+    def test_wide_rows_take_the_lexsort_path(self):
+        # 5 columns x 16 bits > 64: cannot pack, must still be exact.
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, 40000, size=(200, 5)).astype(np.int32)
+        rows = np.vstack([rows, rows[:50]])  # force duplicates
+        flags = np.arange(len(rows)) % 2 == 0
+        uniq, agg = _sorted_unique_rows(rows, flags)
+        want = sorted(set(map(tuple, rows.tolist())))
+        assert [tuple(r) for r in uniq.tolist()] == want
+        assert len(agg) == len(uniq)
+
+    def test_empty_input(self):
+        empty = np.empty((0, 3), dtype=np.int32)
+        uniq, agg = _sorted_unique_rows(empty, np.empty(0, dtype=bool))
+        assert uniq.shape == (0, 3)
+        assert agg.shape == (0,)
+
+
+class TestGroupColumns:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_groups_equal_rows(self, pairs):
+        cols = [
+            np.array([p[0] for p in pairs], dtype=np.int64),
+            np.array([p[1] for p in pairs], dtype=np.int64),
+        ]
+        inverse, representatives = _group_columns(cols)
+        # Same row -> same group; different row -> different group; the
+        # representative really is a member of its group.
+        for i, p in enumerate(pairs):
+            for j, q in enumerate(pairs):
+                assert (inverse[i] == inverse[j]) == (p == q)
+        for group, rep in enumerate(representatives):
+            assert inverse[rep] == group
+
+    def test_wide_columns_fall_back_to_lexsort(self):
+        rng = np.random.default_rng(3)
+        cols = [rng.integers(0, 2**40, size=100) for _ in range(2)]
+        cols = [np.concatenate([c, c[:30]]) for c in cols]
+        inverse, representatives = _group_columns(cols)
+        rows = list(zip(cols[0].tolist(), cols[1].tolist()))
+        for i, p in enumerate(rows):
+            for j, q in enumerate(rows):
+                assert (inverse[i] == inverse[j]) == (p == q)
+        assert len(representatives) == len(set(rows))
+
+
+class TestCensusArrays:
+    @pytest.mark.parametrize("n,b", [(1, 2), (2, 2), (3, 1), (3, 2)])
+    @pytest.mark.parametrize("collapse", [True, False], ids=["core", "full"])
+    def test_matches_python_census(self, n, b, collapse):
+        sharded = build_sds_sharded(*SIMPLEX(n), b, shard_size=7)
+        python_census = core_census if collapse else full_census
+        want, want_report = python_census(
+            iter_tops_with_masks(sharded), sharded.carrier_masks
+        )
+        got, got_report = census_arrays(
+            sharded, sharded.carrier_masks, collapse=collapse
+        )
+        assert set(got) == set(want)
+        for arity in want:
+            assert [tuple(r) for r in got[arity].tolist()] == want[arity]
+        assert got_report.kept_faces == want_report.kept_faces
+        assert got_report.dropped_faces == want_report.dropped_faces
+
+    def test_compact_source_equals_sharded_source(self):
+        sharded = build_sds_sharded(*SIMPLEX(3), 1, shard_size=13)
+        compact = sharded.to_compact()
+        a, _ = census_arrays(sharded, sharded.carrier_masks)
+        b, _ = census_arrays(compact, compact.carrier_masks)
+        assert set(a) == set(b)
+        for arity in a:
+            assert a[arity].tolist() == b[arity].tolist()
+
+
+class TestAC3Arrays:
+    @pytest.mark.parametrize(
+        "factory,b",
+        [
+            (lambda: identity_task(3), 1),
+            (lambda: set_consensus_task(3, 2), 1),
+            (lambda: set_consensus_task(3, 1), 1),
+        ],
+        ids=["identity", "2set", "consensus"],
+    )
+    def test_fixpoint_matches_worklist_ac3(self, factory, b):
+        task = factory()
+        sharded = _sharded_for(task, b)
+        ci, _ = compile_level_packed(sharded, task, task.input_complex)
+        ca, _ = compile_arrays(sharded, task, task.input_complex)
+        int_domains = list(ci.domains)
+        int_alive = _ac3_bits(ci, int_domains)
+        array_domains = ca.domains.copy()
+        array_alive = _ac3_arrays(ca, array_domains)
+        assert int_alive == array_alive
+        if int_alive:
+            assert [int(d) for d in array_domains] == int_domains
+
+    def test_emptied_domain_reports_false(self):
+        task = set_consensus_task(4, 1)
+        sharded = _sharded_for(task, 1)
+        ci, _ = compile_level_packed(sharded, task, task.input_complex)
+        ca, _ = compile_arrays(sharded, task, task.input_complex)
+        int_domains = list(ci.domains)
+        array_domains = ca.domains.copy()
+        assert _ac3_bits(ci, int_domains) == _ac3_arrays(ca, array_domains)
+
+
+class TestWordLimits:
+    def test_wide_domains_unsupported(self):
+        from repro.tasks import approximate_agreement_task
+
+        task = approximate_agreement_task(2, 81)
+        sharded = _sharded_for(task, 1)
+        with pytest.raises(UnsupportedByArrayKernel):
+            compile_arrays(sharded, task, task.input_complex)
+
+    def test_supported_case_reports_infeasibility_like_int(self):
+        task = set_consensus_task(4, 1)
+        sharded = _sharded_for(task, 1)
+        ci, _ = compile_level_packed(sharded, task, task.input_complex)
+        ca, _ = compile_arrays(sharded, task, task.input_complex)
+        assert ci.infeasible == ca.infeasible

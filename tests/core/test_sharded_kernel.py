@@ -1,0 +1,261 @@
+"""The sharded, collapse-compressed kernel against the in-RAM oracle.
+
+Three rings of evidence, strongest first:
+
+* **Oracle differentials** — for every zoo task and round count, the
+  sharded probe (both mask backends, collapse on) must return the same
+  verdict *and the same first decision map* as ``compile_level`` on the
+  full object-graph subdivision compiled with the packed vertex order.
+  Variable order, value order and the search are deterministic, so map
+  equality is exact, not up-to-isomorphism.
+
+* **Backend equivalence** — the int and numpy backends share constraint
+  census, constraint order, incidence order and search control flow, so
+  they must agree on *every statistic* (nodes, conflicts, backjumps,
+  nogoods), not just the answer.
+
+* **Shard-size invariance** — Hypothesis drives random shard sizes through
+  the same instance; the on-disk split is storage, never semantics.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.csp_kernel import compile_level, compile_level_packed, kernel_search
+from repro.core.mask_kernel import (
+    UnsupportedByArrayKernel,
+    array_search,
+    compile_arrays,
+)
+from repro.core.solvability import SearchOptions, probe_level_sharded
+from repro.tasks import (
+    approximate_agreement_task,
+    binary_consensus_task,
+    identity_task,
+    set_consensus_task,
+)
+from repro.topology.compact import CompactComplex
+from repro.topology.shards import ensure_sharded
+from repro.topology.standard_chromatic import iterated_standard_chromatic_subdivision
+from repro.topology.vertex import Vertex
+
+# (task factory, rounds): SAT and UNSAT cases, conflict-heavy searches
+# (set-consensus), and multi-valued inputs — all cheap enough for CI.
+ZOO = [
+    (lambda: identity_task(2), 1),
+    (lambda: identity_task(3), 2),
+    (lambda: identity_task(4), 1),
+    (lambda: binary_consensus_task(2), 2),
+    (lambda: binary_consensus_task(3), 1),
+    (lambda: set_consensus_task(3, 2), 1),
+    (lambda: set_consensus_task(3, 3), 1),
+    (lambda: set_consensus_task(4, 1), 1),
+    (lambda: approximate_agreement_task(2, 3), 2),
+    (lambda: approximate_agreement_task(3, 2), 1),
+]
+ZOO_IDS = [f"case{i}" for i in range(len(ZOO))]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_sds_cache(tmp_path_factory):
+    old = os.environ.get("REPRO_SDS_CACHE_DIR")
+    os.environ["REPRO_SDS_CACHE_DIR"] = str(tmp_path_factory.mktemp("sds-cache"))
+    yield
+    if old is None:
+        del os.environ["REPRO_SDS_CACHE_DIR"]
+    else:
+        os.environ["REPRO_SDS_CACHE_DIR"] = old
+
+
+def _sharded_for(task, rounds, shard_size=7):
+    frozen = CompactComplex.freeze(task.input_complex)
+    return ensure_sharded(
+        tuple(frozen.colors), tuple(frozen.tops()), rounds, shard_size=shard_size
+    )
+
+
+def _oracle(task, rounds, chain):
+    subdivision = iterated_standard_chromatic_subdivision(task.input_complex, rounds)
+    compiled = compile_level(subdivision, task, vertex_order=chain)
+    return kernel_search(compiled, 10**7)
+
+
+class TestOracleDifferentials:
+    @pytest.mark.parametrize("case", range(len(ZOO)), ids=ZOO_IDS)
+    def test_sharded_matches_full_oracle(self, case):
+        factory, rounds = ZOO[case]
+        task = factory()
+        sharded = _sharded_for(task, rounds)
+        chain = sharded.vertex_chain(
+            sorted(task.input_complex.vertices, key=Vertex.sort_key)
+        )
+        oracle_map, oracle_stats = _oracle(task, rounds, chain)
+        for backend in ("int", "numpy"):
+            mapping, report, extras = probe_level_sharded(
+                task,
+                rounds,
+                options=SearchOptions(mask_backend=backend),
+                shard_size=7,
+            )
+            assert extras["backend"] == backend
+            assert (mapping is None) == (oracle_map is None), backend
+            if oracle_map is not None:
+                assert mapping == oracle_map, backend
+
+    @pytest.mark.parametrize("case", range(len(ZOO)), ids=ZOO_IDS)
+    def test_collapse_off_matches_oracle_too(self, case):
+        factory, rounds = ZOO[case]
+        task = factory()
+        sharded = _sharded_for(task, rounds)
+        chain = sharded.vertex_chain(
+            sorted(task.input_complex.vertices, key=Vertex.sort_key)
+        )
+        oracle_map, _ = _oracle(task, rounds, chain)
+        mapping, _, extras = probe_level_sharded(
+            task, rounds, options=SearchOptions(mask_backend="int"),
+            shard_size=7, collapse=False,
+        )
+        assert (mapping is None) == (oracle_map is None)
+        if oracle_map is not None:
+            assert mapping == oracle_map
+        assert extras["collapse"].dropped_faces == 0
+
+    def test_collapse_off_face_count_matches_full_compile(self):
+        # With collapse off, the packed compile must see exactly as many
+        # constraints as the object-graph compile sees simplices of dim >= 1.
+        task = identity_task(4)
+        rounds = 1
+        sharded = _sharded_for(task, rounds)
+        chain = sharded.vertex_chain(
+            sorted(task.input_complex.vertices, key=Vertex.sort_key)
+        )
+        compiled, report = compile_level_packed(
+            sharded, task, task.input_complex, collapse=False, vertex_chain=chain
+        )
+        subdivision = iterated_standard_chromatic_subdivision(
+            task.input_complex, rounds
+        )
+        oracle = compile_level(subdivision, task, vertex_order=chain)
+        assert len(compiled.con_vars) == len(oracle.con_vars)
+        assert sorted(map(sorted, compiled.con_vars)) == sorted(
+            map(sorted, oracle.con_vars)
+        )
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("case", range(len(ZOO)), ids=ZOO_IDS)
+    @pytest.mark.parametrize("collapse", [True, False], ids=["core", "full"])
+    def test_full_stats_equality(self, case, collapse):
+        factory, rounds = ZOO[case]
+        task = factory()
+        sharded = _sharded_for(task, rounds)
+        base = task.input_complex
+        ci, ri = compile_level_packed(sharded, task, base, collapse=collapse)
+        ca, ra = compile_arrays(sharded, task, base, collapse=collapse)
+        assert (ri.kept_faces, ri.dropped_faces) == (ra.kept_faces, ra.dropped_faces)
+        assert ci.neighbors == ca.neighbors
+        mi, si = kernel_search(ci, 10**7)
+        ma, sa = array_search(ca, 10**7)
+        assert (mi is None) == (ma is None)
+        if mi is not None:
+            assert mi == ma
+        assert (si.nodes, si.conflicts, si.backjumps, si.nogoods, si.exhausted) == (
+            sa.nodes, sa.conflicts, sa.backjumps, sa.nogoods, sa.exhausted,
+        )
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            {"arc_consistency": False},
+            {"forward_checking": False},
+            {"adjacency_order": False},
+            {"arc_consistency": False, "forward_checking": False},
+        ],
+        ids=["no-ac", "no-fc", "no-adj", "no-ac-no-fc"],
+    )
+    def test_ablations_agree_too(self, flags):
+        task = set_consensus_task(3, 2)
+        sharded = _sharded_for(task, 1)
+        ci, _ = compile_level_packed(sharded, task, task.input_complex)
+        ca, _ = compile_arrays(sharded, task, task.input_complex)
+        mi, si = kernel_search(ci, 10**7, **flags)
+        ma, sa = array_search(ca, 10**7, **flags)
+        assert (mi is None) == (ma is None)
+        assert (si.nodes, si.conflicts, si.backjumps, si.nogoods) == (
+            sa.nodes, sa.conflicts, sa.backjumps, sa.nogoods,
+        )
+
+    def test_node_budget_aborts_identically(self):
+        task = set_consensus_task(3, 2)
+        sharded = _sharded_for(task, 1)
+        ci, _ = compile_level_packed(sharded, task, task.input_complex)
+        ca, _ = compile_arrays(sharded, task, task.input_complex)
+        mi, si = kernel_search(ci, 50)
+        ma, sa = array_search(ca, 50)
+        assert mi is None and ma is None
+        assert si.exhausted is False and sa.exhausted is False
+        assert si.nodes == sa.nodes
+
+
+class TestShardSizeInvariance:
+    @settings(max_examples=15, deadline=None)
+    @given(shard_size=st.integers(min_value=1, max_value=500))
+    def test_identity_verdict_and_map_invariant(self, shard_size):
+        task = identity_task(3)
+        mapping, report, extras = probe_level_sharded(
+            task, 2, options=SearchOptions(mask_backend="int"), shard_size=shard_size
+        )
+        reference, ref_report, _ = probe_level_sharded(
+            task, 2, options=SearchOptions(mask_backend="int"), shard_size=10**6
+        )
+        assert (mapping is None) == (reference is None)
+        assert mapping == reference
+        assert report.nodes_explored == ref_report.nodes_explored
+
+    @settings(max_examples=10, deadline=None)
+    @given(shard_size=st.integers(min_value=1, max_value=300))
+    def test_unsat_stays_unsat(self, shard_size):
+        mapping, report, _ = probe_level_sharded(
+            binary_consensus_task(3),
+            1,
+            options=SearchOptions(mask_backend="int"),
+            shard_size=shard_size,
+        )
+        assert mapping is None
+        assert report.exhausted
+
+
+class TestBackendDispatch:
+    def test_auto_prefers_numpy(self):
+        _, _, extras = probe_level_sharded(
+            identity_task(2), 1, options=SearchOptions(mask_backend="auto")
+        )
+        assert extras["backend"] == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            probe_level_sharded(
+                identity_task(2), 1, options=SearchOptions(mask_backend="rust")
+            )
+
+    def test_wide_candidate_domains_fall_back(self):
+        # 81 candidate outputs per vertex exceed the 64-bit domain word:
+        # numpy must refuse, auto must fall back to int.
+        task = approximate_agreement_task(2, 81)
+        sharded = _sharded_for(task, 1)
+        with pytest.raises(UnsupportedByArrayKernel):
+            compile_arrays(sharded, task, task.input_complex)
+        mapping, _, extras = probe_level_sharded(
+            task, 1, options=SearchOptions(mask_backend="auto")
+        )
+        assert extras["backend"] == "int"
+        reference, _, _ = probe_level_sharded(
+            task, 1, options=SearchOptions(mask_backend="int")
+        )
+        assert mapping == reference
+        with pytest.raises(UnsupportedByArrayKernel):
+            probe_level_sharded(
+                task, 1, options=SearchOptions(mask_backend="numpy")
+            )

@@ -162,7 +162,7 @@ class TestCache:
         monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path))
         assert main(["cache", "info"]) == 0
         out = capsys.readouterr().out
-        assert "enabled" in out and "entries  : 0" in out
+        assert "enabled" in out and "entries    : 0" in out
 
         assert main(["cache", "warm", "--n", "2", "--b", "2"]) == 0
         assert "built (169 tops" in capsys.readouterr().out
@@ -170,9 +170,9 @@ class TestCache:
         assert "hit (169 tops" in capsys.readouterr().out
 
         assert main(["cache", "info"]) == 0
-        assert "entries  : 1" in capsys.readouterr().out
+        assert "entries    : 1" in capsys.readouterr().out
         assert main(["cache", "clear"]) == 0
-        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert "removed 1 cache file" in capsys.readouterr().out
 
     def test_disabled_cache(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_SDS_CACHE_DIR", "")
