@@ -3,7 +3,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke examples zoo all
+.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke service-smoke examples zoo all
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,9 +28,12 @@ test:
 # hold >= 3x over the int kernel on the (n=3, b=3) identity probe, and the
 # in-RAM pipeline must genuinely OOM under the RSS ceiling the sharded
 # pipeline clears (a ratio and a bit — both stable on noisy machines).
+# The svc floors are the service's acceptance: a warm server must sustain
+# >= 500 zoo-scale queries/second closed-loop and answer >= 90% of the load
+# run from its caches (E18).
 bench:
 	$(PYTHON) benchmarks/run_bench.py --output BENCH_LOCAL.json --label local
-	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR4.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR7.json \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
 		--min-speedup e5k.solve.n3_b2_cap.speedup_vs_naive=5 \
 		--min-speedup mc.explore.emu_p3k1.reduction_vs_naive=5 \
@@ -38,7 +41,9 @@ bench:
 		--min-speedup e2.build.cold.n3_b2.speedup_vs_pr4=3 \
 		--min-speedup e2.build.cold.cache_hit.n3_b2.speedup_vs_cold=2 \
 		--min-speedup e17.kernel.n3_b3.numpy_speedup_vs_int=3 \
-		--min-speedup e17.pipeline.inram.n3_b3.oom_under_cap=1
+		--min-speedup e17.pipeline.inram.n3_b3.oom_under_cap=1 \
+		--min-speedup svc.load.closed.queries_per_sec=500 \
+		--min-speedup svc.load.cache_hit_rate=0.9
 
 # CI-sized benchmark: cheap rows only, compare-only (no committed JSON is
 # rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row,
@@ -48,7 +53,7 @@ bench:
 # speedup floors are exact gates regardless.
 bench-smoke:
 	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_SMOKE.json --label smoke
-	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR4.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR7.json \
 		--allow-missing --threshold 1.0 \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
 		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
@@ -79,6 +84,14 @@ mc-smoke:
 		--save-replay MC_CEX.json
 	PYTHONPATH=src $(PYTHON) -m repro mc --replay MC_CEX.json
 	rm -f MC_CEX.json
+
+# Solvability-service smoke: `repro serve` with a real worker pool, 50
+# zoo-mix queries through the `repro query` CLI (separate client processes),
+# all answered with a nonzero cache hit rate, then a clean SIGTERM shutdown
+# (exit 0, socket unlinked).  The throughput floors live in `bench`; this
+# target proves the user-facing path works at all, cheaply enough for CI.
+service-smoke:
+	$(PYTHON) benchmarks/service_smoke.py
 
 # The full pytest-benchmark experiment suite (E1..E13).
 bench-pytest:

@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""Load generator for the solvability service (``repro serve``).
+
+Two classic load models over the ``repro-svc-v1`` wire protocol:
+
+* **closed loop** — N client connections, each firing its next query the
+  moment the previous reply lands.  Measures sustainable throughput
+  (queries/second) and in-service latency with zero think time; this is
+  the row the 500 q/s acceptance floor gates.
+* **open loop** — queries dispatched on a fixed arrival schedule
+  regardless of completions, the way independent clients actually arrive.
+  Latency is measured from the *scheduled* send time, so queueing delay
+  (and coordinated omission) is charged to the service, not hidden.
+
+Both loops replay the zoo-scale mix (:func:`repro.service.registry.zoo_mix`)
+— the same eleven queries ``repro zoo`` answers — so a steady-state run
+exercises the result cache exactly as a real probe stream would: heavy
+repetition, several tasks per substrate.
+
+Standalone:
+
+    python benchmarks/bench_service.py --duration 3 --clients 4
+
+``run_bench.py`` imports the helpers instead and commits the rows to
+``BENCH_*.json``; ``benchmarks/service_smoke.py`` reuses the server
+harness for the CI smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import ServiceClient, zoo_mix  # noqa: E402
+from repro.service.state import percentile  # noqa: E402
+
+
+# -- server harness ---------------------------------------------------------
+
+
+class ServerHarness:
+    """A ``repro serve`` subprocess bound to a Unix socket.
+
+    Context manager: starts the server, waits for the socket, and tears it
+    down (graceful ``shutdown`` op, then SIGTERM, then SIGKILL) on exit.
+    The subprocess inherits the environment, so ``REPRO_SDS_CACHE_DIR``
+    pinning by the caller carries through to the pool workers.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        workers: int = 2,
+        warm: str | None = None,
+        max_pending: int = 256,
+        trace_out: str | None = None,
+        extra_args: list[str] | None = None,
+        startup_timeout: float = 120.0,
+    ):
+        self.socket_path = socket_path
+        self.startup_timeout = startup_timeout
+        self.argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--socket",
+            socket_path,
+            "--workers",
+            str(workers),
+            "--max-pending",
+            str(max_pending),
+        ]
+        if warm is not None:
+            self.argv += ["--warm", warm]
+        if trace_out is not None:
+            self.argv += ["--trace-out", trace_out]
+        self.argv += extra_args or []
+        self.proc: subprocess.Popen | None = None
+
+    def start(self) -> "ServerHarness":
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            self.argv,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + self.startup_timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                out = self.proc.stdout.read() if self.proc.stdout else ""
+                raise RuntimeError(
+                    f"server exited during startup (code {self.proc.returncode}):"
+                    f" {out.strip()[-800:]}"
+                )
+            if os.path.exists(self.socket_path):
+                try:
+                    with self.connect(timeout=5.0) as client:
+                        if client.ping():
+                            return self
+                except Exception:
+                    pass  # socket bound but not accepting yet
+            time.sleep(0.05)
+        self.stop()
+        raise RuntimeError(
+            f"server did not come up within {self.startup_timeout}s"
+        )
+
+    def connect(self, timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient(socket_path=self.socket_path, timeout=timeout)
+
+    def stats(self) -> dict:
+        with self.connect() as client:
+            return client.stats()
+
+    def stop(self, timeout: float = 30.0) -> int | None:
+        if self.proc is None:
+            return None
+        if self.proc.poll() is None:
+            try:
+                with self.connect(timeout=5.0) as client:
+                    client.shutdown()
+            except Exception:
+                self.proc.terminate()
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+        return self.proc.returncode
+
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+# -- load loops -------------------------------------------------------------
+
+
+@dataclass
+class LoadResult:
+    """One load run's client-side view."""
+
+    model: str
+    queries: int = 0
+    ok: int = 0
+    overloaded: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)  # seconds, ok only
+
+    @property
+    def queries_per_sec(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.ok / self.elapsed_seconds
+
+    def latency(self, q: float) -> float:
+        return percentile(self.latencies, q)
+
+    def row(self) -> dict:
+        return {
+            "model": self.model,
+            "queries": self.queries,
+            "ok": self.ok,
+            "overloaded": self.overloaded,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "queries_per_sec": round(self.queries_per_sec, 1),
+            "p50_ms": round(self.latency(0.50) * 1e3, 4),
+            "p95_ms": round(self.latency(0.95) * 1e3, 4),
+            "p99_ms": round(self.latency(0.99) * 1e3, 4),
+        }
+
+
+def _record(result: LoadResult, lock: threading.Lock, reply: dict, dt: float):
+    with lock:
+        result.queries += 1
+        status = reply.get("status")
+        if status == "ok":
+            result.ok += 1
+            result.latencies.append(dt)
+        elif status == "overloaded":
+            result.overloaded += 1
+        else:
+            result.errors += 1
+
+
+def cold_sweep(harness: ServerHarness, requests: list[dict]) -> tuple[float, list]:
+    """One serial pass over the mix on a fresh server: every query a miss.
+
+    This is the first-hit cost the always-warm service exists to amortize —
+    reported as a ``.cold.`` row, never slowdown-gated.
+    """
+    replies = []
+    with harness.connect() as client:
+        t0 = time.perf_counter()
+        for request in requests:
+            replies.append(client.request(dict(request)))
+        elapsed = time.perf_counter() - t0
+    return elapsed, replies
+
+
+def run_closed_loop(
+    harness: ServerHarness,
+    requests: list[dict],
+    *,
+    clients: int = 4,
+    duration: float = 3.0,
+) -> LoadResult:
+    """N connections, zero think time, for ``duration`` seconds."""
+    result = LoadResult(model="closed")
+    lock = threading.Lock()
+    stop_at = [0.0]
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(offset: int) -> None:
+        with harness.connect() as client:
+            mix = itertools.islice(itertools.cycle(requests), offset, None)
+            barrier.wait()
+            while time.perf_counter() < stop_at[0]:
+                request = dict(next(mix))
+                t0 = time.perf_counter()
+                reply = client.request(request)
+                _record(result, lock, reply, time.perf_counter() - t0)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    stop_at[0] = t0 + duration
+    for thread in threads:
+        thread.join()
+    result.elapsed_seconds = time.perf_counter() - t0
+    return result
+
+
+def run_open_loop(
+    harness: ServerHarness,
+    requests: list[dict],
+    *,
+    rate: float = 200.0,
+    duration: float = 3.0,
+    max_outstanding: int = 64,
+) -> LoadResult:
+    """Fixed arrival rate; latency charged from the scheduled send time.
+
+    Each arrival is served on its own worker thread (bounded by
+    ``max_outstanding`` — beyond that the arrival is counted overloaded
+    client-side, mirroring what admission control would do to it).
+    """
+    result = LoadResult(model="open")
+    lock = threading.Lock()
+    total = int(rate * duration)
+    interval = 1.0 / rate
+    mix = itertools.cycle(requests)
+    outstanding = threading.Semaphore(max_outstanding)
+    threads: list[threading.Thread] = []
+
+    def one(request: dict, scheduled: float) -> None:
+        try:
+            with harness.connect() as client:
+                reply = client.request(request)
+            _record(result, lock, reply, time.perf_counter() - scheduled)
+        except Exception:
+            with lock:
+                result.queries += 1
+                result.errors += 1
+        finally:
+            outstanding.release()
+
+    t0 = time.perf_counter()
+    for i in range(total):
+        scheduled = t0 + i * interval
+        now = time.perf_counter()
+        if scheduled > now:
+            time.sleep(scheduled - now)
+        if not outstanding.acquire(blocking=False):
+            with lock:
+                result.queries += 1
+                result.overloaded += 1
+            continue
+        thread = threading.Thread(
+            target=one, args=(dict(next(mix)), scheduled), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    result.elapsed_seconds = time.perf_counter() - t0
+    return result
+
+
+# -- standalone entry -------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--socket", default=None, help="existing service socket")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--rate", type=float, default=200.0, help="open-loop q/s")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args()
+
+    requests = zoo_mix()
+    rows: dict[str, dict] = {}
+
+    def drive(harness: ServerHarness) -> None:
+        cold_secs, replies = cold_sweep(harness, requests)
+        bad = [r for r in replies if r.get("status") != "ok"]
+        if bad:
+            raise SystemExit(f"cold sweep failed: {bad[0]}")
+        rows["cold_sweep"] = {
+            "seconds": round(cold_secs, 6), "queries": len(requests)
+        }
+        closed = run_closed_loop(
+            harness, requests, clients=args.clients, duration=args.duration
+        )
+        rows["closed"] = closed.row()
+        open_ = run_open_loop(
+            harness, requests, rate=args.rate, duration=args.duration
+        )
+        rows["open"] = open_.row()
+        stats = harness.stats()
+        rows["server"] = {
+            "cache_hit_rate": stats["cache_hit_rate"],
+            "queries": stats["queries"],
+            "queue_depth_peak": stats["queue_depth_peak"],
+        }
+
+    if args.socket:
+        harness = ServerHarness(args.socket)  # external server: no start/stop
+        drive(harness)
+    else:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+            with ServerHarness(
+                os.path.join(tmp, "svc.sock"), workers=args.workers
+            ) as harness:
+                drive(harness)
+
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        for name, row in rows.items():
+            print(f"{name}: {row}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

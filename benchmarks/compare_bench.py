@@ -9,10 +9,16 @@ nodes) drifted at all:
     python benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR1.json
 
 The stored file's ``tracked`` list defines the gated keys; ``*.seconds``
-entries are lower-is-better, ``*.nodes_per_sec`` / ``*.schedules_per_sec``
-higher-is-better, and ``*.tops`` / ``*.nodes`` / ``*.schedules`` (exhaustive
-enumeration sizes) must match exactly.  ``*.cold.*`` timings are
-informational only (single-shot, jittery) and never gated.
+entries are lower-is-better, ``*.nodes_per_sec`` / ``*.schedules_per_sec`` /
+``*.queries_per_sec`` higher-is-better, and ``*.tops`` / ``*.nodes`` /
+``*.schedules`` (exhaustive enumeration sizes) must match exactly.
+``*.cold.*`` timings are informational only (single-shot, jittery) and
+never gated.
+
+Tracked keys the *candidate* introduces that the baseline has never
+measured are reported as ``new (ungated)`` — informational, never a
+failure and never a crash: a PR that adds benchmark rows gates them the
+PR after, when its own trajectory file becomes the baseline.
 
 ``--min-speedup KEY=FACTOR`` (repeatable) additionally asserts that the
 *current* document's metric ``KEY`` is at least ``FACTOR`` — the acceptance
@@ -38,6 +44,8 @@ def load(path: str) -> dict:
         raise SystemExit(f"{path}: not valid JSON ({exc})")
     if document.get("schema") != "repro-bench-v1":
         raise SystemExit(f"{path}: not a repro-bench-v1 document")
+    if not isinstance(document.get("metrics"), dict):
+        raise SystemExit(f"{path}: document has no metrics table")
     return document
 
 
@@ -103,10 +111,12 @@ def main() -> int:
                     f"SLOWER   {key}: {old:.6f}s -> {new:.6f}s "
                     f"(+{(new / old - 1) * 100:.0f}%, limit +{args.threshold * 100:.0f}%)"
                 )
-        elif key.endswith((".nodes_per_sec", ".schedules_per_sec")):
+        elif key.endswith(
+            (".nodes_per_sec", ".schedules_per_sec", ".queries_per_sec")
+        ):
             if old > 0 and new < old * (1 - args.threshold):
                 failures.append(
-                    f"SLOWER   {key}: {old:.0f} -> {new:.0f} nodes/s "
+                    f"SLOWER   {key}: {old:.0f} -> {new:.0f} per sec "
                     f"(-{(1 - new / old) * 100:.0f}%, limit -{args.threshold * 100:.0f}%)"
                 )
 
@@ -125,8 +135,27 @@ def main() -> int:
         compared += 1
         if value is None:
             failures.append(f"MISSING  {key}: required >= {factor}, not measured")
+        elif not isinstance(value, (int, float)):
+            failures.append(
+                f"BAD-TYPE {key}: required >= {factor}, "
+                f"got non-numeric {value!r}"
+            )
         elif value < factor:
             failures.append(f"TOO-SLOW {key}: {value} < required {factor}")
+
+    # Rows the candidate introduces (tracked there, never measured in the
+    # baseline) are future gates, not current ones — name them so a reviewer
+    # sees exactly which metrics ride ungated through this comparison.
+    gated = set(tracked) | set(stored_metrics)
+    introduced = [
+        key for key in current.get("tracked", []) if key not in gated
+    ]
+    if introduced:
+        print(f"new (ungated) vs {args.against}: {len(introduced)} metrics")
+        for key in introduced:
+            value = current_metrics.get(key)
+            rendered = "not measured" if value is None else repr(value)
+            print(f"  NEW      {key}: {rendered} (gates once baselined)")
 
     if failures:
         print(f"benchmark regression vs {args.against}:")

@@ -10,9 +10,12 @@ writing code:
 * ``mc``       — model-check a scenario: reduced exhaustive exploration,
   crash injection, counterexample minimization and replay;
 * ``trace``    — run a traced workload sweep (emulation, SDS build, kernel
-  solve, small model-checking run) and export ``repro-obs-v1`` JSONL;
+  solve, small model-checking run) and export ``repro-obs-v1`` JSONL; with
+  ``--from``/``--query-id``, cut one service query's spans out of an export;
 * ``stats``    — validate a capture file and render its spans/counters;
-* ``cache``    — inspect, clear or warm the persistent ``SDS^b`` build cache.
+* ``cache``    — inspect, clear or warm the persistent ``SDS^b`` build cache;
+* ``serve``    — run the always-warm solvability service (``repro-svc-v1``);
+* ``query``    — query a running service (solve/ping/stats/shutdown).
 """
 
 from __future__ import annotations
@@ -322,7 +325,168 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.service import ServiceConfig, SolvabilityService
+
+    warm_levels = []
+    if args.warm:
+        for pair in args.warm.split(","):
+            n, _, b = pair.partition(":")
+            try:
+                warm_levels.append((int(n), int(b)))
+            except ValueError:
+                print(f"--warm expects n:b pairs, got {pair!r}", file=sys.stderr)
+                return 2
+    socket_path = args.socket
+    if socket_path is None and args.port is None:
+        socket_path = "repro-svc.sock"
+    try:
+        config = ServiceConfig(
+            socket_path=socket_path,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            default_deadline_ms=args.deadline_ms,
+            max_results=args.max_results,
+            substrate_bytes_budget=args.cache_max_bytes,
+            warm_levels=tuple(warm_levels) if warm_levels else
+            ServiceConfig.__dataclass_fields__["warm_levels"].default,
+            trace_out=args.trace_out,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def serve() -> None:
+        service = SolvabilityService(config)
+        await service.start()
+        listening = []
+        if service.endpoints.socket_path is not None:
+            listening.append(f"unix:{service.endpoints.socket_path}")
+        if service.endpoints.tcp is not None:
+            host, port = service.endpoints.tcp
+            listening.append(f"tcp:{host}:{port}")
+        mode = f"{config.workers} workers" if config.workers else "in-process"
+        print(
+            f"repro-svc-v1 serving on {', '.join(listening)} ({mode})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, service._stop_event.set)
+        try:
+            await service.serve_until_stopped()
+        finally:
+            await service.stop()
+            snapshot = service.state.stats.snapshot()
+            print(
+                f"served {snapshot['queries']} queries "
+                f"(hit rate {snapshot['cache_hit_rate']:.2f}, "
+                f"p95 {snapshot['latency_ms']['p95']:.2f}ms); bye",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    if args.socket is None and args.port is None:
+        print("query needs --socket PATH or --port N", file=sys.stderr)
+        return 2
+    ops_chosen = sum(bool(flag) for flag in (args.ping, args.stats, args.shutdown))
+    if ops_chosen > 1 or (ops_chosen == 0 and args.task is None):
+        print(
+            "give a task spec (e.g. `repro query set_consensus 3 2`) or exactly "
+            "one of --ping/--stats/--shutdown",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        client = ServiceClient(
+            socket_path=args.socket, host=args.host, port=args.port,
+            timeout=args.timeout,
+        )
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        if args.ping:
+            ok = client.ping()
+            print("pong" if ok else "no pong")
+            return 0 if ok else 1
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            ok = client.shutdown()
+            print("server stopping" if ok else "server refused")
+            return 0 if ok else 1
+        reply = client.solve(
+            args.task,
+            args.args,
+            min_rounds=args.min_rounds,
+            max_rounds=args.max_rounds,
+            node_budget=args.node_budget,
+            deadline_ms=args.deadline_ms,
+            shards=args.shards,
+        )
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0 if reply.get("status") == "ok" else 1
+    status = reply.get("status")
+    spec = f"{args.task}({', '.join(map(str, args.args))})"
+    if status == "ok":
+        rounds = reply.get("rounds")
+        detail = f" at b = {rounds}" if rounds is not None else ""
+        print(
+            f"{spec}: {reply['verdict']}{detail} "
+            f"[cache {reply['cache']}, {reply['elapsed_ms']}ms, "
+            f"trace {reply['query_id']}]"
+        )
+        for level in reply.get("levels", []):
+            outcome = "SAT" if level["satisfiable"] else (
+                "UNSAT" if level["exhausted"] else "budget-stopped"
+            )
+            print(
+                f"  level {level['rounds']}: {outcome}, "
+                f"{level['nodes']} nodes, {level['vertices']} vertices, "
+                f"{level['elapsed_ms']}ms"
+            )
+        return 0
+    if status == "overloaded":
+        print(f"{spec}: overloaded ({reply.get('reason')}) "
+              f"[trace {reply.get('query_id')}]")
+        return 1
+    print(f"{spec}: error: {reply.get('error')}", file=sys.stderr)
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.query_id and not args.from_file:
+        print("--query-id needs --from CAPTURE.jsonl (a service trace export)",
+              file=sys.stderr)
+        return 2
+    if args.from_file:
+        return _trace_filter(args)
     from repro.core.emulation import EmulationHarness
     from repro.core.solvability import SearchOptions, solve_task
     from repro.mc import CrashBudget, EmulationScenario, ExploreOptions, explore
@@ -379,6 +543,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"traced {label}: {spans} spans, {series} metric series"
           f"{f', {len(cap.profiler.records)} profiles' if args.profile else ''}")
     print(f"  wrote {args.out} (render with: repro stats {args.out})")
+    return 0
+
+
+def _trace_filter(args: argparse.Namespace) -> int:
+    """``repro trace --from capture.jsonl --query-id q-000042``: cut one
+    service query's spans out of a ``repro-obs-v1`` export."""
+    import json
+
+    from repro.obs.export import (
+        SchemaError,
+        load_capture_jsonl,
+        spans_for_query,
+    )
+
+    try:
+        with open(args.from_file) as handle:
+            document = load_capture_jsonl(handle.read())
+    except OSError as exc:
+        print(f"cannot read {args.from_file}: {exc}", file=sys.stderr)
+        return 2
+    except SchemaError as exc:
+        print(f"malformed capture: {exc}", file=sys.stderr)
+        return 2
+    if args.query_id:
+        spans = spans_for_query(document, args.query_id)
+        if not spans:
+            print(f"no spans tagged query_id={args.query_id!r} in "
+                  f"{args.from_file}", file=sys.stderr)
+            return 1
+    else:
+        spans = document.spans
+    lines = [json.dumps(document.meta, sort_keys=True)]
+    lines += [json.dumps(span, sort_keys=True) for span in spans]
+    payload = "\n".join(lines) + "\n"
+    if args.out == "-" or args.out == "trace.jsonl":
+        # Filter mode defaults to stdout: the natural pipe target is jq/stats.
+        sys.stdout.write(payload)
+        return 0
+    with open(args.out, "w") as handle:
+        handle.write(payload)
+    print(f"wrote {len(spans)} span(s) to {args.out}")
     return 0
 
 
@@ -580,6 +785,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--crashes", type=int, default=1, help="MC crash-injection budget"
     )
+    trace.add_argument(
+        "--from",
+        dest="from_file",
+        default=None,
+        metavar="CAPTURE",
+        help="filter an existing repro-obs-v1 export instead of tracing",
+    )
+    trace.add_argument(
+        "--query-id",
+        default=None,
+        help="with --from: keep only this service query's spans (q-NNNNNN)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     stats = sub.add_parser(
@@ -603,6 +820,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: evict least-recently-used entries/shard sets above this total",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-warm solvability service (repro-svc-v1)"
+    )
+    serve.add_argument("--socket", help="Unix socket path (default repro-svc.sock)")
+    serve.add_argument("--host", default=None, help="TCP bind host (with --port)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="probe worker processes (0 = in-process threads)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission bound: uncached queries in flight")
+    serve.add_argument("--deadline-ms", type=float, default=30_000.0,
+                       help="default per-query deadline")
+    serve.add_argument("--max-results", type=int, default=4096,
+                       help="verdict LRU cache entries")
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="byte budget for the persistent SDS cache (LRU-pruned while serving)",
+    )
+    serve.add_argument(
+        "--warm", default=None, metavar="N:B,N:B",
+        help="SDS^b(s^n) levels each worker primes at startup "
+             "(default 1:1,1:2,2:1,2:2)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="serve inside an obs capture, export repro-obs-v1 JSONL here on exit",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="query a running solvability service"
+    )
+    query.add_argument("task", nargs="?", help="task spec name (see repro.service)")
+    query.add_argument("args", nargs="*", type=int, help="task spec arguments")
+    query.add_argument("--socket", help="service Unix socket path")
+    query.add_argument("--host", default=None)
+    query.add_argument("--port", type=int, default=None)
+    query.add_argument("--min-rounds", type=int, default=0)
+    query.add_argument("--max-rounds", type=int, default=1)
+    query.add_argument("--node-budget", type=int, default=None)
+    query.add_argument("--deadline-ms", type=float, default=None)
+    query.add_argument("--shards", type=int, default=None,
+                       help="root-domain split of a single-level probe")
+    query.add_argument("--timeout", type=float, default=60.0,
+                       help="client-side transport timeout (seconds)")
+    query.add_argument("--json", action="store_true", help="print the raw reply")
+    query.add_argument("--ping", action="store_true")
+    query.add_argument("--stats", action="store_true")
+    query.add_argument("--shutdown", action="store_true")
+    query.set_defaults(func=_cmd_query)
 
     return parser
 

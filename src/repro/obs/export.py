@@ -172,6 +172,33 @@ def _series_label(metric: dict[str, Any]) -> str:
     return f"{metric['name']}{{{rendered}}}"
 
 
+def spans_for_query(document: CaptureDocument, query_id: str) -> list[dict[str, Any]]:
+    """The spans of one service query: tagged roots plus their descendants.
+
+    A serving capture (``repro serve --trace-out``) tags each query's
+    ``svc.query`` span with ``attrs.query_id``; child spans (kernel compile,
+    search, SDS build when serving in-process) carry only parent ids.  This
+    selects the tagged spans and everything recorded beneath them, in the
+    original completion order — the slice ``repro trace --query-id`` prints.
+    """
+    selected: set[int] = {
+        span["span_id"]
+        for span in document.spans
+        if span.get("attrs", {}).get("query_id") == query_id
+    }
+    # Children finish before parents (completion order), so resolve
+    # descendants by repeated passes until the selection stops growing.
+    grew = True
+    while grew:
+        grew = False
+        for span in document.spans:
+            parent = span.get("parent_id")
+            if parent in selected and span["span_id"] not in selected:
+                selected.add(span["span_id"])
+                grew = True
+    return [span for span in document.spans if span["span_id"] in selected]
+
+
 def load_capture_jsonl(text: str) -> CaptureDocument:
     """Parse and validate a JSONL capture; raises :class:`SchemaError`."""
     document = CaptureDocument()

@@ -1,0 +1,69 @@
+"""The always-warm solvability service (DESIGN.md §3.7).
+
+PRs 1–6 made one solvability check fast; this package serves the check as
+long-running infrastructure.  A :class:`SolvabilityService` listens on a
+Unix socket and/or TCP port, speaks the newline-delimited JSON protocol
+``repro-svc-v1`` (:mod:`repro.service.protocol`), and answers task/level
+solvability queries from an always-warm state:
+
+* **shared substrate** — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  worker pool primed with the orbit engine's packed tables
+  (:func:`repro.topology.orbits.prime_packed_tables`) and sharing one
+  persistent packed ``SDS^b`` store (:mod:`repro.topology.sds_cache`), so
+  every worker's probe of a level hits the same on-disk packed build the
+  first probe stored (fork-shared page cache, one build per ``(n, b)``);
+* **batching scheduler** (:mod:`repro.service.scheduler`) — identical
+  in-flight queries coalesce onto one shared future, concurrent queries of
+  the same ``(n, b)`` level coalesce onto one substrate warm pass, and a
+  single expensive level can be sharded across the pool with
+  :func:`repro.core.csp_kernel.root_domain_chunks` (deterministic
+  first-found preserved);
+* **backpressure** — a bounded admission count and per-query deadlines;
+  queries past either bound receive a graceful ``overloaded`` reply while
+  the underlying computation (if already admitted) still completes and
+  populates the cache;
+* **observability** — cache-hit-rate, queue-depth and latency-percentile
+  gauges through the PR 4 obs layer, plus an always-on lightweight
+  :class:`~repro.service.state.ServiceStats` served by the ``stats`` op;
+  every reply carries the ``repro-obs-v1`` trace id of its query span.
+
+Entry points: ``repro serve`` / ``repro query`` (:mod:`repro.cli`), the
+:class:`~repro.service.client.ServiceClient` helper, and
+``benchmarks/bench_service.py`` for load generation.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_line,
+    encode_record,
+    validate_request,
+)
+from repro.service.registry import (
+    canonical_spec,
+    resolve_task,
+    task_registry,
+    zoo_mix,
+)
+from repro.service.scheduler import BatchingScheduler
+from repro.service.server import ServiceConfig, SolvabilityService
+from repro.service.state import ServiceStats
+
+__all__ = [
+    "PROTOCOL",
+    "BatchingScheduler",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "SolvabilityService",
+    "canonical_spec",
+    "decode_line",
+    "encode_record",
+    "resolve_task",
+    "task_registry",
+    "validate_request",
+    "zoo_mix",
+]

@@ -1,0 +1,120 @@
+"""A small synchronous client for ``repro-svc-v1`` servers.
+
+Used by ``repro query``, the load benchmark and the smoke test.  One
+:class:`ServiceClient` is one connection; requests are answered in order,
+so the client is just "write a frame, read a frame" over a buffered socket.
+Synchronous on purpose — callers that want concurrency open more clients
+(that is also how the load generator models independent query sources).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.service.protocol import PROTOCOL, decode_line, encode_record
+
+
+class ServiceError(RuntimeError):
+    """The transport failed or the server broke protocol."""
+
+
+class ServiceClient:
+    """One connection to a solvability service (Unix socket or TCP)."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float = 60.0,
+    ):
+        if (socket_path is None) == (port is None):
+            raise ValueError("give exactly one of socket_path or host/port")
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket_path)
+            else:
+                self._sock = socket.create_connection(
+                    (host or "127.0.0.1", port), timeout=timeout
+                )
+        except OSError as exc:
+            raise ServiceError(f"cannot connect to service: {exc}") from None
+        self._file = self._sock.makefile("rb")
+
+    # -- framing -----------------------------------------------------------
+
+    def request(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame, wait for its reply."""
+        record = {"v": PROTOCOL, **record}
+        try:
+            self._sock.sendall(encode_record(record))
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(f"transport failed: {exc}") from None
+        if not line:
+            raise ServiceError("server closed the connection")
+        return decode_line(line)
+
+    # -- conveniences ------------------------------------------------------
+
+    def solve(
+        self,
+        name: str,
+        args: tuple[int, ...] | list[int],
+        *,
+        min_rounds: int = 0,
+        max_rounds: int = 1,
+        node_budget: int | None = None,
+        deadline_ms: float | None = None,
+        shards: int | None = None,
+        options: dict[str, Any] | None = None,
+        id_: str | None = None,
+    ) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "op": "solve",
+            "task": {"name": name, "args": list(args)},
+            "min_rounds": min_rounds,
+            "max_rounds": max_rounds,
+        }
+        if node_budget is not None:
+            record["node_budget"] = node_budget
+        if deadline_ms is not None:
+            record["deadline_ms"] = deadline_ms
+        if shards is not None:
+            record["shards"] = shards
+        if options:
+            record["options"] = options
+        if id_ is not None:
+            record["id"] = id_
+        return self.request(record)
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("status") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        reply = self.request({"op": "stats"})
+        if reply.get("status") != "stats":
+            raise ServiceError(f"unexpected stats reply: {reply!r}")
+        return reply["stats"]
+
+    def shutdown(self) -> bool:
+        return self.request({"op": "shutdown"}).get("status") == "bye"
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,180 @@
+"""The wire protocol ``repro-svc-v1``: newline-delimited JSON frames.
+
+One request per line, one reply per line, always in order — the framing a
+load balancer, an inetd wrapper, or ``nc`` can speak without a schema
+compiler.  Every frame is a JSON object whose ``"v"`` field names the
+protocol revision; unknown revisions are rejected up front so a future
+``v2`` can change semantics without silently mis-answering old clients.
+
+Request ops
+-----------
+
+``solve``
+    The workhorse: probe levels ``min_rounds .. max_rounds`` of a named
+    task for a decision map.  Fields::
+
+        {"v": "repro-svc-v1", "op": "solve",
+         "task": {"name": "set_consensus", "args": [3, 2]},
+         "min_rounds": 0, "max_rounds": 1,          # optional (0, 1)
+         "node_budget": 2000000,                     # optional
+         "deadline_ms": 5000,                        # optional, server default
+         "shards": 1,                                # optional root-domain split
+         "options": {"kernel": true},                # optional SearchOptions
+         "id": "client-tag"}                         # optional, echoed back
+
+``ping`` / ``stats`` / ``shutdown``
+    Liveness, the server's :class:`~repro.service.state.ServiceStats`
+    snapshot, and a graceful stop (equivalent to SIGTERM).
+
+Replies
+-------
+
+Every reply echoes ``id`` (when given) and carries ``query_id`` — the
+``repro-obs-v1`` trace id attached to the query's ``svc.query`` span, so a
+slow query can be pulled out of a service trace export with
+``repro trace --from capture.jsonl --query-id <id>``.  ``status`` is one of
+``ok``, ``overloaded`` (admission control or deadline), ``error`` (bad
+request or internal failure), ``pong``, ``stats``, ``bye``.  A ``solve``
+``ok`` reply carries the verdict::
+
+    {"v": "repro-svc-v1", "status": "ok", "query_id": "q-000017",
+     "verdict": "solvable", "rounds": 1, "cache": "miss",
+     "levels": [{"rounds": 1, "satisfiable": true, "nodes": 42, ...}],
+     "elapsed_ms": 3.2}
+
+``cache`` reports how the answer was produced: ``hit`` (result cache),
+``coalesced`` (joined an identical in-flight query), or ``miss`` (this
+query triggered the compute).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+PROTOCOL = "repro-svc-v1"
+
+#: Ops a client may send; anything else is a protocol error.
+REQUEST_OPS = ("solve", "ping", "stats", "shutdown")
+
+#: Reply statuses a server may send.
+REPLY_STATUSES = ("ok", "overloaded", "error", "pong", "stats", "bye")
+
+#: ``SearchOptions`` fields a request may override, with their types.
+_OPTION_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "arc_consistency": bool,
+    "forward_checking": bool,
+    "adjacency_order": bool,
+    "kernel": bool,
+    "mask_backend": str,
+}
+
+_MAX_LINE_BYTES = 1 << 20  # a request line past 1 MiB is garbage, not a query
+
+
+class ProtocolError(ValueError):
+    """A frame that does not conform to ``repro-svc-v1``."""
+
+
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One frame: compact JSON + newline, ready for a stream write."""
+    return (json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on any malformation."""
+    if isinstance(line, bytes):
+        if len(line) > _MAX_LINE_BYTES:
+            raise ProtocolError(f"frame exceeds {_MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8 ({exc})") from None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON ({exc})") from None
+    if not isinstance(record, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return record
+
+
+def _require_int(record: dict, field: str, default: int, minimum: int) -> int:
+    value = record.get(field, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{field} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ProtocolError(f"{field} must be >= {minimum}, got {value}")
+    return value
+
+
+def validate_request(record: dict[str, Any]) -> dict[str, Any]:
+    """Check one request frame; returns it normalized (defaults filled in).
+
+    Validation is strict on the fields the server will act on and tolerant
+    of extras (a newer client may send fields this revision ignores).
+    """
+    version = record.get("v")
+    if version != PROTOCOL:
+        raise ProtocolError(f"unknown protocol revision {version!r} (want {PROTOCOL!r})")
+    op = record.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown op {op!r} (one of {', '.join(REQUEST_OPS)})")
+    normalized: dict[str, Any] = {"v": PROTOCOL, "op": op}
+    if "id" in record:
+        if not isinstance(record["id"], str):
+            raise ProtocolError("id must be a string")
+        normalized["id"] = record["id"]
+    if op != "solve":
+        return normalized
+
+    task = record.get("task")
+    if not isinstance(task, dict) or not isinstance(task.get("name"), str):
+        raise ProtocolError('solve requires task = {"name": str, "args": [int, ...]}')
+    args = task.get("args", [])
+    if not isinstance(args, list) or any(
+        isinstance(a, bool) or not isinstance(a, int) for a in args
+    ):
+        raise ProtocolError("task.args must be a list of integers")
+    normalized["task"] = {"name": task["name"], "args": list(args)}
+
+    min_rounds = _require_int(record, "min_rounds", 0, 0)
+    max_rounds = _require_int(record, "max_rounds", max(min_rounds, 1), 0)
+    if max_rounds < min_rounds:
+        raise ProtocolError(
+            f"max_rounds ({max_rounds}) must be >= min_rounds ({min_rounds})"
+        )
+    normalized["min_rounds"] = min_rounds
+    normalized["max_rounds"] = max_rounds
+    normalized["node_budget"] = _require_int(record, "node_budget", 2_000_000, 1)
+    normalized["shards"] = _require_int(record, "shards", 1, 1)
+    deadline = record.get("deadline_ms")
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise ProtocolError(f"deadline_ms must be a number, got {deadline!r}")
+        normalized["deadline_ms"] = float(deadline)
+
+    options = record.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("options must be an object")
+    for key, value in options.items():
+        expected = _OPTION_FIELDS.get(key)
+        if expected is None:
+            raise ProtocolError(f"unknown search option {key!r}")
+        if not isinstance(value, expected):
+            raise ProtocolError(f"option {key!r} must be {expected}, got {value!r}")
+    if options.get("mask_backend") not in (None, "int", "numpy", "auto"):
+        raise ProtocolError(
+            f"option mask_backend must be int|numpy|auto, got {options['mask_backend']!r}"
+        )
+    normalized["options"] = dict(options)
+    return normalized
+
+
+def error_reply(message: str, *, id_: str | None = None) -> dict[str, Any]:
+    reply: dict[str, Any] = {"v": PROTOCOL, "status": "error", "error": message}
+    if id_ is not None:
+        reply["id"] = id_
+    return reply

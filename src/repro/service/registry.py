@@ -1,0 +1,217 @@
+"""Named task specs: the service's wire-level task vocabulary.
+
+Queries arrive over a socket, so tasks are named, not pickled: a spec is
+``(name, args)`` with integer args, resolved to a :class:`~repro.core.task.Task`
+*inside the process that needs it* — the server for validation, each pool
+worker for the actual probe.  Resolving in the worker (instead of shipping
+the task object) keeps request frames tiny and lets the worker's own
+interned vertex/simplex tables back the task's complexes, which is what
+makes the fork-shared substrate cache effective.
+
+Specs are canonicalized (:func:`canonical_spec`) so structurally identical
+queries — however the client spelled them — share one cache key, one
+in-flight future, and one compile pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.task import Task
+
+# Resolution is deliberately bounded: the registry exists to serve queries,
+# not to let one malformed frame commission an SDS^b build that never ends.
+_MAX_PROCESSES = 5
+_MAX_GRAPH_LENGTH = 32
+_MAX_RESOLUTION = 729
+
+
+class _Spec:
+    """One registry entry: factory, arity check, and argument bounds."""
+
+    __slots__ = ("name", "factory", "arity", "check")
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[..., Task],
+        arity: tuple[int, ...],
+        check: Callable[[tuple[int, ...]], str | None],
+    ):
+        self.name = name
+        self.factory = factory
+        self.arity = arity
+        self.check = check
+
+
+def _processes_ok(args: tuple[int, ...]) -> str | None:
+    if not 1 <= args[0] <= _MAX_PROCESSES:
+        return f"processes must be in 1..{_MAX_PROCESSES}"
+    return None
+
+
+def _set_consensus_ok(args: tuple[int, ...]) -> str | None:
+    n, k = args
+    if not 2 <= n <= _MAX_PROCESSES:
+        return f"processes must be in 2..{_MAX_PROCESSES}"
+    if not 1 <= k <= n:
+        return f"k must be in 1..{n}"
+    return None
+
+
+def _approx_ok(args: tuple[int, ...]) -> str | None:
+    n, resolution = args
+    if not 2 <= n <= _MAX_PROCESSES:
+        return f"processes must be in 2..{_MAX_PROCESSES}"
+    if not 2 <= resolution <= _MAX_RESOLUTION:
+        return f"resolution must be in 2..{_MAX_RESOLUTION}"
+    return None
+
+
+def _graph_ok(args: tuple[int, ...]) -> str | None:
+    if not 2 <= args[0] <= _MAX_GRAPH_LENGTH:
+        return f"graph length must be in 2..{_MAX_GRAPH_LENGTH}"
+    return None
+
+
+def _make_identity(n: int) -> Task:
+    from repro.tasks import identity_task
+
+    return identity_task(n)
+
+
+def _make_constant(n: int) -> Task:
+    from repro.tasks import constant_task
+
+    return constant_task(n)
+
+
+def _make_consensus(n: int) -> Task:
+    from repro.tasks import binary_consensus_task
+
+    return binary_consensus_task(n)
+
+
+def _make_set_consensus(n: int, k: int) -> Task:
+    from repro.tasks import set_consensus_task
+
+    return set_consensus_task(n, k)
+
+
+def _make_approximate_agreement(n: int, resolution: int) -> Task:
+    from repro.tasks import approximate_agreement_task
+
+    return approximate_agreement_task(n, resolution)
+
+
+def _make_participating_set(n: int) -> Task:
+    from repro.tasks import participating_set_task
+
+    return participating_set_task(n)
+
+
+def _make_graph_path(length: int) -> Task:
+    from repro.tasks import graph_agreement_task
+    from repro.tasks.graph_agreement import path_graph
+
+    return graph_agreement_task(path_graph(length))
+
+
+def _make_graph_cycle(length: int) -> Task:
+    from repro.tasks import graph_agreement_task
+    from repro.tasks.graph_agreement import cycle_graph
+
+    return graph_agreement_task(cycle_graph(length))
+
+
+_REGISTRY: dict[str, _Spec] = {
+    spec.name: spec
+    for spec in (
+        _Spec("identity", _make_identity, (1,), _processes_ok),
+        _Spec("constant", _make_constant, (1,), _processes_ok),
+        _Spec("consensus", _make_consensus, (1,), _processes_ok),
+        _Spec("set_consensus", _make_set_consensus, (2,), _set_consensus_ok),
+        _Spec(
+            "approximate_agreement",
+            _make_approximate_agreement,
+            (2,),
+            _approx_ok,
+        ),
+        _Spec("participating_set", _make_participating_set, (1,), _processes_ok),
+        _Spec("graph_path", _make_graph_path, (1,), _graph_ok),
+        _Spec("graph_cycle", _make_graph_cycle, (1,), _graph_ok),
+    )
+}
+
+
+def task_registry() -> tuple[str, ...]:
+    """The spec names this revision of the service understands."""
+    return tuple(sorted(_REGISTRY))
+
+
+def canonical_spec(task: dict[str, Any]) -> tuple[str, tuple[int, ...]]:
+    """Validate a request's task object into the canonical ``(name, args)``.
+
+    Raises :class:`~repro.service.protocol.ProtocolError` — the caller turns
+    it into an ``error`` reply — on unknown names, wrong arity, or
+    out-of-bounds arguments.
+    """
+    from repro.service.protocol import ProtocolError
+
+    name = task.get("name")
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ProtocolError(
+            f"unknown task {name!r} (one of {', '.join(task_registry())})"
+        )
+    args = tuple(task.get("args", ()))
+    if len(args) not in spec.arity:
+        raise ProtocolError(
+            f"task {name!r} takes {' or '.join(map(str, spec.arity))} "
+            f"argument(s), got {len(args)}"
+        )
+    problem = spec.check(args)
+    if problem is not None:
+        raise ProtocolError(f"task {name!r}: {problem}")
+    return name, args
+
+
+def resolve_task(name: str, args: tuple[int, ...]) -> Task:
+    """Build the task for a canonical spec (worker-side entry point)."""
+    from repro.service.protocol import ProtocolError
+
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ProtocolError(f"unknown task {name!r}")
+    return spec.factory(*args)
+
+
+def zoo_mix() -> list[dict[str, Any]]:
+    """The zoo-scale query mix: the E5 table as service requests.
+
+    Mirrors ``repro zoo`` — the workload the load benchmark and the smoke
+    test drive, heavy on shared-substrate repetition the way a real probe
+    stream (affine-task sweeps, model comparisons) is.
+    """
+    mix = [
+        ("identity", (2,), 1),
+        ("constant", (3,), 1),
+        ("consensus", (2,), 2),
+        ("set_consensus", (3, 2), 1),
+        ("set_consensus", (3, 3), 1),
+        ("approximate_agreement", (2, 3), 2),
+        ("approximate_agreement", (2, 9), 2),
+        ("approximate_agreement", (3, 2), 1),
+        ("participating_set", (3,), 1),
+        ("graph_path", (3,), 1),
+        ("graph_cycle", (5,), 1),
+    ]
+    return [
+        {
+            "v": "repro-svc-v1",
+            "op": "solve",
+            "task": {"name": name, "args": list(args)},
+            "max_rounds": max_rounds,
+        }
+        for name, args, max_rounds in mix
+    ]

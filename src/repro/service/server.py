@@ -1,0 +1,313 @@
+"""The asyncio server: sockets in, ``repro-svc-v1`` frames out.
+
+One :class:`SolvabilityService` owns the worker pool, the
+:class:`~repro.service.scheduler.BatchingScheduler`, and the listening
+endpoints (a Unix socket, a TCP port, or both).  Connections are handled
+concurrently; *within* a connection requests are answered strictly in
+arrival order, so a pipelining client can match replies positionally (or
+tag frames with ``id``).
+
+Every query gets a server-assigned ``query_id`` (``q-000001``, …) that is
+both returned in the reply and attached to the query's ``svc.query`` span —
+with ``--trace-out`` the whole serving run executes inside an observability
+capture whose JSONL export lands on shutdown, and
+``repro trace --from <file> --query-id q-000001`` cuts one query's spans
+out of it.
+
+Shutdown is graceful from every direction — SIGTERM/SIGINT (via
+:meth:`SolvabilityService.run`), the ``shutdown`` op, or cancelling
+:meth:`serve_until_stopped`: stop accepting, drain in-flight drivers
+(bounded by ``drain_timeout``), flush the trace export, tear down the pool,
+unlink the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import OBS as _OBS
+from repro.obs import span as _obs_span
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_line,
+    encode_record,
+    error_reply,
+    validate_request,
+)
+from repro.service.scheduler import BatchingScheduler, Overloaded
+from repro.service.state import ServiceState
+from repro.service.worker import warm_service_worker
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Everything ``repro serve`` can turn into a knob."""
+
+    socket_path: str | None = None
+    host: str | None = None
+    port: int | None = None
+    workers: int = 2  # 0 = in-process thread executor (tests, tiny hosts)
+    max_pending: int = 64
+    default_deadline_ms: float = 30_000.0
+    max_results: int = 4096
+    substrate_bytes_budget: int | None = None
+    #: ``SDS^b(s^n)`` levels each pool worker primes at startup.
+    warm_levels: tuple[tuple[int, int], ...] = ((1, 1), (1, 2), (2, 1), (2, 2))
+    trace_out: str | None = None
+    trace_label: str = "service"
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and self.port is None:
+            raise ValueError("ServiceConfig needs a socket_path and/or a port")
+
+
+@dataclass(slots=True)
+class _Endpoints:
+    socket_path: str | None = None
+    tcp: tuple[str, int] | None = None
+    servers: list[asyncio.AbstractServer] = field(default_factory=list)
+
+
+class SolvabilityService:
+    """The long-running process behind ``repro serve``."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.state = ServiceState(
+            max_results=config.max_results,
+            substrate_bytes_budget=config.substrate_bytes_budget,
+        )
+        self.scheduler: BatchingScheduler | None = None
+        self.endpoints = _Endpoints()
+        self._executor = None
+        self._stop_event: asyncio.Event | None = None
+        self._capture_cm = None
+        self._capture = None
+        self._next_query_id = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind endpoints, spin up the pool, open the trace capture."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._stop_event = asyncio.Event()
+        if self.config.trace_out is not None and not _OBS.enabled:
+            from repro.obs import capture
+
+            self._capture_cm = capture()
+            self._capture = self._capture_cm.__enter__()
+
+        if self.config.workers > 0:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                initializer=warm_service_worker,
+                initargs=(self.config.warm_levels,),
+            )
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            # In-process serving: warm once here, share everything directly.
+            warm_service_worker(self.config.warm_levels)
+            self._executor = ThreadPoolExecutor(max_workers=4)
+        self.scheduler = BatchingScheduler(
+            self.state,
+            self._executor,
+            max_pending=self.config.max_pending,
+            default_deadline_ms=self.config.default_deadline_ms,
+        )
+
+        if self.config.socket_path is not None:
+            path = self.config.socket_path
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            server = await asyncio.start_unix_server(self._handle_connection, path)
+            self.endpoints.servers.append(server)
+            self.endpoints.socket_path = path
+        if self.config.port is not None:
+            host = self.config.host or "127.0.0.1"
+            server = await asyncio.start_server(
+                self._handle_connection, host, self.config.port
+            )
+            self.endpoints.servers.append(server)
+            bound = server.sockets[0].getsockname()
+            self.endpoints.tcp = (bound[0], bound[1])
+
+    async def stop(self) -> None:
+        """Graceful teardown; safe to call more than once."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+        for server in self.endpoints.servers:
+            server.close()
+        for server in self.endpoints.servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        self.endpoints.servers.clear()
+        if self.scheduler is not None:
+            await self.scheduler.drain(timeout=self.config.drain_timeout)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self.endpoints.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.endpoints.socket_path)
+            self.endpoints.socket_path = None
+        if self._capture_cm is not None:
+            # Flush the percentile/hit-rate gauges into the capture, then
+            # export it; the capture context must close before the write so
+            # the JSONL reflects the final metric values.
+            self.state.stats.snapshot()
+            capture, cm = self._capture, self._capture_cm
+            self._capture = self._capture_cm = None
+            cm.__exit__(None, None, None)
+            from repro.obs.export import capture_to_jsonl
+
+            with open(self.config.trace_out, "w") as handle:
+                handle.write(capture_to_jsonl(capture, label=self.config.trace_label))
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` (or the ``shutdown`` op) is requested."""
+        assert self._stop_event is not None, "call start() first"
+        await self._stop_event.wait()
+
+    async def run(self) -> None:
+        """``repro serve``'s body: start, install signal handlers, serve."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, self._stop_event.set)
+        try:
+            await self.serve_until_stopped()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.remove_signal_handler(signum)
+            await self.stop()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self.handle_line(line)
+                writer.write(encode_record(reply))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if reply.get("status") == "bye":
+                    break
+        finally:
+            # CancelledError included: connection tasks are cancelled when
+            # the server object closes during shutdown, and an unawaited
+            # cancellation here would only produce event-loop log noise.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def handle_line(self, line: bytes | str) -> dict[str, Any]:
+        """Decode, validate and dispatch one frame; never raises."""
+        try:
+            record = validate_request(decode_line(line))
+        except ProtocolError as exc:
+            self.state.stats.failed()
+            return error_reply(str(exc))
+        return await self.handle_request(record)
+
+    async def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one validated request (also the in-process test surface)."""
+        op = request["op"]
+        reply: dict[str, Any] = {"v": PROTOCOL}
+        if "id" in request:
+            reply["id"] = request["id"]
+        if op == "ping":
+            reply["status"] = "pong"
+            return reply
+        if op == "stats":
+            reply["status"] = "stats"
+            reply["stats"] = self.stats_snapshot()
+            return reply
+        if op == "shutdown":
+            reply["status"] = "bye"
+            if self._stop_event is not None:
+                self._stop_event.set()
+            return reply
+        return await self._handle_solve(request, reply)
+
+    async def _handle_solve(
+        self, request: dict[str, Any], reply: dict[str, Any]
+    ) -> dict[str, Any]:
+        self._next_query_id += 1
+        query_id = f"q-{self._next_query_id:06d}"
+        reply["query_id"] = query_id
+        started = time.perf_counter()
+        span = _obs_span(
+            "svc.query",
+            query_id=query_id,
+            task=request["task"]["name"],
+            args=list(request["task"]["args"]),
+            max_rounds=request["max_rounds"],
+        )
+        with span:
+            try:
+                summary, cache = await self.scheduler.solve(request)
+            except Overloaded as exc:
+                self.state.stats.rejected(exc.reason)
+                span.set(outcome="overloaded", reason=exc.reason)
+                reply["status"] = "overloaded"
+                reply["reason"] = exc.reason
+                return reply
+            except ProtocolError as exc:
+                self.state.stats.failed()
+                span.set(outcome="error")
+                reply["status"] = "error"
+                reply["error"] = str(exc)
+                return reply
+            except Exception as exc:  # noqa: BLE001 - a reply, not a crash
+                self.state.stats.failed()
+                span.set(outcome="error")
+                reply["status"] = "error"
+                reply["error"] = f"internal: {type(exc).__name__}: {exc}"
+                return reply
+            elapsed = time.perf_counter() - started
+            self.state.stats.served(cache, elapsed)
+            span.set(outcome="ok", cache=cache, verdict=summary["verdict"])
+        reply["status"] = "ok"
+        reply["cache"] = cache
+        reply["elapsed_ms"] = round(elapsed * 1e3, 3)
+        reply.update(summary)
+        return reply
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        snapshot = self.state.stats.snapshot()
+        snapshot["result_cache_entries"] = len(self.state.results)
+        snapshot["inflight"] = len(self.scheduler._inflight) if self.scheduler else 0
+        snapshot["workers"] = self.config.workers
+        snapshot["max_pending"] = self.config.max_pending
+        return snapshot
+
+
+__all__ = ["ServiceConfig", "SolvabilityService"]

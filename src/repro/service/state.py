@@ -1,0 +1,214 @@
+"""Warm state the service answers from: result cache, stats, eviction.
+
+Three layers, fastest first:
+
+1. :class:`ResultCache` — an LRU of finished verdicts keyed by the
+   canonical query key.  Solvability is a pure function of the query, so a
+   hit is a correct answer at dict-lookup cost; this is what carries the
+   sustained-throughput number on zoo-scale mixes.
+2. the in-flight table (owned by the scheduler) — identical queries racing
+   the first one coalesce onto its future instead of recomputing.
+3. the persistent packed-``SDS^b`` store (:mod:`repro.topology.sds_cache`)
+   — shared by every pool worker; the expensive substrate is built once per
+   ``(n, b)`` and mmap-loaded afterwards.  :meth:`ServiceState.maybe_prune`
+   keeps it under the configured byte budget by delegating to
+   :func:`repro.topology.sds_cache.prune` (LRU by mtime).
+
+:class:`ServiceStats` is the always-on accounting — counters, a queue-depth
+high-water mark, and a bounded latency reservoir that yields p50/p95/p99 on
+demand.  When an observability capture is open the same figures are
+mirrored into the PR 4 metrics registry (``svc.*`` series) so a traced
+serving run exports them alongside the engine's spans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any
+
+from repro.obs import OBS as _OBS
+
+#: How many recent per-query latencies back the percentile gauges.  Bounded
+#: so a week-long serving process cannot grow without limit; 4096 samples
+#: put the p99 estimate within a fraction of a percent for steady traffic.
+LATENCY_RESERVOIR = 4096
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in 0..100)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class ServiceStats:
+    """Always-on serving counters; cheap enough to update per query."""
+
+    __slots__ = (
+        "queries",
+        "hits",
+        "coalesced",
+        "misses",
+        "overloaded",
+        "errors",
+        "queue_depth",
+        "queue_depth_peak",
+        "latencies",
+        "probe_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.hits = 0
+        self.coalesced = 0
+        self.misses = 0
+        self.overloaded = 0
+        self.errors = 0
+        self.queue_depth = 0
+        self.queue_depth_peak = 0
+        self.latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self.probe_seconds = 0.0
+
+    # -- per-event updates -------------------------------------------------
+
+    def enter(self) -> None:
+        self.queue_depth += 1
+        if self.queue_depth > self.queue_depth_peak:
+            self.queue_depth_peak = self.queue_depth
+        if _OBS.enabled:
+            _OBS.metrics.gauge("svc.queue.depth_peak").max(self.queue_depth)
+
+    def leave(self) -> None:
+        self.queue_depth -= 1
+
+    def served(self, cache: str, latency_seconds: float) -> None:
+        """Record one answered solve query (``cache`` = hit|coalesced|miss)."""
+        self.queries += 1
+        if cache == "hit":
+            self.hits += 1
+        elif cache == "coalesced":
+            self.coalesced += 1
+        else:
+            self.misses += 1
+        self.latencies.append(latency_seconds)
+        if _OBS.enabled:
+            _OBS.metrics.counter("svc.queries", outcome="ok").inc()
+            _OBS.metrics.counter("svc.cache", outcome=cache).inc()
+            _OBS.metrics.histogram("svc.latency.seconds").observe(latency_seconds)
+
+    def rejected(self, reason: str) -> None:
+        """Record one ``overloaded`` reply (``reason`` = queue-full|deadline)."""
+        self.queries += 1
+        self.overloaded += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("svc.queries", outcome="overloaded").inc()
+            _OBS.metrics.counter("svc.overloaded", reason=reason).inc()
+
+    def failed(self) -> None:
+        self.queries += 1
+        self.errors += 1
+        if _OBS.enabled:
+            _OBS.metrics.counter("svc.queries", outcome="error").inc()
+
+    # -- snapshots ---------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of answered queries served without a fresh compute."""
+        answered = self.hits + self.coalesced + self.misses
+        return (self.hits + self.coalesced) / answered if answered else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``stats`` op's payload; also mirrors percentile gauges to obs."""
+        samples = list(self.latencies)
+        p50 = percentile(samples, 50)
+        p95 = percentile(samples, 95)
+        p99 = percentile(samples, 99)
+        if _OBS.enabled:
+            _OBS.metrics.gauge("svc.latency.p50_ms").set(round(p50 * 1e3, 4))
+            _OBS.metrics.gauge("svc.latency.p95_ms").set(round(p95 * 1e3, 4))
+            _OBS.metrics.gauge("svc.latency.p99_ms").set(round(p99 * 1e3, 4))
+            _OBS.metrics.gauge("svc.cache.hit_rate").set(round(self.cache_hit_rate, 4))
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "coalesced": self.coalesced,
+            "misses": self.misses,
+            "overloaded": self.overloaded,
+            "errors": self.errors,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+            "latency_ms": {
+                "p50": round(p50 * 1e3, 4),
+                "p95": round(p95 * 1e3, 4),
+                "p99": round(p99 * 1e3, 4),
+                "samples": len(samples),
+            },
+            "probe_seconds": round(self.probe_seconds, 6),
+        }
+
+
+class ResultCache:
+    """LRU verdict cache keyed by the canonical query key."""
+
+    __slots__ = ("_entries", "max_entries")
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("ResultCache needs max_entries >= 1")
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self.max_entries = max_entries
+
+    def get(self, key: tuple) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, value: dict) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class ServiceState:
+    """Everything warm the server owns besides the worker pool itself."""
+
+    __slots__ = ("results", "stats", "substrate_bytes_budget", "_prune_countdown")
+
+    #: Queries between substrate-budget sweeps; pruning stats the whole cache
+    #: directory, so doing it per-query would dominate cheap cache hits.
+    PRUNE_EVERY = 256
+
+    def __init__(
+        self,
+        *,
+        max_results: int = 4096,
+        substrate_bytes_budget: int | None = None,
+    ):
+        self.results = ResultCache(max_results)
+        self.stats = ServiceStats()
+        self.substrate_bytes_budget = substrate_bytes_budget
+        self._prune_countdown = self.PRUNE_EVERY
+
+    def maybe_prune(self) -> dict | None:
+        """Every ``PRUNE_EVERY`` calls, squeeze the packed store to budget."""
+        if self.substrate_bytes_budget is None:
+            return None
+        self._prune_countdown -= 1
+        if self._prune_countdown > 0:
+            return None
+        self._prune_countdown = self.PRUNE_EVERY
+        from repro.topology import sds_cache
+
+        return sds_cache.prune(self.substrate_bytes_budget)

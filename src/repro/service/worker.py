@@ -1,0 +1,179 @@
+"""Pool-side entry points: what the service ships to its worker processes.
+
+Everything here is a module-level function of plain ints/strings/dicts —
+the only things that cross the process boundary.  Tasks are rebuilt from
+their registry spec inside the worker (:func:`repro.service.registry.resolve_task`),
+so a request frame never pickles a complex; the worker's probe then hits
+the persistent packed-``SDS^b`` store that the first builder populated,
+which is the fork-shared substrate the service's throughput rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.solvability import (
+    LevelReport,
+    SearchOptions,
+    _probe_level,
+    solve_task,
+)
+from repro.service.registry import resolve_task
+
+
+def warm_service_worker(warm_levels: tuple[tuple[int, int], ...] = ()) -> None:
+    """Pool initializer: orbit tables + the configured ``SDS^b(s^n)`` levels.
+
+    :func:`prime_packed_tables` is pure-integer and per-process;
+    :func:`sds_cache.warm` is a disk hit for every worker after the first
+    (or after ``repro cache warm``), so initialization cost is one packed
+    build per ``(n, b)`` *across the whole pool*, not per worker.
+    """
+    from repro.topology import sds_cache
+    from repro.topology.orbits import prime_packed_tables
+
+    prime_packed_tables()
+    for n, rounds in warm_levels:
+        if rounds >= 1:
+            sds_cache.warm(n, rounds)
+
+
+def report_dict(report: LevelReport) -> dict[str, Any]:
+    return {
+        "rounds": report.rounds,
+        "satisfiable": report.satisfiable,
+        "nodes": report.nodes_explored,
+        "vertices": report.vertices,
+        "exhausted": report.exhausted,
+        "elapsed_ms": round(report.elapsed_seconds * 1e3, 3),
+        "conflicts": report.conflicts,
+        "backjumps": report.backjumps,
+    }
+
+
+def substrate_key(name: str, args: tuple[int, ...], rounds: int) -> str:
+    """The persistent-cache structure key of a spec's level substrate.
+
+    Two specs whose input complexes are structurally identical (e.g.
+    ``set_consensus(3, 2)`` and ``set_consensus(3, 3)``) map to the same
+    key, so the scheduler coalesces their substrate warm passes as well.
+    """
+    from repro.topology.compact import CompactComplex
+    from repro.topology.sds_cache import structure_key
+
+    frozen = CompactComplex.freeze(resolve_task(name, args).input_complex)
+    return structure_key(tuple(frozen.colors), tuple(frozen.tops()), rounds)
+
+
+def warm_substrate(name: str, args: tuple[int, ...], rounds: int) -> bool:
+    """Build (or disk-hit) ``SDS^rounds`` of a spec's input complex.
+
+    Runs in a worker so the event loop never blocks on a build; the packed
+    result lands in the shared persistent store, turning every subsequent
+    probe of the same ``(base, rounds)`` — from any worker — into a load.
+    """
+    from repro.topology.standard_chromatic import (
+        iterated_standard_chromatic_subdivision,
+    )
+
+    task = resolve_task(name, args)
+    iterated_standard_chromatic_subdivision(task.input_complex, rounds)
+    return True
+
+
+def service_probe(
+    name: str,
+    args: tuple[int, ...],
+    min_rounds: int,
+    max_rounds: int,
+    node_budget: int,
+    options: dict[str, Any],
+) -> dict[str, Any]:
+    """One full solvability query, worker-side; returns a plain-dict verdict."""
+    task = resolve_task(name, args)
+    result = solve_task(
+        task,
+        max_rounds,
+        min_rounds=min_rounds,
+        node_budget=node_budget,
+        options=SearchOptions(**options),
+    )
+    return {
+        "task": task.name,
+        "verdict": result.status.value,
+        "rounds": result.rounds,
+        "levels": [report_dict(level) for level in result.levels],
+    }
+
+
+def service_probe_chunk(
+    name: str,
+    args: tuple[int, ...],
+    rounds: int,
+    node_budget: int,
+    options: dict[str, Any],
+    chunk: int,
+    n_chunks: int,
+) -> dict[str, Any]:
+    """One root-domain chunk of a single-level probe (the sharded path)."""
+    task = resolve_task(name, args)
+    mapping, report, _subdivision = _probe_level(
+        task,
+        rounds,
+        node_budget,
+        SearchOptions(**options),
+        root_slice=(chunk, n_chunks),
+    )
+    record = report_dict(report)
+    record["satisfiable"] = mapping is not None
+    return record
+
+
+def combine_chunk_reports(
+    task_name: str, rounds: int, chunks: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Merge chunk verdicts in value order into one solve-shaped summary.
+
+    Mirrors :func:`repro.core.solvability._probe_level_parallel_split`:
+    chunks cover the root domain disjointly, so scanning them in chunk
+    (= value) order preserves the serial search's first-found verdict; a
+    budget-stopped chunk before the first satisfiable one degrades the
+    level to ``unknown``, never to a wrong answer.
+    """
+    satisfiable = False
+    exhausted = True
+    nodes = conflicts = backjumps = 0
+    elapsed_ms = 0.0
+    for chunk in chunks:
+        nodes += chunk["nodes"]
+        conflicts += chunk["conflicts"]
+        backjumps += chunk["backjumps"]
+        elapsed_ms = max(elapsed_ms, chunk["elapsed_ms"])
+        if not satisfiable:
+            if chunk["satisfiable"]:
+                satisfiable = True
+            elif not chunk["exhausted"]:
+                exhausted = False
+    level = {
+        "rounds": rounds,
+        "satisfiable": satisfiable,
+        "nodes": nodes,
+        "vertices": chunks[0]["vertices"] if chunks else 0,
+        "exhausted": True if satisfiable else exhausted,
+        "elapsed_ms": elapsed_ms,
+        "conflicts": conflicts,
+        "backjumps": backjumps,
+    }
+    if satisfiable:
+        verdict, rounds_out = "solvable", rounds
+    elif exhausted:
+        verdict, rounds_out = "unsolvable-up-to-bound", None
+    else:
+        verdict, rounds_out = "unknown", None
+    return {
+        "task": task_name,
+        "verdict": verdict,
+        "rounds": rounds_out,
+        "levels": [level],
+        "shards": len(chunks),
+    }

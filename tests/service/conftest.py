@@ -1,0 +1,66 @@
+"""Service-test configuration: pinned SDS cache, in-thread server harness.
+
+Every test in this package runs against a private persistent-cache
+directory (``REPRO_SDS_CACHE_DIR``) so warming a substrate in one test can
+neither wipe nor pre-warm another test's — or the developer's — cache.
+
+The server tests need a *running* asyncio service and a *blocking* client
+in the same process, so :func:`running_service` hosts the event loop on a
+daemon thread and hands the test the live :class:`SolvabilityService`;
+teardown stops the loop through the same graceful path SIGTERM takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro.service import ServiceConfig, SolvabilityService
+
+
+@pytest.fixture(autouse=True)
+def _private_sds_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path / "sds-cache"))
+
+
+@contextlib.contextmanager
+def running_service(config: ServiceConfig):
+    """Run a service on its own event-loop thread; yield it once started."""
+    box: dict = {}
+    started = threading.Event()
+
+    async def body() -> None:
+        service = SolvabilityService(config)
+        await service.start()
+        box["service"] = service
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+        try:
+            await service.serve_until_stopped()
+        finally:
+            await service.stop()
+
+    def runner() -> None:
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            box["crash"] = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(timeout=120), "service did not start"
+    if "crash" in box:
+        raise box["crash"]
+    try:
+        yield box["service"]
+    finally:
+        # RuntimeError: the loop is already closed when the test stopped the
+        # server itself (e.g. via the shutdown op) — nothing left to signal.
+        with contextlib.suppress(RuntimeError):
+            box["loop"].call_soon_threadsafe(box["service"]._stop_event.set)
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "service did not stop"

@@ -1,0 +1,221 @@
+"""Batching properties: one compile per burst, differential parity, deadlines.
+
+These run the service in-process (``workers=0``: the executor is a thread
+pool in this process) so the observability counters incremented inside
+probes are visible to the test — that is what lets the coalescing property
+be pinned to the ``svc.probe.executed`` counter rather than to timing.
+
+Each Hypothesis example builds a *fresh* service (empty result cache,
+empty in-flight table) inside ``asyncio.run``; requests go through
+``handle_request``, the same dispatch the socket layer uses.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvability import solve_task
+from repro.obs import capture
+from repro.service import ServiceConfig, SolvabilityService
+from repro.service.protocol import PROTOCOL, validate_request
+from repro.service.registry import resolve_task
+
+# Cheap zoo specs: small substrates, sub-second probes even on cold caches.
+SPECS = [
+    ("identity", (2,), 1),
+    ("consensus", (2,), 2),
+    ("set_consensus", (3, 2), 1),
+    ("approximate_agreement", (2, 3), 2),
+]
+
+spec_strategy = st.sampled_from(SPECS)
+
+
+def solve_frame(name, args, max_rounds, **extra) -> dict:
+    return validate_request(
+        {
+            "v": PROTOCOL,
+            "op": "solve",
+            "task": {"name": name, "args": list(args)},
+            "max_rounds": max_rounds,
+            **extra,
+        }
+    )
+
+
+def with_service(body, **overrides):
+    """Run ``await body(service)`` against a fresh in-process service."""
+    config_kwargs = dict(port=0, workers=0, warm_levels=())
+    config_kwargs.update(overrides)
+
+    async def main():
+        service = SolvabilityService(ServiceConfig(**config_kwargs))
+        await service.start()
+        try:
+            return await body(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+def counter_value(session, name: str) -> float:
+    total = 0.0
+    for series in session.metrics.series():
+        snapshot = series.snapshot()
+        if snapshot["kind"] == "counter" and snapshot["name"] == name:
+            total += snapshot["value"]
+    return total
+
+
+class TestCoalescing:
+    @settings(max_examples=8, deadline=None)
+    @given(spec=spec_strategy, burst=st.integers(min_value=2, max_value=6))
+    def test_identical_burst_costs_exactly_one_compile(self, spec, burst):
+        name, args, max_rounds = spec
+        request = solve_frame(name, args, max_rounds)
+
+        async def body(service):
+            return await asyncio.gather(
+                *(service.handle_request(dict(request)) for _ in range(burst))
+            )
+
+        with capture() as session:
+            replies = with_service(body)
+
+        assert all(reply["status"] == "ok" for reply in replies)
+        assert counter_value(session, "svc.probe.executed") == 1
+        cache_labels = sorted(reply["cache"] for reply in replies)
+        assert cache_labels.count("miss") == 1
+        assert cache_labels.count("coalesced") == burst - 1
+        verdicts = {reply["verdict"] for reply in replies}
+        assert len(verdicts) == 1
+
+    @settings(max_examples=4, deadline=None)
+    @given(spec=spec_strategy)
+    def test_repeat_after_burst_is_a_cache_hit(self, spec):
+        name, args, max_rounds = spec
+        request = solve_frame(name, args, max_rounds)
+
+        async def body(service):
+            first = await service.handle_request(dict(request))
+            second = await service.handle_request(dict(request))
+            return first, second
+
+        first, second = with_service(body)
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert second["verdict"] == first["verdict"]
+        assert second["levels"] == first["levels"]
+
+    def test_same_substrate_different_tasks_share_one_warm_pass(self):
+        # set_consensus(3, 2) and set_consensus(3, 3) live over the same
+        # base complex: concurrent queries must coalesce the SDS build even
+        # though the probes themselves differ.
+        left = solve_frame("set_consensus", (3, 2), 1)
+        right = solve_frame("set_consensus", (3, 3), 1)
+
+        async def body(service):
+            return await asyncio.gather(
+                service.handle_request(left), service.handle_request(right)
+            )
+
+        with capture() as session:
+            replies = with_service(body)
+
+        assert all(reply["status"] == "ok" for reply in replies)
+        assert counter_value(session, "svc.probe.executed") == 2
+        assert counter_value(session, "svc.substrate.warmed") == 1
+
+
+class TestDifferentialParity:
+    @settings(max_examples=6, deadline=None)
+    @given(spec=spec_strategy)
+    def test_service_reply_equals_direct_solve(self, spec):
+        name, args, max_rounds = spec
+        request = solve_frame(name, args, max_rounds)
+
+        async def body(service):
+            return await service.handle_request(dict(request))
+
+        reply = with_service(body)
+        direct = solve_task(resolve_task(name, args), max_rounds)
+
+        assert reply["status"] == "ok"
+        assert reply["verdict"] == direct.status.value
+        assert reply["rounds"] == direct.rounds
+        assert len(reply["levels"]) == len(direct.levels)
+        for level, report in zip(reply["levels"], direct.levels):
+            assert level["rounds"] == report.rounds
+            assert level["satisfiable"] == report.satisfiable
+            assert level["nodes"] == report.nodes_explored
+            assert level["vertices"] == report.vertices
+            assert level["exhausted"] == report.exhausted
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        spec=st.sampled_from(
+            [("approximate_agreement", (2, 9), 2), ("set_consensus", (3, 2), 1)]
+        ),
+        shards=st.integers(min_value=2, max_value=4),
+    )
+    def test_sharded_probe_agrees_with_serial(self, spec, shards):
+        name, args, rounds = spec
+        sharded_request = solve_frame(
+            name, args, rounds, min_rounds=rounds, shards=shards
+        )
+        serial_request = solve_frame(name, args, rounds, min_rounds=rounds)
+
+        async def body(service):
+            return (
+                await service.handle_request(dict(sharded_request)),
+                await service.handle_request(dict(serial_request)),
+            )
+
+        sharded, serial = with_service(body)
+        assert sharded["status"] == serial["status"] == "ok"
+        assert sharded["shards"] == shards
+        assert sharded["verdict"] == serial["verdict"]
+        assert sharded["rounds"] == serial["rounds"]
+        level_s, level_d = sharded["levels"][0], serial["levels"][0]
+        assert level_s["satisfiable"] == level_d["satisfiable"]
+        assert level_s["vertices"] == level_d["vertices"]
+
+
+class TestDeadlines:
+    @settings(max_examples=4, deadline=None)
+    @given(spec=spec_strategy)
+    def test_expired_deadline_declines_without_poisoning_cache(self, spec):
+        name, args, max_rounds = spec
+        expired = solve_frame(name, args, max_rounds, deadline_ms=0)
+        fresh = solve_frame(name, args, max_rounds)
+
+        async def body(service):
+            declined = await service.handle_request(dict(expired))
+            # The driver the declined query started keeps computing; once
+            # it lands, the identical query must be a *correct* cache hit.
+            await service.scheduler.drain(timeout=120)
+            answered = await service.handle_request(dict(fresh))
+            return declined, answered, service.stats_snapshot()
+
+        declined, answered, stats = with_service(body)
+        direct = solve_task(resolve_task(name, args), max_rounds)
+
+        assert declined["status"] == "overloaded"
+        assert declined["reason"] == "deadline"
+        assert answered["status"] == "ok"
+        assert answered["cache"] == "hit"
+        assert answered["verdict"] == direct.status.value
+        assert answered["rounds"] == direct.rounds
+        assert stats["overloaded"] == 1
+        assert stats["hits"] == 1
+
+    def test_generous_deadline_is_not_triggered(self):
+        request = solve_frame("identity", (2,), 1, deadline_ms=120_000)
+
+        async def body(service):
+            return await service.handle_request(dict(request))
+
+        reply = with_service(body)
+        assert reply["status"] == "ok"

@@ -1,0 +1,144 @@
+"""Wire protocol: framing, validation, normalization, strict rejection."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    decode_line,
+    encode_record,
+    error_reply,
+    validate_request,
+)
+
+
+def frame(**fields) -> dict:
+    return {"v": PROTOCOL, **fields}
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        record = frame(op="solve", task={"name": "consensus", "args": [2]})
+        encoded = encode_record(record)
+        assert encoded.endswith(b"\n")
+        assert b"\n" not in encoded[:-1]
+        assert decode_line(encoded) == record
+
+    def test_decode_accepts_str_and_bytes(self):
+        record = frame(op="ping")
+        assert decode_line(json.dumps(record)) == record
+        assert decode_line(json.dumps(record).encode()) == record
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_line(b"{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            decode_line(b"[1, 2]")
+
+    def test_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError, match="not UTF-8"):
+            decode_line(b"\xff\xfe{}")
+
+    def test_rejects_oversized_frame(self):
+        huge = json.dumps(frame(op="ping", pad="x" * (1 << 20))).encode()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_line(huge)
+
+
+class TestValidation:
+    def test_requires_protocol_revision(self):
+        with pytest.raises(ProtocolError, match="protocol revision"):
+            validate_request({"op": "ping"})
+        with pytest.raises(ProtocolError, match="protocol revision"):
+            validate_request({"v": "repro-svc-v0", "op": "ping"})
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request(frame(op="frobnicate"))
+
+    def test_solve_defaults_filled_in(self):
+        normalized = validate_request(
+            frame(op="solve", task={"name": "consensus", "args": [2]})
+        )
+        assert normalized["min_rounds"] == 0
+        assert normalized["max_rounds"] == 1
+        assert normalized["node_budget"] == 2_000_000
+        assert normalized["shards"] == 1
+        assert normalized["options"] == {}
+        assert "deadline_ms" not in normalized
+
+    def test_max_rounds_defaults_above_min(self):
+        normalized = validate_request(
+            frame(op="solve", task={"name": "consensus", "args": [2]},
+                  min_rounds=3)
+        )
+        assert normalized["max_rounds"] == 3
+
+    def test_rejects_inverted_round_window(self):
+        with pytest.raises(ProtocolError, match="max_rounds"):
+            validate_request(
+                frame(op="solve", task={"name": "consensus", "args": [2]},
+                      min_rounds=2, max_rounds=1)
+            )
+
+    def test_rejects_bool_masquerading_as_int(self):
+        with pytest.raises(ProtocolError, match="node_budget"):
+            validate_request(
+                frame(op="solve", task={"name": "consensus", "args": [2]},
+                      node_budget=True)
+            )
+
+    def test_rejects_malformed_task(self):
+        with pytest.raises(ProtocolError, match="task"):
+            validate_request(frame(op="solve", task="consensus"))
+        with pytest.raises(ProtocolError, match="list of integers"):
+            validate_request(
+                frame(op="solve", task={"name": "consensus", "args": ["2"]})
+            )
+
+    def test_deadline_normalized_to_float(self):
+        normalized = validate_request(
+            frame(op="solve", task={"name": "consensus", "args": [2]},
+                  deadline_ms=5)
+        )
+        assert normalized["deadline_ms"] == 5.0
+        with pytest.raises(ProtocolError, match="deadline_ms"):
+            validate_request(
+                frame(op="solve", task={"name": "consensus", "args": [2]},
+                      deadline_ms="soon")
+            )
+
+    def test_rejects_unknown_and_mistyped_options(self):
+        base = dict(op="solve", task={"name": "consensus", "args": [2]})
+        with pytest.raises(ProtocolError, match="unknown search option"):
+            validate_request(frame(**base, options={"turbo": True}))
+        with pytest.raises(ProtocolError, match="kernel"):
+            validate_request(frame(**base, options={"kernel": "yes"}))
+        with pytest.raises(ProtocolError, match="mask_backend"):
+            validate_request(frame(**base, options={"mask_backend": "gpu"}))
+
+    def test_id_echo_field_must_be_string(self):
+        normalized = validate_request(frame(op="ping", id="tag-7"))
+        assert normalized["id"] == "tag-7"
+        with pytest.raises(ProtocolError, match="id"):
+            validate_request(frame(op="ping", id=7))
+
+    def test_tolerates_unknown_extra_fields(self):
+        normalized = validate_request(
+            frame(op="solve", task={"name": "consensus", "args": [2]},
+                  future_field="ignored")
+        )
+        assert "future_field" not in normalized
+
+
+class TestErrorReply:
+    def test_shape(self):
+        reply = error_reply("boom", id_="tag")
+        assert reply["status"] == "error"
+        assert reply["error"] == "boom"
+        assert reply["id"] == "tag"
+        assert reply["v"] == PROTOCOL

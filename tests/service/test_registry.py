@@ -1,0 +1,75 @@
+"""Task registry: spec canonicalization, bounds, worker-side resolution."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.service.protocol import validate_request
+from repro.service.registry import (
+    canonical_spec,
+    resolve_task,
+    task_registry,
+    zoo_mix,
+)
+from repro.service.protocol import ProtocolError
+
+
+class TestCanonicalSpec:
+    def test_known_specs_round_trip(self):
+        name, args = canonical_spec({"name": "set_consensus", "args": [3, 2]})
+        assert (name, args) == ("set_consensus", (3, 2))
+
+    def test_unknown_name_lists_vocabulary(self):
+        with pytest.raises(ProtocolError, match="unknown task"):
+            canonical_spec({"name": "byzantine_agreement", "args": [3]})
+
+    def test_wrong_arity(self):
+        with pytest.raises(ProtocolError, match="argument"):
+            canonical_spec({"name": "consensus", "args": [2, 2]})
+
+    def test_out_of_bounds_arguments(self):
+        with pytest.raises(ProtocolError, match="processes"):
+            canonical_spec({"name": "consensus", "args": [99]})
+        with pytest.raises(ProtocolError, match="k must be"):
+            canonical_spec({"name": "set_consensus", "args": [3, 9]})
+        with pytest.raises(ProtocolError, match="resolution"):
+            canonical_spec({"name": "approximate_agreement", "args": [2, 100_000]})
+        with pytest.raises(ProtocolError, match="graph length"):
+            canonical_spec({"name": "graph_path", "args": [1]})
+
+
+class TestResolveTask:
+    def test_every_registered_spec_resolves(self):
+        samples = {
+            "identity": (2,),
+            "constant": (2,),
+            "consensus": (2,),
+            "set_consensus": (3, 2),
+            "approximate_agreement": (2, 3),
+            "participating_set": (2,),
+            "graph_path": (3,),
+            "graph_cycle": (4,),
+        }
+        assert set(samples) == set(task_registry())
+        for name, args in samples.items():
+            task = resolve_task(name, args)
+            assert isinstance(task, Task)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ProtocolError, match="unknown task"):
+            resolve_task("frobnicate", ())
+
+
+class TestZooMix:
+    def test_every_request_is_wire_valid(self):
+        for request in zoo_mix():
+            normalized = validate_request(request)
+            canonical_spec(normalized["task"])
+
+    def test_mix_repeats_substrates(self):
+        # The mix is deliberately heavy on shared bases — that is what the
+        # load benchmark's cache-hit-rate floor measures against.
+        bases = [
+            (request["task"]["name"], len(request["task"]["args"]))
+            for request in zoo_mix()
+        ]
+        assert len(bases) > len(set(bases)) or len(zoo_mix()) >= 10

@@ -1,0 +1,169 @@
+"""End-to-end server tests: real sockets, the blocking client, traces.
+
+All servers here run with ``workers=0`` (in-process thread executor): the
+tests exercise protocol, caching and lifecycle — pool mechanics are the
+load benchmark's and the smoke test's job, where process startup cost is
+amortized over thousands of queries instead of being paid per test.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.export import load_capture_jsonl, spans_for_query
+from repro.service import PROTOCOL, ServiceClient, ServiceConfig
+
+from tests.service.conftest import running_service
+
+
+def unix_config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        socket_path=str(tmp_path / "svc.sock"),
+        workers=0,
+        warm_levels=((1, 1),),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+class TestUnixSocket:
+    def test_ping_stats_and_solve(self, tmp_path):
+        with running_service(unix_config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                assert c.ping()
+
+                reply = c.solve("consensus", [2], max_rounds=2)
+                assert reply["status"] == "ok"
+                assert reply["v"] == PROTOCOL
+                assert reply["cache"] == "miss"
+                assert reply["verdict"] == "unsolvable-up-to-bound"
+                assert reply["rounds"] is None
+                assert [level["rounds"] for level in reply["levels"]] == [0, 1, 2]
+                assert reply["query_id"].startswith("q-")
+
+                again = c.solve("consensus", [2], max_rounds=2)
+                assert again["cache"] == "hit"
+                assert again["verdict"] == reply["verdict"]
+                assert again["query_id"] != reply["query_id"]
+
+                stats = c.stats()
+                assert stats["queries"] == 2
+                assert stats["hits"] == 1
+                assert stats["misses"] == 1
+                assert stats["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_solvable_task_reports_rounds(self, tmp_path):
+        with running_service(unix_config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                reply = c.solve("identity", [2], max_rounds=1)
+                assert reply["status"] == "ok"
+                assert reply["verdict"] == "solvable"
+                assert reply["rounds"] == 0
+
+    def test_unknown_task_is_an_error_reply_not_a_hangup(self, tmp_path):
+        with running_service(unix_config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                reply = c.solve("byzantine", [3])
+                assert reply["status"] == "error"
+                assert "unknown task" in reply["error"]
+                assert c.ping()  # connection survives the bad request
+
+    def test_garbage_line_gets_error_reply(self, tmp_path):
+        import socket as socket_module
+
+        with running_service(unix_config(tmp_path)) as service:
+            sock = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            sock.settimeout(30)
+            sock.connect(service.endpoints.socket_path)
+            try:
+                sock.sendall(b"{not json\n")
+                reply = json.loads(sock.makefile("rb").readline())
+                assert reply["status"] == "error"
+                assert "JSON" in reply["error"]
+            finally:
+                sock.close()
+
+    def test_id_echoed_back(self, tmp_path):
+        with running_service(unix_config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                reply = c.solve("identity", [2], id_="tag-42")
+                assert reply["id"] == "tag-42"
+
+    def test_shutdown_op_stops_the_server(self, tmp_path):
+        import os
+
+        with running_service(unix_config(tmp_path)) as service:
+            path = service.endpoints.socket_path
+            with ServiceClient(socket_path=path) as c:
+                assert c.shutdown()
+        # running_service's teardown joined the loop thread; the graceful
+        # path must have unlinked the socket on its way out.
+        assert not os.path.exists(path)
+
+    def test_queue_full_when_admission_bound_is_zero(self, tmp_path):
+        config = unix_config(tmp_path, max_pending=0)
+        with running_service(config) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                reply = c.solve("consensus", [2])
+                assert reply["status"] == "overloaded"
+                assert reply["reason"] == "queue-full"
+                stats = c.stats()
+                assert stats["overloaded"] == 1
+                assert stats["queries"] == 1
+
+
+class TestTcp:
+    def test_ephemeral_port_round_trip(self, tmp_path):
+        config = ServiceConfig(port=0, workers=0, warm_levels=((1, 1),))
+        with running_service(config) as service:
+            host, port = service.endpoints.tcp
+            with ServiceClient(host=host, port=port) as c:
+                assert c.ping()
+                reply = c.solve("set_consensus", [3, 3], max_rounds=1)
+                assert reply["status"] == "ok"
+                assert reply["verdict"] == "solvable"
+
+
+class TestTraceExport:
+    def test_trace_out_tags_queries_and_cli_filters_them(self, tmp_path, capsys):
+        trace_file = tmp_path / "svc-trace.jsonl"
+        config = unix_config(tmp_path, trace_out=str(trace_file))
+        with running_service(config) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                first = c.solve("consensus", [2], max_rounds=1)
+                second = c.solve("identity", [2], max_rounds=1)
+        # Export lands on graceful stop (running_service teardown).
+        document = load_capture_jsonl(trace_file.read_text())
+        for reply in (first, second):
+            spans = spans_for_query(document, reply["query_id"])
+            roots = [s for s in spans if s["name"] == "svc.query"]
+            assert len(roots) == 1
+            assert roots[0]["attrs"]["query_id"] == reply["query_id"]
+            assert roots[0]["attrs"]["task"] == reply["task"].split("(")[0]
+        assert spans_for_query(document, "q-999999") == []
+
+        # The CLI cut of the same file: meta line + that query's spans only.
+        assert (
+            cli_main(
+                ["trace", "--from", str(trace_file),
+                 "--query-id", first["query_id"], "--out", "-"]
+            )
+            == 0
+        )
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert lines[0]["type"] == "meta"
+        span_lines = [r for r in lines if r["type"] == "span"]
+        assert span_lines
+        tagged = [r for r in span_lines if r["attrs"].get("query_id")]
+        assert {r["attrs"]["query_id"] for r in tagged} == {first["query_id"]}
+
+    def test_trace_query_id_requires_from(self, capsys):
+        assert cli_main(["trace", "--query-id", "q-000001"]) == 2
+        assert "--from" in capsys.readouterr().err

@@ -12,6 +12,7 @@ PUBLIC_MODULES = [
     "repro.tasks",
     "repro.analysis",
     "repro.cli",
+    "repro.service",
 ]
 
 
