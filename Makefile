@@ -3,7 +3,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke service-smoke examples zoo all
+.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke models-smoke service-smoke examples zoo all
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,10 +30,13 @@ test:
 # pipeline clears (a ratio and a bit — both stable on noisy machines).
 # The svc floors are the service's acceptance: a warm server must sustain
 # >= 500 zoo-scale queries/second closed-loop and answer >= 90% of the load
-# run from its caches (E18).
+# run from its caches (E18).  The e19 floors are the model zoo's acceptance:
+# a model-restricted cold build must be no slower than the full build at the
+# same (n, b) = (3, 3) — the restriction rides inside the orbit builder, so
+# pruning must pay for itself (it does: 5-54x at that depth).
 bench:
 	$(PYTHON) benchmarks/run_bench.py --output BENCH_LOCAL.json --label local
-	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR7.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_LOCAL.json --against BENCH_PR8.json \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
 		--min-speedup e5k.solve.n3_b2_cap.speedup_vs_naive=5 \
 		--min-speedup mc.explore.emu_p3k1.reduction_vs_naive=5 \
@@ -42,6 +45,9 @@ bench:
 		--min-speedup e2.build.cold.cache_hit.n3_b2.speedup_vs_cold=2 \
 		--min-speedup e17.kernel.n3_b3.numpy_speedup_vs_int=3 \
 		--min-speedup e17.pipeline.inram.n3_b3.oom_under_cap=1 \
+		--min-speedup e19.build.restricted.t_resilient-1.n3_b3.speedup_vs_full=1 \
+		--min-speedup e19.build.restricted.k_concurrent-1.n3_b3.speedup_vs_full=1 \
+		--min-speedup e19.build.restricted.k_set_consensus-2.n3_b3.speedup_vs_full=1 \
 		--min-speedup svc.load.closed.queries_per_sec=500 \
 		--min-speedup svc.load.cache_hit_rate=0.9
 
@@ -53,7 +59,7 @@ bench:
 # speedup floors are exact gates regardless.
 bench-smoke:
 	$(PYTHON) benchmarks/run_bench.py --smoke --output BENCH_SMOKE.json --label smoke
-	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR7.json \
+	$(PYTHON) benchmarks/compare_bench.py BENCH_SMOKE.json --against BENCH_PR8.json \
 		--allow-missing --threshold 1.0 \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
 		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
@@ -84,6 +90,17 @@ mc-smoke:
 		--save-replay MC_CEX.json
 	PYTHONPATH=src $(PYTHON) -m repro mc --replay MC_CEX.json
 	rm -f MC_CEX.json
+
+# Model-zoo smoke: the affine-task model surface end to end, cheap enough
+# for CI — the model registry lists, a describe renders, and the two
+# headline verdict flips reproduce through the real solver (`repro zoo`
+# re-solves every zoo task under the restricted model; consensus flips to
+# solvable under 0-resilience, (3,2)-set consensus under k_set_consensus(2)).
+models-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro models list
+	PYTHONPATH=src $(PYTHON) -m repro models describe "t_resilient(1)"
+	PYTHONPATH=src $(PYTHON) -m repro zoo --max-rounds 1 --model t_resilient:0
+	PYTHONPATH=src $(PYTHON) -m repro zoo --max-rounds 1 --model k_set_consensus:2
 
 # Solvability-service smoke: `repro serve` with a real worker pool, 50
 # zoo-mix queries through the `repro query` CLI (separate client processes),

@@ -29,6 +29,8 @@ from typing import Sequence
 def _cmd_zoo(args: argparse.Namespace) -> int:
     from repro.core import characterize
     from repro.core.characterization import Verdict
+    from repro.core.solvability import SolvabilityStatus, solve_task
+    from repro.models import ModelRestrictionEmpty, parse_model
     from repro.tasks import (
         approximate_agreement_task,
         binary_consensus_task,
@@ -53,9 +55,31 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
         (graph_agreement_task(path_graph(3)), 1),
         (graph_agreement_task(cycle_graph(5)), 1),
     ]
+    model = None
+    if getattr(args, "model", None) not in (None, "iis"):
+        try:
+            model = parse_model(args.model)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"model: {model.fingerprint}")
     print(f"{'task':42s}  {'verdict':12s}  detail")
     print("-" * 80)
     for task, max_rounds in zoo:
+        if model is not None:
+            # Certificates argue about the full IIS model; under a
+            # restriction only the level-by-level search applies.
+            try:
+                result = solve_task(task, max_rounds, model=model)
+            except ModelRestrictionEmpty:
+                print(f"{task.name:42.42s}  {'empty':12s}  model admits no run")
+                continue
+            if result.status is SolvabilityStatus.SOLVABLE:
+                detail = f"decision map at b = {result.rounds}"
+            else:
+                detail = f"no map up to b = {max_rounds}"
+            print(f"{task.name:42.42s}  {result.status.value:12s}  {detail}")
+            continue
         result = characterize(task, max_rounds=max_rounds)
         if result.verdict is Verdict.SOLVABLE:
             detail = f"decision map at b = {result.rounds}"
@@ -64,6 +88,47 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
         else:
             detail = f"no map up to b = {max_rounds}"
         print(f"{task.name:42.42s}  {result.verdict.value:12s}  {detail}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models import model_registry, parse_model
+
+    registry = model_registry()
+    if args.action == "list":
+        print(f"{'model':18s}  {'arity':8s}  summary")
+        print("-" * 72)
+        for name in sorted(registry):
+            spec = registry[name]
+            arity = "variadic" if spec.arity < 0 else str(spec.arity)
+            print(f"{name:18s}  {arity:8s}  {spec.summary}")
+        return 0
+    # describe
+    name = args.model
+    if name is None:
+        print("models describe requires a model name", file=sys.stderr)
+        return 2
+    try:
+        model = parse_model(name) if ("(" in name or ":" in name) else None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    family = model.name if model is not None else name
+    spec = registry.get(family)
+    if spec is None:
+        print(
+            f"unknown model {family!r} (one of {', '.join(sorted(registry))})",
+            file=sys.stderr,
+        )
+        return 2
+    arity = "variadic (>= 1 argument)" if spec.arity < 0 else f"{spec.arity} argument(s)"
+    print(f"{spec.name} — {spec.summary}")
+    print(f"  arity: {arity}")
+    if model is not None:
+        print(f"  instance: {model.fingerprint} (cache slug {model.slug})")
+    doc = spec.factory.__doc__ or ""
+    for line in doc.strip().splitlines():
+        print(f"  {line.strip()}")
     return 0
 
 
@@ -443,6 +508,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             node_budget=args.node_budget,
             deadline_ms=args.deadline_ms,
             shards=args.shards,
+            model=args.model,
         )
     except ServiceError as exc:
         print(str(exc), file=sys.stderr)
@@ -454,6 +520,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0 if reply.get("status") == "ok" else 1
     status = reply.get("status")
     spec = f"{args.task}({', '.join(map(str, args.args))})"
+    if args.model not in (None, "iis"):
+        spec += f" under {args.model}"
     if status == "ok":
         rounds = reply.get("rounds")
         detail = f" at b = {rounds}" if rounds is not None else ""
@@ -631,6 +699,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  shard sets : {info['shard_sets']} "
                   f"({info['shard_files']} files)")
             print(f"  shard bytes: {info['shard_bytes']}")
+            for slug in sorted(info.get("models", {})):
+                bucket = info["models"][slug]
+                print(f"  model {slug:14s}: {bucket['entries']} "
+                      f"entr{'y' if bucket['entries'] == 1 else 'ies'}, "
+                      f"{bucket['bytes']} bytes")
         elif args.action == "clear":
             removed = sds_cache.clear_cache()
             print(f"removed {removed} cache file{'' if removed == 1 else 's'}")
@@ -667,7 +740,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     zoo = sub.add_parser("zoo", help="solvability table over the task zoo")
     zoo.add_argument("--max-rounds", type=int, default=2)
+    zoo.add_argument(
+        "--model", default=None,
+        help="solve under an affine-task model, e.g. t_resilient:1 "
+             "(see `repro models list`)",
+    )
     zoo.set_defaults(func=_cmd_zoo)
+
+    models = sub.add_parser(
+        "models", help="list/describe the affine-task model zoo"
+    )
+    models.add_argument("action", choices=("list", "describe"))
+    models.add_argument(
+        "model", nargs="?",
+        help="describe: a model family or instance, e.g. adversary or "
+             "t_resilient(1)",
+    )
+    models.set_defaults(func=_cmd_models)
 
     sds = sub.add_parser("sds", help="build and inspect SDS^b(s^n)")
     sds.add_argument("-n", type=int, default=2, help="dimension (processes - 1)")
@@ -865,6 +954,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--deadline-ms", type=float, default=None)
     query.add_argument("--shards", type=int, default=None,
                        help="root-domain split of a single-level probe")
+    query.add_argument("--model", default=None,
+                       help="affine-task model to solve under, e.g. "
+                            "t_resilient:1 (see `repro models list`)")
     query.add_argument("--timeout", type=float, default=60.0,
                        help="client-side transport timeout (seconds)")
     query.add_argument("--json", action="store_true", help="print the raw reply")

@@ -278,6 +278,7 @@ def compile_level_packed(
     *,
     collapse: bool = True,
     vertex_chain: list[Vertex] | None = None,
+    model=None,
 ):
     """Compile one level's CSP straight from packed tops — no object graph.
 
@@ -291,6 +292,13 @@ def compile_level_packed(
     face.  Variables are numbered by packed vid — the discovery order shared
     by both builders — and only the final-level *vertex chain* is ever
     materialized (for candidate decoding), never a simplex or a complex.
+
+    ``model`` (a :class:`repro.models.Model`, ``None`` = iis) restricts the
+    level to the model's admitted runs via the packed streaming filter:
+    dropped tops never reach the census, variables shrink to the covered
+    vids (renumbered densely, preserving vid order), and the collapse rule
+    is evaluated against the *restricted* complex — an identity model takes
+    this exact pre-model code path.
 
     Returns ``(compiled, collapse_report)``.
     """
@@ -308,6 +316,36 @@ def compile_level_packed(
         chain = vertex_chain or materialize_vertex_chain(subdivision.levels, base_verts)
     carrier_masks = subdivision.carrier_masks
     n = len(carrier_masks)
+
+    tops_stream = iter_tops_with_masks(subdivision)
+    if model is not None and not model.is_identity:
+        from repro.models.base import ModelRestrictionEmpty
+        from repro.models.packed import run_filter
+
+        flt = run_filter(subdivision, model)
+        # Pass 1 (streaming): which vids survive?  Kept tops are not
+        # collected — on sharded stores the top list must stay on disk.
+        covered: set[int] = set()
+        for top, mask in iter_tops_with_masks(subdivision):
+            if flt.admits(top, mask):
+                covered.update(top)
+        if not covered:
+            raise ModelRestrictionEmpty(
+                f"model {model.fingerprint} admits no run at this level"
+            )
+        covered_vids = sorted(covered)
+        old2new = {vid: i for i, vid in enumerate(covered_vids)}
+        colors = [colors[vid] for vid in covered_vids]
+        carrier_masks = [carrier_masks[vid] for vid in covered_vids]
+        chain = [chain[vid] for vid in covered_vids]
+        n = len(covered_vids)
+        # Pass 2 (streaming): admitted tops, renumbered.  old2new is
+        # monotone, so remapped tuples stay sorted.
+        tops_stream = (
+            (tuple(old2new[vid] for vid in top), mask)
+            for top, mask in iter_tops_with_masks(subdivision)
+            if flt.admits(top, mask)
+        )
 
     mask_to_simplex: dict[int, Simplex] = {}
 
@@ -351,7 +389,7 @@ def compile_level_packed(
     compiled = CompiledLevel(chain, cands, domains, [], [], [], incident, fc, [])
 
     census = core_census if collapse else full_census
-    faces_by_arity, report = census(iter_tops_with_masks(subdivision), carrier_masks)
+    faces_by_arity, report = census(tops_stream, carrier_masks)
     if not all(domains):
         compiled.infeasible = True
         return compiled, report

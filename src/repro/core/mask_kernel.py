@@ -283,6 +283,7 @@ def compile_arrays(
     *,
     collapse: bool = True,
     vertex_chain: list[Vertex] | None = None,
+    model=None,
 ) -> tuple[ArrayLevel, CollapseReport]:
     """Compile a packed/sharded level into :class:`ArrayLevel` form.
 
@@ -290,9 +291,18 @@ def compile_arrays(
     under the same ``collapse`` flag: same variables (packed vids), same
     candidate order, same constraint census and order, same table rows —
     only the container is arrays instead of per-constraint Python lists.
+
+    Model-restricted compiles (``model`` non-identity) are not implemented
+    in array form; they raise :class:`UnsupportedByArrayKernel` so the
+    ``"auto"`` backend falls through to the int kernel, which carries the
+    restriction exactly.
     """
     from repro.topology.compact import materialize_vertex_chain
 
+    _require(
+        model is None or model.is_identity,
+        f"model-restricted compile ({model.fingerprint if model is not None else ''})",
+    )
     base_verts = sorted(base.vertices, key=Vertex.sort_key)
     if tuple(v.color for v in base_verts) != tuple(subdivision.base_colors):
         raise ValueError("base complex colors do not match the packed subdivision")

@@ -124,6 +124,7 @@ def _probe_level(
     node_budget: int,
     options: SearchOptions,
     root_slice: tuple[int, int] | None = None,
+    model=None,
 ) -> tuple[dict[Vertex, Vertex] | None, LevelReport, Subdivision | None]:
     """Build ``SDS^rounds(I)`` and run the search; one unit of level work.
 
@@ -136,12 +137,20 @@ def _probe_level(
     ``root_slice = (chunk_index, n_chunks)`` restricts the kernel search to
     one contiguous slice of the first search variable's domain — the
     within-level parallel split of :func:`solve_task`.
+
+    ``model`` (non-identity) replaces the level with its model-restricted
+    subcomplex (:func:`repro.models.reference.restrict_subdivision`) before
+    the search; the compiler, search and validator run on it unchanged.
     """
     span = _obs_span("solve.level", task=task.name, rounds=rounds)
     with span:
         subdivision = iterated_standard_chromatic_subdivision(
             task.input_complex, rounds
         )
+        if model is not None and not model.is_identity:
+            from repro.models.reference import restrict_subdivision
+
+            subdivision = restrict_subdivision(subdivision, rounds, model)
         started = time.perf_counter()
         mapping, nodes, exhausted, conflicts, backjumps = _search_map(
             subdivision, task, node_budget, options, root_slice=root_slice
@@ -170,6 +179,7 @@ def probe_level_sharded(
     shard_size: int | None = None,
     directory=None,
     collapse: bool = True,
+    model=None,
 ) -> tuple[dict[Vertex, Vertex] | None, LevelReport, dict]:
     """Out-of-core solvability probe of one level: sharded build, packed compile.
 
@@ -186,6 +196,13 @@ def probe_level_sharded(
     :class:`SearchOptions`).  Returns ``(mapping, report, extras)`` where
     ``extras`` carries the collapse report, the backend actually used, and
     the sharded build handle.
+
+    ``model`` (non-identity) restricts the compiled level to the model's
+    admitted runs via the packed streaming filter — the array backend does
+    not carry restrictions, so ``"auto"`` falls through to the int kernel
+    (``"numpy"`` raises).  Raises
+    :class:`~repro.models.base.ModelRestrictionEmpty` when the model admits
+    no run at this level.
     """
     from repro.core.csp_kernel import compile_level_packed, kernel_search
     from repro.topology.compact import CompactComplex
@@ -217,7 +234,7 @@ def probe_level_sharded(
 
             try:
                 compiled, collapse_report = compile_arrays(
-                    sharded, task, task.input_complex, collapse=collapse
+                    sharded, task, task.input_complex, collapse=collapse, model=model
                 )
                 search = array_search
                 used = "numpy"
@@ -226,7 +243,7 @@ def probe_level_sharded(
                     raise
         if compiled is None:
             compiled, collapse_report = compile_level_packed(
-                sharded, task, task.input_complex, collapse=collapse
+                sharded, task, task.input_complex, collapse=collapse, model=model
             )
         mapping, stats = search(
             compiled,
@@ -235,11 +252,12 @@ def probe_level_sharded(
             forward_checking=options.forward_checking,
             adjacency_order=options.adjacency_order,
         )
+        restricted = model is not None and not model.is_identity
         report = LevelReport(
             rounds=rounds,
             satisfiable=mapping is not None,
             nodes_explored=stats.nodes,
-            vertices=sharded.vertex_count,
+            vertices=len(compiled.verts) if restricted else sharded.vertex_count,
             exhausted=stats.exhausted,
             elapsed_seconds=time.perf_counter() - started,
             conflicts=stats.conflicts,
@@ -263,8 +281,15 @@ def solve_task(
     node_budget: int = 2_000_000,
     options: SearchOptions = SearchOptions(),
     max_workers: int | None = None,
+    model=None,
 ) -> SolvabilityResult:
     """Search levels ``min_rounds .. max_rounds`` for a decision map.
+
+    ``model`` (a :class:`repro.models.Model`; ``None`` = the full IIS model)
+    restricts every probed level to the model's admitted runs — solvability
+    *in the model* per the affine-task reduction.  The identity model is a
+    strict no-op: verdicts, first maps and search statistics are identical
+    to omitting the argument.
 
     The levels are independent constraint problems; with ``max_workers``
     set (> 1) they are probed concurrently by a ``concurrent.futures``
@@ -284,7 +309,7 @@ def solve_task(
 
     if parallel and len(level_rounds) == 1 and options.kernel:
         probes = [_probe_level_parallel_split(
-            task, level_rounds[0], node_budget, options, max_workers
+            task, level_rounds[0], node_budget, options, max_workers, model=model
         )]
     elif parallel and len(level_rounds) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -294,7 +319,9 @@ def solve_task(
             initializer=_warm_worker,
         ) as ex:
             futures = {
-                rounds: ex.submit(_probe_level, task, rounds, node_budget, options)
+                rounds: ex.submit(
+                    _probe_level, task, rounds, node_budget, options, model=model
+                )
                 for rounds in level_rounds
             }
             probes = []
@@ -310,7 +337,7 @@ def solve_task(
         probes = []
         for rounds in level_rounds:
             mapping, report, subdivision = _probe_level(
-                task, rounds, node_budget, options
+                task, rounds, node_budget, options, model=model
             )
             probes.append((rounds, mapping, report, subdivision))
             if mapping is not None:
@@ -323,6 +350,10 @@ def solve_task(
                 subdivision = iterated_standard_chromatic_subdivision(
                     task.input_complex, rounds
                 )
+                if model is not None and not model.is_identity:
+                    from repro.models.reference import restrict_subdivision
+
+                    subdivision = restrict_subdivision(subdivision, rounds, model)
             decision_map = SimplicialMap(
                 subdivision.complex, task.output_complex, mapping
             )
@@ -351,6 +382,7 @@ def _probe_level_parallel_split(
     node_budget: int,
     options: SearchOptions,
     max_workers: int,
+    model=None,
 ) -> tuple[int, dict[Vertex, Vertex] | None, LevelReport, Subdivision | None]:
     """One expensive level, root domain partitioned across worker processes.
 
@@ -371,7 +403,13 @@ def _probe_level_parallel_split(
     with ProcessPoolExecutor(max_workers=max_workers, initializer=_warm_worker) as ex:
         futures = [
             ex.submit(
-                _probe_level, task, rounds, node_budget, options, (chunk, n_chunks)
+                _probe_level,
+                task,
+                rounds,
+                node_budget,
+                options,
+                (chunk, n_chunks),
+                model=model,
             )
             for chunk in range(n_chunks)
         ]

@@ -38,6 +38,7 @@ from repro.mc.minimize import MinimizationResult, minimize_schedule
 from repro.mc.parallel import explore_parallel
 from repro.mc.properties import (
     ISInvariantsProperty,
+    ModelComplianceProperty,
     Property,
     SnapshotLegalityProperty,
     TaskComplianceProperty,
@@ -73,6 +74,7 @@ __all__ = [
     "LoadedReplay",
     "MUTATIONS",
     "MinimizationResult",
+    "ModelComplianceProperty",
     "Property",
     "ReplayOutcome",
     "Scenario",

@@ -23,6 +23,10 @@ trusts:
 * :class:`TaskComplianceProperty` — decided outputs form a partial tuple
   that extends to one allowed by the task's ``Δ``
   (:meth:`repro.core.task.Task.validate_outputs`).
+* :class:`ModelComplianceProperty` — the committed block structure of every
+  one-shot IS memory stays inside an affine-task model
+  (:func:`repro.models.admits_run`): the runtime-side mirror of the packed
+  top filter, which the cross-validation tests pin against it.
 """
 
 from __future__ import annotations
@@ -116,6 +120,56 @@ class ISInvariantsProperty:
 
     def check_terminal(self, instance: "ScenarioInstance") -> str | None:
         return self._check(instance)
+
+
+class ModelComplianceProperty:
+    """Every explored run stays inside an affine-task model's admitted set.
+
+    Checks each one-shot IS memory's committed ordered partition with
+    :meth:`repro.models.Model.keep_round` — block structure only, which is
+    monotone for every zoo model (each round is judged independently), so
+    online prefix checks are sound.  Participation
+    (:meth:`~repro.models.Model.keep_participation`) is a whole-run fact and
+    is checked only on terminal states, against ``n_processes``.
+
+    This is an *assumption*, not an invariant: under full exploration some
+    runs will violate any non-identity model.  Use it to flag escapes when
+    the explorer is meant to stay inside a model (pruned exploration), or
+    count terminal admissions to cross-validate the topology-side filter.
+    """
+
+    def __init__(self, model, n_processes: int):
+        self.model = model
+        self.n_processes = n_processes
+        self.name = f"model-compliance({model.fingerprint})"
+
+    def _check(self, instance: "ScenarioInstance", terminal: bool) -> str | None:
+        memory_system = instance.scheduler.memory
+        for index in memory_system.is_memory_indices():
+            memory = memory_system.immediate_snapshot_memory(index)
+            if not memory.blocks:
+                continue
+            blocks = tuple(tuple(sorted(block)) for block in memory.blocks)
+            if not self.model.keep_round(blocks):
+                return (
+                    f"memory {index}: blocks {blocks} leave model "
+                    f"{self.model.fingerprint}"
+                )
+            if terminal and not self.model.keep_participation(
+                frozenset(memory.participants), self.n_processes
+            ):
+                return (
+                    f"memory {index}: participants "
+                    f"{sorted(memory.participants)} leave model "
+                    f"{self.model.fingerprint}"
+                )
+        return None
+
+    def check_running(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance, terminal=False)
+
+    def check_terminal(self, instance: "ScenarioInstance") -> str | None:
+        return self._check(instance, terminal=True)
 
 
 @dataclass

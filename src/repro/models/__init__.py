@@ -1,0 +1,43 @@
+"""Affine-task models: named restrictions of IIS runs (sub-``SDS^b``).
+
+See DESIGN.md §3.8.  The public surface:
+
+* :class:`~repro.models.base.Model` and the zoo
+  (``iis``/``t_resilient``/``k_concurrent``/``k_set_consensus``/
+  ``adversary``) with :func:`resolve_model`/:func:`parse_model`;
+* the packed streaming filter (:mod:`repro.models.packed`) the sharded
+  solver path and the cache composer use;
+* the naive object-level reference engine (:mod:`repro.models.reference`)
+  the in-RAM solver path uses and the differential suite trusts.
+"""
+
+from repro.models.base import Blocks, Model, ModelRestrictionEmpty, admits_run
+from repro.models.zoo import (
+    IIS,
+    IIS_MODEL,
+    Adversary,
+    KConcurrent,
+    KSetConsensus,
+    ModelSpec,
+    TResilient,
+    model_registry,
+    parse_model,
+    resolve_model,
+)
+
+__all__ = [
+    "Adversary",
+    "Blocks",
+    "IIS",
+    "IIS_MODEL",
+    "KConcurrent",
+    "KSetConsensus",
+    "Model",
+    "ModelRestrictionEmpty",
+    "ModelSpec",
+    "TResilient",
+    "admits_run",
+    "model_registry",
+    "parse_model",
+    "resolve_model",
+]

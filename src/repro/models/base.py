@@ -1,0 +1,152 @@
+"""The ``Model`` abstraction: named restrictions of IIS runs.
+
+The paper characterizes wait-free read-write solvability by searching for
+decision maps on ``SDS^b(I)`` — the complex of *all* ``b``-round immediate
+snapshot runs.  The generalized affine-task line (Gafni–Kuznetsov–Manolescu;
+Gafni–He–Kuznetsov–Rieutord, see PAPERS.md) observes that many other models
+— t-resilience, k-concurrency, adversaries, k-set-consensus objects — are
+exactly *restrictions* of IIS runs, i.e. subcomplexes of ``SDS^b`` closed
+under taking faces.
+
+A :class:`Model` here is the rule that carves such a subcomplex: every top
+simplex of ``SDS^b`` encodes one run — ``b`` nested ordered partitions
+(concurrency classes, Section 3.5) over the participants of its base
+simplex — and the model either admits or rejects the run by looking at
+
+* each round's ordered partition (:meth:`Model.keep_round`), and
+* the set of participating colors (:meth:`Model.keep_participation`).
+
+Both predicates see only *colors* (process names), never inputs, so a
+model restricts the same runs over every base simplex of the same color
+set — which is what makes restricted complexes chromatic subcomplexes and
+keeps the restriction compatible with the carrier structure.
+
+Models are value objects: equality and hashing go through ``(type, args)``,
+and :attr:`Model.fingerprint` is the canonical spelling used for cache keys
+(``sds_cache.structure_key(..., model_fingerprint=...)``), wire frames and
+CLI flags.  ``iis`` is the identity model (``is_identity = True``); every
+engine entry point treats it as a strict no-op and takes the exact pre-model
+code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+Blocks = tuple[tuple[int, ...], ...]
+"""One round's ordered partition: concurrency classes, first class first,
+each class the sorted tuple of its member colors."""
+
+
+class ModelRestrictionEmpty(ValueError):
+    """The model admits *no* run of the given complex.
+
+    Raised by the restriction engines instead of silently handing the CSP
+    kernel an empty level (which would read as "trivially solvable").  A
+    model that erases the whole run complex is a degenerate spec — e.g.
+    ``adversary`` live sets naming colors that never participate — and the
+    caller should see that, not a vacuous verdict.
+    """
+
+
+class Model:
+    """A named, parameterized restriction of IIS runs.
+
+    Subclasses fix :attr:`name`/:attr:`arity` and implement
+    :meth:`keep_round`; :meth:`keep_participation` defaults to "keep all".
+    ``arity`` is the exact number of integer parameters, or ``-1`` for
+    variadic (at least one), mirroring the task registry's conventions.
+    """
+
+    name: str = "model"
+    arity: int = 0
+    is_identity: bool = False
+
+    __slots__ = ("args",)
+
+    def __init__(self, *args: int):
+        self.args = tuple(int(a) for a in args)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical spelling, e.g. ``t_resilient(1)`` — the cache-key atom."""
+        if not self.args:
+            return self.name
+        return f"{self.name}({','.join(str(a) for a in self.args)})"
+
+    @property
+    def slug(self) -> str:
+        """Filename-safe fingerprint, e.g. ``t_resilient-1``."""
+        if not self.args:
+            return self.name
+        return f"{self.name}-" + "-".join(str(a) for a in self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Model {self.fingerprint}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.args == self.args  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.args))
+
+    def __reduce__(self):
+        # Picklable across worker-pool processes (solve_task's parallel
+        # probes, the service pool) without dragging the instance dict.
+        return (type(self), self.args)
+
+    # -- the restriction rule ---------------------------------------------
+
+    def keep_round(self, blocks: Blocks) -> bool:
+        """Admit one round's ordered partition?
+
+        ``blocks`` is the round's sequence of concurrency classes in
+        commit order (first class = smallest view), each a sorted tuple of
+        member colors.  The predicate sees the full partition of the round;
+        it happens that every zoo model is also monotone on committed
+        prefixes, which is what lets mc check it online.
+        """
+        raise NotImplementedError
+
+    def keep_participation(self, colors: frozenset[int], n_colors: int) -> bool:
+        """Admit a run with this participant color set?
+
+        ``colors`` are the colors of the run's base simplex (its carrier
+        union); ``n_colors`` is the total number of colors in the base
+        complex.  Defaults to keeping every participation pattern.
+        """
+        return True
+
+    def describe(self) -> str:
+        """One paragraph of semantics for ``repro models describe``."""
+        return (self.__class__.__doc__ or "").strip()
+
+
+def admits_run(
+    model: Model,
+    rounds_blocks: Sequence[Iterable[Iterable[int]]],
+    participants: Iterable[int] | None = None,
+    n_colors: int | None = None,
+) -> bool:
+    """Does ``model`` admit a run given as explicit per-round partitions?
+
+    ``rounds_blocks`` lists, for each round in execution order, its ordered
+    partition as an iterable of concurrency classes (iterables of colors).
+    This is the bridge from *runtime* executions — e.g. the block structure
+    :func:`repro.analysis.narrate.summarize_block_structure` extracts from a
+    scheduler run — to the same predicates the topological filter applies,
+    and the hook mc's model-conformance property uses.
+    """
+    if participants is not None and n_colors is not None:
+        if not model.keep_participation(frozenset(participants), n_colors):
+            return False
+    for blocks in rounds_blocks:
+        canonical = tuple(tuple(sorted(block)) for block in blocks)
+        if not model.keep_round(canonical):
+            return False
+    return True
+
+
+__all__ = ["Blocks", "Model", "ModelRestrictionEmpty", "admits_run"]

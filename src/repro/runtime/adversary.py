@@ -11,8 +11,69 @@ the center of the standard chromatic subdivision.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.runtime.ops import WriteReadIS
 from repro.runtime.scheduler import Action, BlockAction, Scheduler, StepAction
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A survivor-set adversary: the sets of processes that may run live.
+
+    The classical adversary of Delporte-Gallet et al.: an execution is
+    admitted when the processes scheduled "live" (first concurrency class of
+    every round, and the participant set as a whole) cover one of the
+    adversary's live sets.  ``live_sets`` holds each set as a bitmask over
+    process ids / colors (bit ``i`` = process ``i``), which is also the wire
+    and fingerprint encoding of the ``adversary(...)`` model.
+
+    The two degenerate corners are useful in tests: all singletons is the
+    wait-free adversary (restricts nothing), the single full set is the
+    fault-free adversary (only fully-simultaneous, full-participation runs).
+    """
+
+    live_sets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.live_sets:
+            raise ValueError("AdversarySpec needs at least one live set")
+        canonical = tuple(sorted(set(int(mask) for mask in self.live_sets)))
+        if any(mask <= 0 for mask in canonical):
+            raise ValueError(
+                f"live-set masks must be positive ints, got {self.live_sets!r}"
+            )
+        object.__setattr__(self, "live_sets", canonical)
+
+    @classmethod
+    def from_sets(cls, sets: "tuple[frozenset[int] | set[int], ...]") -> "AdversarySpec":
+        masks = []
+        for live in sets:
+            mask = 0
+            for pid in live:
+                mask |= 1 << int(pid)
+            masks.append(mask)
+        return cls(tuple(masks))
+
+    @classmethod
+    def wait_free(cls, n_processes: int) -> "AdversarySpec":
+        """All singletons: any process alone may be live (no restriction)."""
+        return cls(tuple(1 << pid for pid in range(n_processes)))
+
+    @classmethod
+    def fault_free(cls, n_processes: int) -> "AdversarySpec":
+        """The single full set: everyone is always live."""
+        return cls(((1 << n_processes) - 1,))
+
+    def members(self) -> tuple[frozenset[int], ...]:
+        return tuple(
+            frozenset(i for i in range(mask.bit_length()) if mask >> i & 1)
+            for mask in self.live_sets
+        )
+
+    def covers(self, mask: int) -> bool:
+        """Is some live set contained in the given process bitmask?"""
+        return any(live & ~mask == 0 for live in self.live_sets)
 
 
 class StarvationSchedule:

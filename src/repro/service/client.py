@@ -72,6 +72,7 @@ class ServiceClient:
         deadline_ms: float | None = None,
         shards: int | None = None,
         options: dict[str, Any] | None = None,
+        model: str | dict[str, Any] | None = None,
         id_: str | None = None,
     ) -> dict[str, Any]:
         record: dict[str, Any] = {
@@ -80,6 +81,8 @@ class ServiceClient:
             "min_rounds": min_rounds,
             "max_rounds": max_rounds,
         }
+        if model is not None:
+            record["model"] = model
         if node_budget is not None:
             record["node_budget"] = node_budget
         if deadline_ms is not None:

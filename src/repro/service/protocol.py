@@ -15,12 +15,20 @@ Request ops
 
         {"v": "repro-svc-v1", "op": "solve",
          "task": {"name": "set_consensus", "args": [3, 2]},
+         "model": {"name": "t_resilient", "args": [1]},  # optional (iis)
          "min_rounds": 0, "max_rounds": 1,          # optional (0, 1)
          "node_budget": 2000000,                     # optional
          "deadline_ms": 5000,                        # optional, server default
          "shards": 1,                                # optional root-domain split
          "options": {"kernel": true},                # optional SearchOptions
          "id": "client-tag"}                         # optional, echoed back
+
+    ``model`` names an affine-task model (:mod:`repro.models`) to solve
+    under; a plain string in :func:`repro.models.parse_model` syntax
+    (``"t_resilient(1)"``) is also accepted.  Omitted or ``"iis"`` means
+    the full IIS model — the pre-model protocol, bit for bit.  Unknown
+    model names are rejected with a typed error frame
+    (``"kind": "unknown-model"``).
 
 ``ping`` / ``stats`` / ``shutdown``
     Liveness, the server's :class:`~repro.service.state.ServiceStats`
@@ -73,7 +81,16 @@ _MAX_LINE_BYTES = 1 << 20  # a request line past 1 MiB is garbage, not a query
 
 
 class ProtocolError(ValueError):
-    """A frame that does not conform to ``repro-svc-v1``."""
+    """A frame that does not conform to ``repro-svc-v1``.
+
+    ``kind`` types the failure for clients (the error reply carries it):
+    ``"bad-request"`` for malformed frames, ``"unknown-model"`` for a model
+    name this revision does not serve.
+    """
+
+    def __init__(self, message: str, *, kind: str = "bad-request"):
+        super().__init__(message)
+        self.kind = kind
 
 
 def encode_record(record: dict[str, Any]) -> bytes:
@@ -140,6 +157,32 @@ def validate_request(record: dict[str, Any]) -> dict[str, Any]:
         raise ProtocolError("task.args must be a list of integers")
     normalized["task"] = {"name": task["name"], "args": list(args)}
 
+    model = record.get("model", {"name": "iis", "args": []})
+    if isinstance(model, str):
+        from repro.models import parse_model
+
+        try:
+            parsed = parse_model(model)
+        except ValueError as exc:
+            raise ProtocolError(str(exc), kind="unknown-model") from None
+        model = {"name": parsed.name, "args": list(parsed.args)}
+    if not isinstance(model, dict) or not isinstance(model.get("name"), str):
+        raise ProtocolError('model must be a string or {"name": str, "args": [int, ...]}')
+    model_args = model.get("args", [])
+    if not isinstance(model_args, list) or any(
+        isinstance(a, bool) or not isinstance(a, int) for a in model_args
+    ):
+        raise ProtocolError("model.args must be a list of integers")
+    from repro.models import model_registry
+
+    if model["name"] not in model_registry():
+        raise ProtocolError(
+            f"unknown model {model['name']!r} "
+            f"(one of {', '.join(sorted(model_registry()))})",
+            kind="unknown-model",
+        )
+    normalized["model"] = {"name": model["name"], "args": list(model_args)}
+
     min_rounds = _require_int(record, "min_rounds", 0, 0)
     max_rounds = _require_int(record, "max_rounds", max(min_rounds, 1), 0)
     if max_rounds < min_rounds:
@@ -173,8 +216,15 @@ def validate_request(record: dict[str, Any]) -> dict[str, Any]:
     return normalized
 
 
-def error_reply(message: str, *, id_: str | None = None) -> dict[str, Any]:
-    reply: dict[str, Any] = {"v": PROTOCOL, "status": "error", "error": message}
+def error_reply(
+    message: str, *, id_: str | None = None, kind: str = "bad-request"
+) -> dict[str, Any]:
+    reply: dict[str, Any] = {
+        "v": PROTOCOL,
+        "status": "error",
+        "error": message,
+        "kind": kind,
+    }
     if id_ is not None:
         reply["id"] = id_
     return reply

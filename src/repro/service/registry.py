@@ -186,32 +186,68 @@ def resolve_task(name: str, args: tuple[int, ...]) -> Task:
     return spec.factory(*args)
 
 
+def canonical_model(model: dict[str, Any] | None) -> tuple[str, tuple[int, ...]]:
+    """Validate a request's model object into canonical ``(name, args)``.
+
+    The model analogue of :func:`canonical_spec`: bounds-checks through
+    :func:`repro.models.resolve_model` and raises
+    :class:`~repro.service.protocol.ProtocolError` (``kind="unknown-model"``
+    for unknown names) so the server answers with a typed error frame
+    instead of a traceback.  ``None`` canonicalizes to the identity.
+    """
+    from repro.models import model_registry, resolve_model
+    from repro.service.protocol import ProtocolError
+
+    if model is None:
+        return "iis", ()
+    name = model.get("name")
+    args = tuple(model.get("args", ()))
+    if name not in model_registry():
+        raise ProtocolError(
+            f"unknown model {name!r} (one of {', '.join(sorted(model_registry()))})",
+            kind="unknown-model",
+        )
+    try:
+        resolve_model(name, args)
+    except ValueError as exc:
+        raise ProtocolError(f"model {name!r}: {exc}") from None
+    return name, args
+
+
 def zoo_mix() -> list[dict[str, Any]]:
     """The zoo-scale query mix: the E5 table as service requests.
 
     Mirrors ``repro zoo`` — the workload the load benchmark and the smoke
     test drive, heavy on shared-substrate repetition the way a real probe
-    stream (affine-task sweeps, model comparisons) is.
+    stream (affine-task sweeps, model comparisons) is.  A slice of the mix
+    runs under non-identity models (:mod:`repro.models`), so the bench
+    exercises the per-model verdict-cache keys alongside the iis ones.
     """
     mix = [
-        ("identity", (2,), 1),
-        ("constant", (3,), 1),
-        ("consensus", (2,), 2),
-        ("set_consensus", (3, 2), 1),
-        ("set_consensus", (3, 3), 1),
-        ("approximate_agreement", (2, 3), 2),
-        ("approximate_agreement", (2, 9), 2),
-        ("approximate_agreement", (3, 2), 1),
-        ("participating_set", (3,), 1),
-        ("graph_path", (3,), 1),
-        ("graph_cycle", (5,), 1),
+        ("identity", (2,), 1, None),
+        ("constant", (3,), 1, None),
+        ("consensus", (2,), 2, None),
+        ("consensus", (2,), 1, ("t_resilient", (0,))),
+        ("consensus", (2,), 1, ("k_concurrent", (1,))),
+        ("set_consensus", (3, 2), 1, None),
+        ("set_consensus", (3, 2), 1, ("k_set_consensus", (2,))),
+        ("set_consensus", (3, 3), 1, None),
+        ("approximate_agreement", (2, 3), 2, None),
+        ("approximate_agreement", (2, 9), 2, None),
+        ("approximate_agreement", (3, 2), 1, None),
+        ("participating_set", (3,), 1, None),
+        ("graph_path", (3,), 1, None),
+        ("graph_cycle", (5,), 1, ("adversary", (3,))),
     ]
-    return [
-        {
+    requests = []
+    for name, args, max_rounds, model in mix:
+        request: dict[str, Any] = {
             "v": "repro-svc-v1",
             "op": "solve",
             "task": {"name": name, "args": list(args)},
             "max_rounds": max_rounds,
         }
-        for name, args, max_rounds in mix
-    ]
+        if model is not None:
+            request["model"] = {"name": model[0], "args": list(model[1])}
+        requests.append(request)
+    return requests

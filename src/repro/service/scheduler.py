@@ -32,7 +32,7 @@ from typing import Any
 
 from repro.obs import OBS as _OBS
 from repro.service.protocol import ProtocolError
-from repro.service.registry import canonical_spec
+from repro.service.registry import canonical_model, canonical_spec
 from repro.service.state import ServiceState
 from repro.service.worker import (
     combine_chunk_reports,
@@ -52,12 +52,19 @@ class Overloaded(Exception):
 
 
 def query_key(request: dict[str, Any]) -> tuple:
-    """Canonical identity of a solve request (the dedup/cache key)."""
+    """Canonical identity of a solve request (the dedup/cache key).
+
+    The model rides in the key, so the verdict cache is per-model: the same
+    task under ``iis`` and under ``t_resilient(1)`` are distinct entries,
+    while every spelling of the identity collapses onto ``("iis", ())``.
+    """
     name, args = canonical_spec(request["task"])
+    model = canonical_model(request.get("model"))
     options = tuple(sorted(request.get("options", {}).items()))
     return (
         name,
         args,
+        model,
         request["min_rounds"],
         request["max_rounds"],
         request["node_budget"],
@@ -158,6 +165,7 @@ class BatchingScheduler:
         loop = asyncio.get_running_loop()
         try:
             name, args = canonical_spec(request["task"])
+            model = canonical_model(request.get("model"))
             max_rounds = request["max_rounds"]
             if max_rounds >= 1:
                 await self._ensure_substrate(key, name, args, max_rounds)
@@ -183,11 +191,16 @@ class BatchingScheduler:
                             options,
                             chunk,
                             shards,
+                            model,
                         )
                         for chunk in range(shards)
                     )
                 )
                 summary = combine_chunk_reports(name, max_rounds, list(chunks))
+                if model[0] != "iis":
+                    from repro.models import resolve_model
+
+                    summary["model"] = resolve_model(*model).fingerprint
             else:
                 summary = await loop.run_in_executor(
                     self.executor,
@@ -198,6 +211,7 @@ class BatchingScheduler:
                     max_rounds,
                     request["node_budget"],
                     options,
+                    model,
                 )
             self.state.stats.probe_seconds += loop.time() - started
             self.state.results.put(key, summary)

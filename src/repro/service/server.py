@@ -234,7 +234,7 @@ class SolvabilityService:
             record = validate_request(decode_line(line))
         except ProtocolError as exc:
             self.state.stats.failed()
-            return error_reply(str(exc))
+            return error_reply(str(exc), kind=exc.kind)
         return await self.handle_request(record)
 
     async def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -285,6 +285,7 @@ class SolvabilityService:
                 span.set(outcome="error")
                 reply["status"] = "error"
                 reply["error"] = str(exc)
+                reply["kind"] = exc.kind
                 return reply
             except Exception as exc:  # noqa: BLE001 - a reply, not a crash
                 self.state.stats.failed()

@@ -81,6 +81,20 @@ def warm_substrate(name: str, args: tuple[int, ...], rounds: int) -> bool:
     return True
 
 
+def _resolve_probe_model(model: tuple[str, tuple[int, ...]] | None):
+    """Canonical ``(name, args)`` → Model instance, ``None`` for identity.
+
+    Identity specs resolve to ``None`` so the solver takes the exact
+    pre-model code path — ``model="iis"`` queries are bit-identical to
+    queries that never mention a model.
+    """
+    if model is None or model[0] == "iis":
+        return None
+    from repro.models import resolve_model
+
+    return resolve_model(model[0], model[1])
+
+
 def service_probe(
     name: str,
     args: tuple[int, ...],
@@ -88,22 +102,28 @@ def service_probe(
     max_rounds: int,
     node_budget: int,
     options: dict[str, Any],
+    model: tuple[str, tuple[int, ...]] | None = None,
 ) -> dict[str, Any]:
     """One full solvability query, worker-side; returns a plain-dict verdict."""
     task = resolve_task(name, args)
+    probe_model = _resolve_probe_model(model)
     result = solve_task(
         task,
         max_rounds,
         min_rounds=min_rounds,
         node_budget=node_budget,
         options=SearchOptions(**options),
+        model=probe_model,
     )
-    return {
+    summary = {
         "task": task.name,
         "verdict": result.status.value,
         "rounds": result.rounds,
         "levels": [report_dict(level) for level in result.levels],
     }
+    if probe_model is not None:
+        summary["model"] = probe_model.fingerprint
+    return summary
 
 
 def service_probe_chunk(
@@ -114,6 +134,7 @@ def service_probe_chunk(
     options: dict[str, Any],
     chunk: int,
     n_chunks: int,
+    model: tuple[str, tuple[int, ...]] | None = None,
 ) -> dict[str, Any]:
     """One root-domain chunk of a single-level probe (the sharded path)."""
     task = resolve_task(name, args)
@@ -123,6 +144,7 @@ def service_probe_chunk(
         node_budget,
         SearchOptions(**options),
         root_slice=(chunk, n_chunks),
+        model=_resolve_probe_model(model),
     )
     record = report_dict(report)
     record["satisfiable"] = mapping is not None

@@ -189,6 +189,10 @@ class _PackedTables:
         self.pair_info = tuple(pair_info)
         self.prefix_getters = tuple(_tuple_getter(p) for p in prefixes)
         self.template_getters = tuple(_tuple_getter(t) for t in local_templates)
+        # The raw local-id tuples behind template_getters: a restricted build
+        # (repro.models.packed) reads these to instantiate only the vertices
+        # its admitted templates actually touch.
+        self.local_templates = tuple(local_templates)
         self.n_pairs = len(pair_info)
         self.n_templates = len(local_templates)
         if _OBS.enabled:
@@ -200,6 +204,24 @@ class _PackedTables:
 def packed_tables(size: int) -> _PackedTables:
     """The per-size tables, memoized process-wide (pure integer data)."""
     return _PackedTables(size)
+
+
+@lru_cache(maxsize=None)
+def template_partitions(size: int) -> tuple[tuple[tuple[int, ...], ...], ...]:
+    """Per template, the ordered partition of member indices it instantiates.
+
+    ``template_partitions(k)[t]`` is the ordered set partition of
+    ``range(k)`` whose maximal simplex ``packed_tables(k).template_getters[t]``
+    emits — the two enumerations walk ``compositions`` × ``orbit_members`` in
+    the same order, which the orbit suite pins.  This is what lets a
+    model-restricted build (:mod:`repro.models.packed`) judge a template's
+    round structure *before* instantiating any of its vertices.
+    """
+    return tuple(
+        member
+        for composition in compositions(size)
+        for member in orbit_members(composition)
+    )
 
 
 @lru_cache(maxsize=None)

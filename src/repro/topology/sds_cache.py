@@ -58,16 +58,36 @@ def structure_key(
     base_colors: Sequence[int],
     base_tops: Sequence[tuple[int, ...]],
     rounds: int,
+    model_fingerprint: str | None = None,
 ) -> str:
-    """Deterministic content key over the structural build inputs."""
-    blob = repr(
-        (SCHEMA, ENGINE_REV, tuple(base_colors), tuple(base_tops), rounds)
-    ).encode("ascii")
+    """Deterministic content key over the structural build inputs.
+
+    ``model_fingerprint`` extends the key for model-restricted builds
+    (:mod:`repro.models`): distinct models get distinct keys.  The identity
+    model (``None`` or ``"iis"``) hashes the exact pre-model blob, so iis
+    keys — and therefore the stored bytes of iis entries — are unchanged by
+    the model subsystem.
+    """
+    parts: tuple = (SCHEMA, ENGINE_REV, tuple(base_colors), tuple(base_tops), rounds)
+    if model_fingerprint is not None and model_fingerprint != "iis":
+        parts = parts + (model_fingerprint,)
+    blob = repr(parts).encode("ascii")
     return hashlib.sha256(blob).hexdigest()
 
 
-def _entry_path(directory: Path, key: str) -> Path:
+def _entry_path(directory: Path, key: str, model_slug: str | None = None) -> Path:
+    # Model-restricted entries carry their slug in the filename so
+    # ``cache_info`` can break entries down per model without reading blobs;
+    # iis entries keep the exact pre-model name (byte-identical files).
+    if model_slug is not None and model_slug != "iis":
+        return directory / f"{SCHEMA}-r{ENGINE_REV}-{key[:40]}.m-{model_slug}.sds"
     return directory / f"{SCHEMA}-r{ENGINE_REV}-{key[:40]}.sds"
+
+
+def entry_model_slug(path: Path) -> str:
+    """The model slug encoded in an entry filename (``"iis"`` when none)."""
+    stem = path.name[: -len(".sds")] if path.name.endswith(".sds") else path.name
+    return stem.split(".m-", 1)[1] if ".m-" in stem else "iis"
 
 
 def shard_store_key(structure_key_: str, shard_size: int) -> str:
@@ -99,11 +119,13 @@ def _touch(path: Path) -> None:
         pass
 
 
-def load(key: str):
+def load(key: str, *, model_slug: str | None = None):
     """The cached :class:`CompactSubdivision` for ``key``, or ``None``.
 
     Every failure mode — disabled cache, missing file, torn write, schema or
     revision mismatch — is a miss; the caller rebuilds and re-stores.
+    ``model_slug`` routes to a model-restricted entry (the key must already
+    carry the matching fingerprint via :func:`structure_key`).
     """
     from repro.topology.compact import CompactSubdivision
 
@@ -113,7 +135,8 @@ def load(key: str):
         try:
             # Whole-buffer loads: marshal.load on a file handle issues one
             # tiny read per object, which is ~10x slower on these payloads.
-            record = marshal.loads(_entry_path(directory, key).read_bytes())
+            path = _entry_path(directory, key, model_slug)
+            record = marshal.loads(path.read_bytes())
             if (
                 isinstance(record, tuple)
                 and len(record) == 4
@@ -122,7 +145,7 @@ def load(key: str):
                 and record[2] == key
             ):
                 compact = CompactSubdivision.from_payload(record[3])
-                _touch(_entry_path(directory, key))
+                _touch(path)
         except (OSError, ValueError, EOFError, TypeError):
             compact = None
     if _OBS.enabled:
@@ -132,7 +155,7 @@ def load(key: str):
     return compact
 
 
-def store(key: str, compact) -> bool:
+def store(key: str, compact, *, model_slug: str | None = None) -> bool:
     """Persist a packed build; best-effort (cache write failures are silent)."""
     directory = cache_dir()
     if directory is None:
@@ -144,7 +167,7 @@ def store(key: str, compact) -> bool:
         try:
             with os.fdopen(fd, "wb") as handle:
                 marshal.dump(record, handle)
-            os.replace(tmp_name, _entry_path(directory, key))
+            os.replace(tmp_name, _entry_path(directory, key, model_slug))
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -195,15 +218,22 @@ def cache_info() -> dict:
         "shard_sets": 0,
         "shard_files": 0,
         "shard_bytes": 0,
+        "models": {},
     }
     if directory is None or not directory.is_dir():
         return info
     for path in _entries(directory):
         try:
-            info["bytes"] += path.stat().st_size
-            info["entries"] += 1
+            size = path.stat().st_size
         except OSError:
             continue
+        info["bytes"] += size
+        info["entries"] += 1
+        bucket = info["models"].setdefault(
+            entry_model_slug(path), {"entries": 0, "bytes": 0}
+        )
+        bucket["entries"] += 1
+        bucket["bytes"] += size
     for group in _shard_sets(directory):
         counted = False
         for path in group:

@@ -1,0 +1,131 @@
+"""Cross-validation: runtime executions vs the topological model filter.
+
+The same model predicates are applied from two independent directions —
+:func:`repro.models.admits_run` over block structures the *scheduler*
+actually committed, and :class:`repro.models.packed.PackedRunFilter` over
+the tops of the *packed* ``SDS^b`` build.  The admitted counts must agree,
+and the mc property must flag exactly the escaping runs.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.mc import IISScenario, ModelComplianceProperty, explore
+from repro.models import (
+    IIS_MODEL,
+    Adversary,
+    KConcurrent,
+    KSetConsensus,
+    TResilient,
+    admits_run,
+)
+from repro.models.packed import iter_admitted_tops
+from repro.runtime.iterated import iis_full_information
+from repro.runtime.ops import Decide
+from repro.runtime.scheduler import enumerate_executions
+from repro.topology.compact import build_sds_packed
+
+
+def one_round_partitions(n_processes: int) -> set[tuple[tuple[int, ...], ...]]:
+    """Every ordered partition the scheduler commits at the one-shot memory
+    of a full-participation 1-round IIS run, deduplicated across step
+    interleavings."""
+
+    def factory(pid):
+        def protocol():
+            view = yield from iis_full_information(pid, f"v{pid}", 1)
+            yield Decide(view)
+
+        return protocol()
+
+    from repro.analysis.narrate import summarize_block_structure
+
+    partitions: set[tuple[tuple[int, ...], ...]] = set()
+    for result in enumerate_executions(
+        {pid: factory for pid in range(n_processes)}, n_processes
+    ):
+        structure = summarize_block_structure(result)
+        partitions.add(tuple(structure[0]))
+    return partitions
+
+
+class TestRuntimeVsPackedCounts:
+    """|admitted runtime runs| == |admitted packed tops|, model by model."""
+
+    MODELS = (
+        IIS_MODEL,
+        TResilient(0),
+        TResilient(1),
+        KConcurrent(1),
+        KSetConsensus(1),
+        Adversary(0b11),
+        Adversary(1, 2),
+    )
+
+    def test_two_process_one_round(self):
+        runs = one_round_partitions(2)
+        assert len(runs) == 3  # {01}, {0}{1}, {1}{0}
+        compact = build_sds_packed((0, 1), ((0, 1),), 1)
+        assert compact.top_count == 3
+        for model in self.MODELS:
+            admitted_runtime = sum(
+                1
+                for blocks in runs
+                if admits_run(model, [blocks], participants=(0, 1), n_colors=2)
+            )
+            admitted_packed = sum(1 for _ in iter_admitted_tops(compact, model))
+            assert admitted_runtime == admitted_packed, model.fingerprint
+
+    def test_three_process_one_round(self):
+        runs = one_round_partitions(3)
+        assert len(runs) == 13  # ordered set partitions of a 3-set
+        compact = build_sds_packed((0, 1, 2), ((0, 1, 2),), 1)
+        assert compact.top_count == 13
+        for model in self.MODELS:
+            admitted_runtime = sum(
+                1
+                for blocks in runs
+                if admits_run(model, [blocks], participants=(0, 1, 2), n_colors=3)
+            )
+            admitted_packed = sum(1 for _ in iter_admitted_tops(compact, model))
+            assert admitted_runtime == admitted_packed, model.fingerprint
+
+
+@dataclass
+class ModelCheckedIIS:
+    """IIS scenario whose only property asserts the model admits every run."""
+
+    model: object
+    processes: int = 2
+    name: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.name = f"model-checked-iis({self.model.fingerprint})"
+
+    def build(self):
+        return IISScenario(processes=self.processes, rounds=1).build()
+
+    def properties(self):
+        return (ModelComplianceProperty(self.model, self.processes),)
+
+
+class TestModelComplianceProperty:
+    def test_identity_admits_full_exploration(self):
+        report = explore(ModelCheckedIIS(IIS_MODEL))
+        assert report.ok
+        assert report.stats.executions > 0
+
+    def test_non_identity_model_flags_the_escaping_run(self):
+        # Full exploration includes the simultaneous run {0,1}, which
+        # k_concurrent(1) rejects — the property must name it.
+        report = explore(ModelCheckedIIS(KConcurrent(1)))
+        assert not report.ok
+        assert report.violation.property_name == "model-compliance(k_concurrent(1))"
+        assert "leave model" in report.violation.message
+
+    def test_participation_checked_only_at_terminal(self):
+        # t_resilient(0) requires everyone to participate; mid-run states
+        # where only one process has committed must not trip the property.
+        scenario = ModelCheckedIIS(TResilient(0))
+        prop = scenario.properties()[0]
+        instance = scenario.build()
+        assert prop.check_running(instance) is None  # nothing committed yet

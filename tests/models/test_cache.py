@@ -1,0 +1,142 @@
+"""Model-aware persistent cache: key extension, slugs, per-model breakdown.
+
+The compatibility contract is load-bearing: the identity model must leave
+both the structure key *and* the stored bytes of full-build entries exactly
+as they were before the model subsystem existed, so a warmed pre-PR cache
+keeps hitting.
+"""
+
+import pytest
+
+from repro.models import Adversary, IIS_MODEL, KConcurrent, TResilient
+from repro.models.base import ModelRestrictionEmpty
+from repro.models.packed import ensure_restricted, restrict_compact
+from repro.topology import sds_cache
+from repro.topology.compact import build_sds_packed
+
+BASE_COLORS = (0, 1, 2)
+BASE_TOPS = ((0, 1, 2),)
+
+
+@pytest.fixture(autouse=True)
+def _private_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SDS_CACHE_DIR", str(tmp_path / "sds-cache"))
+
+
+class TestKeyCompatibility:
+    def test_iis_fingerprint_is_a_key_no_op(self):
+        plain = sds_cache.structure_key(BASE_COLORS, BASE_TOPS, 2)
+        assert sds_cache.structure_key(
+            BASE_COLORS, BASE_TOPS, 2, model_fingerprint=None
+        ) == plain
+        assert sds_cache.structure_key(
+            BASE_COLORS, BASE_TOPS, 2, model_fingerprint="iis"
+        ) == plain
+
+    def test_models_get_distinct_keys(self):
+        plain = sds_cache.structure_key(BASE_COLORS, BASE_TOPS, 2)
+        keys = {
+            sds_cache.structure_key(
+                BASE_COLORS, BASE_TOPS, 2, model_fingerprint=m.fingerprint
+            )
+            for m in (TResilient(0), TResilient(1), KConcurrent(1))
+        }
+        assert plain not in keys
+        assert len(keys) == 3
+
+    def test_iis_entry_bytes_identical_to_pre_model_entry(self):
+        """Storing through the iis path reproduces the pre-PR file, byte for
+        byte — same filename, same marshal blob."""
+        compact = build_sds_packed(BASE_COLORS, BASE_TOPS, 1)
+        pre_key = sds_cache.structure_key(BASE_COLORS, BASE_TOPS, 1)
+        assert sds_cache.store(pre_key, compact)
+        directory = sds_cache.cache_dir()
+        pre_path = sds_cache._entry_path(directory, pre_key)
+        pre_bytes = pre_path.read_bytes()
+        pre_path.unlink()
+
+        restricted, outcome = ensure_restricted(BASE_COLORS, BASE_TOPS, 1, IIS_MODEL)
+        assert outcome == "built"
+        assert restricted.top_count == compact.top_count
+        iis_key = sds_cache.structure_key(
+            BASE_COLORS, BASE_TOPS, 1, model_fingerprint=IIS_MODEL.fingerprint
+        )
+        iis_path = sds_cache._entry_path(directory, iis_key, model_slug=IIS_MODEL.slug)
+        assert iis_path == pre_path
+        assert iis_path.read_bytes() == pre_bytes
+
+
+class TestModelEntries:
+    def test_store_load_roundtrip_with_slug(self):
+        model = KConcurrent(1)
+        full = build_sds_packed(BASE_COLORS, BASE_TOPS, 1)
+        restricted = restrict_compact(full, model)
+        key = sds_cache.structure_key(
+            BASE_COLORS, BASE_TOPS, 1, model_fingerprint=model.fingerprint
+        )
+        assert sds_cache.store(key, restricted, model_slug=model.slug)
+        # The plain-slug path must NOT see the model entry, and vice versa.
+        assert sds_cache.load(key) is None
+        loaded = sds_cache.load(key, model_slug=model.slug)
+        assert loaded is not None
+        assert loaded.top_count == restricted.top_count
+        assert loaded.tops == restricted.tops
+
+    def test_entry_model_slug_parses_filenames(self):
+        directory = sds_cache.cache_dir()
+        key = "ab" * 32
+        assert sds_cache.entry_model_slug(sds_cache._entry_path(directory, key)) == "iis"
+        tagged = sds_cache._entry_path(directory, key, model_slug="t_resilient-1")
+        assert sds_cache.entry_model_slug(tagged) == "t_resilient-1"
+
+    def test_cache_info_breaks_entries_down_per_model(self):
+        full = build_sds_packed(BASE_COLORS, BASE_TOPS, 1)
+        sds_cache.store(sds_cache.structure_key(BASE_COLORS, BASE_TOPS, 1), full)
+        for model in (KConcurrent(1), TResilient(1)):
+            key = sds_cache.structure_key(
+                BASE_COLORS, BASE_TOPS, 1, model_fingerprint=model.fingerprint
+            )
+            sds_cache.store(key, restrict_compact(full, model), model_slug=model.slug)
+        info = sds_cache.cache_info()
+        assert info["entries"] == 3
+        models = info["models"]
+        assert set(models) == {"iis", "k_concurrent-1", "t_resilient-1"}
+        assert all(bucket["entries"] == 1 for bucket in models.values())
+        assert sum(bucket["bytes"] for bucket in models.values()) == info["bytes"]
+
+
+class TestEnsureRestricted:
+    def test_outcome_ladder_built_then_hit_then_rebuilt(self):
+        model = KConcurrent(1)
+        _, outcome = ensure_restricted(BASE_COLORS, BASE_TOPS, 1, model)
+        assert outcome == "built"
+        # Second call: the restricted entry itself is cached now.
+        restricted, outcome = ensure_restricted(BASE_COLORS, BASE_TOPS, 1, model)
+        assert outcome == "hit"
+        # Drop the restricted entry: the rebuild is deterministic, so the
+        # re-stored entry carries identical arrays.
+        key = sds_cache.structure_key(
+            BASE_COLORS, BASE_TOPS, 1, model_fingerprint=model.fingerprint
+        )
+        sds_cache._entry_path(
+            sds_cache.cache_dir(), key, model_slug=model.slug
+        ).unlink()
+        rebuilt, outcome = ensure_restricted(BASE_COLORS, BASE_TOPS, 1, model)
+        assert outcome == "built"
+        assert rebuilt.tops == restricted.tops
+        assert rebuilt.levels == restricted.levels
+
+    def test_identity_model_uses_the_plain_path(self):
+        _, outcome = ensure_restricted(BASE_COLORS, BASE_TOPS, 1, IIS_MODEL)
+        assert outcome == "built"
+        full, outcome = ensure_restricted(BASE_COLORS, BASE_TOPS, 1, IIS_MODEL)
+        assert outcome == "hit"
+        # ... and is the exact entry a plain cache load sees.
+        key = sds_cache.structure_key(BASE_COLORS, BASE_TOPS, 1)
+        assert sds_cache.load(key).tops == full.tops
+
+    def test_empty_restriction_raises_and_caches_nothing(self):
+        with pytest.raises(ModelRestrictionEmpty):
+            ensure_restricted((0, 1), ((0, 1),), 1, Adversary(0b100))
+        info = sds_cache.cache_info()
+        assert "adversary-4" not in info["models"]

@@ -1,0 +1,231 @@
+"""Differential suite: packed streaming filter vs naive object-level oracle.
+
+Two independent implementations decompose a top simplex of ``SDS^b`` into
+its run (nested ordered partitions): the packed filter reads int arrays
+(:mod:`repro.models.packed`), the reference engine reads vertex payloads
+(:mod:`repro.models.reference`).  They must keep *exactly* the same top
+sets on every ``(n, b, model)``, and the solver engines built on them —
+in-RAM kernel, in-RAM naive search, packed/sharded int kernel — must agree
+on verdicts and first maps for model-restricted probes across the task zoo.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvability import SearchOptions, _probe_level, probe_level_sharded
+from repro.models import (
+    IIS_MODEL,
+    Adversary,
+    KConcurrent,
+    KSetConsensus,
+    TResilient,
+    resolve_model,
+)
+from repro.models.base import ModelRestrictionEmpty
+from repro.models.packed import (
+    build_sds_packed_restricted,
+    iter_admitted_tops,
+    restrict_compact,
+    run_filter,
+)
+from repro.models.reference import restrict_subdivision, restricted_tops
+from repro.service.registry import task_registry, resolve_task
+from repro.topology.compact import build_sds_packed, materialize_vertex_chain
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import iterated_standard_chromatic_subdivision
+from repro.topology.vertex import Vertex, vertices_of
+
+
+def full_mask(n_colors: int) -> int:
+    return (1 << n_colors) - 1
+
+
+def model_pool(n_colors: int):
+    """A spread of models exercising every family, incl. identity-equivalent
+    degenerate parameters, over an ``n_colors``-process base."""
+    return [
+        IIS_MODEL,
+        TResilient(0),
+        TResilient(1),
+        TResilient(n_colors),  # degenerate: identity on runs
+        KConcurrent(1),
+        KConcurrent(n_colors + 1),  # degenerate
+        KSetConsensus(1),
+        KSetConsensus(2),
+        KSetConsensus(n_colors + 1),  # degenerate
+        Adversary(full_mask(n_colors)),
+        Adversary(*(1 << i for i in range(n_colors))),  # wait-free = identity
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data(), n=st.integers(0, 2), b=st.integers(1, 2))
+def test_packed_filter_equals_naive_restriction(data, n, b):
+    if n == 2 and b == 2:
+        b = 1  # keep the worst case out of the per-example budget
+    n_colors = n + 1
+    model = data.draw(st.sampled_from(model_pool(n_colors)), label="model")
+
+    base_colors = tuple(range(n_colors))
+    base_tops = (tuple(range(n_colors)),)
+    compact = build_sds_packed(base_colors, base_tops, b)
+
+    base_verts = sorted(
+        SimplicialComplex.from_vertices(vertices_of(range(n_colors))).vertices,
+        key=Vertex.sort_key,
+    )
+    chain = materialize_vertex_chain(compact.levels, base_verts)
+    packed_kept = {
+        Simplex(chain[vid] for vid in top)
+        for top, _mask in iter_admitted_tops(compact, model)
+    }
+
+    base = SimplicialComplex.from_vertices(vertices_of(range(n_colors)))
+    subdivision = iterated_standard_chromatic_subdivision(base, b)
+    naive_kept = restricted_tops(subdivision, b, model)
+
+    assert packed_kept == frozenset(naive_kept)
+
+    # Third implementation: the orbit-pruned builder, which never generates
+    # rejected tops at all.  Its own vid numbering — compare materialized.
+    pruned = build_sds_packed_restricted(base_colors, base_tops, b, model)
+    pruned_chain = materialize_vertex_chain(pruned.levels, base_verts)
+    pruned_kept = {
+        Simplex(pruned_chain[vid] for vid in top) for top in pruned.tops
+    }
+    assert pruned_kept == packed_kept
+    # Identity-equivalent parameters keep everything.
+    degenerate = model in (
+        TResilient(n_colors),
+        KConcurrent(n_colors + 1),
+        KSetConsensus(n_colors + 1),
+        Adversary(*(1 << i for i in range(n_colors))),
+        IIS_MODEL,
+    )
+    if degenerate:
+        assert len(packed_kept) == compact.top_count
+
+
+def test_restriction_counts_pin_the_semantics():
+    """Exact kept-top counts at (n, b) = (2, 2) — a regression anchor."""
+    compact = build_sds_packed((0, 1, 2), ((0, 1, 2),), 2)
+    assert compact.top_count == 169
+
+    def kept(model) -> int:
+        return sum(1 for _ in iter_admitted_tops(compact, model))
+
+    assert kept(TResilient(0)) == 1  # the fully-synchronous run
+    assert kept(TResilient(1)) == 16
+    assert kept(KConcurrent(1)) == 36  # 6 sequential runs per round
+    assert kept(KSetConsensus(2)) == 49  # 7 full-participation runs per round
+    assert kept(Adversary(0b111)) == 1
+
+    def built(model) -> int:
+        return build_sds_packed_restricted(
+            (0, 1, 2), ((0, 1, 2),), 2, model
+        ).top_count
+
+    assert built(TResilient(0)) == 1
+    assert built(TResilient(1)) == 16
+    assert built(KConcurrent(1)) == 36
+    assert built(KSetConsensus(2)) == 49
+    assert built(Adversary(0b111)) == 1
+
+
+def test_restrict_compact_shares_arrays_and_raises_on_empty():
+    compact = build_sds_packed((0, 1), ((0, 1),), 1)
+    restricted = restrict_compact(compact, TResilient(0))
+    assert restricted.levels is compact.levels
+    assert restricted.carrier_masks is compact.carrier_masks
+    assert restricted.top_count < compact.top_count
+    assert restrict_compact(compact, IIS_MODEL) is compact
+    with pytest.raises(ModelRestrictionEmpty):
+        restrict_compact(compact, Adversary(0b100))
+    with pytest.raises(ModelRestrictionEmpty):
+        build_sds_packed_restricted((0, 1), ((0, 1),), 1, Adversary(0b100))
+
+
+def test_reference_restriction_is_identity_for_iis():
+    base = SimplicialComplex.from_vertices(vertices_of(range(2)))
+    subdivision = iterated_standard_chromatic_subdivision(base, 1)
+    assert restrict_subdivision(subdivision, 1, IIS_MODEL) is subdivision
+    restricted = restrict_subdivision(subdivision, 1, KConcurrent(1))
+    assert restricted.base is subdivision.base
+    kept = restricted.complex.maximal_simplices
+    assert kept < subdivision.complex.maximal_simplices
+    for top in kept:  # carriers delegate to the parent unchanged
+        assert restricted.carrier_of(top) == subdivision.carrier_of(top)
+
+
+def test_filter_memoization_shares_ancestor_verdicts():
+    compact = build_sds_packed((0, 1, 2), ((0, 1, 2),), 2)
+    flt = run_filter(compact, KConcurrent(2))
+    kept = [top for top, mask in compact_tops_with_masks(compact) if flt.admits(top, mask)]
+    # Every top consulted the memo for its level-1 parent; parents are far
+    # fewer than tops, so the memo must be strictly smaller than 2x tops.
+    assert len(flt._memo) < 2 * compact.top_count
+    assert 0 < len(kept) < compact.top_count
+
+
+def compact_tops_with_masks(compact):
+    from repro.topology.collapse import iter_tops_with_masks
+
+    return iter_tops_with_masks(compact)
+
+
+# -- solver-engine parity on restricted probes ------------------------------
+
+ZOO_MODELS = [
+    resolve_model("t_resilient", (1,)),
+    resolve_model("k_concurrent", (1,)),
+    resolve_model("k_set_consensus", (2,)),
+]
+
+ZOO_SPECS = [
+    ("identity", (2,)),
+    ("constant", (3,)),
+    ("consensus", (2,)),
+    ("set_consensus", (3, 2)),
+    ("approximate_agreement", (2, 3)),
+    ("participating_set", (3,)),
+    ("graph_path", (3,)),
+    ("graph_cycle", (5,)),
+]
+
+
+@pytest.mark.parametrize("name,args", ZOO_SPECS)
+def test_kernel_vs_naive_on_restricted_probes(name, args):
+    """Verdict + first-map parity of all three engines, every zoo task."""
+    assert name in task_registry()
+    task = resolve_task(name, args)
+    for model in ZOO_MODELS:
+        kernel = _probe_level(task, 1, 200_000, SearchOptions(kernel=True), model=model)
+        naive = _probe_level(task, 1, 200_000, SearchOptions(kernel=False), model=model)
+        assert kernel[1].satisfiable == naive[1].satisfiable, model.fingerprint
+        if kernel[0] is not None:
+            assert kernel[0] == naive[0], model.fingerprint
+
+        sharded_map, sharded_report, extras = probe_level_sharded(
+            task, 1, node_budget=200_000,
+            options=SearchOptions(mask_backend="int"), model=model,
+        )
+        assert extras["backend"] == "int"
+        assert sharded_report.satisfiable == kernel[1].satisfiable, model.fingerprint
+        if sharded_map is not None:
+            # The packed variable order differs from the in-RAM compile's,
+            # so the *first* map may differ; it must still machine-validate
+            # against the restricted complex.
+            from repro.core.solvability import validate_decision_map
+            from repro.topology.maps import SimplicialMap
+
+            restricted = restrict_subdivision(
+                iterated_standard_chromatic_subdivision(task.input_complex, 1),
+                1,
+                model,
+            )
+            decision_map = SimplicialMap(
+                restricted.complex, task.output_complex, sharded_map
+            )
+            validate_decision_map(restricted, task, decision_map)

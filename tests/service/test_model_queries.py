@@ -1,0 +1,132 @@
+"""Model-tagged queries end to end: protocol, cache keys, live round-trips.
+
+The acceptance bar from the model-zoo issue: a model-tagged query round-trips
+through a live server with a per-model verdict-cache hit on the second call,
+both model spellings (string and object) land on one cache entry, and unknown
+model names come back as *typed* error frames (``kind = "unknown-model"``).
+"""
+
+import pytest
+
+from repro.service import PROTOCOL, ServiceClient, ServiceConfig
+from repro.service.protocol import ProtocolError, validate_request
+from repro.service.registry import canonical_model, zoo_mix
+from repro.service.scheduler import query_key
+
+from tests.service.conftest import running_service
+
+
+def solve_frame(**overrides) -> dict:
+    frame = {
+        "v": PROTOCOL,
+        "op": "solve",
+        "task": {"name": "consensus", "args": [2]},
+        "max_rounds": 1,
+    }
+    frame.update(overrides)
+    return frame
+
+
+class TestValidation:
+    def test_model_field_defaults_to_iis(self):
+        normalized = validate_request(solve_frame())
+        assert normalized["model"] == {"name": "iis", "args": []}
+
+    def test_string_and_object_spellings_normalize_identically(self):
+        as_string = validate_request(solve_frame(model="t_resilient(1)"))
+        as_object = validate_request(
+            solve_frame(model={"name": "t_resilient", "args": [1]})
+        )
+        assert as_string["model"] == as_object["model"] == {
+            "name": "t_resilient",
+            "args": [1],
+        }
+
+    def test_unknown_model_is_a_typed_protocol_error(self):
+        for spelling in ("byzantine(1)", {"name": "byzantine", "args": [1]}):
+            with pytest.raises(ProtocolError) as excinfo:
+                validate_request(solve_frame(model=spelling))
+            assert excinfo.value.kind == "unknown-model"
+
+    def test_malformed_model_args_are_bad_requests(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request(solve_frame(model={"name": "t_resilient", "args": ["x"]}))
+        assert excinfo.value.kind == "bad-request"
+
+    def test_zoo_mix_requests_all_validate(self):
+        mix = [validate_request(frame) for frame in zoo_mix()]
+        tagged = [r for r in mix if r["model"]["name"] != "iis"]
+        assert len(mix) == 14
+        assert len(tagged) == 4  # one per non-identity model family
+
+
+class TestCacheKey:
+    def test_identity_spellings_share_one_key(self):
+        plain = query_key(validate_request(solve_frame()))
+        tagged = query_key(validate_request(solve_frame(model="iis")))
+        assert plain == tagged
+        assert canonical_model(None) == ("iis", ())
+
+    def test_models_split_the_key(self):
+        base = query_key(validate_request(solve_frame()))
+        t0 = query_key(validate_request(solve_frame(model="t_resilient(0)")))
+        t1 = query_key(validate_request(solve_frame(model="t_resilient(1)")))
+        assert len({base, t0, t1}) == 3
+
+    def test_out_of_bounds_model_args_rejected_at_canonicalization(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            canonical_model({"name": "t_resilient", "args": [65]})
+        assert excinfo.value.kind == "bad-request"
+
+
+class TestLiveService:
+    def config(self, tmp_path) -> ServiceConfig:
+        return ServiceConfig(
+            socket_path=str(tmp_path / "svc.sock"),
+            workers=0,
+            warm_levels=((1, 1),),
+        )
+
+    def test_model_query_round_trips_with_per_model_cache(self, tmp_path):
+        with running_service(self.config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                plain = c.solve("consensus", [2], max_rounds=1)
+                assert plain["verdict"] == "unsolvable-up-to-bound"
+
+                tagged = c.solve(
+                    "consensus", [2], max_rounds=1, model="t_resilient(0)"
+                )
+                assert tagged["status"] == "ok"
+                assert tagged["cache"] == "miss"  # distinct key from plain
+                assert tagged["verdict"] == "solvable"
+                assert tagged["rounds"] == 1
+                assert tagged["model"] == "t_resilient(0)"
+
+                again = c.solve(
+                    "consensus", [2], max_rounds=1,
+                    model={"name": "t_resilient", "args": [0]},
+                )
+                assert again["cache"] == "hit"  # both spellings, one entry
+                assert again["verdict"] == "solvable"
+
+                still_plain = c.solve("consensus", [2], max_rounds=1)
+                assert still_plain["cache"] == "hit"
+                assert still_plain["verdict"] == "unsolvable-up-to-bound"
+                assert "model" not in still_plain  # iis replies are pre-model
+
+    def test_unknown_model_error_frame_carries_kind(self, tmp_path):
+        with running_service(self.config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                reply = c.solve("consensus", [2], model="byzantine(1)")
+                assert reply["status"] == "error"
+                assert reply["kind"] == "unknown-model"
+                assert "unknown model" in reply["error"]
+                assert c.ping()  # connection survives the bad request
+
+    def test_empty_restriction_is_an_error_not_a_verdict(self, tmp_path):
+        with running_service(self.config(tmp_path)) as service:
+            with ServiceClient(socket_path=service.endpoints.socket_path) as c:
+                # Live set {2} names a color the 2-process base never has.
+                reply = c.solve("consensus", [2], model="adversary(4)")
+                assert reply["status"] == "error"
+                assert "admits no run" in reply["error"]
