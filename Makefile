@@ -3,7 +3,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke models-smoke service-smoke examples zoo all
+.PHONY: install test bench bench-smoke bench-oom-smoke bench-pytest bench-tables mc-smoke models-smoke service-smoke conformance-smoke examples zoo all
 
 install:
 	$(PYTHON) setup.py develop
@@ -49,7 +49,8 @@ bench:
 		--min-speedup e19.build.restricted.k_concurrent-1.n3_b3.speedup_vs_full=1 \
 		--min-speedup e19.build.restricted.k_set_consensus-2.n3_b3.speedup_vs_full=1 \
 		--min-speedup svc.load.closed.queries_per_sec=500 \
-		--min-speedup svc.load.cache_hit_rate=0.9
+		--min-speedup svc.load.cache_hit_rate=0.9 \
+		--min-speedup e20.conform.warm.entries_per_sec=2
 
 # CI-sized benchmark: cheap rows only, compare-only (no committed JSON is
 # rewritten), still enforcing the kernel's 5x floor on the (3, 2) SAT row,
@@ -63,7 +64,8 @@ bench-smoke:
 		--allow-missing --threshold 1.0 \
 		--min-speedup e5k.solve.n3_b2.speedup_vs_naive=5 \
 		--min-speedup mc.explore.emu_p2k2.reduction_vs_naive=2 \
-		--min-speedup e2.build.cold.cache_hit.n2_b2.speedup_vs_cold=1.5
+		--min-speedup e2.build.cold.cache_hit.n2_b2.speedup_vs_cold=1.5 \
+		--min-speedup e20.conform.warm.entries_per_sec=2
 	rm -f BENCH_SMOKE.json
 
 # CI-sized out-of-core separation proof: the same (n=2, b=4) instance under
@@ -101,6 +103,19 @@ models-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro models describe "t_resilient(1)"
 	PYTHONPATH=src $(PYTHON) -m repro zoo --max-rounds 1 --model t_resilient:0
 	PYTHONPATH=src $(PYTHON) -m repro zoo --max-rounds 1 --model k_set_consensus:2
+
+# Conformance smoke: the CI-sized slice of `repro conform`.  A SKIP cell
+# (consensus at b<=2 is FLP-unsolvable), the two restricted-model rescue
+# cells model-checked with crash injection and round-tripped, and the
+# mutation self-test — corrupt one witness entry, require the pipeline to
+# FAIL on Δ-compliance, ddmin the schedule, and re-verify the replay.
+conformance-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro conform consensus 2 --max-rounds 2
+	PYTHONPATH=src $(PYTHON) -m repro conform consensus 2 \
+		--model "t_resilient(0)" --max-rounds 1 --crashes 1
+	PYTHONPATH=src $(PYTHON) -m repro conform consensus 2 \
+		--model "k_concurrent(1)" --max-rounds 1 --crashes 1
+	PYTHONPATH=src $(PYTHON) -m repro conform --self-test
 
 # Solvability-service smoke: `repro serve` with a real worker pool, 50
 # zoo-mix queries through the `repro query` CLI (separate client processes),

@@ -443,6 +443,42 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
             metrics[f"e19.solve.{key}.seconds"] = dt
             tracked.append(f"e19.solve.{key}.seconds")
 
+    # -- E20: warm conformance-pipeline throughput -------------------------
+    # One full run_entry on the self-test cell (solve + both backends under
+    # DPOR with crash injection + round-trip extraction), repeated with the
+    # solve memoized — the steady state of `repro conform --sweep` where the
+    # witness is cached and the mc/extraction walks dominate.  The PASS
+    # status is asserted (a FAIL here is a conformance bug, not a perf
+    # number); the throughput floor is enforced via
+    # ``compare_bench --min-speedup e20.conform.warm.entries_per_sec=N``.
+    from repro.conformance.entries import SELF_TEST_ENTRY
+    from repro.conformance.pipeline import run_entry as conform_run_entry
+    from repro.conformance.scenario import clear_bundle_cache
+
+    clear_bundle_cache()
+    t0 = time.perf_counter()
+    e20_result = conform_run_entry(SELF_TEST_ENTRY)
+    e20_cold = time.perf_counter() - t0
+    if e20_result.status != "PASS":
+        raise SystemExit(
+            f"e20.conform: expected PASS on {SELF_TEST_ENTRY.label}, got "
+            f"{e20_result.status} ({e20_result.violation or e20_result.reason})"
+            " — a conformance bug, not a perf number"
+        )
+    e20_repeats = 3 * (1 + repeats_scale)
+    t0 = time.perf_counter()
+    for _ in range(e20_repeats):
+        conform_run_entry(SELF_TEST_ENTRY)
+    e20_warm = (time.perf_counter() - t0) / e20_repeats
+    metrics["e20.conform.cold.seconds"] = e20_cold
+    metrics["e20.conform.warm.seconds"] = e20_warm
+    metrics["e20.conform.warm.entries_per_sec"] = (
+        round(1.0 / e20_warm, 2) if e20_warm > 0 else 0.0
+    )
+    metrics["e20.conform.schedules"] = e20_result.schedules
+    metrics["e20.conform.extraction_runs"] = e20_result.extraction_runs
+    tracked.append("e20.conform.warm.seconds")
+
     # -- E2-cold: the orbit engine from scratch ----------------------------
     # Runs LAST: these rows clear the intern tables, the in-process memo and
     # the persistent disk cache between repeats, and every warm row above

@@ -731,6 +731,106 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _conform_line(result) -> str:
+    """One report row: status, cell, verdict context, work accounting."""
+    cell = f"{result.task}@{result.model}"
+    line = f"{result.status:<4} {cell:<44}"
+    if result.status == "SKIP":
+        return f"{line} {result.reason}"
+    backends = " ".join(
+        f"{backend}:{mode}" for backend, mode in sorted(result.backends.items())
+    )
+    line += (f" b={result.rounds} schedules={result.schedules} "
+             f"extract={result.extraction_runs} [{backends}]")
+    if result.status == "FAIL":
+        line += f"\n     {result.violation}"
+        if result.minimized_to is not None:
+            line += (f"\n     minimized {result.minimized_from} -> "
+                     f"{result.minimized_to} action(s), replay "
+                     f"{'verified' if result.replay_verified else 'NOT verified'}")
+        if result.replay_path:
+            line += f"\n     replay: {result.replay_path}"
+    return line
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.conformance import (
+        ConformanceEntry,
+        run_entry,
+        run_mutation_self_test,
+        run_sweep,
+        smoke_entries,
+        sweep_entries,
+    )
+
+    if args.self_test:
+        self_test = run_mutation_self_test(
+            crashes=args.crashes, replay_dir=args.replay_dir
+        )
+        result = self_test.result
+        print(f"mutation self-test on {self_test.entry.label}: "
+              f"corrupted entry {self_test.mutation}")
+        print(_conform_line(result))
+        if self_test.ok:
+            print("self-test OK: mutation caught, minimized, replay verified")
+            return 0
+        print("self-test FAILED: the pipeline did not catch the mutation",
+              file=sys.stderr)
+        return 1
+
+    if args.sweep or args.smoke:
+        entries = smoke_entries() if args.smoke else sweep_entries()
+        results = run_sweep(
+            entries, crashes=args.crashes, replay_dir=args.replay_dir
+        )
+        if args.json:
+            print(json.dumps([r.to_json() for r in results], indent=2))
+        else:
+            for result in results:
+                print(_conform_line(result))
+            passed = sum(1 for r in results if r.status == "PASS")
+            skipped = sum(1 for r in results if r.status == "SKIP")
+            failed = sum(1 for r in results if r.status == "FAIL")
+            print(f"{passed} PASS, {skipped} SKIP, {failed} FAIL "
+                  f"({sum(r.schedules for r in results)} schedules, "
+                  f"{sum(r.extraction_runs for r in results)} extraction runs)")
+        return 0 if all(r.ok for r in results) else 1
+
+    if not args.task:
+        print("conform: give a task (e.g. `repro conform consensus 2`) "
+              "or --sweep / --self-test", file=sys.stderr)
+        return 2
+    mutation = None
+    if args.mutate:
+        try:
+            i, j = (int(piece) for piece in args.mutate.split(","))
+            mutation = (i, j)
+        except ValueError:
+            print(f"--mutate expects I,J (two integers), got {args.mutate!r}",
+                  file=sys.stderr)
+            return 2
+    entry = ConformanceEntry(
+        args.task, tuple(args.args), args.model, args.max_rounds
+    )
+    try:
+        result = run_entry(
+            entry,
+            crashes=args.crashes,
+            replay_dir=args.replay_dir,
+            mutation=mutation,
+        )
+    except ValueError as exc:
+        print(f"conform: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(_conform_line(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -852,6 +952,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", help="re-drive a saved replay file instead of exploring"
     )
     mc.set_defaults(func=_cmd_mc)
+
+    conform = sub.add_parser(
+        "conform",
+        help="conformance pipeline: solve, synthesize, model-check, round-trip",
+    )
+    conform.add_argument(
+        "task", nargs="?", help="task spec name (see repro.service)"
+    )
+    conform.add_argument("args", nargs="*", type=int, help="task spec arguments")
+    conform.add_argument(
+        "--model", default="iis",
+        help="model to solve/check under; `a&b` composes (intersection)",
+    )
+    conform.add_argument("-b", "--max-rounds", type=int, default=1)
+    conform.add_argument(
+        "--crashes", type=int, default=1,
+        help="crash-injection budget for the exhaustive walks",
+    )
+    conform.add_argument(
+        "--sweep", action="store_true",
+        help="run the full zoo x model conformance matrix (EXPERIMENTS.md E20)",
+    )
+    conform.add_argument(
+        "--smoke", action="store_true", help="run the CI-sized sweep subset"
+    )
+    conform.add_argument(
+        "--self-test", action="store_true",
+        help="corrupt one witness entry and prove the pipeline catches it",
+    )
+    conform.add_argument(
+        "--mutate", metavar="I,J",
+        help="corrupt domain vertex I to alternative image J before checking",
+    )
+    conform.add_argument(
+        "--replay-dir", default=None,
+        help="write counterexample replay files (repro-mc-replay-v1) here",
+    )
+    conform.add_argument("--json", action="store_true", help="machine-readable report")
+    conform.set_defaults(func=_cmd_conform)
 
     trace = sub.add_parser(
         "trace", help="run a traced workload sweep, export repro-obs-v1 JSONL"

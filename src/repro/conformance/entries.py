@@ -1,0 +1,83 @@
+"""The conformance sweep: which (task, model, rounds) cells get verified.
+
+``sweep_entries`` is the zoo × model matrix the acceptance gate runs: every
+2-process zoo task under the identity and the restriction models that flip
+or preserve its verdict, plus the 3-process cells cheap enough to explore
+exhaustively.  Unsolvable and restriction-empty cells stay in the list on
+purpose — the pipeline must report them SKIP, not FAIL, and the sweep is
+the regression test for that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConformanceEntry:
+    """One sweep cell: a task spec, a model spelling, and a round bound."""
+
+    task_name: str
+    task_args: tuple[int, ...]
+    model: str = "iis"
+    max_rounds: int = 1
+
+    @property
+    def task_label(self) -> str:
+        args = ",".join(str(a) for a in self.task_args)
+        return f"{self.task_name}({args})"
+
+    @property
+    def label(self) -> str:
+        return f"{self.task_label}@{self.model}"
+
+
+def sweep_entries() -> tuple[ConformanceEntry, ...]:
+    """The full zoo × model conformance matrix (EXPERIMENTS.md E20)."""
+    entries: list[ConformanceEntry] = []
+    # -- every 2-process zoo task, identity model --------------------------
+    entries.append(ConformanceEntry("identity", (2,), "iis", 1))
+    entries.append(ConformanceEntry("constant", (2,), "iis", 1))
+    entries.append(ConformanceEntry("consensus", (2,), "iis", 2))  # SKIP: FLP
+    entries.append(ConformanceEntry("approximate_agreement", (2, 3), "iis", 2))
+    entries.append(ConformanceEntry("approximate_agreement", (2, 9), "iis", 2))
+    # -- 2-process restriction models (the PR8 verdict flips) --------------
+    entries.append(ConformanceEntry("identity", (2,), "t_resilient(0)", 1))
+    entries.append(ConformanceEntry("consensus", (2,), "t_resilient(0)", 1))
+    entries.append(ConformanceEntry("consensus", (2,), "k_concurrent(1)", 1))
+    entries.append(ConformanceEntry("consensus", (2,), "k_set_consensus(1)", 1))
+    # Pointwise intersections (parse_model `a&b`).  The first conjunction is
+    # satisfiable: t_resilient(0) forces the round's first block to contain
+    # every member and k_set_consensus(1) forces a single block, so exactly
+    # the fully-simultaneous runs survive and consensus is solvable.  The
+    # second is contradictory on full-participation runs (first block = all
+    # members vs. all blocks singletons): it must SKIP as restriction-empty,
+    # which is the ModelRestrictionEmpty path under test.
+    entries.append(
+        ConformanceEntry("consensus", (2,), "t_resilient(0)&k_set_consensus(1)", 1)
+    )
+    entries.append(
+        ConformanceEntry("consensus", (2,), "t_resilient(0)&k_concurrent(1)", 1)
+    )
+    # -- 3-process cells ---------------------------------------------------
+    entries.append(ConformanceEntry("constant", (3,), "iis", 1))
+    entries.append(ConformanceEntry("set_consensus", (3, 3), "iis", 1))
+    entries.append(ConformanceEntry("set_consensus", (3, 2), "iis", 1))  # SKIP
+    entries.append(
+        ConformanceEntry("set_consensus", (3, 2), "k_set_consensus(2)", 1)
+    )
+    entries.append(ConformanceEntry("participating_set", (3,), "iis", 1))
+    return tuple(entries)
+
+
+def smoke_entries() -> tuple[ConformanceEntry, ...]:
+    """The CI-sized subset: 2-process consensus + one restricted cell."""
+    return (
+        ConformanceEntry("consensus", (2,), "iis", 2),  # SKIP path
+        ConformanceEntry("consensus", (2,), "t_resilient(0)", 1),
+        ConformanceEntry("consensus", (2,), "k_concurrent(1)", 1),
+    )
+
+
+#: The cell the mutation self-test corrupts: small, restricted, and solvable.
+SELF_TEST_ENTRY = ConformanceEntry("consensus", (2,), "t_resilient(0)", 1)

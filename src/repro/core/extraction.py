@@ -38,6 +38,9 @@ def extract_decision_map(
     rounds: int,
     *,
     max_depth: int = 300,
+    max_crashes: int = 0,
+    model=None,
+    runner=None,
 ) -> tuple[SimplicialMap, Subdivision]:
     """Recover the decision map of a round-``rounds`` IIS protocol.
 
@@ -54,20 +57,41 @@ def extract_decision_map(
     * **the Proposition 3.1 conditions** — the assembled map is validated
       as simplicial, color-preserving, and Δ-respecting.
 
-    Returns the validated map and the subdivision it lives on.
+    ``max_crashes`` additionally enumerates fail-stop patterns; crashed
+    executions contribute their survivors' (view, decision) pairs to the
+    well-definedness check without poisoning it — a crashed process simply
+    decided nothing.  ``model`` (a :class:`repro.models.Model`) restricts
+    the contract to the model's admitted subcomplex: pairs whose view falls
+    outside it are ignored (the protocol owes no answer there) and totality
+    plus the Proposition 3.1 validation run against the restricted
+    subdivision.  ``runner(factories, n_processes)`` overrides the execution
+    source — it must yield objects with a ``decisions`` mapping; the default
+    is the exhaustive :func:`~repro.runtime.scheduler.enumerate_executions`.
+
+    Returns the validated map and the subdivision it lives on (the
+    restricted one when ``model`` is given).
     """
     subdivision = iterated_standard_chromatic_subdivision(
         task.input_complex, rounds
     )
+    domain = subdivision
+    if model is not None and not model.is_identity:
+        from repro.models.reference import restrict_subdivision
+
+        domain = restrict_subdivision(subdivision, rounds, model)
+    domain_vertices = domain.complex.vertices
+    if runner is None:
+        def runner(factories, n_processes):
+            return enumerate_executions(
+                factories, n_processes, max_depth=max_depth, max_crashes=max_crashes
+            )
     decisions: dict[Vertex, Vertex] = {}
     for top in task.input_complex.maximal_simplices:
         inputs: Mapping[int, Hashable] = {
             v.color: v.payload for v in top
         }
         factories: Mapping[int, ProtocolFactory] = factories_for_inputs(inputs)
-        for result in enumerate_executions(
-            factories, max(inputs) + 1, max_depth=max_depth
-        ):
+        for result in runner(factories, max(inputs) + 1):
             for pid, decided in result.decisions.items():
                 view_vertex = _view_vertex_of(result, pid, rounds)
                 if view_vertex is None:
@@ -76,6 +100,8 @@ def extract_decision_map(
                         f"{rounds} view; wrap the protocol to return "
                         "(view, decision)"
                     )
+                if view_vertex not in domain_vertices:
+                    continue  # outside the model's contract: no obligation
                 _view, value = decided
                 image = Vertex(pid, value)
                 existing = decisions.get(view_vertex)
@@ -86,16 +112,17 @@ def extract_decision_map(
                         f"and {value!r}"
                     )
                 decisions[view_vertex] = image
-    missing = subdivision.complex.vertices - decisions.keys()
+    missing = domain_vertices - decisions.keys()
     if missing:
+        example = min(missing, key=Vertex.sort_key)
         raise ExtractionError(
             f"{len(missing)} views of SDS^{rounds}(I) were never realized, "
-            f"e.g. {next(iter(missing))!r}; enumeration incomplete or the "
+            f"e.g. {example!r}; enumeration incomplete or the "
             "protocol skips rounds"
         )
-    mapping = SimplicialMap(subdivision.complex, task.output_complex, decisions)
-    validate_decision_map(subdivision, task, mapping)
-    return mapping, subdivision
+    mapping = SimplicialMap(domain.complex, task.output_complex, decisions)
+    validate_decision_map(domain, task, mapping)
+    return mapping, domain
 
 
 def _view_vertex_of(result, pid: int, rounds: int) -> Vertex | None:

@@ -18,7 +18,7 @@ Two backends are provided, closing the simulation circle of experiment E10:
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping
+from typing import Callable, Hashable, Mapping
 
 from repro.core.protocol_complex import runtime_view_to_vertex
 from repro.core.solvability import SolvabilityResult, SolvabilityStatus
@@ -29,46 +29,93 @@ from repro.runtime.process import ProtocolFactory
 from repro.runtime.scheduler import RoundRobinSchedule, Schedule, Scheduler
 
 
+class _UnmappedView:
+    """Sentinel decision for views outside the decision map's domain.
+
+    Under a non-identity model the witnessing map is total only on the
+    *restricted* subcomplex; full exploration still realizes views outside
+    it.  In ``on_missing_view="sentinel"`` mode the protocol decides this
+    marker instead of raising, so a model checker can judge the run — flag
+    the sentinel when the run was model-admitted, ignore it otherwise.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "UNMAPPED_VIEW"
+
+
+UNMAPPED_VIEW = _UnmappedView()
+
+
 def _require_solvable(result: SolvabilityResult) -> None:
     if result.status is not SolvabilityStatus.SOLVABLE or result.decision_map is None:
         raise ValueError(f"{result!r} does not carry a decision map")
 
 
 def synthesize_iis_protocol(
-    result: SolvabilityResult,
+    result: SolvabilityResult, **kwargs
 ) -> "SynthesizedProtocol":
     """A protocol family deciding via ``b`` IIS rounds + the decision map."""
     _require_solvable(result)
-    return SynthesizedProtocol(result, backend="iis")
+    return SynthesizedProtocol(result, backend="iis", **kwargs)
 
 
 def synthesize_snapshot_protocol(
-    result: SolvabilityResult, n_processes: int
+    result: SolvabilityResult, n_processes: int, **kwargs
 ) -> "SynthesizedProtocol":
     """The same decisions over SWMR registers via the levels algorithm."""
     _require_solvable(result)
-    return SynthesizedProtocol(result, backend="levels", n_processes=n_processes)
+    return SynthesizedProtocol(result, backend="levels", n_processes=n_processes, **kwargs)
 
 
 class SynthesizedProtocol:
-    """Runnable realization of a decision map in either model."""
+    """Runnable realization of a decision map in either model.
+
+    ``decisions`` overrides the map read off the witness (the conformance
+    pipeline's mutation mode injects a corrupted copy here); ``expose_views``
+    makes processes decide the ``(final_view, value)`` pair — the
+    :mod:`repro.core.extraction` convention — instead of the bare value;
+    ``on_missing_view`` selects what happens when a realized view is outside
+    the decision map's domain: ``"error"`` (the default — an out-of-domain
+    view under the *identity* model is a Lemma 3.3 violation, i.e. a library
+    bug) raises, ``"sentinel"`` decides :data:`UNMAPPED_VIEW` so a property
+    oracle can judge the run instead; ``view_sink`` (pid, raw_view) is
+    called with the pre-conversion runtime view right before deciding, which
+    is how the conformance scenario records final views for its terminal
+    model-admittance check.
+    """
 
     def __init__(
         self,
         result: SolvabilityResult,
         backend: str,
         n_processes: int | None = None,
+        *,
+        decisions: Mapping | None = None,
+        expose_views: bool = False,
+        on_missing_view: str = "error",
+        view_sink: Callable[[int, Hashable], None] | None = None,
     ):
         _require_solvable(result)
         if backend not in ("iis", "levels"):
             raise ValueError(f"unknown backend {backend!r}")
+        if on_missing_view not in ("error", "sentinel"):
+            raise ValueError(f"unknown on_missing_view {on_missing_view!r}")
         self.result = result
         self.rounds = result.rounds or 0
         self.backend = backend
         self.n_processes = n_processes
-        self._decisions = {
-            vertex: image.payload for vertex, image in result.decision_map.as_dict().items()
-        }
+        self.expose_views = expose_views
+        self.on_missing_view = on_missing_view
+        self.view_sink = view_sink
+        if decisions is not None:
+            self._decisions = dict(decisions)
+        else:
+            self._decisions = {
+                vertex: image.payload
+                for vertex, image in result.decision_map.as_dict().items()
+            }
 
     # -- protocol construction -----------------------------------------------------
 
@@ -76,6 +123,9 @@ class SynthesizedProtocol:
         decisions = self._decisions
         rounds = self.rounds
         backend = self.backend
+        expose_views = self.expose_views
+        sentinel_mode = self.on_missing_view == "sentinel"
+        view_sink = self.view_sink
         owner = self  # n_processes may be filled in by run(); read it late
 
         def make(p: int):
@@ -89,13 +139,23 @@ class SynthesizedProtocol:
                             p, state, f"is-round-{round_index}", owner.n_processes
                         )
                         state = view
-                vertex = runtime_view_to_vertex(p, state, rounds)
-                if vertex not in decisions:
-                    raise AssertionError(
-                        f"view {vertex!r} is not a vertex of SDS^{rounds}(I): "
-                        f"Lemma 3.3 violated (library bug)"
-                    )
-                yield Decide(decisions[vertex])
+                if view_sink is not None:
+                    view_sink(p, state)
+                if sentinel_mode:
+                    try:
+                        vertex = runtime_view_to_vertex(p, state, rounds)
+                    except ValueError:
+                        vertex = None
+                    value = decisions.get(vertex, UNMAPPED_VIEW)
+                else:
+                    vertex = runtime_view_to_vertex(p, state, rounds)
+                    if vertex not in decisions:
+                        raise AssertionError(
+                            f"view {vertex!r} is not a vertex of SDS^{rounds}(I): "
+                            f"Lemma 3.3 violated (library bug)"
+                        )
+                    value = decisions[vertex]
+                yield Decide((state, value) if expose_views else value)
 
             return protocol()
 

@@ -172,4 +172,9 @@ def scenario_from_spec(spec: dict) -> Scenario:
         return IISScenario(
             processes=int(spec["processes"]), rounds=int(spec["rounds"])
         )
+    if kind == "conformance":
+        # Local import: the conformance package sits above mc in the layering.
+        from repro.conformance.scenario import conformance_scenario_from_spec
+
+        return conformance_scenario_from_spec(spec)
     raise ValueError(f"unknown scenario kind {kind!r}")

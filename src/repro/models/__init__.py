@@ -16,10 +16,12 @@ from repro.models.zoo import (
     IIS,
     IIS_MODEL,
     Adversary,
+    Composed,
     KConcurrent,
     KSetConsensus,
     ModelSpec,
     TResilient,
+    compose_models,
     model_registry,
     parse_model,
     resolve_model,
@@ -28,6 +30,7 @@ from repro.models.zoo import (
 __all__ = [
     "Adversary",
     "Blocks",
+    "Composed",
     "IIS",
     "IIS_MODEL",
     "KConcurrent",
@@ -37,6 +40,7 @@ __all__ = [
     "ModelSpec",
     "TResilient",
     "admits_run",
+    "compose_models",
     "model_registry",
     "parse_model",
     "resolve_model",

@@ -42,6 +42,7 @@ from repro.runtime.adversary import AdversarySpec
 _MAX_PARAM = 64
 _MAX_LIVE_SETS = 8
 _MAX_LIVE_MASK = (1 << 16) - 1
+_MAX_COMPOSED = 4
 
 
 class IIS(Model):
@@ -182,6 +183,98 @@ class Adversary(Model):
         return self.spec.covers(mask)
 
 
+class Composed(Model):
+    """Pointwise intersection of two or more models: ``a&b``.
+
+    A run is admitted exactly when every component admits it — intersection
+    of subcomplexes is pointwise on runs, and since every engine (reference,
+    packed filter, orbit-pruned builder) only ever asks ``keep_round`` /
+    ``keep_participation``, the conjunction threads through all three
+    unchanged.  Built via :func:`compose_models` (which canonicalizes:
+    identity components drop out, duplicates collapse, nested compositions
+    flatten); the fingerprint is the ``&``-joined component spelling, so
+    cache keys and wire errors stay readable.
+    """
+
+    name = "composed"
+    arity = -1
+    __slots__ = ("components",)
+
+    def __init__(self, *components: Model):
+        flat: list[Model] = []
+        for component in components:
+            if not isinstance(component, Model):
+                raise TypeError(f"composed: components must be models, got {component!r}")
+            if isinstance(component, Composed):
+                flat.extend(component.components)
+            else:
+                flat.append(component)
+        kept: list[Model] = []
+        for component in flat:
+            if not component.is_identity and component not in kept:
+                kept.append(component)
+        if len(kept) < 2:
+            raise ValueError(
+                "composed: needs at least two distinct non-identity components "
+                "(use compose_models to canonicalize)"
+            )
+        if len(kept) > _MAX_COMPOSED:
+            raise ValueError(
+                f"composed: at most {_MAX_COMPOSED} components, got {len(kept)}"
+            )
+        self.args = self.components = tuple(kept)
+
+    @property
+    def fingerprint(self) -> str:
+        return "&".join(component.fingerprint for component in self.components)
+
+    @property
+    def slug(self) -> str:
+        return "-and-".join(component.slug for component in self.components)
+
+    def keep_round(self, blocks: Blocks) -> bool:
+        return all(component.keep_round(blocks) for component in self.components)
+
+    def keep_participation(self, colors: frozenset[int], n_colors: int) -> bool:
+        return all(
+            component.keep_participation(colors, n_colors)
+            for component in self.components
+        )
+
+    def describe(self) -> str:
+        parts = "\n\n".join(
+            f"[{component.fingerprint}] {component.describe()}"
+            for component in self.components
+        )
+        return (
+            "Pointwise intersection: a run is admitted iff every component "
+            "admits it.\n\n" + parts
+        )
+
+
+def compose_models(*components: Model) -> Model:
+    """Canonical intersection of models: drop identities, flatten, dedupe.
+
+    Returns the identity when nothing non-trivial remains, the single
+    component when only one does, and a :class:`Composed` otherwise.
+    """
+    flat: list[Model] = []
+    for component in components:
+        if isinstance(component, Composed):
+            flat.extend(component.components)
+        else:
+            flat.append(component)
+    kept: list[Model] = []
+    for component in flat:
+        if not component.is_identity and component not in kept:
+            kept.append(component)
+    if not kept:
+        return IIS_MODEL
+    if len(kept) == 1:
+        return kept[0]
+    return Composed(*kept)
+
+
 @dataclass(frozen=True)
 class ModelSpec:
     """Registry row: how to build and describe one model family."""
@@ -233,8 +326,28 @@ def resolve_model(name: str, args: Iterable[int] = ()) -> Model:
 
 
 def parse_model(text: str) -> Model:
-    """CLI spelling → model: ``iis``, ``t_resilient:1``, ``adversary(3,5)``."""
+    """CLI spelling → model: ``iis``, ``t_resilient:1``, ``adversary(3,5)``.
+
+    ``&`` composes models pointwise (intersection of admitted runs):
+    ``t_resilient(1)&k_concurrent(2)`` admits exactly the runs both admit.
+    Composition canonicalizes through :func:`compose_models` — identity
+    components drop out — and is bounded at ``_MAX_COMPOSED`` components.
+    """
     text = text.strip()
+    if "&" in text:
+        pieces = [piece.strip() for piece in text.split("&")]
+        if any(not piece for piece in pieces):
+            raise ValueError(f"composed model has an empty component: {text!r}")
+        if len(pieces) > _MAX_COMPOSED:
+            raise ValueError(
+                f"composed model: at most {_MAX_COMPOSED} components, "
+                f"got {len(pieces)}: {text!r}"
+            )
+        return compose_models(*(_parse_single(piece) for piece in pieces))
+    return _parse_single(text)
+
+
+def _parse_single(text: str) -> Model:
     name, args_text = text, ""
     if "(" in text and text.endswith(")"):
         name, args_text = text[:-1].split("(", 1)
@@ -251,12 +364,14 @@ def parse_model(text: str) -> Model:
 
 __all__ = [
     "Adversary",
+    "Composed",
     "IIS",
     "IIS_MODEL",
     "KConcurrent",
     "KSetConsensus",
     "ModelSpec",
     "TResilient",
+    "compose_models",
     "model_registry",
     "parse_model",
     "resolve_model",

@@ -159,12 +159,20 @@ def validate_request(record: dict[str, Any]) -> dict[str, Any]:
 
     model = record.get("model", {"name": "iis", "args": []})
     if isinstance(model, str):
-        from repro.models import parse_model
+        from repro.models import Composed, parse_model
 
         try:
             parsed = parse_model(model)
         except ValueError as exc:
             raise ProtocolError(str(exc), kind="unknown-model") from None
+        if isinstance(parsed, Composed):
+            # ``name/args`` frames carry integer args only; composition is a
+            # CLI/local spelling this protocol revision does not serve.
+            raise ProtocolError(
+                f"composed model {parsed.fingerprint!r} is not expressible "
+                "in repro-svc-v1 frames; query per component instead",
+                kind="unknown-model",
+            )
         model = {"name": parsed.name, "args": list(parsed.args)}
     if not isinstance(model, dict) or not isinstance(model.get("name"), str):
         raise ProtocolError('model must be a string or {"name": str, "args": [int, ...]}')

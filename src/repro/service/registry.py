@@ -251,3 +251,36 @@ def zoo_mix() -> list[dict[str, Any]]:
             request["model"] = {"name": model[0], "args": list(model[1])}
         requests.append(request)
     return requests
+
+
+def conformance_mix() -> list[dict[str, Any]]:
+    """The conformance sweep as a batch of service solve requests.
+
+    One request per :func:`repro.conformance.entries.sweep_entries` cell —
+    the solve half of the pipeline, phrased in ``repro-svc-v1`` frames so a
+    warm service can pre-answer the sweep's verdicts.  Cells under composed
+    models are skipped: the wire format deliberately cannot express a
+    composition (:func:`repro.service.protocol.validate_request` rejects it
+    with a typed error), so those cells solve locally only.
+    """
+    from repro.conformance.entries import sweep_entries
+    from repro.models import parse_model
+
+    requests = []
+    for entry in sweep_entries():
+        model = parse_model(entry.model)
+        if "&" in model.fingerprint:
+            continue  # composed: not expressible in repro-svc-v1 frames
+        request: dict[str, Any] = {
+            "v": "repro-svc-v1",
+            "op": "solve",
+            "task": {"name": entry.task_name, "args": list(entry.task_args)},
+            "max_rounds": entry.max_rounds,
+        }
+        if not model.is_identity:
+            request["model"] = {
+                "name": model.name,
+                "args": [int(a) for a in model.args],
+            }
+        requests.append(request)
+    return requests

@@ -1,0 +1,102 @@
+"""The mutation self-test: prove the conformance oracles are load-bearing.
+
+A pipeline that cannot flag a corrupted decision map would be vacuous; these
+tests corrupt one witness entry and require the full failure path — caught
+by Δ-compliance, ddmin-minimized, serialized as a replay file, and the file
+re-triggering the violation deterministically.
+"""
+
+import json
+
+import pytest
+
+from repro.conformance import find_catchable_mutation, run_entry, run_mutation_self_test
+from repro.conformance.entries import SELF_TEST_ENTRY
+from repro.conformance.scenario import mutated_decisions, solved_bundle
+from repro.mc.replay import replay_file
+
+
+class TestFindCatchableMutation:
+    def test_deterministic_and_validator_rejected(self):
+        """The mutation search is a pure function of the entry, and its
+        candidate genuinely breaks Proposition 3.1 validation."""
+        from repro.core.solvability import validate_decision_map
+        from repro.models.reference import restrict_subdivision
+        from repro.topology.maps import SimplicialMap
+        from repro.topology.standard_chromatic import (
+            iterated_standard_chromatic_subdivision,
+        )
+        from repro.topology.vertex import Vertex
+
+        mutation = find_catchable_mutation(SELF_TEST_ENTRY)
+        assert mutation == find_catchable_mutation(SELF_TEST_ENTRY)
+
+        bundle = solved_bundle(
+            SELF_TEST_ENTRY.task_name,
+            SELF_TEST_ENTRY.task_args,
+            SELF_TEST_ENTRY.max_rounds,
+            SELF_TEST_ENTRY.model,
+        )
+        decisions = mutated_decisions(bundle.result, bundle.task, mutation)
+        subdivision = restrict_subdivision(
+            iterated_standard_chromatic_subdivision(
+                bundle.task.input_complex, bundle.rounds
+            ),
+            bundle.rounds,
+            bundle.model,
+        )
+        mapping = SimplicialMap(
+            subdivision.complex,
+            bundle.task.output_complex,
+            {v: Vertex(v.color, payload) for v, payload in decisions.items()},
+        )
+        with pytest.raises(ValueError):
+            validate_decision_map(subdivision, bundle.task, mapping)
+
+    def test_mutation_bounds_are_checked(self):
+        bundle = solved_bundle(
+            SELF_TEST_ENTRY.task_name,
+            SELF_TEST_ENTRY.task_args,
+            SELF_TEST_ENTRY.max_rounds,
+            SELF_TEST_ENTRY.model,
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            mutated_decisions(bundle.result, bundle.task, (10_000, 0))
+        with pytest.raises(ValueError, match="out of range"):
+            mutated_decisions(bundle.result, bundle.task, (0, 10_000))
+
+
+class TestSelfTest:
+    def test_caught_minimized_and_replayed(self, tmp_path):
+        self_test = run_mutation_self_test(replay_dir=str(tmp_path))
+        result = self_test.result
+        assert self_test.ok
+        assert result.status == "FAIL"
+        assert "Δ-compliant" in result.violation
+        # ddmin produced a no-longer schedule and the in-memory replay of
+        # the serialized document re-triggered the same property.
+        assert result.minimized_to <= result.minimized_from
+        assert result.replay_verified is True
+        # The on-disk file also reproduces, through the public replay API.
+        assert result.replay_path is not None
+        document = json.loads(open(result.replay_path).read())
+        assert document["schema"] == "repro-mc-replay-v1"
+        assert document["scenario"]["kind"] == "conformance"
+        loaded, outcome = replay_file(result.replay_path)
+        assert outcome.reproduced
+        assert outcome.violation.property_name == loaded.expected_property
+
+    def test_replay_is_deterministic(self, tmp_path):
+        """Two independent self-test runs serialize the same replay file —
+        schedule, violation, and scenario spec are all pure functions of the
+        entry (deterministic first map, deterministic mutation search)."""
+        first = run_mutation_self_test(replay_dir=str(tmp_path / "a"))
+        second = run_mutation_self_test(replay_dir=str(tmp_path / "b"))
+        assert first.mutation == second.mutation
+        assert first.result.replay_json == second.result.replay_json
+
+    def test_unmutated_entry_passes(self):
+        """The same cell without the mutation PASSes — the FAIL above is
+        caused by the corruption, not by the cell."""
+        result = run_entry(SELF_TEST_ENTRY)
+        assert result.status == "PASS"

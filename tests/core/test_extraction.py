@@ -126,6 +126,107 @@ class TestWellDefinedness:
             extract_decision_map(for_inputs, task, rounds=1)
 
 
+class TestCrashTotality:
+    def test_crash_schedules_do_not_change_the_map(self):
+        """A one-crash budget only adds executions whose survivors realize
+        views already realized crash-free: the extracted map is identical."""
+        task = participating_set_task(2)
+
+        def decide(pid, view):
+            return frozenset(q for q, _state in view)
+
+        crash_free, _ = extract_decision_map(
+            fi_protocol_factories(decide), task, rounds=1
+        )
+        crashy, domain = extract_decision_map(
+            fi_protocol_factories(decide), task, rounds=1, max_crashes=1
+        )
+        assert crashy.as_dict() == crash_free.as_dict()
+        assert len(crashy.as_dict()) == len(domain.complex.vertices)
+
+
+class TestTotalityDiagnostics:
+    def _single_schedule_runner(self, factories, n_processes):
+        """One deterministic round-robin run: every process lands in a single
+        simultaneous block, so only the panchromatic views are realized."""
+        from repro.runtime.scheduler import RoundRobinSchedule, Scheduler
+
+        scheduler = Scheduler(
+            factories, n_processes, record_events=True, track_history=True
+        )
+        yield scheduler.run(RoundRobinSchedule())
+
+    def test_partial_enumeration_error_is_pinned(self):
+        """A genuinely partial protocol run (one schedule only) produces a
+        deterministic, actionable ExtractionError naming a missing view."""
+        task = participating_set_task(2)
+
+        def decide(pid, view):
+            return frozenset(q for q, _state in view)
+
+        messages = []
+        for _attempt in range(2):
+            with pytest.raises(
+                ExtractionError, match=r"views of SDS\^1\(I\) were never realized"
+            ) as excinfo:
+                extract_decision_map(
+                    fi_protocol_factories(decide),
+                    task,
+                    rounds=1,
+                    runner=self._single_schedule_runner,
+                )
+            messages.append(str(excinfo.value))
+        # Stable across runs: same count, same example vertex (min by
+        # sort_key), so the message can be grepped for in CI logs.
+        assert messages[0] == messages[1]
+        assert "e.g. " in messages[0]
+        assert "enumeration incomplete" in messages[0]
+
+
+class TestModelRestrictedExtraction:
+    def test_model_parameter_scopes_the_contract(self):
+        """Under t_resilient(0) the synthesized consensus protocol decides a
+        sentinel on out-of-contract views; extraction with model= ignores
+        those pairs and validates against the restricted subdivision, while
+        extraction without model= rejects the very same protocol."""
+        from repro.core.protocol_synthesis import SynthesizedProtocol
+        from repro.core.solvability import solve_task
+        from repro.models import parse_model
+        from repro.tasks import consensus_task
+
+        model = parse_model("t_resilient(0)")
+        task = consensus_task(2)
+        result = solve_task(task, max_rounds=1, model=model)
+
+        def for_inputs(inputs):
+            protocol = SynthesizedProtocol(
+                result,
+                "iis",
+                n_processes=2,
+                expose_views=True,
+                on_missing_view="sentinel",
+            )
+            return protocol.factories(inputs)
+
+        mapping, domain = extract_decision_map(
+            for_inputs, task, rounds=1, model=model
+        )
+        assert mapping.as_dict() == result.decision_map.as_dict()
+        # Totality was judged against the restricted domain, which is
+        # strictly smaller than the unrestricted SDS^1(I).
+        from repro.topology.standard_chromatic import (
+            iterated_standard_chromatic_subdivision,
+        )
+
+        full = iterated_standard_chromatic_subdivision(task.input_complex, 1)
+        assert len(domain.complex.vertices) < len(full.complex.vertices)
+
+        # The same protocol fails extraction without the model: sentinel
+        # decisions on sequential views are outside the output complex.
+        with pytest.raises(ValueError):
+            extract_decision_map(for_inputs, task, rounds=1)
+
+
 class TestAgainstSynthesis:
     def test_extraction_of_a_synthesized_protocol_roundtrips(self):
         """synthesize(solve(T)) then extract gives back a valid map for T."""

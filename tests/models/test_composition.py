@@ -1,0 +1,147 @@
+"""Model composition: `a&b` is the pointwise intersection, canonicalized."""
+
+import pickle
+
+import pytest
+
+from repro.models import (
+    IIS_MODEL,
+    Composed,
+    ModelRestrictionEmpty,
+    compose_models,
+    parse_model,
+)
+from repro.models.reference import restrict_subdivision
+from repro.models.zoo import KConcurrent, TResilient
+from repro.service.protocol import ProtocolError, validate_request
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+from repro.topology.standard_chromatic import (
+    iterated_standard_chromatic_subdivision,
+)
+from repro.topology.vertex import Vertex
+
+_BASE3 = SimplicialComplex([Simplex(Vertex(c, c) for c in (0, 1, 2))])
+
+
+def _kept_tops(model, rounds=1, base=_BASE3):
+    subdivision = iterated_standard_chromatic_subdivision(base, rounds)
+    restricted = restrict_subdivision(subdivision, rounds, model)
+    return set(restricted.complex.maximal_simplices)
+
+
+class TestParsing:
+    def test_ampersand_parses_to_composed(self):
+        model = parse_model("t_resilient(1)&k_concurrent(2)")
+        assert isinstance(model, Composed)
+        assert model.fingerprint == "t_resilient(1)&k_concurrent(2)"
+        assert model.slug == "t_resilient-1-and-k_concurrent-2"
+        assert not model.is_identity
+
+    def test_identity_components_drop_out(self):
+        assert parse_model("iis&t_resilient(1)") == TResilient(1)
+        assert parse_model("iis&iis") is IIS_MODEL
+
+    def test_duplicates_collapse(self):
+        assert parse_model("t_resilient(1)&t_resilient(1)") == TResilient(1)
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(ValueError, match="empty component"):
+            parse_model("t_resilient(1)&")
+
+    def test_component_bound_enforced(self):
+        text = "&".join(f"t_resilient({i})" for i in range(5))
+        with pytest.raises(ValueError, match="at most 4"):
+            parse_model(text)
+
+    def test_component_arguments_still_bounds_checked(self):
+        with pytest.raises(ValueError, match="t_resilient"):
+            parse_model("t_resilient(-1)&k_concurrent(2)")
+
+
+class TestCanonicalization:
+    def test_compose_flattens_nested(self):
+        inner = compose_models(TResilient(1), KConcurrent(2))
+        outer = compose_models(inner, TResilient(0))
+        assert isinstance(outer, Composed)
+        assert [c.fingerprint for c in outer.components] == [
+            "t_resilient(1)",
+            "k_concurrent(2)",
+            "t_resilient(0)",
+        ]
+
+    def test_equality_and_hash_follow_components(self):
+        a = parse_model("t_resilient(1)&k_concurrent(2)")
+        b = compose_models(TResilient(1), KConcurrent(2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != compose_models(KConcurrent(2), TResilient(1))  # ordered
+
+    def test_pickle_round_trip(self):
+        model = parse_model("t_resilient(1)&k_concurrent(2)")
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone == model
+        assert clone.fingerprint == model.fingerprint
+
+
+class TestIntersectionSemantics:
+    def test_kept_tops_equal_hand_built_intersection(self):
+        """The composition's kept top set IS the intersection of the
+        components' kept top sets — on counts and on the sets themselves."""
+        t1 = TResilient(1)
+        k2 = KConcurrent(2)
+        composed = parse_model("t_resilient(1)&k_concurrent(2)")
+        tops_t1 = _kept_tops(t1)
+        tops_k2 = _kept_tops(k2)
+        tops_and = _kept_tops(composed)
+        assert tops_and == tops_t1 & tops_k2
+        assert len(tops_and) == len(tops_t1 & tops_k2)
+        # The intersection is strictly smaller than each component alone —
+        # the conjunction genuinely restricts beyond both.
+        assert len(tops_and) < len(tops_t1)
+        assert len(tops_and) < len(tops_k2)
+
+    def test_contradictory_composition_is_restriction_empty(self):
+        """One all-member first block (t_resilient(0)) vs all singleton
+        blocks (k_concurrent(1)): no multi-member run survives."""
+        base2 = SimplicialComplex([Simplex(Vertex(c, c) for c in (0, 1))])
+        model = parse_model("t_resilient(0)&k_concurrent(1)")
+        with pytest.raises(ModelRestrictionEmpty):
+            restrict_subdivision(
+                iterated_standard_chromatic_subdivision(base2, 1), 1, model
+            )
+
+    def test_predicates_conjunct(self):
+        composed = parse_model("t_resilient(1)&k_concurrent(2)")
+        blocks_ok = ((0, 1), (2,))  # first block misses 1 <= t, sizes <= 2
+        blocks_bad = ((0, 1, 2),)  # size-3 block breaks k_concurrent(2)
+        assert composed.keep_round(blocks_ok)
+        assert not composed.keep_round(blocks_bad)
+        assert composed.keep_participation(frozenset({0, 1}), 3)
+        assert not composed.keep_participation(frozenset({0}), 3)
+
+
+class TestWireRejection:
+    def test_composed_model_string_is_a_typed_protocol_error(self):
+        request = {
+            "v": "repro-svc-v1",
+            "op": "solve",
+            "task": {"name": "consensus", "args": [2]},
+            "model": "t_resilient(0)&k_concurrent(1)",
+            "max_rounds": 1,
+        }
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request(request)
+        assert excinfo.value.kind == "unknown-model"
+        assert "not expressible" in str(excinfo.value)
+
+    def test_plain_model_string_still_normalizes(self):
+        request = {
+            "v": "repro-svc-v1",
+            "op": "solve",
+            "task": {"name": "consensus", "args": [2]},
+            "model": "t_resilient(0)",
+            "max_rounds": 1,
+        }
+        normalized = validate_request(request)
+        assert normalized["model"] == {"name": "t_resilient", "args": [0]}

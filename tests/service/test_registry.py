@@ -6,6 +6,7 @@ from repro.core.task import Task
 from repro.service.protocol import validate_request
 from repro.service.registry import (
     canonical_spec,
+    conformance_mix,
     resolve_task,
     task_registry,
     zoo_mix,
@@ -73,3 +74,29 @@ class TestZooMix:
             for request in zoo_mix()
         ]
         assert len(bases) > len(set(bases)) or len(zoo_mix()) >= 10
+
+
+class TestConformanceMix:
+    def test_every_request_is_wire_valid(self):
+        requests = conformance_mix()
+        assert requests
+        for request in requests:
+            normalized = validate_request(request)
+            canonical_spec(normalized["task"])
+
+    def test_covers_the_non_composed_sweep_exactly(self):
+        """One frame per sweep cell, minus the composed-model cells (the
+        wire format rejects compositions by design)."""
+        from repro.conformance.entries import sweep_entries
+
+        entries = sweep_entries()
+        composed = [e for e in entries if "&" in e.model]
+        assert composed, "sweep lost its composed cells"
+        assert len(conformance_mix()) == len(entries) - len(composed)
+
+    def test_model_frames_are_structured_not_strings(self):
+        models = [r["model"] for r in conformance_mix() if "model" in r]
+        assert models, "the sweep lost its sub-IIS cells"
+        for frame in models:
+            assert isinstance(frame, dict)
+            assert "&" not in frame["name"]

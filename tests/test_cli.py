@@ -182,3 +182,67 @@ class TestCache:
         captured = capsys.readouterr()
         assert "built-unstored" in captured.out
         assert "not persisted" in captured.err
+
+
+class TestConform:
+    def test_skip_cell_exits_zero(self, capsys):
+        assert main(["conform", "consensus", "2", "--max-rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "unsolvable" in out
+
+    def test_pass_cell_reports_backends(self, capsys):
+        assert main(
+            ["conform", "consensus", "2", "--model", "t_resilient(0)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "iis:dpor+crashes" in out and "levels:dpor+crashes" in out
+
+    def test_mutated_cell_fails_with_replay(self, tmp_path, capsys):
+        code = main(
+            [
+                "conform", "consensus", "2",
+                "--model", "t_resilient(0)",
+                "--mutate", "0,0",
+                "--replay-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "Δ-compliant" in out
+        assert "replay verified" in out
+        assert list(tmp_path.glob("conform-*.json"))
+
+    def test_self_test_exits_zero(self, capsys):
+        assert main(["conform", "--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test OK" in out
+
+    def test_bad_mutate_spec(self, capsys):
+        code = main(
+            ["conform", "consensus", "2", "--mutate", "banana"]
+        )
+        assert code == 2
+        assert "I,J" in capsys.readouterr().err
+
+    def test_no_task_no_flags(self, capsys):
+        assert main(["conform"]) == 2
+        assert "give a task" in capsys.readouterr().err
+
+    def test_unknown_task_is_a_usage_error(self, capsys):
+        assert main(["conform", "frobnicate", "2"]) == 2
+        assert "conform:" in capsys.readouterr().err
+
+    def test_json_output_parses(self, capsys):
+        import json as json_module
+
+        assert main(
+            ["conform", "consensus", "2", "--max-rounds", "2", "--json"]
+        ) == 0
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["status"] == "SKIP"
+
+    def test_smoke_sweep_summary(self, capsys):
+        assert main(["conform", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "2 PASS, 1 SKIP, 0 FAIL" in out
