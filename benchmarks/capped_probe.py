@@ -27,6 +27,24 @@ import time
 from pathlib import Path
 
 
+def peak_rss_mb() -> int:
+    """This process's own peak resident set, in MB.
+
+    ``ru_maxrss`` survives ``execve`` on Linux — a subprocess forked from a
+    large parent (the benchmark driver after an in-process compile) reports
+    the *parent's* high-water mark, not its own.  ``VmHWM`` is per-``mm``
+    and reset on exec, so prefer it; ``ru_maxrss`` is the portable fallback.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) // 1024  # kB -> MB
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -44,6 +62,19 @@ def main() -> int:
     parser.add_argument("--backend", choices=("int", "numpy", "auto"), default="int")
     parser.add_argument("--node-budget", type=int, default=2_000_000)
     parser.add_argument("--cache-dir", default=None, help="REPRO_SDS_CACHE_DIR override")
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="restrict build/probe to a sub-IIS model (zoo spec, e.g. "
+        "'t_resilient(1)'); the shard set is built orbit-pruned, never "
+        "full-then-filtered",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="pipeline mode: fan the per-shard face census across N processes",
+    )
     args = parser.parse_args()
 
     if args.cap_mb:
@@ -70,11 +101,18 @@ def main() -> int:
     try:
         base_colors = tuple(range(args.n + 1))
         base_tops = (base_colors,)
+        model = None
+        if args.model:
+            from repro.models.zoo import parse_model
+
+            model = parse_model(args.model)
+            result["model"] = model.fingerprint
         if args.mode == "build":
             from repro.topology.shards import build_sds_sharded
 
             sharded = build_sds_sharded(
-                base_colors, base_tops, args.b, shard_size=args.shard_size
+                base_colors, base_tops, args.b, shard_size=args.shard_size,
+                model=model,
             )
             result["tops"] = sharded.top_count
             result["vertices"] = sharded.vertex_count
@@ -90,12 +128,15 @@ def main() -> int:
                 node_budget=args.node_budget,
                 options=SearchOptions(mask_backend=args.backend),
                 shard_size=args.shard_size,
+                model=model,
+                max_workers=args.max_workers,
             )
             result["satisfiable"] = mapping is not None
             result["nodes"] = report.nodes_explored
             result["vertices"] = report.vertices
             result["backend_used"] = extras["backend"]
             result["shards"] = extras["shards"]
+            result["census_workers"] = extras["census_workers"]
             result["dropped_faces"] = extras["collapse"].dropped_faces
         else:  # pipeline-inram
             from repro.core.solvability import SearchOptions, _probe_level
@@ -103,7 +144,7 @@ def main() -> int:
 
             task = identity_task(args.n + 1, values=(0,))
             mapping, report, _sub = _probe_level(
-                task, args.b, args.node_budget, SearchOptions()
+                task, args.b, args.node_budget, SearchOptions(), model=model
             )
             result["satisfiable"] = mapping is not None
             result["nodes"] = report.nodes_explored
@@ -111,13 +152,12 @@ def main() -> int:
     except MemoryError:
         result["seconds"] = round(time.perf_counter() - started, 3)
         result["outcome"] = "oom"
-        result["peak_rss_mb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+        result["peak_rss_mb"] = peak_rss_mb()
         print(json.dumps(result))
         return 3
     result["seconds"] = round(time.perf_counter() - started, 3)
     result["outcome"] = "ok"
-    # ru_maxrss is KB on Linux.
-    result["peak_rss_mb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+    result["peak_rss_mb"] = peak_rss_mb()
     print(json.dumps(result))
     return 0
 

@@ -660,6 +660,127 @@ def collect_metrics(repeats_scale: int = 1, smoke: bool = False) -> tuple[dict, 
             round(int_secs / numpy_secs, 2) if numpy_secs > 0 else 0.0
         )
 
+    # -- E21: the model-native sharded fast path ---------------------------
+    # Three ratio-gated claims.  (a) The orbit-pruned streaming writer beats
+    # build-full-then-filter: at (3, 3) the old model path wrote all 421875
+    # tops and judged each one through the run filter afterwards, the
+    # restricted writer never materializes a rejected subtree (floor: >= 5x
+    # via ``--min-speedup e21.build...speedup_vs_full_then_filter``).
+    # (b) The model-aware numpy compile beats the int compile on the same
+    # warm native restricted store at (3, 4) (floor: >= 2x).  (c) The capped
+    # subprocess row documents the separation the ``bench-models-oom-smoke``
+    # target enforces: a restricted (3, 4) build+probe completes in seconds
+    # under a 600MB ceiling, where the full build needs 415s and ~1.2GB
+    # (the committed ``e17.build.sharded.n3_b4`` row).
+    if not smoke:
+        import shutil
+
+        from repro.models.packed import run_filter
+        from repro.topology.collapse import iter_tops_with_masks
+        from repro.topology.shards import build_sds_sharded
+
+        e21_base = (0, 1, 2, 3)
+        e21_tops = ((0, 1, 2, 3),)
+        e21_root = Path(os.environ["REPRO_SDS_CACHE_DIR"]) / "e21"
+        e21_model = resolve_model("t_resilient", (1,))
+
+        restricted_secs = restricted_tops = None
+        for i in range(2 * repeats_scale):
+            d = e21_root / f"restricted-{i}"
+            t0 = time.perf_counter()
+            s21 = build_sds_sharded(
+                e21_base, e21_tops, 3, shard_size=65536, directory=d, model=e21_model
+            )
+            run = time.perf_counter() - t0
+            restricted_secs = (
+                run if restricted_secs is None else min(restricted_secs, run)
+            )
+            restricted_tops = s21.top_count
+            shutil.rmtree(d)
+        filter_secs = kept21 = None
+        for i in range(2 * repeats_scale):
+            d = e21_root / f"full-{i}"
+            t0 = time.perf_counter()
+            full21 = build_sds_sharded(
+                e21_base, e21_tops, 3, shard_size=65536, directory=d
+            )
+            flt21 = run_filter(full21, e21_model)
+            kept21 = sum(
+                1
+                for top, mask in iter_tops_with_masks(full21)
+                if flt21.admits(top, mask)
+            )
+            run = time.perf_counter() - t0
+            filter_secs = run if filter_secs is None else min(filter_secs, run)
+            shutil.rmtree(d)
+        if kept21 != restricted_tops:
+            raise SystemExit(
+                "e21.build: restricted writer and filtered full build disagree "
+                f"on kept tops ({restricted_tops} vs {kept21}) — a soundness "
+                "bug, not a perf number"
+            )
+        row21 = "e21.build.restricted_sharded.t_resilient-1.n3_b3"
+        metrics[f"{row21}.seconds"] = restricted_secs
+        metrics[f"{row21}.tops"] = restricted_tops
+        metrics["e21.build.full_then_filter.t_resilient-1.n3_b3.seconds"] = filter_secs
+        metrics[f"{row21}.speedup_vs_full_then_filter"] = (
+            round(filter_secs / restricted_secs, 2) if restricted_secs > 0 else 0.0
+        )
+
+        # (b) model-aware compile backends on one warm native store.  The
+        # collapse reports must agree exactly — the backends share the
+        # canonical census order, so any drift is a soundness bug.
+        e21_ks = resolve_model("k_set_consensus", (2,))
+        sharded21 = ensure_sharded(
+            e21_base,
+            e21_tops,
+            4,
+            shard_size=16384,
+            directory=e21_root / "native",
+            model=e21_ks,
+        )
+        t0 = time.perf_counter()
+        _ci21, rep_i21 = compile_level_packed(
+            sharded21, task17, task17.input_complex, model=e21_ks
+        )
+        int21_secs = time.perf_counter() - t0
+        numpy21_secs = None
+        for _ in range(1 + repeats_scale):
+            t0 = time.perf_counter()
+            _ca21, rep_a21 = compile_arrays(
+                sharded21, task17, task17.input_complex, model=e21_ks
+            )
+            run = time.perf_counter() - t0
+            numpy21_secs = run if numpy21_secs is None else min(numpy21_secs, run)
+        if rep_i21 != rep_a21:
+            raise SystemExit(
+                "e21.compile: int and numpy collapse reports disagree under "
+                "k_set_consensus(2) — a soundness bug, not a perf number"
+            )
+        row21 = "e21.compile.model.k_set_consensus-2.n3_b4"
+        metrics[f"{row21}.int.seconds"] = int21_secs
+        metrics[f"{row21}.numpy.seconds"] = numpy21_secs
+        metrics[f"{row21}.tops"] = sharded21.top_count
+        metrics[f"{row21}.numpy_speedup_vs_int"] = (
+            round(int21_secs / numpy21_secs, 2) if numpy21_secs > 0 else 0.0
+        )
+        tracked.append(f"{row21}.numpy.seconds")
+
+        # (c) the capped restricted pipeline at the (3, 4) target depth —
+        # single-shot subprocess (RLIMIT_AS before import), peak RSS honest.
+        code, row = capped(
+            ["--mode", "pipeline", "--n", "3", "--b", "4",
+             "--model", "t_resilient(1)", "--shard-size", "8192",
+             "--cap-mb", "600", "--backend", "numpy"]
+        )
+        if code != 0 or row["outcome"] != "ok" or row["backend_used"] != "numpy":
+            raise SystemExit(f"e21.pipeline.restricted.n3_b4 failed under cap: {row}")
+        prefix = "e21.pipeline.restricted.t_resilient-1.n3_b4"
+        metrics[f"{prefix}.seconds"] = row["seconds"]
+        metrics[f"{prefix}.peak_rss_mb"] = row["peak_rss_mb"]
+        metrics[f"{prefix}.cap_mb"] = 600
+        metrics[f"{prefix}.nodes"] = row["nodes"]
+
     return metrics, tracked
 
 

@@ -704,6 +704,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 print(f"  model {slug:14s}: {bucket['entries']} "
                       f"entr{'y' if bucket['entries'] == 1 else 'ies'}, "
                       f"{bucket['bytes']} bytes")
+            for slug in sorted(info.get("shard_models", {})):
+                bucket = info["shard_models"][slug]
+                print(f"  shards {slug:13s}: {bucket['sets']} "
+                      f"set{'' if bucket['sets'] == 1 else 's'}, "
+                      f"{bucket['files']} files, {bucket['bytes']} bytes")
         elif args.action == "clear":
             removed = sds_cache.clear_cache()
             print(f"removed {removed} cache file{'' if removed == 1 else 's'}")
@@ -711,7 +716,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             if args.max_bytes is None:
                 print("cache prune requires --max-bytes", file=sys.stderr)
                 return 2
-            report = sds_cache.prune(args.max_bytes)
+            report = sds_cache.prune(args.max_bytes, model_slug=args.model)
             print(f"pruned to <= {report['max_bytes']} bytes: "
                   f"removed {report['removed_units']} unit(s) "
                   f"({report['removed_bytes']} bytes), "
@@ -1046,6 +1051,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="prune: evict least-recently-used entries/shard sets above this total",
+    )
+    cache.add_argument(
+        "--model",
+        default=None,
+        metavar="SLUG",
+        help="prune: restrict eviction to one model slug's restricted shard sets",
     )
     cache.set_defaults(func=_cmd_cache)
 

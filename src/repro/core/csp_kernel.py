@@ -294,15 +294,24 @@ def compile_level_packed(
     materialized (for candidate decoding), never a simplex or a complex.
 
     ``model`` (a :class:`repro.models.Model`, ``None`` = iis) restricts the
-    level to the model's admitted runs via the packed streaming filter:
-    dropped tops never reach the census, variables shrink to the covered
-    vids (renumbered densely, preserving vid order), and the collapse rule
+    level to the model's admitted runs: variables shrink to the covered
+    vids (renumbered densely, preserving vid order) and the collapse rule
     is evaluated against the *restricted* complex — an identity model takes
-    this exact pre-model code path.
+    this exact pre-model code path.  When the subdivision is a *native*
+    restricted store (its ``model_fingerprint`` matches the model's, i.e.
+    the orbit-pruned builder already dropped every inadmissible run), no
+    run filter executes at all; otherwise the packed streaming filter
+    judges each top of the full store and dropped tops never reach the
+    census.  Both routes compile the same restricted complex.
 
     Returns ``(compiled, collapse_report)``.
     """
-    from repro.topology.collapse import core_census, full_census, iter_tops_with_masks
+    from repro.topology.collapse import (
+        core_census,
+        covered_vids_of,
+        full_census,
+        iter_tops_with_masks,
+    )
     from repro.topology.compact import materialize_vertex_chain
 
     base_verts = sorted(base.vertices, key=Vertex.sort_key)
@@ -320,20 +329,29 @@ def compile_level_packed(
     tops_stream = iter_tops_with_masks(subdivision)
     if model is not None and not model.is_identity:
         from repro.models.base import ModelRestrictionEmpty
-        from repro.models.packed import run_filter
 
-        flt = run_filter(subdivision, model)
-        # Pass 1 (streaming): which vids survive?  Kept tops are not
-        # collected — on sharded stores the top list must stay on disk.
-        covered: set[int] = set()
-        for top, mask in iter_tops_with_masks(subdivision):
-            if flt.admits(top, mask):
-                covered.update(top)
-        if not covered:
+        native = (
+            getattr(subdivision, "model_fingerprint", None) == model.fingerprint
+        )
+        if native:
+            # Native restricted store: every stored top is an admitted run
+            # already, so the only work left is dropping isolated vertices.
+            covered_vids = covered_vids_of(subdivision)
+        else:
+            from repro.models.packed import run_filter
+
+            flt = run_filter(subdivision, model)
+            # Pass 1 (streaming): which vids survive?  Kept tops are not
+            # collected — on sharded stores the top list must stay on disk.
+            covered: set[int] = set()
+            for top, mask in iter_tops_with_masks(subdivision):
+                if flt.admits(top, mask):
+                    covered.update(top)
+            covered_vids = sorted(covered)
+        if not covered_vids:
             raise ModelRestrictionEmpty(
                 f"model {model.fingerprint} admits no run at this level"
             )
-        covered_vids = sorted(covered)
         old2new = {vid: i for i, vid in enumerate(covered_vids)}
         colors = [colors[vid] for vid in covered_vids]
         carrier_masks = [carrier_masks[vid] for vid in covered_vids]
@@ -341,11 +359,17 @@ def compile_level_packed(
         n = len(covered_vids)
         # Pass 2 (streaming): admitted tops, renumbered.  old2new is
         # monotone, so remapped tuples stay sorted.
-        tops_stream = (
-            (tuple(old2new[vid] for vid in top), mask)
-            for top, mask in iter_tops_with_masks(subdivision)
-            if flt.admits(top, mask)
-        )
+        if native:
+            tops_stream = (
+                (tuple(old2new[vid] for vid in top), mask)
+                for top, mask in iter_tops_with_masks(subdivision)
+            )
+        else:
+            tops_stream = (
+                (tuple(old2new[vid] for vid in top), mask)
+                for top, mask in iter_tops_with_masks(subdivision)
+                if flt.admits(top, mask)
+            )
 
     mask_to_simplex: dict[int, Simplex] = {}
 

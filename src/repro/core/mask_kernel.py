@@ -173,7 +173,7 @@ def _group_columns(cols: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
 
 
 def census_arrays(
-    subdivision, vertex_masks, *, collapse: bool = True
+    subdivision, vertex_masks, *, collapse: bool = True, admit=None, renumber=None
 ) -> tuple[dict[int, np.ndarray], CollapseReport]:
     """The face census as int32 row arrays — numpy twin of ``core_census``.
 
@@ -184,31 +184,78 @@ def census_arrays(
     census.  Output rows per arity are lexicographically sorted and
     deduplicated; the differential suite pins equality with the Python
     census tuple-for-tuple.
-    """
-    from itertools import combinations
 
+    ``admit`` (a ``(top, mask) -> bool`` predicate) drops inadmissible tops
+    before face extraction — the model-restricted compile's run filter.
+    ``renumber`` (an int32 lookup array over *stored* vids) remaps every
+    kept row into the covered-vid numbering; it is monotone on the covered
+    vids, so sorted-row order is preserved.  ``vertex_masks`` is indexed by
+    the *renumbered* ids.
+    """
     from repro.topology.collapse import iter_tops_with_masks
 
     _require(len(subdivision.base_colors) <= 64, "more than 64 base vertices")
     cm64 = np.array([int(m) for m in vertex_masks], dtype=np.uint64)
 
-    edge_parts: list[np.ndarray] = []
-    top_parts: dict[int, list[np.ndarray]] = {}
-    proper_rows: dict[int, list[np.ndarray]] = {}
-    proper_flags: dict[int, list[np.ndarray]] = {}
-    enumerated = 0
+    if hasattr(subdivision, "iter_shards"):
+        parts = census_parts_for_blocks(
+            subdivision.iter_shards(),
+            cm64,
+            collapse=collapse,
+            admit=admit,
+            renumber=renumber,
+        )
+    else:
+        parts = _CensusParts()
+        by_size: dict[int, list[tuple[tuple[int, ...], int]]] = {}
+        for top, mask in iter_tops_with_masks(subdivision):
+            if admit is not None and not admit(top, mask):
+                continue
+            by_size.setdefault(len(top), []).append((top, mask))
+        for k, pairs in sorted(by_size.items()):
+            if k < 2:
+                continue
+            rows = np.array([pair[0] for pair in pairs], dtype=np.int32)
+            if renumber is not None:
+                rows = renumber[rows]
+            union = np.array([int(pair[1]) for pair in pairs], dtype=np.uint64)
+            parts.visit(rows, union, cm64, collapse)
+    return merge_census_parts([parts])
 
-    def visit(tops_k: np.ndarray, union_k: np.ndarray) -> None:
-        nonlocal enumerated
+
+class _CensusParts:
+    """Partial face census of a set of top blocks, pre-merge.
+
+    Plain per-arity array lists plus the enumeration count — picklable, so
+    shard-parallel censuses ship their parts back from worker processes and
+    :func:`merge_census_parts` folds them.  The global sort/unique/OR-fold
+    in the merge is order-independent, so any partition of the blocks over
+    any number of workers merges to the bit-identical census.
+    """
+
+    __slots__ = ("edge_parts", "top_parts", "proper_rows", "proper_flags", "enumerated")
+
+    def __init__(self):
+        self.edge_parts: list[np.ndarray] = []
+        self.top_parts: dict[int, list[np.ndarray]] = {}
+        self.proper_rows: dict[int, list[np.ndarray]] = {}
+        self.proper_flags: dict[int, list[np.ndarray]] = {}
+        self.enumerated = 0
+
+    def visit(
+        self, tops_k: np.ndarray, union_k: np.ndarray, cm64: np.ndarray, collapse: bool
+    ) -> None:
+        from itertools import combinations
+
         k = tops_k.shape[1]
-        top_parts.setdefault(k, []).append(tops_k)
-        enumerated += tops_k.shape[0]
+        self.top_parts.setdefault(k, []).append(tops_k)
+        self.enumerated += tops_k.shape[0]
         for arity in range(2, k):
             for sel in combinations(range(k), arity):
                 rows = tops_k[:, sel]
-                enumerated += rows.shape[0]
+                self.enumerated += rows.shape[0]
                 if arity == 2:
-                    edge_parts.append(rows)
+                    self.edge_parts.append(rows)
                     continue
                 if collapse:
                     mask = cm64[rows[:, 0]]
@@ -217,33 +264,69 @@ def census_arrays(
                     flags = mask == union_k
                 else:
                     flags = np.zeros(rows.shape[0], dtype=bool)
-                proper_rows.setdefault(arity, []).append(rows)
-                proper_flags.setdefault(arity, []).append(flags)
+                self.proper_rows.setdefault(arity, []).append(rows)
+                self.proper_flags.setdefault(arity, []).append(flags)
 
-    if hasattr(subdivision, "iter_shards"):
-        for block in subdivision.iter_shards():
-            indptr = _np_i32(block.top_indptr)
-            indices = _np_i32(block.top_indices)
-            lengths = np.diff(indptr)
-            union = np.array([int(m) for m in block.union_masks], dtype=np.uint64)
-            for k in np.unique(lengths):
-                k = int(k)
-                if k < 2:
-                    continue
-                sel = np.flatnonzero(lengths == k)
-                starts = indptr[sel]
-                rows = indices[starts[:, None] + np.arange(k, dtype=np.int32)]
-                visit(rows, union[sel])
-    else:
-        by_size: dict[int, list[tuple[tuple[int, ...], int]]] = {}
-        for top, mask in iter_tops_with_masks(subdivision):
-            by_size.setdefault(len(top), []).append((top, mask))
-        for k, pairs in sorted(by_size.items()):
+
+def census_parts_for_blocks(
+    blocks, cm64: np.ndarray, *, collapse: bool = True, admit=None, renumber=None
+) -> _CensusParts:
+    """Face-census parts of an iterable of shard blocks (see ``census_arrays``)."""
+    parts = _CensusParts()
+    for block in blocks:
+        indptr = _np_i32(block.top_indptr)
+        indices = _np_i32(block.top_indices)
+        lengths = np.diff(indptr)
+        union = np.array([int(m) for m in block.union_masks], dtype=np.uint64)
+        if admit is not None:
+            keep = np.fromiter(
+                (
+                    admit(top, mask)
+                    for top, mask in zip(block.tops(), block.union_masks)
+                ),
+                dtype=bool,
+                count=block.top_count,
+            )
+        for k in np.unique(lengths):
+            k = int(k)
             if k < 2:
                 continue
-            rows = np.array([pair[0] for pair in pairs], dtype=np.int32)
-            union = np.array([int(pair[1]) for pair in pairs], dtype=np.uint64)
-            visit(rows, union)
+            match = lengths == k
+            if admit is not None:
+                match = match & keep
+            sel = np.flatnonzero(match)
+            if not len(sel):
+                continue
+            starts = indptr[sel]
+            rows = indices[starts[:, None] + np.arange(k, dtype=np.int32)]
+            if renumber is not None:
+                rows = renumber[rows]
+            parts.visit(rows, union[sel], cm64, collapse)
+    return parts
+
+
+def merge_census_parts(
+    parts_list: list[_CensusParts],
+) -> tuple[dict[int, np.ndarray], CollapseReport]:
+    """Fold census parts into the final ``(faces_by_arity, report)``.
+
+    The dedup and the implied-flag OR-fold are global across all parts, so
+    dropping a face still requires agreement with *every* containing top,
+    wherever its blocks were processed.
+    """
+    edge_parts: list[np.ndarray] = []
+    top_parts: dict[int, list[np.ndarray]] = {}
+    proper_rows: dict[int, list[np.ndarray]] = {}
+    proper_flags: dict[int, list[np.ndarray]] = {}
+    enumerated = 0
+    for parts in parts_list:
+        edge_parts.extend(parts.edge_parts)
+        enumerated += parts.enumerated
+        for k, chunks in parts.top_parts.items():
+            top_parts.setdefault(k, []).extend(chunks)
+        for arity, chunks in parts.proper_rows.items():
+            proper_rows.setdefault(arity, []).extend(chunks)
+            proper_flags.setdefault(arity, []).extend(parts.proper_flags[arity])
 
     faces_by_arity: dict[int, np.ndarray] = {}
     dropped = 0
@@ -284,6 +367,7 @@ def compile_arrays(
     collapse: bool = True,
     vertex_chain: list[Vertex] | None = None,
     model=None,
+    census: tuple[dict[int, np.ndarray], CollapseReport] | None = None,
 ) -> tuple[ArrayLevel, CollapseReport]:
     """Compile a packed/sharded level into :class:`ArrayLevel` form.
 
@@ -292,17 +376,18 @@ def compile_arrays(
     candidate order, same constraint census and order, same table rows —
     only the container is arrays instead of per-constraint Python lists.
 
-    Model-restricted compiles (``model`` non-identity) are not implemented
-    in array form; they raise :class:`UnsupportedByArrayKernel` so the
-    ``"auto"`` backend falls through to the int kernel, which carries the
-    restriction exactly.
+    ``model`` (non-identity) compiles the model-restricted level: on a
+    *native* restricted store (``subdivision.model_fingerprint`` matches)
+    the stored tops already are the admitted runs and the census stays
+    fully vectorized; on a full store the packed run filter judges each
+    top before face extraction.  Either way variables shrink to the
+    covered vids exactly as in the int kernel, so verdict, first map and
+    statistics stay backend-identical.  Raises
+    :class:`~repro.models.base.ModelRestrictionEmpty` when the model
+    admits no run at this level.
     """
     from repro.topology.compact import materialize_vertex_chain
 
-    _require(
-        model is None or model.is_identity,
-        f"model-restricted compile ({model.fingerprint if model is not None else ''})",
-    )
     base_verts = sorted(base.vertices, key=Vertex.sort_key)
     if tuple(v.color for v in base_verts) != tuple(subdivision.base_colors):
         raise ValueError("base complex colors do not match the packed subdivision")
@@ -315,6 +400,35 @@ def compile_arrays(
         chain = vertex_chain or materialize_vertex_chain(subdivision.levels, base_verts)
     carrier_masks = subdivision.carrier_masks
     n = len(carrier_masks)
+    admit = None
+    renumber = None
+    if model is not None and not model.is_identity:
+        from repro.models.base import ModelRestrictionEmpty
+        from repro.topology.collapse import covered_vids_of, iter_tops_with_masks
+
+        if getattr(subdivision, "model_fingerprint", None) == model.fingerprint:
+            covered_vids = covered_vids_of(subdivision)
+        else:
+            from repro.models.packed import run_filter
+
+            flt = run_filter(subdivision, model)
+            covered: set[int] = set()
+            for top, mask in iter_tops_with_masks(subdivision):
+                if flt.admits(top, mask):
+                    covered.update(top)
+            covered_vids = sorted(covered)
+            admit = flt.admits
+        if not covered_vids:
+            raise ModelRestrictionEmpty(
+                f"model {model.fingerprint} admits no run at this level"
+            )
+        if len(covered_vids) != n or admit is not None:
+            renumber = np.full(n, -1, dtype=np.int32)
+            renumber[covered_vids] = np.arange(len(covered_vids), dtype=np.int32)
+            colors_seq = [colors_seq[vid] for vid in covered_vids]
+            carrier_masks = [carrier_masks[vid] for vid in covered_vids]
+            chain = [chain[vid] for vid in covered_vids]
+            n = len(covered_vids)
     _require(all(mask < (1 << 64) for mask in carrier_masks), "carrier mask width")
     cm64 = np.array([int(m) for m in carrier_masks], dtype=np.uint64)
     colors = np.array(colors_seq, dtype=np.int32)
@@ -357,7 +471,14 @@ def compile_arrays(
     domains = domain_words[class_of]
     cands = [class_cands[c] for c in class_of]
 
-    faces_by_arity, report = census_arrays(subdivision, carrier_masks, collapse=collapse)
+    if census is not None:
+        # Precomputed (e.g. shard-parallel) census: already in the covered
+        # numbering, bit-identical to the serial one by the merge contract.
+        faces_by_arity, report = census
+    else:
+        faces_by_arity, report = census_arrays(
+            subdivision, carrier_masks, collapse=collapse, admit=admit, renumber=renumber
+        )
     level = ArrayLevel(
         chain,
         cands,

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.task import Task
+from repro.obs import OBS as _OBS
 from repro.obs import span as _obs_span
 from repro.topology.maps import SimplicialMap
 from repro.topology.simplex import Simplex
@@ -54,9 +55,11 @@ class SearchOptions:
       structures (no width limits; the differential oracle), ``"numpy"``
       compiles ``uint64`` arrays (:mod:`repro.core.mask_kernel`; raises
       :class:`~repro.core.mask_kernel.UnsupportedByArrayKernel` past a
-      64-bit word limit), and ``"auto"`` tries numpy and falls back to int.
-      Both backends produce the same verdict, the same first decision map
-      and the same search statistics.  Ignored by the non-sharded paths.
+      64-bit word limit), and ``"auto"`` tries numpy and falls back to int
+      (counting the degradation on the ``kernel.mask_fallback`` obs
+      counter).  Both backends carry model restrictions and produce the
+      same verdict, the same first decision map and the same search
+      statistics.  Ignored by the non-sharded paths.
     """
 
     arc_consistency: bool = True
@@ -170,6 +173,56 @@ def _probe_level(
     return mapping, report, subdivision if mapping is not None else None
 
 
+def _census_shard_chunk(
+    base_colors,
+    base_tops,
+    rounds: int,
+    shard_size: int,
+    directory,
+    model,
+    shard_indices: list[int],
+    collapse: bool,
+):
+    """Worker: face-census parts for one chunk of shard blocks.
+
+    Reopens the sharded store (a manifest cache hit — the parent persisted
+    it before fanning out), recomputes the deterministic covered-vid
+    renumbering, and streams only its assigned blocks through the array
+    census.  Parts merge order-independently in the parent
+    (:func:`repro.core.mask_kernel.merge_census_parts`), so any partition
+    of the shards yields the bit-identical compiled level.  Only native
+    restricted (or identity) stores are fanned out — a filter-on-full pass
+    would cost each worker a full store scan.
+    """
+    import numpy as np
+
+    from repro.core.mask_kernel import census_parts_for_blocks
+    from repro.topology.collapse import covered_vids_of
+    from repro.topology.shards import ensure_sharded
+
+    sharded = ensure_sharded(
+        base_colors,
+        base_tops,
+        rounds,
+        shard_size=shard_size,
+        directory=directory,
+        model=model,
+    )
+    carrier_masks = sharded.carrier_masks
+    renumber = None
+    if model is not None and not model.is_identity:
+        if sharded.model_fingerprint != model.fingerprint:
+            raise ValueError("parallel census requires a native restricted store")
+        covered_vids = covered_vids_of(sharded)
+        if len(covered_vids) != len(carrier_masks):
+            renumber = np.full(len(carrier_masks), -1, dtype=np.int32)
+            renumber[covered_vids] = np.arange(len(covered_vids), dtype=np.int32)
+            carrier_masks = [carrier_masks[vid] for vid in covered_vids]
+    cm64 = np.array([int(m) for m in carrier_masks], dtype=np.uint64)
+    blocks = (sharded.shard(index) for index in shard_indices)
+    return census_parts_for_blocks(blocks, cm64, collapse=collapse, renumber=renumber)
+
+
 def probe_level_sharded(
     task: Task,
     rounds: int,
@@ -180,6 +233,7 @@ def probe_level_sharded(
     directory=None,
     collapse: bool = True,
     model=None,
+    max_workers: int | None = None,
 ) -> tuple[dict[Vertex, Vertex] | None, LevelReport, dict]:
     """Out-of-core solvability probe of one level: sharded build, packed compile.
 
@@ -193,16 +247,26 @@ def probe_level_sharded(
     vertex order (``compile_level(..., vertex_order=chain)``).
 
     ``options.mask_backend`` picks the compile/search representation (see
-    :class:`SearchOptions`).  Returns ``(mapping, report, extras)`` where
+    :class:`SearchOptions`); when ``"auto"`` degrades from numpy to int the
+    ``kernel.mask_fallback`` obs counter records the perf cliff (surfaced
+    by ``repro stats``).  Returns ``(mapping, report, extras)`` where
     ``extras`` carries the collapse report, the backend actually used, and
     the sharded build handle.
 
-    ``model`` (non-identity) restricts the compiled level to the model's
-    admitted runs via the packed streaming filter — the array backend does
-    not carry restrictions, so ``"auto"`` falls through to the int kernel
-    (``"numpy"`` raises).  Raises
+    ``model`` (non-identity) probes the model's restricted subcomplex
+    *natively*: the sharded store itself is built orbit-pruned
+    (:func:`repro.topology.shards.build_sds_sharded` with ``model=``), so
+    inadmissible runs are never written, and both mask backends compile it
+    without a run filter.  Raises
     :class:`~repro.models.base.ModelRestrictionEmpty` when the model admits
     no run at this level.
+
+    ``max_workers`` (> 1) fans the per-shard face census across a process
+    pool — each worker reopens the store from cache and censuses a
+    contiguous chunk of shards; the merged census is bit-identical to the
+    serial one, so verdict, first map and statistics are unchanged.  Used
+    by the numpy backend; the int backend (the differential oracle) stays
+    serial.
     """
     from repro.core.csp_kernel import compile_level_packed, kernel_search
     from repro.topology.compact import CompactComplex
@@ -214,33 +278,78 @@ def probe_level_sharded(
     span = _obs_span("solve.level.sharded", task=task.name, rounds=rounds)
     with span:
         frozen = CompactComplex.freeze(task.input_complex)
+        base_colors = tuple(frozen.colors)
+        base_tops = tuple(frozen.tops())
+        resolved_shard_size = shard_size or DEFAULT_SHARD_SIZE
         sharded = ensure_sharded(
-            tuple(frozen.colors),
-            tuple(frozen.tops()),
+            base_colors,
+            base_tops,
             rounds,
-            shard_size=shard_size or DEFAULT_SHARD_SIZE,
+            shard_size=resolved_shard_size,
             directory=directory,
+            model=model,
         )
         started = time.perf_counter()
         compiled = None
         search = kernel_search
         used = "int"
+        census_workers = 0
         if backend in ("numpy", "auto"):
             from repro.core.mask_kernel import (
                 UnsupportedByArrayKernel,
                 array_search,
                 compile_arrays,
+                merge_census_parts,
             )
 
+            census = None
+            if (
+                max_workers is not None
+                and max_workers > 1
+                and sharded.shard_count > 1
+                and len(base_colors) <= 64
+            ):
+                from concurrent.futures import ProcessPoolExecutor
+
+                n_workers = min(max_workers, sharded.shard_count)
+                indices = [record[0] for record in sharded.shard_records]
+                chunks = [indices[i::n_workers] for i in range(n_workers)]
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, initializer=_warm_worker
+                ) as ex:
+                    futures = [
+                        ex.submit(
+                            _census_shard_chunk,
+                            base_colors,
+                            base_tops,
+                            rounds,
+                            resolved_shard_size,
+                            str(sharded.directory),
+                            model,
+                            chunk,
+                            collapse,
+                        )
+                        for chunk in chunks
+                    ]
+                    parts = [future.result() for future in futures]
+                census = merge_census_parts(parts)
+                census_workers = n_workers
             try:
                 compiled, collapse_report = compile_arrays(
-                    sharded, task, task.input_complex, collapse=collapse, model=model
+                    sharded,
+                    task,
+                    task.input_complex,
+                    collapse=collapse,
+                    model=model,
+                    census=census,
                 )
                 search = array_search
                 used = "numpy"
             except UnsupportedByArrayKernel:
                 if backend == "numpy":
                     raise
+                if _OBS.enabled:
+                    _OBS.metrics.counter("kernel.mask_fallback").inc()
         if compiled is None:
             compiled, collapse_report = compile_level_packed(
                 sharded, task, task.input_complex, collapse=collapse, model=model
@@ -269,6 +378,7 @@ def probe_level_sharded(
         "collapse": collapse_report,
         "sharded": sharded,
         "shards": sharded.shard_count,
+        "census_workers": census_workers,
     }
     return mapping, report, extras
 

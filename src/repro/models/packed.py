@@ -74,7 +74,14 @@ class PackedRunFilter:
         self._memo: dict[tuple[int, tuple[int, ...]], bool] = {}
 
     def admits(self, top: tuple[int, ...], carrier_union_mask: int) -> bool:
-        """Admit the run this (final-level) top encodes?"""
+        """Admit the run this (final-level) top encodes?
+
+        The final round is decomposed inline and NOT memoized: each final
+        top is its own memo key, so caching it would grow the memo to
+        top-scale — which breaks the out-of-core contract when the filter
+        streams a 31M-top shard store.  Only ancestor verdicts (shared by
+        sibling tops, vertex-scale many) enter the memo.
+        """
         participants = frozenset(
             self.base_colors[i]
             for i in range(carrier_union_mask.bit_length())
@@ -82,7 +89,30 @@ class PackedRunFilter:
         )
         if not self.model.keep_participation(participants, self.n_colors):
             return False
-        return self._admits(len(self.levels), tuple(top))
+        blocks, parent = self._round_blocks(len(self.levels), tuple(top))
+        return self.model.keep_round(blocks) and self._admits(
+            len(self.levels) - 1, parent
+        )
+
+    def _round_blocks(
+        self, r: int, members: tuple[int, ...]
+    ) -> tuple[tuple[tuple[int, ...], ...], tuple[int, ...]]:
+        """Round ``r``'s ordered partition of ``members`` and its parent top.
+
+        Distinct views form a chain, so sorting by size orders the
+        concurrency classes; each class is a view minus its predecessor, and
+        the largest view is the round ``r - 1`` parent top.
+        """
+        views = self.levels[r - 1][1]
+        prev_colors = self._prev_colors[r - 1]
+        distinct = sorted({views[vid] for vid in members}, key=len)
+        blocks = []
+        seen: set[int] = set()
+        for view in distinct:
+            fresh = [vid for vid in view if vid not in seen]
+            blocks.append(tuple(sorted(prev_colors[vid] for vid in fresh)))
+            seen.update(view)
+        return tuple(blocks), distinct[-1]
 
     def _admits(self, r: int, members: tuple[int, ...]) -> bool:
         if r == 0:
@@ -91,19 +121,8 @@ class PackedRunFilter:
         hit = self._memo.get(key)
         if hit is not None:
             return hit
-        views = self.levels[r - 1][1]
-        prev_colors = self._prev_colors[r - 1]
-        # The ordered partition of round r: distinct views form a chain, so
-        # sorting by size orders the concurrency classes; each class is a
-        # view minus its predecessor.
-        distinct = sorted({views[vid] for vid in members}, key=len)
-        blocks = []
-        seen: set[int] = set()
-        for view in distinct:
-            fresh = [vid for vid in view if vid not in seen]
-            blocks.append(tuple(sorted(prev_colors[vid] for vid in fresh)))
-            seen.update(view)
-        ok = self.model.keep_round(tuple(blocks)) and self._admits(r - 1, distinct[-1])
+        blocks, parent = self._round_blocks(r, members)
+        ok = self.model.keep_round(blocks) and self._admits(r - 1, parent)
         self._memo[key] = ok
         return ok
 
@@ -198,6 +217,88 @@ def _admitted_templates(
     return entry
 
 
+def advance_round_restricted(
+    tops: list[tuple[int, ...]],
+    colors: list[int],
+    carrier_masks: list[int],
+    model: Model,
+    admit_memo: dict,
+) -> tuple[list[int], list[tuple[int, ...]], list[int], list[tuple[int, ...]]]:
+    """One model-pruned subdivision round over packed arrays.
+
+    The restricted mirror of :func:`repro.topology.compact.advance_round`:
+    per input top, only templates whose ordered partition the model admits
+    are emitted, and only the vertices those templates touch are
+    instantiated — in the same needed-pair discovery order as
+    :func:`build_sds_packed_restricted`, whose per-round loop this *is*
+    (extracted so the streaming shard builder shares the id assignment by
+    construction).  Returns ``(colors, views, carrier_masks, tops)`` of the
+    new round; participation is a whole-run fact and is NOT applied here.
+    """
+    new_colors: list[int] = []
+    new_views: list[tuple[int, ...]] = []
+    new_masks: list[int] = []
+    key_to_id: dict[tuple[int, tuple[int, ...]], int] = {}
+    key_get = key_to_id.get
+    new_tops: list[tuple[int, ...]] = []
+    extend_tops = new_tops.extend
+    for top in tops:
+        member_colors = tuple(colors[vid] for vid in top)
+        admitted, needed_pairs, needed_prefixes = _admitted_templates(
+            model, member_colors, admit_memo
+        )
+        if not admitted:
+            continue
+        tables = packed_tables(len(top))
+        prefix_getters = tables.prefix_getters
+        prefixes = [()] * len(prefix_getters)
+        for prefix_id in needed_prefixes:
+            prefixes[prefix_id] = prefix_getters[prefix_id](top)
+        pair_info = tables.pair_info
+        local = [0] * tables.n_pairs
+        for local_id in needed_pairs:
+            member_index, prefix_id = pair_info[local_id]
+            prefix = prefixes[prefix_id]
+            key = (top[member_index], prefix)
+            vertex_id = key_get(key)
+            if vertex_id is None:
+                vertex_id = len(new_colors)
+                key_to_id[key] = vertex_id
+                new_colors.append(colors[top[member_index]])
+                new_views.append(prefix)
+                mask = 0
+                for i in prefix:
+                    mask |= carrier_masks[i]
+                new_masks.append(mask)
+            local[local_id] = vertex_id
+        getters = tables.template_getters
+        extend_tops(getters[t](local) for t in admitted)
+    return new_colors, new_views, new_masks, new_tops
+
+
+def participation_mask_filter(model: Model, base_colors: tuple[int, ...]):
+    """A memoized ``carrier-union mask -> keep_participation`` predicate.
+
+    Participation depends only on the run's carrier-union bitmask, and a
+    level has few distinct masks, so the builder-side filters evaluate the
+    model once per mask instead of once per top.
+    """
+    n_colors = len(set(base_colors))
+    memo: dict[int, bool] = {}
+
+    def admits(mask: int) -> bool:
+        ok = memo.get(mask)
+        if ok is None:
+            participants = frozenset(
+                base_colors[i] for i in range(mask.bit_length()) if mask >> i & 1
+            )
+            ok = model.keep_participation(participants, n_colors)
+            memo[mask] = ok
+        return ok
+
+    return admits
+
+
 def build_sds_packed_restricted(
     base_colors: tuple[int, ...],
     base_tops: tuple[tuple[int, ...], ...],
@@ -223,7 +324,6 @@ def build_sds_packed_restricted(
     tops = [tuple(top) for top in base_tops]
     carrier_masks: list[int] = [1 << i for i in range(len(base_colors))]
     colors = list(base_colors)
-    n_colors = len(set(base_colors))
     levels = []
     admit_memo: dict[tuple[int, ...], tuple[int, ...]] = {}
     gc_was_enabled = gc.isenabled()
@@ -231,58 +331,20 @@ def build_sds_packed_restricted(
         gc.disable()
     try:
         for _ in range(rounds):
-            new_colors: list[int] = []
-            new_views: list[tuple[int, ...]] = []
-            new_masks: list[int] = []
-            key_to_id: dict[tuple[int, tuple[int, ...]], int] = {}
-            key_get = key_to_id.get
-            new_tops: list[tuple[int, ...]] = []
-            extend_tops = new_tops.extend
-            for top in tops:
-                member_colors = tuple(colors[vid] for vid in top)
-                admitted, needed_pairs, needed_prefixes = _admitted_templates(
-                    model, member_colors, admit_memo
-                )
-                if not admitted:
-                    continue
-                tables = packed_tables(len(top))
-                prefix_getters = tables.prefix_getters
-                prefixes = [()] * len(prefix_getters)
-                for prefix_id in needed_prefixes:
-                    prefixes[prefix_id] = prefix_getters[prefix_id](top)
-                pair_info = tables.pair_info
-                local = [0] * tables.n_pairs
-                for local_id in needed_pairs:
-                    member_index, prefix_id = pair_info[local_id]
-                    prefix = prefixes[prefix_id]
-                    key = (top[member_index], prefix)
-                    vertex_id = key_get(key)
-                    if vertex_id is None:
-                        vertex_id = len(new_colors)
-                        key_to_id[key] = vertex_id
-                        new_colors.append(colors[top[member_index]])
-                        new_views.append(prefix)
-                        mask = 0
-                        for i in prefix:
-                            mask |= carrier_masks[i]
-                        new_masks.append(mask)
-                    local[local_id] = vertex_id
-                getters = tables.template_getters
-                extend_tops(getters[t](local) for t in admitted)
-            colors, carrier_masks, tops = new_colors, new_masks, new_tops
+            colors, new_views, carrier_masks, tops = advance_round_restricted(
+                tops, colors, carrier_masks, model, admit_memo
+            )
             levels.append((tuple(colors), tuple(new_views)))
     finally:
         if gc_was_enabled:
             gc.enable()
+    participation_ok = participation_mask_filter(model, tuple(base_colors))
     kept = []
     for top in tops:
         mask = 0
         for vid in top:
             mask |= carrier_masks[vid]
-        participants = frozenset(
-            base_colors[i] for i in range(mask.bit_length()) if mask >> i & 1
-        )
-        if model.keep_participation(participants, n_colors):
+        if participation_ok(mask):
             kept.append(top)
     if not kept:
         raise ModelRestrictionEmpty(

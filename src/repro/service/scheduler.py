@@ -168,7 +168,7 @@ class BatchingScheduler:
             model = canonical_model(request.get("model"))
             max_rounds = request["max_rounds"]
             if max_rounds >= 1:
-                await self._ensure_substrate(key, name, args, max_rounds)
+                await self._ensure_substrate(key, name, args, max_rounds, model)
             if _OBS.enabled:
                 _OBS.metrics.counter("svc.probe.executed").inc()
             started = loop.time()
@@ -227,19 +227,27 @@ class BatchingScheduler:
             self._inflight.pop(key, None)
 
     async def _ensure_substrate(
-        self, key: tuple, name: str, args: tuple[int, ...], rounds: int
+        self,
+        key: tuple,
+        name: str,
+        args: tuple[int, ...],
+        rounds: int,
+        model: tuple[str, tuple[int, ...]] | None = None,
     ) -> None:
-        """One warm pass per (base structure, rounds), shared by every query.
+        """One warm pass per (base structure, rounds, model), shared by every query.
 
         The structure key is computed once per canonical query (it needs the
         task's input complex, which is cheap to build server-side) and the
         gate future is shared across *tasks*: any two specs over the same
-        base coalesce onto the same ``SDS^b`` build.
+        base coalesce onto the same ``SDS^b`` build.  Non-identity models
+        gate separately (their warm also builds the ``.m-{slug}`` restricted
+        store), so model queries of the same base coalesce with each other
+        but never skip the restricted warm by riding an identity gate.
         """
         loop = asyncio.get_running_loop()
         structure = self._substrate_keys.get(key)
         if structure is None:
-            structure = substrate_key(name, args, rounds)
+            structure = substrate_key(name, args, rounds, model)
             self._substrate_keys[key] = structure
         gate = self._substrate_gates.get(structure)
         if gate is None:
@@ -249,7 +257,7 @@ class BatchingScheduler:
                 _OBS.metrics.counter("svc.substrate.warmed").inc()
             try:
                 await loop.run_in_executor(
-                    self.executor, warm_substrate, name, args, rounds
+                    self.executor, warm_substrate, name, args, rounds, model
                 )
             except BaseException as exc:  # noqa: BLE001 - unblock waiters
                 self._substrate_gates.pop(structure, None)

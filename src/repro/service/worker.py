@@ -51,26 +51,50 @@ def report_dict(report: LevelReport) -> dict[str, Any]:
     }
 
 
-def substrate_key(name: str, args: tuple[int, ...], rounds: int) -> str:
+def substrate_key(
+    name: str,
+    args: tuple[int, ...],
+    rounds: int,
+    model: tuple[str, tuple[int, ...]] | None = None,
+) -> str:
     """The persistent-cache structure key of a spec's level substrate.
 
     Two specs whose input complexes are structurally identical (e.g.
     ``set_consensus(3, 2)`` and ``set_consensus(3, 3)``) map to the same
     key, so the scheduler coalesces their substrate warm passes as well.
+    Non-identity models extend the key with the model fingerprint — their
+    warm pass additionally builds the restricted packed store, so it must
+    not coalesce with (or be satisfied by) a plain full-build warm.
     """
     from repro.topology.compact import CompactComplex
     from repro.topology.sds_cache import structure_key
 
+    probe_model = _resolve_probe_model(model)
+    fingerprint = None if probe_model is None else probe_model.fingerprint
     frozen = CompactComplex.freeze(resolve_task(name, args).input_complex)
-    return structure_key(tuple(frozen.colors), tuple(frozen.tops()), rounds)
+    return structure_key(
+        tuple(frozen.colors),
+        tuple(frozen.tops()),
+        rounds,
+        model_fingerprint=fingerprint,
+    )
 
 
-def warm_substrate(name: str, args: tuple[int, ...], rounds: int) -> bool:
+def warm_substrate(
+    name: str,
+    args: tuple[int, ...],
+    rounds: int,
+    model: tuple[str, tuple[int, ...]] | None = None,
+) -> bool:
     """Build (or disk-hit) ``SDS^rounds`` of a spec's input complex.
 
     Runs in a worker so the event loop never blocks on a build; the packed
     result lands in the shared persistent store, turning every subsequent
     probe of the same ``(base, rounds)`` — from any worker — into a load.
+    For a non-identity ``model`` the warm additionally loads-or-builds the
+    orbit-pruned restricted packed store (``.m-{slug}`` cache entry), so
+    model queries land on a warm restricted substrate instead of each
+    worker re-deriving it.
     """
     from repro.topology.standard_chromatic import (
         iterated_standard_chromatic_subdivision,
@@ -78,6 +102,21 @@ def warm_substrate(name: str, args: tuple[int, ...], rounds: int) -> bool:
 
     task = resolve_task(name, args)
     iterated_standard_chromatic_subdivision(task.input_complex, rounds)
+    probe_model = _resolve_probe_model(model)
+    if probe_model is not None:
+        from repro.models.base import ModelRestrictionEmpty
+        from repro.models.packed import ensure_restricted
+        from repro.topology.compact import CompactComplex
+
+        frozen = CompactComplex.freeze(task.input_complex)
+        try:
+            ensure_restricted(
+                tuple(frozen.colors), tuple(frozen.tops()), rounds, probe_model
+            )
+        except ModelRestrictionEmpty:
+            # An empty restriction is the probe's verdict to report, not a
+            # warm failure; the full build above is still the substrate.
+            pass
     return True
 
 

@@ -60,6 +60,26 @@ def iter_tops_with_masks(subdivision) -> Iterator[tuple[tuple[int, ...], int]]:
         yield top, mask
 
 
+def covered_vids_of(subdivision) -> list[int]:
+    """Vids incident to at least one top, in vid (= discovery) order.
+
+    On a full build every instantiated vertex is covered; on a
+    model-restricted build the participation filter can drop *every* top of
+    a vertex that admitted templates instantiated, and such isolated
+    vertices must not become CSP variables (their domains are computed from
+    a carrier no admitted run realizes).  Sharded stores answer from the
+    precomputed global star counts without touching a shard; compact builds
+    stream their in-RAM top list.
+    """
+    star_counts = getattr(subdivision, "star_counts", None)
+    if star_counts is not None:
+        return [vid for vid, count in enumerate(star_counts) if count]
+    covered: set[int] = set()
+    for top in subdivision.tops:
+        covered.update(top)
+    return sorted(covered)
+
+
 @dataclass(frozen=True)
 class CollapseReport:
     """Face accounting of one constraint-core census."""

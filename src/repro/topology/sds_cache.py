@@ -103,12 +103,42 @@ def shard_store_key(structure_key_: str, shard_size: int) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def manifest_path(directory: Path, store_key: str) -> Path:
+def manifest_path(
+    directory: Path, store_key: str, model_slug: str | None = None
+) -> Path:
+    # Model-restricted shard sets carry their slug in the filename, exactly
+    # like ``.m-{slug}.sds`` entries, so shard accounting can attribute a
+    # set to its model without reading the manifest blob; iis sets keep the
+    # exact pre-model name (byte-identical files).
+    if model_slug is not None and model_slug != "iis":
+        return (
+            directory
+            / f"{SCHEMA}-r{ENGINE_REV}-{store_key[:40]}.m-{model_slug}.manifest"
+        )
     return directory / f"{SCHEMA}-r{ENGINE_REV}-{store_key[:40]}.manifest"
 
 
-def shard_path(directory: Path, store_key: str, index: int) -> Path:
+def shard_path(
+    directory: Path, store_key: str, index: int, model_slug: str | None = None
+) -> Path:
+    if model_slug is not None and model_slug != "iis":
+        return (
+            directory
+            / f"{SCHEMA}-r{ENGINE_REV}-{store_key[:40]}.m-{model_slug}.shard{index:05d}"
+        )
     return directory / f"{SCHEMA}-r{ENGINE_REV}-{store_key[:40]}.shard{index:05d}"
+
+
+def shard_file_model_slug(path: Path) -> str:
+    """The model slug encoded in a manifest/shard filename (``"iis"`` if none)."""
+    stem = path.name
+    if stem.endswith(".manifest"):
+        stem = stem[: -len(".manifest")]
+    else:
+        cut = stem.rfind(".shard")
+        if cut != -1:
+            stem = stem[:cut]
+    return stem.split(".m-", 1)[1] if ".m-" in stem else "iis"
 
 
 def _touch(path: Path) -> None:
@@ -219,6 +249,7 @@ def cache_info() -> dict:
         "shard_files": 0,
         "shard_bytes": 0,
         "models": {},
+        "shard_models": {},
     }
     if directory is None or not directory.is_dir():
         return info
@@ -236,6 +267,8 @@ def cache_info() -> dict:
         bucket["bytes"] += size
     for group in _shard_sets(directory):
         counted = False
+        set_bytes = 0
+        set_files = 0
         for path in group:
             try:
                 size = path.stat().st_size
@@ -243,9 +276,17 @@ def cache_info() -> dict:
                 continue
             info["shard_bytes"] += size
             info["shard_files"] += 1
+            set_bytes += size
+            set_files += 1
             counted = True
         if counted:
             info["shard_sets"] += 1
+            bucket = info["shard_models"].setdefault(
+                shard_file_model_slug(group[0]), {"sets": 0, "files": 0, "bytes": 0}
+            )
+            bucket["sets"] += 1
+            bucket["files"] += set_files
+            bucket["bytes"] += set_bytes
     return info
 
 
@@ -265,7 +306,7 @@ def clear_cache() -> int:
     return removed
 
 
-def prune(max_bytes: int) -> dict:
+def prune(max_bytes: int, *, model_slug: str | None = None) -> dict:
     """Evict least-recently-used cache units until the total fits the budget.
 
     A *unit* is either one ``.sds`` entry or one whole shard set (manifest
@@ -273,6 +314,11 @@ def prune(max_bytes: int) -> dict:
     one).  Recency is file mtime: loads and shard opens touch their files,
     so mtime order is LRU order without any sidecar state.  Returns an
     accounting dict; a disabled or missing cache prunes nothing.
+
+    ``model_slug`` restricts the sweep to one model's units (entries *and*
+    shard sets; ``"iis"`` selects the unrestricted ones): only that model's
+    bytes count against the budget and only its units are evicted — the
+    surgical form of "this model's restricted builds grew too big".
     """
     if max_bytes < 0:
         raise ValueError("prune requires max_bytes >= 0")
@@ -284,16 +330,22 @@ def prune(max_bytes: int) -> dict:
         "kept_units": 0,
         "kept_bytes": 0,
     }
+    if model_slug is not None:
+        report["model_slug"] = model_slug
     if directory is None or not directory.is_dir():
         return report
     units: list[tuple[float, int, list[Path]]] = []
     for path in _entries(directory):
+        if model_slug is not None and entry_model_slug(path) != model_slug:
+            continue
         try:
             stat = path.stat()
         except OSError:
             continue
         units.append((stat.st_mtime, stat.st_size, [path]))
     for group in _shard_sets(directory):
+        if model_slug is not None and shard_file_model_slug(group[0]) != model_slug:
+            continue
         mtime = 0.0
         total = 0
         paths = []

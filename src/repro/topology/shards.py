@@ -220,6 +220,8 @@ class ShardedSubdivision:
         "shard_records",
         "directory",
         "store_key",
+        "model_fingerprint",
+        "model_slug",
         "_tmpdir",
     )
 
@@ -238,6 +240,8 @@ class ShardedSubdivision:
         directory,
         store_key,
         tmpdir=None,
+        model_fingerprint=None,
+        model_slug=None,
     ):
         self.base_colors = tuple(base_colors)
         self.base_tops = tuple(base_tops)
@@ -251,6 +255,8 @@ class ShardedSubdivision:
         self.shard_records = tuple(shard_records)
         self.directory = directory
         self.store_key = store_key
+        self.model_fingerprint = model_fingerprint
+        self.model_slug = model_slug
         self._tmpdir = tmpdir  # keeps a TemporaryDirectory alive if cache is off
 
     @property
@@ -262,7 +268,9 @@ class ShardedSubdivision:
         return len(self.shard_records)
 
     def shard(self, index: int) -> ShardBlock:
-        path = sds_cache.shard_path(self.directory, self.store_key, index)
+        path = sds_cache.shard_path(
+            self.directory, self.store_key, index, self.model_slug
+        )
         block = ShardBlock.from_payload(_read_blob(path), self.store_key)
         if block.index != index:
             raise ValueError(f"shard file {path} carries index {block.index}")
@@ -358,6 +366,7 @@ def build_sds_sharded(
     *,
     shard_size: int = DEFAULT_SHARD_SIZE,
     directory=None,
+    model=None,
 ) -> ShardedSubdivision:
     """Stream-build ``SDS^rounds`` into on-disk shard blocks.
 
@@ -367,21 +376,55 @@ def build_sds_sharded(
     The final round runs the same discovery loop but flushes every
     ``shard_size`` emitted tops into a shard file, so final-top residency
     never exceeds one block.
+
+    With a non-identity ``model``, the whole build runs the orbit-pruned
+    discovery of :func:`repro.models.packed.build_sds_packed_restricted`
+    instead: rejected rounds never instantiate their subtree, and final
+    tops are participation-filtered *before* they enter the flush buffer,
+    so a ``t_resilient(1)`` build at ``(3, 4)`` writes the restricted
+    complex directly rather than materializing 31.6M tops and filtering.
+    The shard set is keyed and named per model (the ``.m-<slug>`` segment,
+    like restricted ``.sds`` entries); identity manifests stay
+    byte-identical to the pre-model layout.  Raises
+    :class:`~repro.models.base.ModelRestrictionEmpty` when the model admits
+    no run of this complex.
     """
     if rounds < 1:
         raise ValueError("build_sds_sharded requires rounds >= 1")
     if shard_size < 1:
         raise ValueError("build_sds_sharded requires shard_size >= 1")
+    restricted = model is not None and not model.is_identity
+    model_fingerprint = model.fingerprint if restricted else None
+    model_slug = model.slug if restricted else None
     target, guard = _resolve_directory(directory)
-    key = sds_cache.structure_key(base_colors, base_tops, rounds)
+    key = sds_cache.structure_key(
+        base_colors, base_tops, rounds, model_fingerprint=model_fingerprint
+    )
     store_key = sds_cache.shard_store_key(key, shard_size)
+
+    if restricted:
+        from repro.models.packed import (
+            _admitted_templates,
+            advance_round_restricted,
+            participation_mask_filter,
+        )
+
+        admit_memo: dict = {}
+        participation_ok = participation_mask_filter(model, tuple(base_colors))
 
     tops = [tuple(top) for top in base_tops]
     carrier_masks: list[int] = [1 << i for i in range(len(base_colors))]
     colors: list[int] = list(base_colors)
     lower_levels: list[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]] = []
     for _ in range(rounds - 1):
-        colors, views, carrier_masks, tops = advance_round(tops, colors, carrier_masks)
+        if restricted:
+            colors, views, carrier_masks, tops = advance_round_restricted(
+                tops, colors, carrier_masks, model, admit_memo
+            )
+        else:
+            colors, views, carrier_masks, tops = advance_round(
+                tops, colors, carrier_masks
+            )
         lower_levels.append((tuple(colors), tuple(views)))
 
     # Final round: the advance_round discovery loop, inlined so tops flush.
@@ -396,10 +439,16 @@ def build_sds_sharded(
     flushed_tops = 0
     flushed_vids = 0
 
-    def flush() -> None:
+    def flush(final: bool = False) -> None:
         nonlocal flushed_tops, flushed_vids
         if not buffer:
-            return
+            # A trailing zero-top block still claims ownership of vids that
+            # were instantiated after the last flush (restricted builds can
+            # drop every top of a late vertex to participation) — without
+            # it those vids would belong to no shard and the owned-range
+            # reassembly (final_views / vertex_chain) would break.
+            if not (final and len(new_colors) > flushed_vids):
+                return
         index = len(shard_records)
         top_lo = flushed_tops
         vid_lo = flushed_vids
@@ -440,7 +489,7 @@ def build_sds_sharded(
             star_indptr,
             star_tops,
         )
-        path = sds_cache.shard_path(target, store_key, index)
+        path = sds_cache.shard_path(target, store_key, index, model_slug)
         nbytes = _write_blob(path, block.to_payload(store_key))
         shard_records.append((index, top_lo, top_lo + len(buffer), vid_lo, vid_hi, nbytes))
         flushed_tops += len(buffer)
@@ -450,29 +499,87 @@ def build_sds_sharded(
             _OBS.metrics.counter("sds.shards.written").inc()
 
     started = time.perf_counter()
-    for top in tops:
-        tables = packed_tables(len(top))
-        prefixes = [getter(top) for getter in tables.prefix_getters]
-        local = [0] * tables.n_pairs
-        for local_id, (member_index, prefix_id) in enumerate(tables.pair_info):
-            prefix = prefixes[prefix_id]
-            pair_key = (top[member_index], prefix)
-            vertex_id = key_get(pair_key)
-            if vertex_id is None:
-                vertex_id = len(new_colors)
-                key_to_id[pair_key] = vertex_id
-                new_colors.append(colors[top[member_index]])
-                new_views.append(prefix)
+    if restricted:
+        # The advance_round_restricted discovery loop, inlined so kept tops
+        # flush: only admitted templates are instantiated, and each
+        # candidate top passes the (mask-memoized) participation filter
+        # before it may enter the buffer.
+        for top in tops:
+            member_colors = tuple(colors[vid] for vid in top)
+            admitted, needed_pairs, needed_prefixes = _admitted_templates(
+                model, member_colors, admit_memo
+            )
+            if not admitted:
+                continue
+            tables = packed_tables(len(top))
+            prefix_getters = tables.prefix_getters
+            prefixes = [()] * len(prefix_getters)
+            for prefix_id in needed_prefixes:
+                prefixes[prefix_id] = prefix_getters[prefix_id](top)
+            pair_info = tables.pair_info
+            local = [0] * tables.n_pairs
+            for local_id in needed_pairs:
+                member_index, prefix_id = pair_info[local_id]
+                prefix = prefixes[prefix_id]
+                pair_key = (top[member_index], prefix)
+                vertex_id = key_get(pair_key)
+                if vertex_id is None:
+                    vertex_id = len(new_colors)
+                    key_to_id[pair_key] = vertex_id
+                    new_colors.append(colors[top[member_index]])
+                    new_views.append(prefix)
+                    mask = 0
+                    for i in prefix:
+                        mask |= carrier_masks[i]
+                    new_masks.append(mask)
+                    star_counts.append(0)
+                local[local_id] = vertex_id
+            getters = tables.template_getters
+            for t in admitted:
+                candidate = getters[t](local)
                 mask = 0
-                for i in prefix:
-                    mask |= carrier_masks[i]
-                new_masks.append(mask)
-                star_counts.append(0)
-            local[local_id] = vertex_id
-        buffer.extend(getter(local) for getter in tables.template_getters)
-        if len(buffer) >= shard_size:
-            flush()
-    flush()
+                for vid in candidate:
+                    mask |= new_masks[vid]
+                if participation_ok(mask):
+                    buffer.append(candidate)
+            if len(buffer) >= shard_size:
+                flush()
+    else:
+        for top in tops:
+            tables = packed_tables(len(top))
+            prefixes = [getter(top) for getter in tables.prefix_getters]
+            local = [0] * tables.n_pairs
+            for local_id, (member_index, prefix_id) in enumerate(tables.pair_info):
+                prefix = prefixes[prefix_id]
+                pair_key = (top[member_index], prefix)
+                vertex_id = key_get(pair_key)
+                if vertex_id is None:
+                    vertex_id = len(new_colors)
+                    key_to_id[pair_key] = vertex_id
+                    new_colors.append(colors[top[member_index]])
+                    new_views.append(prefix)
+                    mask = 0
+                    for i in prefix:
+                        mask |= carrier_masks[i]
+                    new_masks.append(mask)
+                    star_counts.append(0)
+                local[local_id] = vertex_id
+            buffer.extend(getter(local) for getter in tables.template_getters)
+            if len(buffer) >= shard_size:
+                flush()
+    flush(final=True)
+
+    if restricted and flushed_tops == 0:
+        from repro.models.base import ModelRestrictionEmpty
+
+        for record in shard_records:
+            try:
+                sds_cache.shard_path(target, store_key, record[0], model_slug).unlink()
+            except OSError:
+                pass
+        raise ModelRestrictionEmpty(
+            f"model {model.fingerprint} admits no run of this complex"
+        )
 
     sharded = ShardedSubdivision(
         tuple(base_colors),
@@ -488,6 +595,8 @@ def build_sds_sharded(
         target,
         store_key,
         tmpdir=guard,
+        model_fingerprint=model_fingerprint,
+        model_slug=model_slug,
     )
     manifest = (
         SHARD_SCHEMA,
@@ -505,7 +614,11 @@ def build_sds_sharded(
         sharded.top_count,
         sharded.shard_records,
     )
-    _write_blob(sds_cache.manifest_path(target, store_key), manifest)
+    if restricted:
+        # Identity manifests stay byte-identical 14-tuples; restricted sets
+        # append the fingerprint so an open can never cross models.
+        manifest = manifest + (model_fingerprint,)
+    _write_blob(sds_cache.manifest_path(target, store_key, model_slug), manifest)
     if _OBS.enabled:
         _OBS.metrics.counter("sds.shards.builds").inc()
         _OBS.metrics.histogram("sds.shards.build_seconds").observe(
@@ -521,36 +634,46 @@ def open_sharded(
     *,
     shard_size: int = DEFAULT_SHARD_SIZE,
     directory=None,
+    model=None,
 ) -> ShardedSubdivision | None:
     """Open an existing sharded build, or ``None`` on any mismatch.
 
     Mirrors :func:`repro.topology.sds_cache.load`: every failure mode is a
     miss.  A successful open touches the manifest and shard files so LRU
-    pruning sees the set as recently used.
+    pruning sees the set as recently used.  With a non-identity ``model``
+    the model-keyed manifest is opened instead, and its trailing
+    fingerprint must match exactly.
     """
+    restricted = model is not None and not model.is_identity
+    model_fingerprint = model.fingerprint if restricted else None
+    model_slug = model.slug if restricted else None
     if directory is not None:
         target = Path(directory)
     else:
         target = sds_cache.cache_dir()
     if target is None or not target.is_dir():
         return None
-    key = sds_cache.structure_key(base_colors, base_tops, rounds)
+    key = sds_cache.structure_key(
+        base_colors, base_tops, rounds, model_fingerprint=model_fingerprint
+    )
     store_key = sds_cache.shard_store_key(key, shard_size)
-    manifest_file = sds_cache.manifest_path(target, store_key)
+    manifest_file = sds_cache.manifest_path(target, store_key, model_slug)
+    expected_len = 15 if restricted else 14
     try:
         manifest = _read_blob(manifest_file)
         if (
             not isinstance(manifest, tuple)
-            or len(manifest) != 14
+            or len(manifest) != expected_len
             or manifest[0] != SHARD_SCHEMA
             or manifest[1] != sds_cache.ENGINE_REV
             or manifest[2] != store_key
             or manifest[3] != key
+            or (restricted and manifest[14] != model_fingerprint)
         ):
             return None
         records = tuple(manifest[13])
         for record in records:
-            path = sds_cache.shard_path(target, store_key, record[0])
+            path = sds_cache.shard_path(target, store_key, record[0], model_slug)
             if path.stat().st_size != record[5]:
                 return None
         sharded = ShardedSubdivision(
@@ -566,12 +689,14 @@ def open_sharded(
             records,
             target,
             store_key,
+            model_fingerprint=model_fingerprint,
+            model_slug=model_slug,
         )
     except (OSError, ValueError, EOFError, TypeError):
         return None
     sds_cache._touch(manifest_file)
     for record in records:
-        sds_cache._touch(sds_cache.shard_path(target, store_key, record[0]))
+        sds_cache._touch(sds_cache.shard_path(target, store_key, record[0], model_slug))
     if _OBS.enabled:
         _OBS.metrics.counter("sds.shards.cache", outcome="hit").inc()
     return sharded
@@ -584,13 +709,24 @@ def ensure_sharded(
     *,
     shard_size: int = DEFAULT_SHARD_SIZE,
     directory=None,
+    model=None,
 ) -> ShardedSubdivision:
     """Open the sharded build if present, else stream-build and persist it."""
     existing = open_sharded(
-        base_colors, base_tops, rounds, shard_size=shard_size, directory=directory
+        base_colors,
+        base_tops,
+        rounds,
+        shard_size=shard_size,
+        directory=directory,
+        model=model,
     )
     if existing is not None:
         return existing
     return build_sds_sharded(
-        base_colors, base_tops, rounds, shard_size=shard_size, directory=directory
+        base_colors,
+        base_tops,
+        rounds,
+        shard_size=shard_size,
+        directory=directory,
+        model=model,
     )
